@@ -1,0 +1,133 @@
+// Package bolted is a reproduction of the Bolted architecture from
+// "Supporting Security Sensitive Tenants in a Bare-Metal Cloud"
+// (Mosayyebzadeh et al., USENIX ATC 2019): a bare-metal cloud in which
+// security-sensitive tenants control their own provisioning and
+// attestation, trusting the provider only for physical security,
+// availability, and a minimal (~3 KLOC) network isolation service.
+//
+// The package is a facade over the implementation packages:
+//
+//	internal/hil       Hardware Isolation Layer (the provider TCB)
+//	internal/bmi       Bare Metal Imaging (diskless provisioning)
+//	internal/keylime   remote attestation + key bootstrap
+//	internal/firmware  UEFI / LinuxBoot machine + measured boot model
+//	internal/core      enclave orchestration and timing models
+//	internal/workload  the paper's evaluation workloads
+//
+// Quick start:
+//
+//	cloud, _ := bolted.NewCloud(bolted.DefaultConfig())
+//	cloud.BMI.CreateOSImage("fedora28", bolted.OSImageSpec{ ... })
+//	enclave, _ := bolted.NewEnclave(cloud, "myproj", bolted.ProfileCharlie)
+//	node, err := enclave.AcquireNode("fedora28")   // airlock → attest → boot
+//
+// See examples/ for runnable scenarios and EXPERIMENTS.md for the
+// figure-by-figure reproduction of the paper's evaluation.
+package bolted
+
+import (
+	"bolted/internal/bmi"
+	"bolted/internal/core"
+	"bolted/internal/workload"
+)
+
+// Cloud is a wired Bolted deployment: switch fabric, HIL, BMI over a
+// Ceph-like store, a Keylime registrar, and the physical machines.
+type Cloud = core.Cloud
+
+// CloudConfig sizes a cloud (node count, flash firmware, storage pool).
+type CloudConfig = core.CloudConfig
+
+// Enclave is a tenant's secure pool of bare-metal servers.
+type Enclave = core.Enclave
+
+// Node is a server that has joined an enclave.
+type Node = core.Node
+
+// Profile is a tenant security posture (§4.3 of the paper).
+type Profile = core.Profile
+
+// FirmwareKind selects node flash firmware.
+type FirmwareKind = core.FirmwareKind
+
+// OSImageSpec describes a bootable OS image for BMI.
+type OSImageSpec = bmi.OSImageSpec
+
+// SecurityLevel is a provisioning-time security choice (Figure 4).
+type SecurityLevel = core.SecurityLevel
+
+// ProvisionConfig configures the provisioning-time simulation.
+type ProvisionConfig = core.ProvisionConfig
+
+// ProvisionResult is the simulation output (phases, per-node times).
+type ProvisionResult = core.ProvisionResult
+
+// App is a macro-benchmark model (Figure 7).
+type App = workload.App
+
+// SecConfig is a runtime security configuration (LUKS/IPsec).
+type SecConfig = workload.SecConfig
+
+// Firmware kinds.
+const (
+	FirmwareUEFI      = core.FirmwareUEFI
+	FirmwareLinuxBoot = core.FirmwareLinuxBoot
+)
+
+// Provisioning security levels.
+const (
+	SecNone     = core.SecNone
+	SecAttested = core.SecAttested
+	SecFull     = core.SecFull
+)
+
+// The paper's three example tenants.
+var (
+	// ProfileAlice trusts everyone: no attestation, no encryption.
+	ProfileAlice = core.ProfileAlice
+	// ProfileBob trusts the provider but not previous tenants:
+	// provider-deployed attestation.
+	ProfileBob = core.ProfileBob
+	// ProfileCharlie trusts the provider only for availability:
+	// tenant-deployed attestation, LUKS, IPsec, continuous attestation.
+	ProfileCharlie = core.ProfileCharlie
+)
+
+// NewCloud constructs and wires a cloud.
+func NewCloud(cfg CloudConfig) (*Cloud, error) { return core.NewCloud(cfg) }
+
+// DefaultConfig mirrors the paper's 16-blade testbed.
+func DefaultConfig() CloudConfig { return core.DefaultConfig() }
+
+// NewEnclave creates a tenant enclave under a security profile.
+func NewEnclave(c *Cloud, name string, p Profile) (*Enclave, error) {
+	return core.NewEnclave(c, name, p)
+}
+
+// FederatedEnclave spans multiple independent clouds (§4.3's
+// co-location federation); cross-cloud traffic always runs over IPsec.
+type FederatedEnclave = core.FederatedEnclave
+
+// NewFederatedEnclave creates an empty federation under a profile.
+func NewFederatedEnclave(p Profile) (*FederatedEnclave, error) {
+	return core.NewFederatedEnclave(p)
+}
+
+// VerifyPublishedFirmware is the tenant-side deterministic-build check:
+// rebuild LinuxBoot from source and compare against the provider-
+// published platform PCR in the node's HIL metadata.
+func VerifyPublishedFirmware(metadata map[string]string, sourceID string, source []byte) error {
+	return core.VerifyPublishedFirmware(metadata, sourceID, source)
+}
+
+// SimulateProvisioning runs the Figure-4/5 discrete-event timing model.
+func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
+	return core.SimulateProvisioning(cfg)
+}
+
+// DefaultProvisionConfig is a single attested LinuxBoot boot on the
+// paper's infrastructure.
+func DefaultProvisionConfig() ProvisionConfig { return core.DefaultProvisionConfig() }
+
+// Figure7Apps is the paper's macro-benchmark suite.
+var Figure7Apps = workload.Figure7Apps

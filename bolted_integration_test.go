@@ -1,0 +1,174 @@
+// Integration tests driving the public facade end to end, as a
+// downstream user of the library would.
+package bolted_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bolted"
+	"bolted/internal/ima"
+)
+
+func seedCloud(t *testing.T, nodes int) *bolted.Cloud {
+	t.Helper()
+	cfg := bolted.DefaultConfig()
+	cfg.Nodes = nodes
+	cloud, err := bolted.NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("os", bolted.OSImageSpec{
+		KernelID: "linux-4.17",
+		Kernel:   []byte("vmlinuz"),
+		Initrd:   []byte("initrd"),
+		Cmdline:  "root=iscsi",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cloud
+}
+
+func TestFacadeThreeTenantsEndToEnd(t *testing.T) {
+	cloud := seedCloud(t, 3)
+	for _, profile := range []bolted.Profile{bolted.ProfileAlice, bolted.ProfileBob, bolted.ProfileCharlie} {
+		enclave, err := bolted.NewEnclave(cloud, profile.Name, profile)
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		if profile.ContinuousAttest {
+			enclave.IMAWhitelist().AllowContent("/bin/app", []byte("app"))
+		}
+		node, err := enclave.AcquireNode("os")
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		if node.Machine.KernelID() != "linux-4.17" {
+			t.Fatalf("%s booted %q", profile.Name, node.Machine.KernelID())
+		}
+		// The node's remote volume works for every profile.
+		data := bytes.Repeat([]byte{0x42}, 512)
+		if err := node.Disk.WriteSectors(data, 1); err != nil {
+			t.Fatalf("%s disk: %v", profile.Name, err)
+		}
+	}
+	// All three coexist; the free pool is empty.
+	if free := cloud.HIL.FreeNodes(); len(free) != 0 {
+		t.Fatalf("free pool = %v", free)
+	}
+}
+
+func TestFacadeFederation(t *testing.T) {
+	cloudA := seedCloud(t, 1)
+	cloudB := seedCloud(t, 1)
+	fed, err := bolted.NewFederatedEnclave(bolted.ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Join("a", cloudA, "proj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Join("b", cloudB, "proj"); err != nil {
+		t.Fatal(err)
+	}
+	addrA, _, err := fed.AcquireNode("a", "os")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, _, err := fed.AcquireNode("b", "os")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fed.Send(addrA, addrB, []byte("cross"))
+	if err != nil || string(out) != "cross" {
+		t.Fatalf("federated send: %v", err)
+	}
+}
+
+func TestFacadeFirmwareVerification(t *testing.T) {
+	cfg := bolted.DefaultConfig()
+	cfg.Nodes = 1
+	cloud, err := bolted.NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := cloud.HIL.NodeMetadata("node00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bolted.VerifyPublishedFirmware(md, "heads-v1.0", cfg.HeadsSource); err != nil {
+		t.Fatal(err)
+	}
+	if err := bolted.VerifyPublishedFirmware(md, "heads-v1.0", []byte("evil")); err == nil {
+		t.Fatal("tampered source accepted")
+	}
+}
+
+func TestFacadeSimulationAPI(t *testing.T) {
+	cfg := bolted.DefaultProvisionConfig()
+	cfg.Firmware = bolted.FirmwareLinuxBoot
+	cfg.Security = bolted.SecAttested
+	r := bolted.SimulateProvisioning(cfg)
+	if r.Makespan < 2*time.Minute || r.Makespan > 4*time.Minute {
+		t.Fatalf("attested LinuxBoot boot = %v, expected 2-4 min", r.Makespan)
+	}
+	if len(r.Phases) == 0 {
+		t.Fatal("no phase breakdown")
+	}
+}
+
+func TestFacadeWorkloadAPI(t *testing.T) {
+	if len(bolted.Figure7Apps) != 6 {
+		t.Fatalf("Figure7Apps = %d apps", len(bolted.Figure7Apps))
+	}
+	for _, app := range bolted.Figure7Apps {
+		if app.Runtime(bolted.SecConfig{}) <= 0 {
+			t.Fatalf("%s: nonpositive runtime", app.Name)
+		}
+	}
+}
+
+func TestFacadeFullCompromiseStory(t *testing.T) {
+	// The complete secure-enclave narrative through the public API:
+	// attested boot, encrypted runtime, detection, ban, release.
+	cloud := seedCloud(t, 2)
+	enclave, err := bolted.NewEnclave(cloud, "sec", bolted.ProfileCharlie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave.IMAWhitelist().AllowContent("/bin/trusted", []byte("trusted"))
+	n1, err := enclave.AcquireNode("os")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := enclave.AcquireNode("os")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.IMA.Measure("/bin/trusted", []byte("trusted"), ima.HookExec, 0)
+	if err := enclave.StartContinuousAttestation(n1.Name, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enclave.Send(n1.Name, n2.Name, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	n1.IMA.Measure("/bin/malware", []byte("malware"), ima.HookExec, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := enclave.Send(n1.Name, n2.Name, []byte("probe")); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("compromised node not banned within 2s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Release the healthy node with state saved; it remains restartable.
+	if err := enclave.ReleaseNode(n2.Name, "n2-state"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.BMI.GetImage("n2-state"); err != nil {
+		t.Fatal("saved state image missing")
+	}
+}

@@ -1,0 +1,180 @@
+// Command boltedctl is the tenant CLI for a running boltedd: it speaks
+// the HIL REST API to manage projects, nodes, networks and power.
+//
+// Usage:
+//
+//	boltedctl [-server URL] <command> [args]
+//
+//	project create <name>
+//	node list-free
+//	node allocate <project> [node]
+//	node free <project> <node>
+//	node metadata <node>
+//	net create <project> <network>
+//	net delete <project> <network>
+//	net connect <project> <node> <network>
+//	net detach <project> <node> <network>
+//	power <on|off|cycle> <project> <node>
+//	image list
+//	image create <name> <size-bytes>
+//	image clone <src> <dst>
+//	image snapshot <src> <snap>
+//	image delete <name>
+//	image bootinfo <name>
+//	firmware verify <node> <source-id> <source-file>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"bolted/internal/bmi"
+	"bolted/internal/core"
+	"bolted/internal/hil"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: boltedctl [-server URL] <command> [args]
+commands:
+  project create <name>
+  node list-free
+  node allocate <project> [node]
+  node free <project> <node>
+  node metadata <node>
+  net create <project> <network>
+  net delete <project> <network>
+  net connect <project> <node> <network>
+  net detach <project> <node> <network>
+  power <on|off|cycle> <project> <node>
+  image list | create <name> <size> | clone <src> <dst> |
+        snapshot <src> <snap> | delete <name> | bootinfo <name>
+  firmware verify <node> <source-id> <source-file>
+        (rebuild LinuxBoot from source and compare against the
+         provider-published platform PCR for the node)`)
+	os.Exit(2)
+}
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "boltedd HIL API base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	c := hil.NewClient(*server)
+
+	need := func(n int) {
+		if len(args) != n {
+			usage()
+		}
+	}
+	var err error
+	switch args[0] + " " + args[1] {
+	case "project create":
+		need(3)
+		err = c.CreateProject(args[2])
+	case "node list-free":
+		need(2)
+		var free []string
+		free, err = c.FreeNodes()
+		for _, n := range free {
+			fmt.Println(n)
+		}
+	case "node allocate":
+		node := ""
+		if len(args) == 4 {
+			node = args[3]
+		} else {
+			need(3)
+		}
+		var got string
+		got, err = c.AllocateNode(args[2], node)
+		if err == nil {
+			fmt.Println(got)
+		}
+	case "node free":
+		need(4)
+		err = c.FreeNode(args[2], args[3])
+	case "node metadata":
+		need(3)
+		var md map[string]string
+		md, err = c.NodeMetadata(args[2])
+		for k, v := range md {
+			fmt.Printf("%s=%s\n", k, v)
+		}
+	case "net create":
+		need(4)
+		err = c.CreateNetwork(args[2], args[3])
+	case "net delete":
+		need(4)
+		err = c.DeleteNetwork(args[2], args[3])
+	case "net connect":
+		need(5)
+		err = c.ConnectNode(args[2], args[3], args[4])
+	case "net detach":
+		need(5)
+		err = c.DetachNode(args[2], args[3], args[4])
+	case "power on", "power off", "power cycle":
+		need(4)
+		err = c.Power(args[2], args[3], args[1])
+	case "image list":
+		need(2)
+		var imgs []string
+		imgs, err = bmiClient(*server).ListImages()
+		for _, i := range imgs {
+			fmt.Println(i)
+		}
+	case "image create":
+		need(4)
+		var size int64
+		size, err = strconv.ParseInt(args[3], 10, 64)
+		if err == nil {
+			err = bmiClient(*server).CreateImage(args[2], size)
+		}
+	case "image clone":
+		need(4)
+		err = bmiClient(*server).CloneImage(args[2], args[3])
+	case "image snapshot":
+		need(4)
+		err = bmiClient(*server).SnapshotImage(args[2], args[3])
+	case "image delete":
+		need(3)
+		err = bmiClient(*server).DeleteImage(args[2])
+	case "image bootinfo":
+		need(3)
+		var bi *bmi.BootInfo
+		bi, err = bmiClient(*server).ExtractBootInfo(args[2])
+		if err == nil {
+			fmt.Printf("kernel-id: %s\ncmdline:   %s\nkernel:    %d bytes\ninitrd:    %d bytes\n",
+				bi.KernelID, bi.Cmdline, len(bi.Kernel), len(bi.Initrd))
+		}
+	case "firmware verify":
+		need(5)
+		var md map[string]string
+		md, err = c.NodeMetadata(args[2])
+		if err != nil {
+			break
+		}
+		var source []byte
+		source, err = os.ReadFile(args[4])
+		if err != nil {
+			break
+		}
+		if err = core.VerifyPublishedFirmware(md, args[3], source); err == nil {
+			fmt.Printf("node %s: published firmware measurement matches your build of %s\n", args[2], args[3])
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boltedctl:", err)
+		os.Exit(1)
+	}
+}
+
+// bmiClient returns a BMI client for the boltedd server's /bmi prefix.
+func bmiClient(server string) *bmi.Client {
+	return bmi.NewClient(server + "/bmi")
+}

@@ -1,0 +1,47 @@
+// Command boltedd runs a demo Bolted cloud and serves the HIL REST API
+// over HTTP, so boltedctl (or curl) can drive allocation, networking
+// and power operations the way tenant tooling drives a real HIL.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"bolted/internal/bmi"
+	"bolted/internal/core"
+	"bolted/internal/hil"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address for the HIL API")
+	nodes := flag.Int("nodes", 4, "number of bare-metal nodes")
+	fw := flag.String("firmware", "linuxboot", "node flash firmware: linuxboot or uefi")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.Firmware = core.FirmwareKind(*fw)
+	cloud, err := core.NewCloud(cfg)
+	if err != nil {
+		log.Fatalf("boltedd: %v", err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("fedora28", bmi.OSImageSpec{
+		KernelID: "fedora28-4.17.9",
+		Kernel:   []byte("vmlinuz-4.17.9-200.fc28"),
+		Initrd:   []byte("initramfs-4.17.9-200.fc28"),
+		Cmdline:  "root=iscsi ima_policy=tcb",
+	}); err != nil {
+		log.Fatalf("boltedd: seed image: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/bmi/", http.StripPrefix("/bmi", bmi.NewHandler(cloud.BMI)))
+	mux.Handle("/", hil.NewHandler(cloud.HIL))
+
+	log.Printf("boltedd: %d %s nodes; HIL API at http://%s/, BMI API at http://%s/bmi/", *nodes, *fw, *addr, *addr)
+	log.Printf("boltedd: free nodes: %v", cloud.HIL.FreeNodes())
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}

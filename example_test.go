@@ -1,0 +1,59 @@
+package bolted_test
+
+import (
+	"fmt"
+	"log"
+
+	"bolted"
+)
+
+// ExampleNewEnclave shows the complete attested-boot lifecycle through
+// the public API.
+func ExampleNewEnclave() {
+	cfg := bolted.DefaultConfig()
+	cfg.Nodes = 1
+	cloud, err := bolted.NewCloud(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("os", bolted.OSImageSpec{
+		KernelID: "linux-4.17",
+		Kernel:   []byte("vmlinuz"),
+		Initrd:   []byte("initrd"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	enclave, err := bolted.NewEnclave(cloud, "demo", bolted.ProfileBob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := enclave.AcquireNode("os")
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, _ := enclave.Verifier().Status(node.Name)
+	fmt.Println(node.Name, status, node.Machine.KernelID())
+	// Output: node00 verified linux-4.17
+}
+
+// ExampleSimulateProvisioning regenerates one Figure-4 bar.
+func ExampleSimulateProvisioning() {
+	cfg := bolted.DefaultProvisionConfig()
+	cfg.Firmware = bolted.FirmwareLinuxBoot
+	cfg.Security = bolted.SecAttested
+	r := bolted.SimulateProvisioning(cfg)
+	fmt.Println(r.Makespan.Round(1e9))
+	// Output: 2m54s
+}
+
+// ExampleApp_Degradation evaluates the Figure-7 model for one cell.
+func ExampleApp_Degradation() {
+	for _, app := range bolted.Figure7Apps {
+		if app.Name == "TeraSort" {
+			d := app.Degradation(bolted.SecConfig{LUKS: true, IPsec: true})
+			fmt.Printf("TeraSort under LUKS+IPsec: %.0f%% slower\n", d*100)
+		}
+	}
+	// Output: TeraSort under LUKS+IPsec: 31% slower
+}

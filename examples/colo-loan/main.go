@@ -1,0 +1,91 @@
+// Co-location loan: the use case Bolted is going into production for
+// (§4.3) — datacenter partners temporarily "loan" computers to each
+// other to absorb demand bursts. Org B's IaaS cloud has spare capacity;
+// Org A's HPC cluster is overloaded. Org A borrows nodes through Org
+// B's isolation service but runs ITS OWN attestation (it trusts the
+// partner's physical isolation, so it skips network encryption, but it
+// will not run jobs on firmware it has not verified).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bolted"
+	"bolted/internal/firmware"
+)
+
+func main() {
+	// Org B's cloud: the lending party operates HIL and the fabric.
+	cfg := bolted.DefaultConfig()
+	cfg.Nodes = 8
+	cloud, err := bolted.NewCloud(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Org A brings its own OS image (its HPC software stack) into the
+	// partner's provisioning service.
+	if _, err := cloud.BMI.CreateOSImage("orga-hpc", bolted.OSImageSpec{
+		KernelID: "orga-mpi-4.17",
+		Kernel:   []byte("vmlinuz-orga"),
+		Initrd:   []byte("initramfs-orga-mpi"),
+		Cmdline:  "root=iscsi hugepages=512",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Org A's posture: tenant-deployed attestation (it verifies the
+	// partner's firmware itself), but no LUKS/IPsec — §4.3: "trusting
+	// the partner's isolation service makes network encryption
+	// unnecessary for communication with servers obtained from it."
+	loanProfile := bolted.Profile{
+		Name:           "orga-loan",
+		Attest:         true,
+		TenantVerifier: true,
+	}
+	enclave, err := bolted.NewEnclave(cloud, "orga-burst", loanProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One of the partner's nodes has stale (here: tampered) firmware —
+	// perhaps a previous research tenant left an implant. Org A's own
+	// attestation catches it without trusting Org B's word.
+	m, err := cloud.Machine("node00")
+	if err != nil {
+		log.Fatal(err)
+	}
+	evil := firmware.BuildLinuxBoot("heads-v1.0", []byte("implanted build"))
+	m.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
+
+	fmt.Println("demand burst: borrowing 4 nodes from partner cloud")
+	var borrowed []*bolted.Node
+	for len(borrowed) < 4 {
+		n, err := enclave.AcquireNode("orga-hpc")
+		if err != nil {
+			fmt.Printf("  rejected a node: %v\n", errShort(err))
+			continue
+		}
+		fmt.Printf("  borrowed %s (attested by Org A's own verifier)\n", n.Name)
+		borrowed = append(borrowed, n)
+	}
+	fmt.Printf("rejected pool (partner forensics): %d node(s)\n", len(cloud.Rejected()))
+
+	// Burst over: return everything. Diskless provisioning means Org
+	// A's job data never touched the partner's node-local disks.
+	for _, n := range borrowed {
+		if err := enclave.ReleaseNode(n.Name, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("burst over: nodes returned, free pool = %d\n", len(cloud.HIL.FreeNodes()))
+}
+
+func errShort(err error) string {
+	s := err.Error()
+	if len(s) > 96 {
+		return s[:96] + "..."
+	}
+	return s
+}

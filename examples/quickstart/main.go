@@ -1,0 +1,58 @@
+// Quickstart: stand up a Bolted cloud, build an OS image, and bring an
+// attested bare-metal server into an enclave — the paper's Figure-1
+// lifecycle in ~30 lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bolted"
+)
+
+func main() {
+	// A cloud like the paper's testbed: 16 blades with LinuxBoot in
+	// flash, a 3-host object-storage pool.
+	cloud, err := bolted.NewCloud(bolted.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The tenant's OS image lives in the provisioning service; nodes
+	// boot from it disklessly over the network.
+	if _, err := cloud.BMI.CreateOSImage("fedora28", bolted.OSImageSpec{
+		KernelID: "fedora28-4.17.9",
+		Kernel:   []byte("vmlinuz-4.17.9-200.fc28"),
+		Initrd:   []byte("initramfs-4.17.9-200.fc28"),
+		Cmdline:  "root=iscsi quiet",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob's profile: attested boot (protection from previous tenants'
+	// firmware implants) via the provider's attestation service.
+	enclave, err := bolted.NewEnclave(cloud, "quickstart", bolted.ProfileBob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One call runs the whole lifecycle: allocate → airlock → measured
+	// boot → attest against the firmware whitelist → join the enclave →
+	// mount the remote volume → kexec the tenant kernel.
+	node, err := enclave.AcquireNode("fedora28")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node %s joined the enclave\n", node.Name)
+	fmt.Printf("  running layer:   %s\n", node.Machine.Layer())
+	fmt.Printf("  tenant kernel:   %s\n", node.Machine.KernelID())
+	status, _ := enclave.Verifier().Status(node.Name)
+	fmt.Printf("  attestation:     %s\n", status)
+	fmt.Printf("  remote volume:   %d sectors\n", node.Disk.NumSectors())
+
+	// Release: diskless means nothing of ours survives on the node.
+	if err := enclave.ReleaseNode(node.Name, ""); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node released; free pool: %v\n", cloud.HIL.FreeNodes()[:3])
+}

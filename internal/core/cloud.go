@@ -1,0 +1,277 @@
+// Package core is Bolted's orchestration layer — the paper's primary
+// contribution (§4): user-controlled scripts that compose the four
+// independent services (HIL isolation, BMI provisioning, Keylime
+// attestation, LinuxBoot firmware) into secure bare-metal enclaves,
+// taking each server through the free → airlock → allocated/rejected
+// life cycle of Figure 1, under a tenant-chosen security profile.
+package core
+
+import (
+	"fmt"
+
+	"bolted/internal/bmi"
+	"bolted/internal/ceph"
+	"bolted/internal/firmware"
+	"bolted/internal/hil"
+	"bolted/internal/keylime"
+	"bolted/internal/netsim"
+	"bolted/internal/tpm"
+)
+
+// FirmwareKind selects what is burned into node flash.
+type FirmwareKind string
+
+// Firmware kinds.
+const (
+	FirmwareUEFI      FirmwareKind = "uefi"      // stock vendor firmware; LinuxBoot runtime network-booted
+	FirmwareLinuxBoot FirmwareKind = "linuxboot" // LinuxBoot burned into SPI flash
+)
+
+// Provider public networks every cloud exposes.
+const (
+	NetAttestation  = "attestation"
+	NetProvisioning = "provisioning"
+)
+
+// Service host switch ports.
+const (
+	PortBMI       = "svc-bmi"
+	PortRegistrar = "svc-registrar"
+	PortVerifier  = "svc-verifier" // provider-deployed verifier (Bob)
+)
+
+// MetadataPlatformPCR is the HIL metadata key for the provider-published
+// platform PCR whitelist entry (hex digest of PCRPlatform after clean
+// boot).
+const MetadataPlatformPCR = "platform_pcr0"
+
+// MetadataPlatformGen is the HIL metadata key for the node's platform
+// generation (needed to reproduce the vendor PEI/ACM measurement).
+const MetadataPlatformGen = "platform_gen"
+
+// MetadataFirmware is the HIL metadata key naming the canonical
+// firmware the provider claims is installed.
+const MetadataFirmware = "firmware"
+
+// RejectedProject is the provider-owned quarantine project holding
+// nodes that failed attestation.
+const RejectedProject = "provider-rejected-pool"
+
+// VerifyPublishedFirmware is the tenant-side deterministic-build check
+// (§5): given the LinuxBoot source the tenant trusts (inspected or
+// audited), rebuild the image, recompute the expected PCRPlatform
+// value, and compare with the provider-published whitelist entry in the
+// node's HIL metadata. A mismatch means the provider's published
+// measurement does not correspond to the claimed source.
+func VerifyPublishedFirmware(metadata map[string]string, sourceID string, source []byte) error {
+	published, ok := metadata[MetadataPlatformPCR]
+	if !ok {
+		return fmt.Errorf("core: provider metadata has no %s entry", MetadataPlatformPCR)
+	}
+	gen, ok := metadata[MetadataPlatformGen]
+	if !ok {
+		return fmt.Errorf("core: provider metadata has no %s entry", MetadataPlatformGen)
+	}
+	img := firmware.BuildLinuxBoot(sourceID, source)
+	fw := firmware.NewLinuxBoot(img, gen)
+	want := fmt.Sprintf("%x", firmware.ExpectedPCRs(fw, nil)[firmware.PCRPlatform])
+	if want != published {
+		return fmt.Errorf("core: published platform PCR %s does not match source build %s", published[:16], want[:16])
+	}
+	return nil
+}
+
+// CloudConfig sizes a simulated cloud.
+type CloudConfig struct {
+	Nodes        int
+	Firmware     FirmwareKind
+	HeadsSource  []byte // LinuxBoot source tree (deterministic build input)
+	OSDs         int
+	Replication  int
+	SpindlesPerO int
+	PlatformGen  string
+}
+
+// DefaultConfig mirrors the paper's testbed: 16 M620 blades, a 3-host
+// Ceph pool with 27 spindles (9 per host).
+func DefaultConfig() CloudConfig {
+	return CloudConfig{
+		Nodes:        16,
+		Firmware:     FirmwareLinuxBoot,
+		HeadsSource:  []byte("heads source tree v1.0 (reproducible)"),
+		OSDs:         3,
+		Replication:  2,
+		SpindlesPerO: 9,
+		PlatformGen:  "m620",
+	}
+}
+
+// Cloud is a fully wired Bolted deployment: provider infrastructure
+// plus the physical machines.
+type Cloud struct {
+	Config    CloudConfig
+	Fabric    *netsim.Fabric
+	HIL       *hil.Service
+	BMI       *bmi.Service
+	Ceph      *ceph.Cluster
+	Registrar *keylime.Registrar
+	Heads     firmware.LinuxBootImage
+
+	// canonicalFW is the firmware the provider *claims* is installed —
+	// the basis of the published whitelist. Attestation exists exactly
+	// because flash contents may diverge from this.
+	canonicalFW firmware.Firmware
+	machines    map[string]*firmware.Machine
+	rejected    map[string]string // node -> rejection reason
+}
+
+// NewCloud constructs and wires a cloud: fabric ports for every node
+// and service host, public attestation/provisioning networks, machines
+// with the configured flash firmware, and HIL node registration with
+// the provider-published TPM EK and platform PCR metadata.
+func NewCloud(cfg CloudConfig) (*Cloud, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("core: need at least one node")
+	}
+	fabric, err := netsim.NewFabric(100, 999)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := ceph.NewCluster(cfg.OSDs, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cloud{
+		Config:    cfg,
+		Fabric:    fabric,
+		HIL:       hil.New(fabric),
+		BMI:       bmi.New(cluster),
+		Ceph:      cluster,
+		Registrar: keylime.NewRegistrar(),
+		Heads:     firmware.BuildLinuxBoot("heads-v1.0", cfg.HeadsSource),
+		machines:  make(map[string]*firmware.Machine),
+		rejected:  make(map[string]string),
+	}
+
+	for _, p := range []string{PortBMI, PortRegistrar, PortVerifier} {
+		if _, err := fabric.AddPort(p); err != nil {
+			return nil, err
+		}
+	}
+	// Both service networks are private VLANs: every node needs the
+	// attestation and provisioning services, but nodes must never see
+	// each other through them.
+	for _, net := range []string{NetAttestation, NetProvisioning} {
+		if err := c.HIL.CreatePublicNetwork(net, true); err != nil {
+			return nil, err
+		}
+	}
+	// The rejected pool is a provider-owned project: nodes that fail
+	// attestation park here, off every network, until an operator
+	// investigates. They must never silently return to the free pool.
+	if err := c.HIL.CreateProject(RejectedProject); err != nil {
+		return nil, err
+	}
+	// Provider service placement: BMI on provisioning, registrar and the
+	// provider verifier on attestation.
+	if err := c.HIL.ConnectServicePort(PortBMI, NetProvisioning); err != nil {
+		return nil, err
+	}
+	for _, p := range []string{PortRegistrar, PortVerifier} {
+		if err := c.HIL.ConnectServicePort(p, NetAttestation); err != nil {
+			return nil, err
+		}
+	}
+
+	switch cfg.Firmware {
+	case FirmwareLinuxBoot:
+		c.canonicalFW = firmware.NewLinuxBoot(c.Heads, cfg.PlatformGen)
+	case FirmwareUEFI:
+		c.canonicalFW = firmware.NewUEFI("dell", "2.9.1", cfg.PlatformGen)
+	default:
+		return nil, fmt.Errorf("core: unknown firmware kind %q", cfg.Firmware)
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("node%02d", i)
+		port := "port-" + name
+		if _, err := fabric.AddPort(port); err != nil {
+			return nil, err
+		}
+		m, err := firmware.NewMachine(name, port, c.canonicalFW)
+		if err != nil {
+			return nil, err
+		}
+		c.machines[name] = m
+		md := map[string]string{
+			keylime.EKMetadataKey: keylime.EncodeEK(m.TPM().EKPublic()),
+			MetadataPlatformPCR:   fmt.Sprintf("%x", c.platformWhitelistDigest(c.canonicalFW)),
+			MetadataPlatformGen:   cfg.PlatformGen,
+			MetadataFirmware:      c.canonicalFW.Name(),
+		}
+		if err := c.HIL.RegisterNode(name, port, m, md); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// platformWhitelistDigest is the expected PCRPlatform value for a clean
+// boot of the node's flash firmware — the one-time provider-published
+// measurement of §4.1.
+func (c *Cloud) platformWhitelistDigest(fw firmware.Firmware) tpm.Digest {
+	return firmware.ExpectedPCRs(fw, nil)[firmware.PCRPlatform]
+}
+
+// Machine returns a physical machine by name (test and example hook; a
+// real tenant never touches machines directly).
+func (c *Cloud) Machine(name string) (*firmware.Machine, error) {
+	m, ok := c.machines[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown machine %q", name)
+	}
+	return m, nil
+}
+
+// ExpectedBootPCRs computes the attestation whitelist for a node under
+// this cloud's boot chain: flash-LinuxBoot machines boot straight from
+// flash; UEFI machines network-boot the Heads runtime via iPXE. The
+// whitelist derives from the provider's *canonical* firmware — never
+// from a machine's actual flash contents, which is precisely what
+// attestation does not trust.
+func (c *Cloud) ExpectedBootPCRs(node string) (map[int][]tpm.Digest, error) {
+	if _, err := c.Machine(node); err != nil {
+		return nil, err
+	}
+	var exp map[int]tpm.Digest
+	if c.Config.Firmware == FirmwareUEFI {
+		exp = firmware.ExpectedPCRs(c.canonicalFW, &c.Heads)
+	} else {
+		exp = firmware.ExpectedPCRs(c.canonicalFW, nil)
+	}
+	out := make(map[int][]tpm.Digest, len(exp))
+	for pcr, d := range exp {
+		out[pcr] = []tpm.Digest{d}
+	}
+	return out, nil
+}
+
+// MarkRejected quarantines a node that failed attestation: detached
+// from every network, reserved into the provider's rejected project so
+// no tenant can allocate it, and recorded for forensics.
+func (c *Cloud) MarkRejected(node, reason string) {
+	c.rejected[node] = reason
+	_ = c.HIL.AllocateNode(RejectedProject, node)
+	if port, err := c.HIL.NodePort(node); err == nil {
+		_ = c.Fabric.DetachAll(port)
+	}
+}
+
+// Rejected returns the rejected pool: node -> reason.
+func (c *Cloud) Rejected() map[string]string {
+	out := make(map[string]string, len(c.rejected))
+	for k, v := range c.rejected {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,550 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bolted/internal/blockdev"
+	"bolted/internal/bmi"
+	"bolted/internal/firmware"
+	"bolted/internal/ima"
+)
+
+func testCloud(t testing.TB, nodes int, fw FirmwareKind) *Cloud {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Firmware = fw
+	c, err := NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A golden tenant OS image.
+	if _, err := c.BMI.CreateOSImage("fedora28", bmi.OSImageSpec{
+		KernelID: "fedora28-4.17.9",
+		Kernel:   []byte("vmlinuz-4.17.9-200"),
+		Initrd:   []byte("initramfs-4.17.9"),
+		Cmdline:  "root=iscsi ima_policy=tcb",
+		RootFS:   bytes.Repeat([]byte("rootfs"), 1000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestProfileValidation(t *testing.T) {
+	for _, p := range []Profile{ProfileAlice, ProfileBob, ProfileCharlie} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := Profile{Name: "x", ContinuousAttest: true}
+	if err := bad.Validate(); err == nil {
+		t.Error("continuous attestation without tenant verifier accepted")
+	}
+	bad2 := Profile{Name: "y", TenantVerifier: true}
+	if err := bad2.Validate(); err == nil {
+		t.Error("tenant verifier without attestation accepted")
+	}
+}
+
+func TestAliceFastPath(t *testing.T) {
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	e, err := NewEnclave(c, "alice-proj", ProfileAlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Machine.Layer() != firmware.LayerTenantKernel {
+		t.Fatalf("layer = %s", n.Machine.Layer())
+	}
+	if n.Machine.KernelID() != "fedora28-4.17.9" {
+		t.Fatalf("kernel = %s", n.Machine.KernelID())
+	}
+	if e.Verifier() != nil {
+		t.Fatal("Alice should have no verifier")
+	}
+	// Unencrypted traffic passes (fabric reachability only).
+	n2, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Send(n.Name, n2.Name, []byte("hi"))
+	if err != nil || string(out) != "hi" {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+func TestBobAttestedPath(t *testing.T) {
+	c := testCloud(t, 1, FirmwareLinuxBoot)
+	e, err := NewEnclave(c, "bob-proj", ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attested payload booted the node.
+	if n.Machine.Layer() != firmware.LayerTenantKernel {
+		t.Fatal("node did not boot")
+	}
+	st, err := e.Verifier().Status(n.Name)
+	if err != nil || st != "verified" {
+		t.Fatalf("status = %s, %v", st, err)
+	}
+	// Bob uses the provider's verifier port.
+	if e.verifierPort != PortVerifier {
+		t.Fatalf("verifier port = %s", e.verifierPort)
+	}
+}
+
+func TestCharlieFullPath(t *testing.T) {
+	for _, fw := range []FirmwareKind{FirmwareLinuxBoot, FirmwareUEFI} {
+		t.Run(string(fw), func(t *testing.T) {
+			c := testCloud(t, 2, fw)
+			e, err := NewEnclave(c, "charlie-proj", ProfileCharlie)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n1, err := e.AcquireNode("fedora28")
+			if err != nil {
+				t.Fatal(err)
+			}
+			n2, err := e.AcquireNode("fedora28")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tenant-deployed verifier.
+			if e.verifierPort == PortVerifier {
+				t.Fatal("Charlie is using the provider verifier")
+			}
+			// Encrypted disk: writes round-trip; plaintext never reaches
+			// the provider's object store.
+			secret := bytes.Repeat([]byte("TOPSECRET-"), 52)[:blockdev.SectorSize]
+			if err := n1.Disk.WriteSectors(secret, 0); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, blockdev.SectorSize)
+			if err := n1.Disk.ReadSectors(got, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, secret) {
+				t.Fatal("disk round-trip failed")
+			}
+			for _, objName := range c.Ceph.ListPrefix("img-" + e.Project) {
+				obj, _ := c.Ceph.Get(objName)
+				if bytes.Contains(obj, []byte("TOPSECRET-TOPSECRET")) {
+					t.Fatal("tenant plaintext visible in provider storage")
+				}
+			}
+			// Encrypted enclave traffic.
+			out, err := e.Send(n1.Name, n2.Name, []byte("enclave msg"))
+			if err != nil || string(out) != "enclave msg" {
+				t.Fatalf("encrypted send: %v", err)
+			}
+		})
+	}
+}
+
+func TestContinuousAttestationRevokesTraffic(t *testing.T) {
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	e, err := NewEnclave(c, "charlie", ProfileCharlie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.IMAWhitelist().AllowContent("/usr/bin/spark", []byte("spark"))
+	n1, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean runtime activity passes.
+	n1.IMA.Measure("/usr/bin/spark", []byte("spark"), ima.HookExec, 0)
+	if v, err := e.Verifier().CheckIMA(n1.Name); err != nil || len(v) != 0 {
+		t.Fatalf("clean check: %v %v", v, err)
+	}
+	if _, err := e.Send(n1.Name, n2.Name, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Unwhitelisted execution on n1 -> revocation -> traffic severed.
+	n1.IMA.Measure("/tmp/evil", []byte("dropper"), ima.HookExec, 0)
+	v, err := e.Verifier().CheckIMA(n1.Name)
+	if err != nil || len(v) != 1 {
+		t.Fatalf("violation check: %v %v", v, err)
+	}
+	if _, err := e.Send(n1.Name, n2.Name, []byte("after")); err == nil {
+		t.Fatal("revoked node can still send enclave traffic")
+	}
+	if _, err := e.Send(n2.Name, n1.Name, []byte("after")); err == nil {
+		t.Fatal("peers can still send to revoked node")
+	}
+}
+
+func TestCompromisedNodeGoesToRejectedPool(t *testing.T) {
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	e, err := NewEnclave(c, "bob", ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A previous tenant implanted the firmware of node00.
+	m, _ := c.Machine("node00")
+	evil := firmware.BuildLinuxBoot("heads-v1.0", []byte("implanted heads"))
+	m.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
+
+	// node00 sorts first, so the first acquire attempt hits it.
+	_, err = e.AcquireNode("fedora28")
+	if err == nil {
+		t.Fatal("compromised node passed attestation")
+	}
+	if !strings.Contains(err.Error(), "rejected pool") {
+		t.Fatalf("error does not mention rejected pool: %v", err)
+	}
+	rej := c.Rejected()
+	if _, ok := rej["node00"]; !ok {
+		t.Fatalf("rejected pool = %v", rej)
+	}
+	// The rejected node is fully isolated.
+	port, _ := c.HIL.NodePort("node00")
+	vlans, _ := c.Fabric.VLANsOf(port)
+	if len(vlans) != 0 {
+		t.Fatalf("rejected node still on VLANs %v", vlans)
+	}
+	// The tenant can still get the clean node.
+	n, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "node01" {
+		t.Fatalf("got %s", n.Name)
+	}
+}
+
+func TestMemoryScrubbedBetweenTenants(t *testing.T) {
+	c := testCloud(t, 1, FirmwareLinuxBoot)
+	ea, err := NewEnclave(c, "tenant-a", ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ea.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Machine.Memory().Store("tenant-a-dbkey", []byte("super secret"))
+	if err := ea.ReleaseNode(n.Name, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	eb, err := NewEnclave(c, "tenant-b", ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := eb.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Name != n.Name {
+		t.Fatalf("expected node reuse, got %s", n2.Name)
+	}
+	if _, ok := n2.Machine.Memory().Load("tenant-a-dbkey"); ok {
+		t.Fatal("previous tenant's memory survived into next occupancy")
+	}
+}
+
+func TestStatelessReleaseLeavesNothing(t *testing.T) {
+	c := testCloud(t, 1, FirmwareLinuxBoot)
+	e, _ := NewEnclave(c, "t", ProfileBob)
+	n, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{7}, blockdev.SectorSize)
+	n.Disk.WriteSectors(data, 0)
+	volObjects := len(c.Ceph.ListPrefix("img-" + e.Project))
+	if volObjects == 0 {
+		t.Fatal("expected volume objects while allocated")
+	}
+	if err := e.ReleaseNode(n.Name, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Ceph.ListPrefix("img-" + e.Project)); got != 0 {
+		t.Fatalf("%d objects survived stateless release", got)
+	}
+	if owner, _ := c.HIL.NodeOwner(n.Name); owner != "" {
+		t.Fatal("node not returned to free pool")
+	}
+}
+
+func TestReleaseSavesState(t *testing.T) {
+	c := testCloud(t, 1, FirmwareLinuxBoot)
+	e, _ := NewEnclave(c, "t", ProfileBob)
+	n, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{9}, blockdev.SectorSize)
+	n.Disk.WriteSectors(data, 5)
+	if err := e.ReleaseNode(n.Name, "saved-vol"); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := c.BMI.Device("saved-vol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.SectorSize)
+	dev.ReadSectors(got, 5)
+	if !bytes.Equal(got, data) {
+		t.Fatal("saved volume lost node state")
+	}
+}
+
+func TestEnclaveDestroy(t *testing.T) {
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	e, _ := NewEnclave(c, "t", ProfileBob)
+	if _, err := e.AcquireNode("fedora28"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AcquireNode("fedora28"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.HIL.FreeNodes()) != 2 {
+		t.Fatal("nodes not freed on destroy")
+	}
+	// The project name is reusable.
+	if _, err := NewEnclave(c, "t", ProfileAlice); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAirlockIsolationBetweenConcurrentBoots(t *testing.T) {
+	// Two nodes in airlock simultaneously must not reach each other.
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	e, _ := NewEnclave(c, "t", ProfileBob)
+	// Drive the lifecycle manually up to the airlock for both nodes.
+	for _, name := range []string{"node00", "node01"} {
+		if err := c.HIL.AllocateNode(e.Project, name); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.HIL.CreateNetwork(e.Project, airlockNet(name)); err != nil {
+			t.Fatal(err)
+		}
+		for _, net := range []string{airlockNet(name), NetAttestation, NetProvisioning} {
+			if err := c.HIL.ConnectNode(e.Project, name, net); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p0, _ := c.HIL.NodePort("node00")
+	p1, _ := c.HIL.NodePort("node01")
+	// Both reach the attestation service...
+	if !c.Fabric.Reachable(p0, PortRegistrar) || !c.Fabric.Reachable(p1, PortRegistrar) {
+		t.Fatal("airlocked node cannot reach registrar")
+	}
+	// ...but not each other: per-node airlock VLANs plus private-VLAN
+	// service networks mean a compromised server cannot infect an
+	// uncompromised one during attestation (§4.2).
+	if c.Fabric.Reachable(p0, p1) {
+		t.Fatal("two concurrently airlocked nodes can reach each other")
+	}
+}
+
+func TestVerifyPublishedFirmware(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	c, err := NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _ := c.HIL.NodeMetadata("node00")
+	// The tenant holds the same source the provider built from.
+	if err := VerifyPublishedFirmware(md, "heads-v1.0", cfg.HeadsSource); err != nil {
+		t.Fatalf("genuine source rejected: %v", err)
+	}
+	// A different source (the tenant audits something else, or the
+	// provider lied) fails.
+	if err := VerifyPublishedFirmware(md, "heads-v1.0", []byte("other source")); err == nil {
+		t.Fatal("mismatched source accepted")
+	}
+	if err := VerifyPublishedFirmware(map[string]string{}, "x", nil); err == nil {
+		t.Fatal("missing metadata accepted")
+	}
+	if err := VerifyPublishedFirmware(map[string]string{MetadataPlatformPCR: "aa"}, "x", nil); err == nil {
+		t.Fatal("missing platform_gen accepted")
+	}
+	// A node reachable through the provisioning network after joining:
+	// the iSCSI path must stay up for the node's lifetime.
+	if _, err := c.BMI.CreateOSImage("os", bmi.OSImageSpec{KernelID: "k", Kernel: []byte("k")}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEnclave(c, "t", ProfileBob)
+	n, err := e.AcquireNode("os")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, _ := c.HIL.NodePort(n.Name)
+	if !c.Fabric.Reachable(port, PortBMI) {
+		t.Fatal("enclave member lost its storage path")
+	}
+}
+
+func TestJournalRecordsLifecycle(t *testing.T) {
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	e, _ := NewEnclave(c, "audited", ProfileCharlie)
+	e.IMAWhitelist().AllowContent("/bin/ok", []byte("ok"))
+	n, err := e.AcquireNode("fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The happy path leaves the full trail in order.
+	kinds := []EventKind{}
+	for _, ev := range e.Journal().ByNode(n.Name) {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []EventKind{EvAllocated, EvAirlocked, EvAttested, EvJoined, EvBooted}
+	if len(kinds) != len(want) {
+		t.Fatalf("journal kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("journal kinds = %v, want %v", kinds, want)
+		}
+	}
+	// Runtime compromise and release are recorded too.
+	n.IMA.Measure("/bin/bad", []byte("bad"), ima.HookExec, 0)
+	e.Verifier().CheckIMA(n.Name)
+	if e.Journal().Count(EvRevoked) != 1 {
+		t.Fatal("revocation not journalled")
+	}
+	if err := e.ReleaseNode(n.Name, "post-mortem"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Journal().Count(EvStateSaved) != 1 || e.Journal().Count(EvReleased) != 1 {
+		t.Fatal("release not journalled")
+	}
+	// A rejected node's trail ends in rejection. The free pool is
+	// sorted, so the released node00 is what the next acquire gets.
+	m, _ := c.Machine(c.HIL.FreeNodes()[0])
+	evil := firmware.BuildLinuxBoot("x", []byte("implant"))
+	m.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
+	if _, err := e.AcquireNode("fedora28"); err == nil {
+		t.Fatal("implant passed")
+	}
+	trail := e.Journal().ByNode(m.Name())
+	if trail[len(trail)-1].Kind != EvRejected {
+		t.Fatalf("rejected trail = %v", trail)
+	}
+	// Cleanup for the image created by ReleaseNode.
+	if _, err := c.BMI.GetImage("post-mortem"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Figure 4 / Figure 5 timing shapes ---
+
+func TestTimingFigure4Shapes(t *testing.T) {
+	run := func(fw FirmwareKind, sec SecurityLevel, foreman bool) *ProvisionResult {
+		cfg := DefaultProvisionConfig()
+		cfg.Firmware = fw
+		cfg.Security = sec
+		cfg.Foreman = foreman
+		return SimulateProvisioning(cfg)
+	}
+	foreman := run(FirmwareUEFI, SecNone, true).Makespan
+	lbNone := run(FirmwareLinuxBoot, SecNone, false).Makespan
+	lbAtt := run(FirmwareLinuxBoot, SecAttested, false).Makespan
+	lbFull := run(FirmwareLinuxBoot, SecFull, false).Makespan
+	uefiNone := run(FirmwareUEFI, SecNone, false).Makespan
+	uefiAtt := run(FirmwareUEFI, SecAttested, false).Makespan
+	uefiFull := run(FirmwareUEFI, SecFull, false).Makespan
+
+	const minute = float64(60e9)
+	// Paper: LinuxBoot-in-ROM provisions in under 3 min unattested,
+	// under 4 min attested.
+	if m := float64(lbNone) / minute; m >= 3 {
+		t.Errorf("LinuxBoot unattested = %.1f min, want < 3", m)
+	}
+	if m := float64(lbAtt) / minute; m >= 4 {
+		t.Errorf("LinuxBoot attested = %.1f min, want < 4", m)
+	}
+	// Attestation adds ~25% (paper: "adding only around 25%").
+	overhead := float64(lbAtt-lbNone) / float64(lbNone)
+	if overhead < 0.15 || overhead > 0.35 {
+		t.Errorf("attestation overhead = %.0f%%, want ~25%%", overhead*100)
+	}
+	// UEFI full attestation ~7 min, still >1.4x faster than Foreman.
+	if m := float64(uefiFull) / minute; m < 6 || m > 8.5 {
+		t.Errorf("UEFI full = %.1f min, want ~7", m)
+	}
+	if ratio := float64(foreman) / float64(uefiFull); ratio < 1.4 || ratio > 1.9 {
+		t.Errorf("Foreman/Bolted ratio = %.2f, want ~1.6", ratio)
+	}
+	// Orderings within a firmware class.
+	if !(lbNone < lbAtt && lbAtt < lbFull) {
+		t.Error("LinuxBoot security levels not monotone")
+	}
+	if !(uefiNone < uefiAtt && uefiAtt < uefiFull) {
+		t.Error("UEFI security levels not monotone")
+	}
+	// LinuxBoot's POST advantage shows end to end.
+	if uefiNone-lbNone < 3*time.Minute {
+		t.Error("LinuxBoot does not show its POST advantage")
+	}
+}
+
+func TestTimingFigure5Shapes(t *testing.T) {
+	run := func(sec SecurityLevel, n int) time.Duration {
+		cfg := DefaultProvisionConfig()
+		cfg.Firmware = FirmwareUEFI
+		cfg.Security = sec
+		cfg.Concurrency = n
+		return SimulateProvisioning(cfg).Makespan
+	}
+	// Unattested: flat to 8, degraded at 16 (Ceph contention).
+	u1, u8, u16 := run(SecNone, 1), run(SecNone, 8), run(SecNone, 16)
+	if growth := float64(u8-u1) / float64(u1); growth > 0.10 {
+		t.Errorf("unattested 1->8 growth = %.0f%%, want flat", growth*100)
+	}
+	if growth := float64(u16-u8) / float64(u8); growth < 0.05 {
+		t.Errorf("unattested 8->16 growth = %.0f%%, want a visible knee", growth*100)
+	}
+	// Attested: worse at 16 than unattested (single airlock serializes).
+	a1, a16 := run(SecAttested, 1), run(SecAttested, 16)
+	attGrowth := float64(a16-a1) / float64(a1)
+	unattGrowth := float64(u16-u1) / float64(u1)
+	if attGrowth <= unattGrowth {
+		t.Errorf("attested growth %.0f%% not worse than unattested %.0f%%", attGrowth*100, unattGrowth*100)
+	}
+	// Ablation: more airlocks recover the attested scaling.
+	cfg := DefaultProvisionConfig()
+	cfg.Firmware = FirmwareUEFI
+	cfg.Security = SecAttested
+	cfg.Concurrency = 16
+	cfg.Airlocks = 16
+	if par := SimulateProvisioning(cfg).Makespan; par >= a16 {
+		t.Errorf("16 airlocks (%v) not faster than 1 (%v)", par, a16)
+	}
+}
+
+func TestTimingPhaseBreakdownConsistent(t *testing.T) {
+	r := SimulateProvisioning(DefaultProvisionConfig())
+	if len(r.Phases) == 0 {
+		t.Fatal("no phase breakdown")
+	}
+	if r.Total() != r.PerNode[0] {
+		t.Fatalf("phase sum %v != node completion %v", r.Total(), r.PerNode[0])
+	}
+	if r.Makespan != r.PerNode[0] {
+		t.Fatalf("single-node makespan mismatch")
+	}
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"bolted/internal/blockdev"
+	"bolted/internal/bmi"
+	"bolted/internal/firmware"
+	"bolted/internal/ima"
+	"bolted/internal/ipsec"
+	"bolted/internal/keylime"
+	"bolted/internal/luks"
+)
+
+// EnclaveNet is the tenant's private network name.
+const EnclaveNet = "enclave"
+
+// DataVolumeSize is each node's remote data volume (kept small in
+// simulation; the layout is what matters).
+const DataVolumeSize int64 = 16 << 20
+
+// Node is a server that has joined an enclave.
+type Node struct {
+	Name     string
+	Agent    *keylime.Agent
+	Machine  *firmware.Machine
+	BootInfo *bmi.BootInfo
+	// Disk is the node's remote data volume: a LUKS volume for
+	// encrypting profiles, the raw network device otherwise.
+	Disk blockdev.Device
+	// IMA is the runtime measurement collector (continuous attestation
+	// profiles only).
+	IMA *ima.Collector
+
+	export  *bmi.Export
+	volName string
+	tunnels map[string]*ipsec.Endpoint // peer node -> endpoint
+}
+
+// Enclave is a tenant's secure pool of bare-metal servers.
+type Enclave struct {
+	cloud   *Cloud
+	Project string
+	Profile Profile
+
+	verifier     *keylime.Verifier
+	verifierPort string
+	tenant       *keylime.Tenant
+	imaWhitelist *ima.Whitelist
+	netKey       []byte // enclave-wide IPsec PSK, distributed via payloads
+
+	journal Journal
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// Journal returns the enclave's audit log.
+func (e *Enclave) Journal() *Journal { return &e.journal }
+
+// NewEnclave creates a tenant project with its private network and the
+// profile-appropriate attestation deployment: Charlie hosts his own
+// verifier (a dedicated port joined to the attestation network), Bob
+// uses the provider's, Alice has none.
+func NewEnclave(c *Cloud, name string, profile Profile) (*Enclave, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.HIL.CreateProject(name); err != nil {
+		return nil, err
+	}
+	if err := c.HIL.CreateNetwork(name, EnclaveNet); err != nil {
+		return nil, err
+	}
+	e := &Enclave{
+		cloud:   c,
+		Project: name,
+		Profile: profile,
+		nodes:   make(map[string]*Node),
+		netKey:  randKey(32),
+	}
+	if profile.Attest {
+		e.verifierPort = PortVerifier
+		if profile.TenantVerifier {
+			e.verifierPort = "tenant-" + name + "-cv"
+			if _, err := c.Fabric.AddPort(e.verifierPort); err != nil {
+				return nil, err
+			}
+			if err := c.HIL.ConnectServicePort(e.verifierPort, NetAttestation); err != nil {
+				return nil, err
+			}
+		}
+		e.verifier = keylime.NewVerifier(c.Registrar, e.verifierPort)
+		e.tenant = keylime.NewTenant(e.verifier)
+		if profile.ContinuousAttest {
+			e.imaWhitelist = ima.NewWhitelist()
+		}
+		// Revocation fan-out: when the verifier bans a node, every peer
+		// tears down its IPsec SAs with it — the §7.4 cryptographic ban.
+		e.verifier.Subscribe(func(ev keylime.RevocationEvent) {
+			e.journal.record(EvRevoked, ev.UUID, ev.Reason)
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			for _, n := range e.nodes {
+				if ep, ok := n.tunnels[ev.UUID]; ok {
+					ep.Revoke()
+				}
+			}
+			if bad, ok := e.nodes[ev.UUID]; ok {
+				for _, ep := range bad.tunnels {
+					ep.Revoke()
+				}
+			}
+		})
+	}
+	return e, nil
+}
+
+// Verifier returns the enclave's verifier (nil for no-attestation
+// profiles).
+func (e *Enclave) Verifier() *keylime.Verifier { return e.verifier }
+
+// IMAWhitelist returns the tenant runtime whitelist (nil unless the
+// profile enables continuous attestation). The tenant populates it with
+// approved binaries before booting nodes.
+func (e *Enclave) IMAWhitelist() *ima.Whitelist { return e.imaWhitelist }
+
+// Nodes returns the enclave's current members.
+func (e *Enclave) Nodes() []*Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Node, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+func randKey(n int) []byte {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		panic("core: entropy source failed: " + err.Error())
+	}
+	return b
+}
+
+// airlockNet names the per-node airlock network. One airlock network
+// per node: servers under attestation must not see each other (§4.2: "a
+// compromised server cannot infect other uncompromised servers").
+func airlockNet(node string) string { return "airlock-" + node }
+
+// AcquireNode runs the full Figure-1 lifecycle for one server and
+// returns it as an enclave member:
+//
+//	(1) allocate + airlock  (2) secure firmware + agent
+//	(3) attest              (4/5) move to enclave or rejected pool
+//	(6) provision: remote volume, disk/network encryption, kexec
+func (e *Enclave) AcquireNode(image string) (*Node, error) {
+	c := e.cloud
+	name, err := c.HIL.AllocateAnyNode(e.Project)
+	if err != nil {
+		return nil, err
+	}
+	e.journal.record(EvAllocated, name, "image="+image)
+
+	// (1) Airlock: the node shares VLANs only with the attestation and
+	// provisioning services, never with other airlocked nodes.
+	if err := c.HIL.CreateNetwork(e.Project, airlockNet(name)); err != nil {
+		return nil, err
+	}
+	for _, net := range []string{airlockNet(name), NetAttestation, NetProvisioning} {
+		if err := c.HIL.ConnectNode(e.Project, name, net); err != nil {
+			return nil, err
+		}
+	}
+	e.journal.record(EvAirlocked, name, "")
+
+	// (2) Power on: flash firmware measures itself (and scrubs, if
+	// LinuxBoot); UEFI machines chain-load the Heads runtime via iPXE.
+	machine, err := c.Machine(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.HIL.PowerCycle(e.Project, name); err != nil {
+		return nil, err
+	}
+	if c.Config.Firmware == FirmwareUEFI {
+		if err := firmware.NetworkBootRuntime(machine, c.Heads); err != nil {
+			return nil, err
+		}
+	}
+	agent := keylime.NewAgent(name, machine, c.Fabric)
+	if err := agent.RegisterWith(c.Registrar, PortRegistrar); err != nil {
+		return nil, err
+	}
+
+	bootInfo, err := c.BMI.ExtractBootInfo(image)
+	if err != nil {
+		return nil, err
+	}
+
+	node := &Node{
+		Name:     name,
+		Agent:    agent,
+		Machine:  machine,
+		BootInfo: bootInfo,
+		tunnels:  make(map[string]*ipsec.Endpoint),
+	}
+
+	kernel, initrd := bootInfo.Kernel, bootInfo.Initrd
+	var diskKey []byte
+
+	// (3) Attestation. On failure the node goes to the rejected pool,
+	// isolated from everything (4/5).
+	if e.Profile.Attest {
+		if e.Profile.EncryptDisk {
+			diskKey = randKey(luks.MasterKeySize)
+		}
+		payload := &keylime.Payload{
+			Kernel:  kernel,
+			Initrd:  initrd,
+			Script:  "#!/bin/sh\n# join enclave network, kexec tenant kernel\n",
+			DiskKey: diskKey,
+		}
+		if e.Profile.EncryptNetwork {
+			payload.NetworkKey = e.netKey
+		}
+		whitelist, err := c.ExpectedBootPCRs(name)
+		if err != nil {
+			return nil, err
+		}
+		md, err := c.HIL.NodeMetadata(name)
+		if err != nil {
+			return nil, err
+		}
+		_, err = e.tenant.Provision(c.Registrar, agent, keylime.ProvisionSpec{
+			Payload:      payload,
+			PlatformPCRs: whitelist,
+			IMAWhitelist: e.imaWhitelist,
+			HILMetadata:  md,
+		})
+		if err != nil {
+			// (5) Rejected pool: out of the project, off every network,
+			// and forgotten by the verifier (a fresh attempt on a
+			// repaired node starts from scratch).
+			e.verifier.RemoveNode(name)
+			_ = c.HIL.FreeNode(e.Project, name)
+			_ = c.HIL.DeleteNetwork(e.Project, airlockNet(name))
+			c.MarkRejected(name, err.Error())
+			e.journal.record(EvRejected, name, err.Error())
+			return nil, fmt.Errorf("core: node %s failed attestation, moved to rejected pool: %w", name, err)
+		}
+		p, err := agent.Unwrap()
+		if err != nil {
+			return nil, err
+		}
+		// The attested payload is authoritative: kexec what Keylime
+		// delivered, not what came over the unauthenticated image path.
+		kernel, initrd, diskKey = p.Kernel, p.Initrd, p.DiskKey
+		e.journal.record(EvAttested, name, "verifier="+e.verifierPort)
+	}
+
+	// (4) Leave the airlock, join the tenant enclave. The provisioning
+	// network stays attached (the boot volume is iSCSI-mounted for the
+	// node's lifetime).
+	if err := c.HIL.DetachNode(e.Project, name, airlockNet(name)); err != nil {
+		return nil, err
+	}
+	if err := c.HIL.DeleteNetwork(e.Project, airlockNet(name)); err != nil {
+		return nil, err
+	}
+	if err := c.HIL.ConnectNode(e.Project, name, EnclaveNet); err != nil {
+		return nil, err
+	}
+	e.journal.record(EvJoined, name, "network="+EnclaveNet)
+
+	// (6) Provision the remote data volume and boot the tenant OS.
+	node.volName = e.Project + "-" + name + "-vol"
+	if _, err := c.BMI.CreateImage(node.volName, DataVolumeSize); err != nil {
+		return nil, err
+	}
+	export, err := c.BMI.ExportForBoot(name, node.volName, false)
+	if err != nil {
+		return nil, err
+	}
+	node.export = export
+
+	var transport blockdev.Transport = blockdev.Loopback{Target: export.Target}
+	if e.Profile.EncryptNetwork {
+		// Charlie does not trust the provider's network between node
+		// and iSCSI server: ESP-wrap the block transport.
+		tr, err := blockdev.NewIPsecTransport(transport, ipsec.SuiteHWAES, 9000)
+		if err != nil {
+			return nil, err
+		}
+		transport = tr
+	}
+	nbd, err := blockdev.NewClient(transport, blockdev.TunedReadAhead)
+	if err != nil {
+		return nil, err
+	}
+	node.Disk = nbd
+	if e.Profile.EncryptDisk {
+		vol, err := luks.FormatWithIterations(nbd, diskKey[:32], 64)
+		if err != nil {
+			return nil, err
+		}
+		node.Disk = vol
+	}
+
+	if err := machine.Kexec(bootInfo.KernelID, kernel, initrd); err != nil {
+		return nil, err
+	}
+	e.journal.record(EvBooted, name, "kernel="+bootInfo.KernelID)
+
+	// Runtime integrity: attach IMA and whitelist the booted kernel's
+	// own components.
+	if e.Profile.ContinuousAttest {
+		node.IMA = ima.NewCollector(machine.TPM(), ima.StressPolicy)
+		agent.AttachIMA(node.IMA)
+	}
+
+	// Pairwise IPsec mesh with existing members, keyed from the
+	// payload-delivered enclave PSK.
+	e.mu.Lock()
+	if e.Profile.EncryptNetwork {
+		for peer, pn := range e.nodes {
+			key := pairKey(e.netKey, name, peer)
+			a, b, err := ipsec.NewPair(ipsec.SuiteHWAES, key)
+			if err != nil {
+				e.mu.Unlock()
+				return nil, err
+			}
+			node.tunnels[peer] = a
+			pn.tunnels[name] = b
+		}
+	}
+	e.nodes[name] = node
+	e.mu.Unlock()
+	return node, nil
+}
+
+// pairKey derives a deterministic per-pair PSK from the enclave key so
+// both ends build matching SAs regardless of join order.
+func pairKey(base []byte, a, b string) []byte {
+	if a > b {
+		a, b = b, a
+	}
+	out := make([]byte, len(base))
+	copy(out, base)
+	mix := a + "|" + b
+	for i := 0; i < len(mix); i++ {
+		out[i%len(out)] ^= mix[i]
+	}
+	return out
+}
+
+// Send transmits enclave traffic between two member nodes. Under
+// encrypting profiles it traverses the pairwise ESP tunnel; otherwise
+// it only checks fabric reachability. This is the data path continuous
+// attestation severs on revocation.
+func (e *Enclave) Send(from, to string, payload []byte) ([]byte, error) {
+	e.mu.Lock()
+	src, ok1 := e.nodes[from]
+	_, ok2 := e.nodes[to]
+	e.mu.Unlock()
+	if !ok1 || !ok2 {
+		return nil, errors.New("core: both endpoints must be enclave members")
+	}
+	srcPort, err := e.cloud.HIL.NodePort(from)
+	if err != nil {
+		return nil, err
+	}
+	dstPort, err := e.cloud.HIL.NodePort(to)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cloud.Fabric.CheckReachable(srcPort, dstPort); err != nil {
+		return nil, err
+	}
+	if !e.Profile.EncryptNetwork {
+		return payload, nil
+	}
+	ep, ok := src.tunnels[to]
+	if !ok {
+		return nil, fmt.Errorf("core: no SA between %s and %s", from, to)
+	}
+	pkt, err := ep.Send(payload)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	peerEp := e.nodes[to].tunnels[from]
+	e.mu.Unlock()
+	return peerEp.Recv(pkt)
+}
+
+// StartContinuousAttestation begins the verifier's IMA monitoring loop
+// for a member node.
+func (e *Enclave) StartContinuousAttestation(node string, interval time.Duration) error {
+	if !e.Profile.ContinuousAttest {
+		return errors.New("core: profile does not enable continuous attestation")
+	}
+	return e.verifier.StartMonitoring(node, interval)
+}
+
+// ReleaseNode removes a node from the enclave and returns it to the
+// free pool. With saveAs non-empty the node's data volume is preserved
+// as a BMI image (restartable on any compatible node); otherwise every
+// trace of the tenant evaporates with the export.
+func (e *Enclave) ReleaseNode(name, saveAs string) error {
+	e.mu.Lock()
+	n, ok := e.nodes[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("core: node %q not in enclave", name)
+	}
+	delete(e.nodes, name)
+	for peer, pn := range e.nodes {
+		if ep, ok := pn.tunnels[name]; ok {
+			ep.Revoke()
+			delete(pn.tunnels, name)
+		}
+		_ = peer
+	}
+	e.mu.Unlock()
+
+	if e.verifier != nil {
+		e.verifier.StopMonitoring(name)
+		e.verifier.RemoveNode(name)
+	}
+	c := e.cloud
+	if err := c.BMI.Unexport(name, ""); err != nil {
+		return err
+	}
+	if saveAs != "" {
+		// The volume is exported read-write, so its image already holds
+		// the node's state: preserve it under the new name.
+		if _, err := c.BMI.CloneImage(n.volName, saveAs); err != nil {
+			return err
+		}
+		e.journal.record(EvStateSaved, name, "image="+saveAs)
+	}
+	if err := c.BMI.DeleteImage(n.volName); err != nil {
+		return err
+	}
+	if err := c.HIL.FreeNode(e.Project, name); err != nil {
+		return err
+	}
+	e.journal.record(EvReleased, name, "")
+	return nil
+}
+
+// Destroy releases every node and deletes the enclave's project.
+func (e *Enclave) Destroy() error {
+	for _, n := range e.Nodes() {
+		if err := e.ReleaseNode(n.Name, ""); err != nil {
+			return err
+		}
+	}
+	if err := e.cloud.HIL.DeleteNetwork(e.Project, EnclaveNet); err != nil {
+		return err
+	}
+	return e.cloud.HIL.DeleteProject(e.Project)
+}

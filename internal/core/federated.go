@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bolted/internal/ipsec"
+)
+
+// FederatedEnclave realizes §4.3's federation claim: "Since the
+// different Bolted services are independent, being orchestrated by
+// tenant scripts, it is straightforward for a tenant to use capacity
+// from multiple isolation services." One tenant drives enclaves in
+// several independent clouds (e.g. its own datacenter plus a partner's
+// co-location facility); nodes in different clouds share no switch
+// fabric, so all cross-cloud traffic runs over IPsec regardless of the
+// per-cloud profile — exactly the paper's prescription for traffic that
+// leaves a trusted isolation domain.
+type FederatedEnclave struct {
+	Profile Profile
+
+	mu       sync.Mutex
+	members  map[string]*Enclave // cloud label -> per-cloud enclave
+	location map[string]string   // node name -> cloud label
+	crossKey []byte
+	tunnels  map[string]map[string]*ipsec.Endpoint // from node -> to node
+}
+
+// NewFederatedEnclave creates an empty federation under a profile. The
+// per-cloud enclaves all use the same profile.
+func NewFederatedEnclave(profile Profile) (*FederatedEnclave, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &FederatedEnclave{
+		Profile:  profile,
+		members:  make(map[string]*Enclave),
+		location: make(map[string]string),
+		crossKey: randKey(32),
+		tunnels:  make(map[string]map[string]*ipsec.Endpoint),
+	}, nil
+}
+
+// Join adds a cloud to the federation under a unique label, creating
+// the tenant's enclave (project, networks, verifier) in that cloud.
+func (f *FederatedEnclave) Join(label string, cloud *Cloud, project string) (*Enclave, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.members[label]; ok {
+		return nil, fmt.Errorf("core: cloud label %q already joined", label)
+	}
+	e, err := NewEnclave(cloud, project, f.Profile)
+	if err != nil {
+		return nil, err
+	}
+	f.members[label] = e
+	return e, nil
+}
+
+// Member returns the per-cloud enclave for a label.
+func (f *FederatedEnclave) Member(label string) (*Enclave, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.members[label]
+	if !ok {
+		return nil, fmt.Errorf("core: no cloud labelled %q", label)
+	}
+	return e, nil
+}
+
+// Addr is a federation-wide node address: "<cloud label>/<node name>".
+// Node names are only unique within one cloud.
+func Addr(label, node string) string { return label + "/" + node }
+
+func splitAddr(addr string) (label, node string, err error) {
+	for i := 0; i < len(addr); i++ {
+		if addr[i] == '/' {
+			return addr[:i], addr[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("core: %q is not a federation address (label/node)", addr)
+}
+
+// AcquireNode brings a node from the labelled cloud into the
+// federation, wiring IPsec tunnels to every member in OTHER clouds
+// (same-cloud members use the per-cloud enclave's own mechanisms). It
+// returns the node plus its federation-wide address.
+func (f *FederatedEnclave) AcquireNode(label, image string) (string, *Node, error) {
+	f.mu.Lock()
+	e, ok := f.members[label]
+	f.mu.Unlock()
+	if !ok {
+		return "", nil, fmt.Errorf("core: no cloud labelled %q", label)
+	}
+	n, err := e.AcquireNode(image)
+	if err != nil {
+		return "", nil, err
+	}
+	addr := Addr(label, n.Name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tunnels[addr] = make(map[string]*ipsec.Endpoint)
+	for peer, peerLabel := range f.location {
+		if peerLabel == label {
+			continue
+		}
+		a, b, err := ipsec.NewPair(ipsec.SuiteHWAES, pairKey(f.crossKey, addr, peer))
+		if err != nil {
+			return "", nil, err
+		}
+		f.tunnels[addr][peer] = a
+		f.tunnels[peer][addr] = b
+	}
+	f.location[addr] = label
+	return addr, n, nil
+}
+
+// Send moves tenant traffic between federation members. Same-cloud
+// pairs use the member enclave's path (VLAN isolation, plus IPsec for
+// encrypting profiles); cross-cloud pairs ALWAYS traverse the
+// federation's IPsec tunnels — there is no shared isolation service to
+// trust between clouds.
+func (f *FederatedEnclave) Send(from, to string, payload []byte) ([]byte, error) {
+	f.mu.Lock()
+	fromLabel, ok1 := f.location[from]
+	toLabel, ok2 := f.location[to]
+	f.mu.Unlock()
+	if !ok1 || !ok2 {
+		return nil, errors.New("core: both endpoints must be federation members")
+	}
+	if fromLabel == toLabel {
+		f.mu.Lock()
+		e := f.members[fromLabel]
+		f.mu.Unlock()
+		_, fromNode, err := splitAddr(from)
+		if err != nil {
+			return nil, err
+		}
+		_, toNode, err := splitAddr(to)
+		if err != nil {
+			return nil, err
+		}
+		return e.Send(fromNode, toNode, payload)
+	}
+	f.mu.Lock()
+	ep := f.tunnels[from][to]
+	peer := f.tunnels[to][from]
+	f.mu.Unlock()
+	if ep == nil || peer == nil {
+		return nil, fmt.Errorf("core: no cross-cloud SA between %s and %s", from, to)
+	}
+	pkt, err := ep.Send(payload)
+	if err != nil {
+		return nil, err
+	}
+	return peer.Recv(pkt)
+}
+
+// ReleaseNode returns a node (by federation address) to its cloud's
+// free pool and tears down its cross-cloud tunnels.
+func (f *FederatedEnclave) ReleaseNode(addr, saveAs string) error {
+	f.mu.Lock()
+	label, ok := f.location[addr]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("core: node %q not in federation", addr)
+	}
+	delete(f.location, addr)
+	for peer, ep := range f.tunnels[addr] {
+		ep.Revoke()
+		if back, ok := f.tunnels[peer]; ok {
+			if bep, ok := back[addr]; ok {
+				bep.Revoke()
+				delete(back, addr)
+			}
+		}
+	}
+	delete(f.tunnels, addr)
+	e := f.members[label]
+	f.mu.Unlock()
+	_, node, err := splitAddr(addr)
+	if err != nil {
+		return err
+	}
+	return e.ReleaseNode(node, saveAs)
+}
+
+// Nodes lists federation members as node -> cloud label.
+func (f *FederatedEnclave) Nodes() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]string, len(f.location))
+	for n, l := range f.location {
+		out[n] = l
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFederatedEnclaveAcrossClouds(t *testing.T) {
+	// Two independent clouds (separate fabrics, separate HILs) — e.g.
+	// the tenant's own datacenter and a partner's co-location facility.
+	cloudA := testCloud(t, 2, FirmwareLinuxBoot)
+	cloudB := testCloud(t, 2, FirmwareUEFI)
+
+	fed, err := NewFederatedEnclave(ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Join("home", cloudA, "tenant-home"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Join("partner", cloudB, "tenant-loan"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Join("home", cloudA, "dup"); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+
+	a1, n1, err := fed.AcquireNode("home", "fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := fed.AcquireNode("home", "fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, n3, err := fed.AcquireNode("partner", "fedora28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fed.Nodes()) != 3 {
+		t.Fatalf("members = %v", fed.Nodes())
+	}
+
+	// Same-cloud traffic uses the member enclave's path.
+	if _, err := fed.Send(a1, a2, []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-cloud traffic flows over the federation's IPsec mesh even
+	// though the profile (Bob) does not encrypt same-cloud traffic.
+	out, err := fed.Send(a1, a3, []byte("cross-cloud"))
+	if err != nil || string(out) != "cross-cloud" {
+		t.Fatalf("cross-cloud send: %v", err)
+	}
+	out, err = fed.Send(a3, a2, []byte("reverse"))
+	if err != nil || string(out) != "reverse" {
+		t.Fatalf("reverse cross-cloud send: %v", err)
+	}
+
+	// Both clouds attested independently: each cloud's whitelist
+	// reflects its own firmware chain (LinuxBoot flash vs UEFI+Heads).
+	for _, n := range []*Node{n1, n3} {
+		if n.Machine.Layer() != "tenant-kernel" {
+			t.Fatalf("%s not booted", n.Name)
+		}
+	}
+
+	// Releasing a node severs its cross-cloud tunnels.
+	if err := fed.ReleaseNode(a3, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Send(a1, a3, []byte("x")); err == nil {
+		t.Fatal("released node still reachable")
+	}
+	if err := fed.ReleaseNode(a3, ""); err == nil {
+		t.Fatal("double release accepted")
+	}
+	if len(cloudB.HIL.FreeNodes()) != 2 {
+		t.Fatal("partner node not freed")
+	}
+}
+
+func TestFederatedValidation(t *testing.T) {
+	if _, err := NewFederatedEnclave(Profile{ContinuousAttest: true}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	fed, _ := NewFederatedEnclave(ProfileAlice)
+	if _, _, err := fed.AcquireNode("ghost", "img"); err == nil {
+		t.Fatal("acquire from unknown cloud accepted")
+	}
+	if _, err := fed.Member("ghost"); err == nil {
+		t.Fatal("unknown member lookup succeeded")
+	}
+	if _, err := fed.Send("a", "b", nil); err == nil {
+		t.Fatal("send between non-members accepted")
+	}
+}

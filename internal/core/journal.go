@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind classifies enclave life-cycle events.
+type EventKind string
+
+// Journal event kinds, one per Figure-1 transition plus runtime events.
+const (
+	EvAllocated  EventKind = "allocated"   // node reserved from the free pool
+	EvAirlocked  EventKind = "airlocked"   // moved into the airlock
+	EvAttested   EventKind = "attested"    // passed boot attestation
+	EvRejected   EventKind = "rejected"    // failed attestation -> rejected pool
+	EvJoined     EventKind = "joined"      // member of the tenant enclave
+	EvBooted     EventKind = "booted"      // kexec'd into the tenant kernel
+	EvRevoked    EventKind = "revoked"     // runtime violation, keys revoked
+	EvReleased   EventKind = "released"    // returned to the free pool
+	EvStateSaved EventKind = "state-saved" // volume preserved as an image
+)
+
+// Event is one journal record.
+type Event struct {
+	At     time.Time
+	Kind   EventKind
+	Node   string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %-12s %s %s", e.At.Format("15:04:05.000"), e.Kind, e.Node, e.Detail)
+}
+
+// Journal is an append-only audit log of enclave operations. Security-
+// sensitive tenants want an audit trail of exactly when each machine
+// was trusted, by whom, and why it left.
+type Journal struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (j *Journal) record(kind EventKind, node, detail string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, Event{At: time.Now(), Kind: kind, Node: node, Detail: detail})
+}
+
+// Events returns a copy of the journal.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// ByNode returns the events for one node, in order.
+func (j *Journal) ByNode(node string) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	for _, e := range j.events {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of a kind were recorded.
+func (j *Journal) Count(kind EventKind) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+package core
+
+// Profile is a tenant's security posture — the §4.3 use cases. Bolted's
+// thesis is that this is a per-tenant choice, not a provider-wide one:
+// Alice pays for none of it, Charlie buys all of it, and the provider
+// runs the same cloud for both.
+type Profile struct {
+	Name string
+	// Attest requires airlock attestation before a node joins the
+	// enclave (protection from previous tenants' firmware implants).
+	Attest bool
+	// TenantVerifier deploys the tenant's own Keylime verifier instead
+	// of trusting the provider's (Charlie). Requires Attest.
+	TenantVerifier bool
+	// EncryptDisk runs LUKS over the network-mounted boot volume.
+	EncryptDisk bool
+	// EncryptNetwork runs IPsec between enclave nodes and to storage.
+	EncryptNetwork bool
+	// ContinuousAttest keeps IMA runtime attestation running after
+	// boot. Requires a tenant-generated whitelist, hence TenantVerifier.
+	ContinuousAttest bool
+}
+
+// The paper's three example tenants.
+var (
+	// ProfileAlice is the graduate student: maximum speed, minimum
+	// cost, trusts everyone. No attestation, no encryption.
+	ProfileAlice = Profile{Name: "alice"}
+
+	// ProfileBob is the professor: does not trust other tenants but
+	// trusts the provider. Provider-deployed attestation protects him
+	// from previous occupants; no encryption overhead.
+	ProfileBob = Profile{Name: "bob", Attest: true}
+
+	// ProfileCharlie is the security-sensitive tenant: tenant-deployed
+	// attestation and provisioning, disk and network encryption, and
+	// continuous runtime attestation. Trusts the provider only for
+	// availability and physical security.
+	ProfileCharlie = Profile{
+		Name:             "charlie",
+		Attest:           true,
+		TenantVerifier:   true,
+		EncryptDisk:      true,
+		EncryptNetwork:   true,
+		ContinuousAttest: true,
+	}
+)
+
+// Validate reports profile inconsistencies.
+func (p Profile) Validate() error {
+	switch {
+	case p.ContinuousAttest && !p.TenantVerifier:
+		return errProfile("continuous attestation requires a tenant-deployed verifier (runtime whitelists are tenant-generated, §4.1)")
+	case p.TenantVerifier && !p.Attest:
+		return errProfile("a tenant verifier is useless without attestation")
+	default:
+		return nil
+	}
+}
+
+type errProfile string
+
+func (e errProfile) Error() string { return "core: invalid profile: " + string(e) }

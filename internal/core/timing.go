@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bolted/internal/ceph"
+	"bolted/internal/firmware"
+	"bolted/internal/sim"
+	"bolted/internal/tpm"
+)
+
+// This file is the discrete-event timing model behind Figures 4 and 5:
+// the functional packages define WHAT happens during provisioning; this
+// model charges HOW LONG each phase takes, calibrated to the paper's
+// R630/M620 testbed (UEFI POST ≈ 4 min, LinuxBoot ≈ 40 s, TPM quote
+// latency, a 27-spindle Ceph pool, and a single-airlock attestation
+// bottleneck).
+
+// SecurityLevel is the Figure-4 x-axis: none, attested, or fully
+// encrypted (attested + LUKS + IPsec).
+type SecurityLevel int
+
+// Security levels.
+const (
+	SecNone SecurityLevel = iota
+	SecAttested
+	SecFull
+)
+
+func (s SecurityLevel) String() string {
+	switch s {
+	case SecNone:
+		return "no-attestation"
+	case SecAttested:
+		return "attestation"
+	case SecFull:
+		return "full-attestation"
+	default:
+		return fmt.Sprintf("security(%d)", int(s))
+	}
+}
+
+// Phase durations calibrated to the paper's Figure 4 breakdown.
+const (
+	phasePXE         = 8 * time.Second  // PXE downloads iPXE
+	phaseIPXEFetch   = 20 * time.Second // iPXE downloads the Heads runtime
+	phaseRuntimeBoot = 25 * time.Second // booting the LinuxBoot runtime
+	phaseAgentFetch  = 5 * time.Second  // download Keylime agent over HTTP
+	// phaseAttest covers agent registration, TPM quote, verifier checks
+	// and the encrypted kernel/initrd delivery.
+	phaseAttest = 45 * time.Second
+	// airlockSerial is the portion of attestation serialized by the
+	// prototype's single airlock (§7.3 concurrency limitation).
+	airlockSerial = 12 * time.Second
+	// phaseKernelFetch replaces attestation for security-insensitive
+	// tenants: plain download of kernel+initrd.
+	phaseKernelFetch = 15 * time.Second
+	phaseHILMove     = 10 * time.Second // switch reprogramming out of the airlock
+	phaseKexecBoot   = 40 * time.Second // kexec + kernel/userspace init (excl. storage I/O)
+	// phaseCryptoSetup is SecFull's extra steps: load LUKS key, unlock
+	// the volume, establish the IPsec tunnel.
+	phaseCryptoSetup = 10 * time.Second
+
+	// Boot-time storage traffic served by the Ceph pool: first-boot
+	// page-ins of the root filesystem, services and first workload
+	// warm-up.
+	bootIOBytes = 2500 << 20
+	// bootIOStreams is the node's read-ahead concurrency against the
+	// pool (8 MiB read-ahead keeps ~4 object requests in flight).
+	bootIOStreams = 4
+	// fullIOSlowdown stretches storage time when the iSCSI path runs
+	// over IPsec (Figure 3c: major impact on the remote disk).
+	fullIOSlowdown = 1.67
+
+	// Foreman baseline: stateful install copies the whole image to the
+	// local disk, then reboots (second POST).
+	foremanInstallerBoot = 40 * time.Second
+	foremanImageBytes    = 3 << 30
+	foremanLocalBoot     = 30 * time.Second
+)
+
+// ProvisionConfig selects one Figure-4 bar or Figure-5 point.
+type ProvisionConfig struct {
+	Firmware    FirmwareKind
+	Security    SecurityLevel
+	Foreman     bool // baseline provisioner (ignores Security)
+	Concurrency int  // nodes provisioned in parallel (Figure 5)
+	// Airlocks is the number of parallel attestation airlocks
+	// (prototype limitation: 1; the ablation bench raises it).
+	Airlocks int
+
+	// Infrastructure sizing (defaults: the paper's pool).
+	OSDs           int
+	SpindlesPerOSD int
+}
+
+// DefaultProvisionConfig returns a single-node LinuxBoot attested boot
+// on the paper's infrastructure.
+func DefaultProvisionConfig() ProvisionConfig {
+	return ProvisionConfig{
+		Firmware:       FirmwareLinuxBoot,
+		Security:       SecAttested,
+		Concurrency:    1,
+		Airlocks:       1,
+		OSDs:           3,
+		SpindlesPerOSD: 9,
+	}
+}
+
+// Phase is one step of a provisioning timeline.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// ProvisionResult is the simulation output.
+type ProvisionResult struct {
+	Config ProvisionConfig
+	// Phases is node 0's timeline (the Figure-4 stack).
+	Phases []Phase
+	// PerNode is each node's completion time (Figure 5 uses the max).
+	PerNode []time.Duration
+	// Makespan is the time until every node is provisioned.
+	Makespan time.Duration
+}
+
+// Total returns the sum of node 0's phases.
+func (r *ProvisionResult) Total() time.Duration {
+	var t time.Duration
+	for _, p := range r.Phases {
+		t += p.Duration
+	}
+	return t
+}
+
+// SimulateProvisioning runs the boot timeline for cfg.Concurrency nodes
+// and returns per-node times and the phase breakdown.
+func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Airlocks < 1 {
+		cfg.Airlocks = 1
+	}
+	if cfg.OSDs < 1 {
+		cfg.OSDs = 3
+	}
+	if cfg.SpindlesPerOSD < 1 {
+		cfg.SpindlesPerOSD = 9
+	}
+	s := sim.New(42)
+	cluster, err := ceph.NewCluster(cfg.OSDs, 1)
+	if err != nil {
+		panic(err)
+	}
+	backend := ceph.NewSimBackend(s, cluster, cfg.SpindlesPerOSD)
+	// Effective per-spindle rate for boot-pattern I/O (mixed random
+	// reads): far below streaming rate.
+	backend.SeekTime = 8 * time.Millisecond
+	backend.SpindleBandwidthBps = 20e6 * 8
+
+	airlock := s.NewResource("airlock", cfg.Airlocks)
+	res := &ProvisionResult{
+		Config:  cfg,
+		PerNode: make([]time.Duration, cfg.Concurrency),
+	}
+
+	for i := 0; i < cfg.Concurrency; i++ {
+		i := i
+		s.Go(fmt.Sprintf("node%02d", i), func(p *sim.Proc) {
+			var phases []Phase
+			step := func(name string, d time.Duration) {
+				p.Sleep(d)
+				phases = append(phases, Phase{name, d})
+			}
+			stepIO := func(name string, bytes int64, slowdown float64) {
+				start := p.Now()
+				demand := int64(float64(bytes) * slowdown)
+				wg := p.Sim().NewWaitGroup(bootIOStreams)
+				for st := 0; st < bootIOStreams; st++ {
+					prefix := fmt.Sprintf("boot-%d-%d", i, st)
+					p.Sim().Go("io", func(c *sim.Proc) {
+						backend.ChargeImageRead(c, prefix, demand/bootIOStreams)
+						wg.Done()
+					})
+				}
+				p.WaitFor(wg)
+				phases = append(phases, Phase{name, p.Now() - start})
+			}
+
+			if cfg.Foreman {
+				step("POST (UEFI)", firmware.UEFIPOSTTime)
+				step("PXE", phasePXE)
+				step("installer boot", foremanInstallerBoot)
+				// Full image copy to local disk, one sequential stream.
+				start := p.Now()
+				backend.ChargeImageRead(p, fmt.Sprintf("foreman-%d", i), foremanImageBytes)
+				phases = append(phases, Phase{"copy image to local disk", p.Now() - start})
+				step("POST again (reboot)", firmware.UEFIPOSTTime)
+				step("local boot", foremanLocalBoot)
+			} else {
+				if cfg.Firmware == FirmwareUEFI {
+					step("POST (UEFI)", firmware.UEFIPOSTTime)
+					step("PXE -> iPXE", phasePXE)
+					step("iPXE downloads Heads", phaseIPXEFetch)
+					step("boot LinuxBoot runtime", phaseRuntimeBoot)
+				} else {
+					step("POST (LinuxBoot)", firmware.LinuxBootPOSTTime)
+				}
+				if cfg.Security >= SecAttested {
+					step("download Keylime agent", phaseAgentFetch)
+					// Registration, quote and verification; a slice of
+					// it is serialized by the single airlock.
+					start := p.Now()
+					p.Sleep(phaseAttest - airlockSerial - tpm.QuoteLatency)
+					p.Sleep(tpm.QuoteLatency)
+					p.Acquire(airlock)
+					p.Sleep(airlockSerial)
+					airlock.Release()
+					phases = append(phases, Phase{"register + attest", p.Now() - start})
+				} else {
+					step("fetch tenant kernel", phaseKernelFetch)
+				}
+				step("move to tenant network (HIL)", phaseHILMove)
+				if cfg.Security == SecFull {
+					step("LUKS unlock + IPsec tunnel", phaseCryptoSetup)
+				}
+				step("kexec + kernel init", phaseKexecBoot)
+				slow := 1.0
+				if cfg.Security == SecFull {
+					slow = fullIOSlowdown
+				}
+				stepIO("boot I/O (network storage)", bootIOBytes, slow)
+			}
+
+			res.PerNode[i] = p.Now()
+			if i == 0 {
+				res.Phases = phases
+			}
+		})
+	}
+	res.Makespan = s.Run()
+	return res
+}

@@ -1,0 +1,152 @@
+package firmware
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"bolted/internal/tpm"
+)
+
+// Firmware is system firmware installed in SPI flash.
+type Firmware interface {
+	// Name identifies the firmware type and version.
+	Name() string
+	// Enter executes the firmware's measured entry path on a machine:
+	// extend measurements into PCRPlatform, optionally scrub memory.
+	Enter(m *Machine) error
+	// POSTTime is the wall-clock power-on self test duration, consumed
+	// by the provisioning simulation.
+	POSTTime() time.Duration
+	// Measurements returns the ordered digests Enter extends into
+	// PCRPlatform — the provider-published platform whitelist entries.
+	Measurements() []tpm.Digest
+	// Deterministic reports whether a tenant can rebuild the firmware
+	// from source and independently predict Measurements.
+	Deterministic() bool
+}
+
+// Paper-calibrated POST durations (§5: "significantly faster to POST
+// than UEFI; taking 40 seconds on our servers, compared to about 4
+// minutes with UEFI").
+const (
+	UEFIPOSTTime      = 240 * time.Second
+	LinuxBootPOSTTime = 40 * time.Second
+)
+
+// peiDigest is the retained vendor PEI + Intel ACM measurement that
+// both firmware types extend first (the paper's LinuxBoot retains the
+// vendor PEI and signed ACM). The provider publishes this one-time
+// measurement per platform generation.
+func peiDigest(platformGen string) tpm.Digest {
+	return sha256.Sum256([]byte("vendor-pei-acm|" + platformGen))
+}
+
+// UEFI is the stock vendor firmware: a closed binary blob, measured but
+// not reproducible by the tenant.
+type UEFI struct {
+	Vendor      string
+	Version     string
+	PlatformGen string
+	blobDigest  tpm.Digest
+}
+
+// NewUEFI creates vendor firmware whose DXE blob digest is derived from
+// an opaque vendor build — the tenant cannot recompute it from source.
+func NewUEFI(vendor, version, platformGen string) *UEFI {
+	return &UEFI{
+		Vendor:      vendor,
+		Version:     version,
+		PlatformGen: platformGen,
+		blobDigest:  sha256.Sum256([]byte("opaque-vendor-blob|" + vendor + "|" + version)),
+	}
+}
+
+// Name implements Firmware.
+func (u *UEFI) Name() string { return "uefi-" + u.Vendor + "-" + u.Version }
+
+// POSTTime implements Firmware.
+func (u *UEFI) POSTTime() time.Duration { return UEFIPOSTTime }
+
+// Deterministic implements Firmware: vendor UEFI is not reproducible.
+func (u *UEFI) Deterministic() bool { return false }
+
+// Measurements implements Firmware.
+func (u *UEFI) Measurements() []tpm.Digest {
+	return []tpm.Digest{peiDigest(u.PlatformGen), u.blobDigest}
+}
+
+// Enter implements Firmware: measure PEI/ACM then the DXE blob. Stock
+// UEFI does NOT scrub memory — the previous occupant's DRAM survives.
+func (u *UEFI) Enter(m *Machine) error {
+	if err := m.TPM().Extend(PCRPlatform, peiDigest(u.PlatformGen), "pei-acm"); err != nil {
+		return err
+	}
+	return m.TPM().Extend(PCRPlatform, u.blobDigest, "uefi-dxe:"+u.Name())
+}
+
+// LinuxBootImage is a deterministic build artifact: hash is a pure
+// function of the source tree, so anyone holding the source produces an
+// identical image.
+type LinuxBootImage struct {
+	SourceID string
+	Digest   tpm.Digest
+	Size     int64
+}
+
+// BuildLinuxBoot compiles a LinuxBoot (Heads) image from source. The
+// build is reproducible: equal source always yields an equal digest,
+// which is what lets a tenant validate provider-installed firmware.
+func BuildLinuxBoot(sourceID string, source []byte) LinuxBootImage {
+	h := sha256.New()
+	h.Write([]byte("linuxboot-reproducible-build\x00"))
+	h.Write(source)
+	var d tpm.Digest
+	copy(d[:], h.Sum(nil))
+	return LinuxBootImage{
+		SourceID: sourceID,
+		Digest:   d,
+		Size:     56 << 20, // ~56 MiB Heads runtime (kernel+initrd)
+	}
+}
+
+// LinuxBoot is the Bolted firmware: open source, reproducibly built,
+// memory-scrubbing, kexec-capable.
+type LinuxBoot struct {
+	Image       LinuxBootImage
+	PlatformGen string
+}
+
+// NewLinuxBoot creates flash-installed LinuxBoot from a built image.
+func NewLinuxBoot(img LinuxBootImage, platformGen string) *LinuxBoot {
+	return &LinuxBoot{Image: img, PlatformGen: platformGen}
+}
+
+// Name implements Firmware.
+func (l *LinuxBoot) Name() string { return "linuxboot-" + l.Image.SourceID }
+
+// POSTTime implements Firmware.
+func (l *LinuxBoot) POSTTime() time.Duration { return LinuxBootPOSTTime }
+
+// Deterministic implements Firmware.
+func (l *LinuxBoot) Deterministic() bool { return true }
+
+// Measurements implements Firmware.
+func (l *LinuxBoot) Measurements() []tpm.Digest {
+	return []tpm.Digest{peiDigest(l.PlatformGen), l.Image.Digest}
+}
+
+// Enter implements Firmware: measure PEI/ACM and the LinuxBoot image,
+// then scrub DRAM. The scrub-before-anything-else ordering is the
+// after-occupancy guarantee: any path that regains control of the
+// machine runs this code first (the only way in is a power cycle, which
+// re-enters flash).
+func (l *LinuxBoot) Enter(m *Machine) error {
+	if err := m.TPM().Extend(PCRPlatform, peiDigest(l.PlatformGen), "pei-acm"); err != nil {
+		return err
+	}
+	if err := m.TPM().Extend(PCRPlatform, l.Image.Digest, "linuxboot:"+l.Image.SourceID); err != nil {
+		return err
+	}
+	m.Memory().Scrub()
+	return nil
+}

@@ -1,0 +1,249 @@
+package firmware
+
+import (
+	"bytes"
+	"testing"
+
+	"bolted/internal/tpm"
+)
+
+var heads = BuildLinuxBoot("heads-v1", []byte("linuxboot source tree v1"))
+
+func newUEFIMachine(t testing.TB) *Machine {
+	t.Helper()
+	m, err := NewMachine("node1", "port1", NewUEFI("dell", "2.9.1", "r630"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newLinuxBootMachine(t testing.TB) *Machine {
+	t.Helper()
+	m, err := NewMachine("node2", "port2", NewLinuxBoot(heads, "r630"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := BuildLinuxBoot("v1", []byte("source"))
+	b := BuildLinuxBoot("v1", []byte("source"))
+	if a.Digest != b.Digest {
+		t.Fatal("identical source produced different images")
+	}
+	c := BuildLinuxBoot("v1", []byte("source with backdoor"))
+	if c.Digest == a.Digest {
+		t.Fatal("different source produced identical images")
+	}
+}
+
+func TestPowerLifecycle(t *testing.T) {
+	m := newLinuxBootMachine(t)
+	if m.Powered() || m.Layer() != LayerOff {
+		t.Fatal("fresh machine not off")
+	}
+	if err := m.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Powered() || m.Layer() != LayerFirmware {
+		t.Fatalf("after PowerOn: powered=%v layer=%s", m.Powered(), m.Layer())
+	}
+	if err := m.PowerOn(); err == nil {
+		t.Fatal("double PowerOn accepted")
+	}
+	if err := m.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PowerOff(); err == nil {
+		t.Fatal("double PowerOff accepted")
+	}
+	if err := m.PowerCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Layer() != LayerFirmware {
+		t.Fatal("PowerCycle did not reach firmware")
+	}
+}
+
+func TestLinuxBootScrubsMemoryUEFIDoesNot(t *testing.T) {
+	// The paper's after-occupancy guarantee: a previous tenant's DRAM
+	// secrets survive a power cycle under stock UEFI but not under
+	// LinuxBoot.
+	uefi := newUEFIMachine(t)
+	uefi.PowerOn()
+	uefi.Memory().Store("tenantA-key", []byte("hunter2"))
+	uefi.PowerCycle()
+	if _, ok := uefi.Memory().Load("tenantA-key"); !ok {
+		t.Fatal("UEFI unexpectedly scrubbed memory (model should err toward the attacker)")
+	}
+
+	lb := newLinuxBootMachine(t)
+	lb.PowerOn()
+	lb.Memory().Store("tenantA-key", []byte("hunter2"))
+	lb.PowerCycle()
+	if _, ok := lb.Memory().Load("tenantA-key"); ok {
+		t.Fatal("LinuxBoot did not scrub previous tenant's memory")
+	}
+}
+
+func TestMeasuredBootPCRs(t *testing.T) {
+	m := newLinuxBootMachine(t)
+	m.PowerOn()
+	want := ExpectedPCRs(m.Firmware(), nil)
+	got, _ := m.TPM().PCRValue(PCRPlatform)
+	if got != want[PCRPlatform] {
+		t.Fatal("PCRPlatform does not match expected whitelist value")
+	}
+	// Power cycling reproduces the same value (whitelist is stable).
+	m.PowerCycle()
+	got2, _ := m.TPM().PCRValue(PCRPlatform)
+	if got2 != got {
+		t.Fatal("PCR value not reproducible across boots")
+	}
+}
+
+func TestCompromisedFirmwareChangesPCR(t *testing.T) {
+	m := newLinuxBootMachine(t)
+	m.PowerOn()
+	clean, _ := m.TPM().PCRValue(PCRPlatform)
+
+	evil := BuildLinuxBoot("heads-v1", []byte("linuxboot source tree v1 + implant"))
+	m.ReflashFirmware(NewLinuxBoot(evil, "r630"))
+	m.PowerCycle()
+	dirty, _ := m.TPM().PCRValue(PCRPlatform)
+	if dirty == clean {
+		t.Fatal("compromised firmware produced identical PCR (attestation cannot detect it)")
+	}
+}
+
+func TestNetworkBootChain(t *testing.T) {
+	m := newUEFIMachine(t)
+	m.PowerOn()
+	m.Memory().Store("previous-tenant", []byte("leftover"))
+	if err := NetworkBootRuntime(m, heads); err != nil {
+		t.Fatal(err)
+	}
+	// The chain measured iPXE and the runtime.
+	want := ExpectedPCRs(m.Firmware(), &heads)
+	gotPlat, _ := m.TPM().PCRValue(PCRPlatform)
+	gotBoot, _ := m.TPM().PCRValue(PCRBootloader)
+	if gotPlat != want[PCRPlatform] || gotBoot != want[PCRBootloader] {
+		t.Fatal("network boot PCRs do not match whitelist")
+	}
+	// Heads entry scrubbed memory.
+	if _, ok := m.Memory().Load("previous-tenant"); ok {
+		t.Fatal("downloaded runtime did not scrub memory")
+	}
+}
+
+func TestNetworkBootRequiresFirmwareLayer(t *testing.T) {
+	m := newUEFIMachine(t)
+	if err := NetworkBootRuntime(m, heads); err == nil {
+		t.Fatal("network boot on powered-off machine accepted")
+	}
+	m.PowerOn()
+	NetworkBootRuntime(m, heads)
+	if err := m.Kexec("k1", []byte("kernel"), []byte("initrd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := NetworkBootRuntime(m, heads); err == nil {
+		t.Fatal("network boot from tenant kernel accepted")
+	}
+}
+
+func TestTamperedRuntimeDetectable(t *testing.T) {
+	m1 := newUEFIMachine(t)
+	m1.PowerOn()
+	NetworkBootRuntime(m1, heads)
+	clean, _ := m1.TPM().PCRValue(PCRBootloader)
+
+	evil := BuildLinuxBoot("heads-v1", []byte("evil runtime"))
+	m2 := newUEFIMachine(t)
+	m2.PowerOn()
+	NetworkBootRuntime(m2, evil)
+	dirty, _ := m2.TPM().PCRValue(PCRBootloader)
+	if clean == dirty {
+		t.Fatal("substituted runtime not reflected in PCR")
+	}
+}
+
+func TestKexecMeasuresKernel(t *testing.T) {
+	m := newLinuxBootMachine(t)
+	m.PowerOn()
+	kernel := []byte("vmlinuz-4.17.9")
+	initrd := []byte("initramfs")
+	if err := m.Kexec("fedora28", kernel, initrd); err != nil {
+		t.Fatal(err)
+	}
+	if m.Layer() != LayerTenantKernel || m.KernelID() != "fedora28" {
+		t.Fatalf("layer=%s kernel=%s", m.Layer(), m.KernelID())
+	}
+	// Kernel and initrd are in the event log under PCRKernel.
+	log := m.TPM().EventLog()
+	found := 0
+	for _, ev := range log {
+		if ev.PCR == PCRKernel {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("PCRKernel events = %d, want 2", found)
+	}
+	// A different kernel yields a different PCR: malicious reboots into
+	// unauthorized kernels are detectable.
+	m2 := newLinuxBootMachine(t)
+	m2.PowerOn()
+	m2.Kexec("fedora28", []byte("trojaned kernel"), initrd)
+	a, _ := m.TPM().PCRValue(PCRKernel)
+	b, _ := m2.TPM().PCRValue(PCRKernel)
+	if a == b {
+		t.Fatal("kernel substitution not reflected in PCRKernel")
+	}
+}
+
+func TestKexecRequiresFirmware(t *testing.T) {
+	m := newLinuxBootMachine(t)
+	if err := m.Kexec("k", nil, nil); err == nil {
+		t.Fatal("kexec while off accepted")
+	}
+	m.PowerOn()
+	m.Kexec("k", []byte("a"), []byte("b"))
+	if err := m.Kexec("k2", []byte("c"), []byte("d")); err == nil {
+		t.Fatal("double kexec from tenant kernel accepted")
+	}
+}
+
+func TestPOSTTimes(t *testing.T) {
+	if NewUEFI("d", "1", "g").POSTTime() <= NewLinuxBoot(heads, "g").POSTTime() {
+		t.Fatal("UEFI POST not slower than LinuxBoot")
+	}
+	if UEFIPOSTTime/LinuxBootPOSTTime < 3 {
+		t.Fatal("paper's 3x POST advantage not modelled")
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	mem := NewMemory()
+	mem.Store("a", []byte{1})
+	mem.Store("b", []byte{2})
+	if mem.Resident() != 2 {
+		t.Fatal("resident count wrong")
+	}
+	d, ok := mem.Load("a")
+	if !ok || !bytes.Equal(d, []byte{1}) {
+		t.Fatal("load mismatch")
+	}
+	mem.Scrub()
+	if mem.Resident() != 0 {
+		t.Fatal("scrub incomplete")
+	}
+}
+
+func TestExpectedPCRsZeroBootloaderWithoutNetBoot(t *testing.T) {
+	want := ExpectedPCRs(NewLinuxBoot(heads, "g"), nil)
+	if want[PCRBootloader] != (tpm.Digest{}) {
+		t.Fatal("flash boot should leave PCRBootloader zero")
+	}
+}

@@ -1,0 +1,72 @@
+package firmware
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"bolted/internal/tpm"
+)
+
+// This file models the network-boot path used when LinuxBoot cannot be
+// burned into flash (§5 "Putting it together"): stock UEFI PXE-loads
+// iPXE, and a modified iPXE downloads the LinuxBoot runtime (Heads)
+// and measures it into a TPM PCR before jumping to it, so the whole
+// chain remains attestable.
+
+// IPXEVersion identifies the provider's patched iPXE build (the paper's
+// modification that adds TPM measurement of downloaded images).
+const IPXEVersion = "ipxe-1.21.1+tpm-measure"
+
+// IPXEDigest is the measurement UEFI records for the iPXE binary.
+func IPXEDigest() tpm.Digest {
+	return sha256.Sum256([]byte("ipxe-binary|" + IPXEVersion))
+}
+
+// IPXESize is the iPXE binary size (download cost over the management
+// network).
+const IPXESize = 1 << 20
+
+// NetworkBootRuntime performs the PXE → iPXE → Heads chain on a machine
+// whose flash runs stock UEFI:
+//
+//  1. UEFI measures and runs iPXE (PCRBootloader).
+//  2. iPXE downloads the LinuxBoot runtime and measures it
+//     (PCRBootloader) before executing it.
+//  3. The runtime scrubs memory, exactly like flash-installed LinuxBoot.
+//
+// After return the machine is in the same attested state a
+// flash-LinuxBoot machine reaches right after POST.
+func NetworkBootRuntime(m *Machine, runtime LinuxBootImage) error {
+	if !m.Powered() || m.Layer() != LayerFirmware {
+		return fmt.Errorf("firmware: network boot requires firmware layer, machine is %q", m.Layer())
+	}
+	if err := m.TPM().Extend(PCRBootloader, IPXEDigest(), "ipxe:"+IPXEVersion); err != nil {
+		return err
+	}
+	if err := m.TPM().Extend(PCRBootloader, runtime.Digest, "heads-runtime:"+runtime.SourceID); err != nil {
+		return err
+	}
+	m.Memory().Scrub()
+	return nil
+}
+
+// ExpectedPCRs computes the whitelist PCR values for a boot
+// configuration: what PCRPlatform and PCRBootloader must contain after
+// a clean boot. flashFW is the flash firmware; netRuntime is non-nil
+// when the UEFI + iPXE + Heads chain is used.
+func ExpectedPCRs(flashFW Firmware, netRuntime *LinuxBootImage) map[int]tpm.Digest {
+	var platformEvents, bootEvents []tpm.Event
+	for _, d := range flashFW.Measurements() {
+		platformEvents = append(platformEvents, tpm.Event{PCR: PCRPlatform, Digest: d})
+	}
+	if netRuntime != nil {
+		bootEvents = append(bootEvents,
+			tpm.Event{PCR: PCRBootloader, Digest: IPXEDigest()},
+			tpm.Event{PCR: PCRBootloader, Digest: netRuntime.Digest},
+		)
+	}
+	replayed := tpm.ReplayLog(append(platformEvents, bootEvents...))
+	out := map[int]tpm.Digest{PCRPlatform: replayed[PCRPlatform]}
+	out[PCRBootloader] = replayed[PCRBootloader] // zero digest if no net boot
+	return out
+}

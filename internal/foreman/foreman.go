@@ -1,0 +1,146 @@
+// Package foreman implements the paper's baseline: a Foreman-style
+// STATEFUL provisioning system that installs the full OS image onto
+// each node's local disk and reboots into it. It exists to contrast
+// with BMI's diskless model on the three axes Figure 4 and §3 call out:
+//
+//   - Installation copies the entire image (BMI pages in <1%).
+//   - The node must POST twice (installer boot, then local boot).
+//   - Releasing a node leaves tenant state on the local disk unless the
+//     provider scrubs it — an operation taking hours on real disks —
+//     so the tenant must trust the provider's scrubbing.
+package foreman
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bolted/internal/blockdev"
+)
+
+// Service is a Foreman-like provisioner managing node-local disks.
+type Service struct {
+	mu        sync.Mutex
+	disks     map[string]blockdev.Device // node -> local disk
+	installed map[string]string          // node -> image name
+}
+
+// New creates an empty provisioner.
+func New() *Service {
+	return &Service{
+		disks:     make(map[string]blockdev.Device),
+		installed: make(map[string]string),
+	}
+}
+
+// RegisterNode attaches a node's local disk.
+func (s *Service) RegisterNode(node string, localDisk blockdev.Device) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.disks[node]; ok {
+		return fmt.Errorf("foreman: node %q already registered", node)
+	}
+	s.disks[node] = localDisk
+	return nil
+}
+
+// InstallResult reports an installation.
+type InstallResult struct {
+	Node        string
+	Image       string
+	BytesCopied int64
+	// RebootsRequired is always 2: the installer environment boots,
+	// copies, then the node POSTs again into the installed OS.
+	RebootsRequired int
+}
+
+// Install copies the ENTIRE image onto the node's local disk — the
+// stateful model's defining cost.
+func (s *Service) Install(node, imageName string, image blockdev.Device) (*InstallResult, error) {
+	s.mu.Lock()
+	disk, ok := s.disks[node]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("foreman: unknown node %q", node)
+	}
+	if disk.NumSectors() < image.NumSectors() {
+		return nil, errors.New("foreman: local disk smaller than image")
+	}
+	const chunk = 1 << 20
+	buf := make([]byte, chunk)
+	var copied int64
+	for sec := int64(0); sec < image.NumSectors(); {
+		n := int64(chunk / blockdev.SectorSize)
+		if rem := image.NumSectors() - sec; rem < n {
+			n = rem
+			buf = buf[:n*blockdev.SectorSize]
+		}
+		if err := image.ReadSectors(buf, sec); err != nil {
+			return nil, err
+		}
+		if err := disk.WriteSectors(buf, sec); err != nil {
+			return nil, err
+		}
+		copied += int64(len(buf))
+		sec += n
+	}
+	s.mu.Lock()
+	s.installed[node] = imageName
+	s.mu.Unlock()
+	return &InstallResult{
+		Node:            node,
+		Image:           imageName,
+		BytesCopied:     copied,
+		RebootsRequired: 2,
+	}, nil
+}
+
+// Installed reports what image a node runs ("" if none).
+func (s *Service) Installed(node string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installed[node]
+}
+
+// Release returns a node without scrubbing: the previous tenant's data
+// REMAINS on the local disk. This is the trust gap Bolted's stateless
+// design closes.
+func (s *Service) Release(node string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.disks[node]; !ok {
+		return fmt.Errorf("foreman: unknown node %q", node)
+	}
+	delete(s.installed, node)
+	return nil
+}
+
+// ScrubEstimate is how long a full disk scrub takes at a given disk
+// write rate — the "hours of overhead" the paper's footnote 1 cites.
+func ScrubEstimate(diskBytes int64, writeBytesPerSec float64) float64 {
+	return float64(diskBytes) / writeBytesPerSec
+}
+
+// Scrub zeroes a node's local disk (what a provider must do between
+// tenants, and what the tenant must trust happened).
+func (s *Service) Scrub(node string) error {
+	s.mu.Lock()
+	disk, ok := s.disks[node]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("foreman: unknown node %q", node)
+	}
+	zero := make([]byte, 1<<20)
+	for sec := int64(0); sec < disk.NumSectors(); {
+		n := int64(len(zero) / blockdev.SectorSize)
+		if rem := disk.NumSectors() - sec; rem < n {
+			n = rem
+			zero = zero[:n*blockdev.SectorSize]
+		}
+		if err := disk.WriteSectors(zero, sec); err != nil {
+			return err
+		}
+		sec += n
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package foreman
+
+import (
+	"bytes"
+	"testing"
+
+	"bolted/internal/blockdev"
+)
+
+func TestInstallCopiesWholeImage(t *testing.T) {
+	s := New()
+	local, _ := blockdev.NewRAMDisk(2 << 20)
+	if err := s.RegisterNode("n1", local); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterNode("n1", local); err == nil {
+		t.Fatal("double registration accepted")
+	}
+	image, _ := blockdev.NewRAMDisk(1 << 20)
+	content := bytes.Repeat([]byte{0xCD}, 1<<20)
+	image.WriteSectors(content, 0)
+
+	res, err := s.Install("n1", "centos7", image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole image moved — not a fraction.
+	if res.BytesCopied != 1<<20 {
+		t.Fatalf("copied %d bytes, want full image", res.BytesCopied)
+	}
+	if res.RebootsRequired != 2 {
+		t.Fatalf("reboots = %d, want 2 (installer + installed OS)", res.RebootsRequired)
+	}
+	got := make([]byte, 1<<20)
+	local.ReadSectors(got, 0)
+	if !bytes.Equal(got, content) {
+		t.Fatal("installed disk differs from image")
+	}
+	if s.Installed("n1") != "centos7" {
+		t.Fatal("install not recorded")
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	s := New()
+	small, _ := blockdev.NewRAMDisk(1 << 20)
+	s.RegisterNode("n1", small)
+	big, _ := blockdev.NewRAMDisk(2 << 20)
+	if _, err := s.Install("ghost", "img", big); err == nil {
+		t.Fatal("install to unknown node accepted")
+	}
+	if _, err := s.Install("n1", "img", big); err == nil {
+		t.Fatal("image larger than disk accepted")
+	}
+}
+
+func TestReleaseLeavesStateBehind(t *testing.T) {
+	// The trust gap: without an explicit scrub, the next tenant can
+	// read the previous tenant's disk.
+	s := New()
+	local, _ := blockdev.NewRAMDisk(1 << 20)
+	s.RegisterNode("n1", local)
+	image, _ := blockdev.NewRAMDisk(1 << 20)
+	secret := bytes.Repeat([]byte("TENANT-A-SECRET."), 32)[:blockdev.SectorSize]
+	image.WriteSectors(secret, 9)
+	s.Install("n1", "tenant-a-img", image)
+	if err := s.Release("n1"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.SectorSize)
+	local.ReadSectors(got, 9)
+	if !bytes.Equal(got, secret) {
+		t.Fatal("model unexpectedly scrubbed on release")
+	}
+	// Only an explicit provider scrub removes it.
+	if err := s.Scrub("n1"); err != nil {
+		t.Fatal(err)
+	}
+	local.ReadSectors(got, 9)
+	if !bytes.Equal(got, make([]byte, blockdev.SectorSize)) {
+		t.Fatal("scrub incomplete")
+	}
+	if err := s.Scrub("ghost"); err == nil {
+		t.Fatal("scrub of unknown node accepted")
+	}
+	if err := s.Release("ghost"); err == nil {
+		t.Fatal("release of unknown node accepted")
+	}
+}
+
+func TestScrubEstimateIsHours(t *testing.T) {
+	// Footnote 1: scrubbing modern disks takes hours. A 4 TB drive at
+	// 180 MB/s sequential writes:
+	secs := ScrubEstimate(4<<40, 180e6)
+	hours := secs / 3600
+	if hours < 3 || hours > 12 {
+		t.Fatalf("scrub estimate = %.1f hours, expected several", hours)
+	}
+}

@@ -1,0 +1,367 @@
+package hil
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"testing/quick"
+
+	"bolted/internal/netsim"
+)
+
+// fakeBMC records power operations.
+type fakeBMC struct {
+	on     bool
+	cycles int
+}
+
+func (b *fakeBMC) PowerOn() error    { b.on = true; return nil }
+func (b *fakeBMC) PowerOff() error   { b.on = false; return nil }
+func (b *fakeBMC) PowerCycle() error { b.on = true; b.cycles++; return nil }
+
+func newHIL(t testing.TB, nodes int) (*Service, *netsim.Fabric, []*fakeBMC) {
+	t.Helper()
+	fabric, err := netsim.NewFabric(100, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(fabric)
+	var bmcs []*fakeBMC
+	for i := 0; i < nodes; i++ {
+		name := string(rune('a' + i))
+		if _, err := fabric.AddPort("port-" + name); err != nil {
+			t.Fatal(err)
+		}
+		b := &fakeBMC{}
+		bmcs = append(bmcs, b)
+		if err := s.RegisterNode("node-"+name, "port-"+name, b, map[string]string{"gen": "m620"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, fabric, bmcs
+}
+
+func TestAllocationLifecycle(t *testing.T) {
+	s, _, _ := newHIL(t, 3)
+	if err := s.CreateProject("charlie"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.FreeNodes()); got != 3 {
+		t.Fatalf("free = %d, want 3", got)
+	}
+	if err := s.AllocateNode("charlie", "node-a"); err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := s.NodeOwner("node-a")
+	if owner != "charlie" {
+		t.Fatalf("owner = %q", owner)
+	}
+	// Double allocation fails.
+	s.CreateProject("bob")
+	if err := s.AllocateNode("bob", "node-a"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("double alloc: %v", err)
+	}
+	// Any-node allocation takes a free one.
+	n, err := s.AllocateAnyNode("bob")
+	if err != nil || n == "node-a" {
+		t.Fatalf("AllocateAnyNode = %q, %v", n, err)
+	}
+	if err := s.FreeNode("charlie", "node-a"); err != nil {
+		t.Fatal(err)
+	}
+	if owner, _ := s.NodeOwner("node-a"); owner != "" {
+		t.Fatal("freed node still owned")
+	}
+}
+
+func TestAuthorizationEnforced(t *testing.T) {
+	s, _, _ := newHIL(t, 2)
+	s.CreateProject("alice")
+	s.CreateProject("mallory")
+	s.AllocateNode("alice", "node-a")
+	s.CreateNetwork("alice", "net")
+
+	if err := s.ConnectNode("mallory", "node-a", "net"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("cross-project connect: %v", err)
+	}
+	if err := s.PowerCycle("mallory", "node-a"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("cross-project power: %v", err)
+	}
+	if err := s.FreeNode("mallory", "node-a"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("cross-project free: %v", err)
+	}
+}
+
+func TestNetworkingIsolation(t *testing.T) {
+	s, fabric, _ := newHIL(t, 3)
+	s.CreateProject("a")
+	s.CreateProject("b")
+	s.AllocateNode("a", "node-a")
+	s.AllocateNode("a", "node-b")
+	s.AllocateNode("b", "node-c")
+	s.CreateNetwork("a", "enclave")
+	s.CreateNetwork("b", "enclave") // same name, different project: distinct VLANs
+	if err := s.ConnectNode("a", "node-a", "enclave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectNode("a", "node-b", "enclave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectNode("b", "node-c", "enclave"); err != nil {
+		t.Fatal(err)
+	}
+	if !fabric.Reachable("port-a", "port-b") {
+		t.Fatal("same-enclave nodes isolated")
+	}
+	if fabric.Reachable("port-a", "port-c") {
+		t.Fatal("cross-tenant nodes reachable despite same network name")
+	}
+}
+
+func TestFreeNodeQuarantinesAndPowersOff(t *testing.T) {
+	s, fabric, bmcs := newHIL(t, 2)
+	s.CreateProject("t")
+	s.AllocateNode("t", "node-a")
+	s.CreateNetwork("t", "n")
+	s.ConnectNode("t", "node-a", "n")
+	bmcs[0].on = true
+	if err := s.FreeNode("t", "node-a"); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := fabric.VLANsOf("port-a")
+	if len(vs) != 0 {
+		t.Fatal("freed node still attached to VLANs")
+	}
+	if bmcs[0].on {
+		t.Fatal("freed node still powered")
+	}
+}
+
+func TestPublicNetworks(t *testing.T) {
+	s, fabric, _ := newHIL(t, 2)
+	if err := s.CreatePublicNetwork("provisioning", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePublicNetwork("provisioning", true); err == nil {
+		t.Fatal("duplicate public network accepted")
+	}
+	fabric.AddPort("bmi-host")
+	if err := s.ConnectServicePort("bmi-host", "provisioning"); err != nil {
+		t.Fatal(err)
+	}
+	s.CreateProject("t")
+	s.AllocateNode("t", "node-a")
+	s.AllocateNode("t", "node-b")
+	if err := s.ConnectNode("t", "node-a", "provisioning"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectNode("t", "node-b", "provisioning"); err != nil {
+		t.Fatal(err)
+	}
+	if !fabric.Reachable("port-a", "bmi-host") {
+		t.Fatal("node cannot reach provisioning service over public network")
+	}
+	// Private-VLAN semantics: two host members of the isolated public
+	// network do not see each other.
+	if fabric.Reachable("port-a", "port-b") {
+		t.Fatal("nodes reach each other through the isolated service network")
+	}
+}
+
+func TestNonIsolatedPublicNetwork(t *testing.T) {
+	s, fabric, _ := newHIL(t, 2)
+	if err := s.CreatePublicNetwork("internet", false); err != nil {
+		t.Fatal(err)
+	}
+	s.CreateProject("t")
+	s.AllocateNode("t", "node-a")
+	s.AllocateNode("t", "node-b")
+	s.ConnectNode("t", "node-a", "internet")
+	s.ConnectNode("t", "node-b", "internet")
+	if !fabric.Reachable("port-a", "port-b") {
+		t.Fatal("members of a non-isolated public network should reach each other")
+	}
+}
+
+func TestMetadataSourceOfTruth(t *testing.T) {
+	s, _, _ := newHIL(t, 1)
+	if err := s.SetNodeMetadata("node-a", "tpm_ek", "04deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	md, err := s.NodeMetadata("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md["tpm_ek"] != "04deadbeef" || md["gen"] != "m620" {
+		t.Fatalf("metadata = %v", md)
+	}
+	// Returned map is a copy: mutating it does not poison the source.
+	md["tpm_ek"] = "spoofed"
+	md2, _ := s.NodeMetadata("node-a")
+	if md2["tpm_ek"] != "04deadbeef" {
+		t.Fatal("metadata mutated through returned copy")
+	}
+	if err := s.SetNodeMetadata("ghost", "k", "v"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("metadata on unknown node: %v", err)
+	}
+}
+
+func TestBMCProxy(t *testing.T) {
+	s, _, bmcs := newHIL(t, 1)
+	s.CreateProject("t")
+	s.AllocateNode("t", "node-a")
+	if err := s.PowerOn("t", "node-a"); err != nil {
+		t.Fatal(err)
+	}
+	if !bmcs[0].on {
+		t.Fatal("PowerOn not forwarded")
+	}
+	s.PowerCycle("t", "node-a")
+	if bmcs[0].cycles != 1 {
+		t.Fatal("PowerCycle not forwarded")
+	}
+	s.PowerOff("t", "node-a")
+	if bmcs[0].on {
+		t.Fatal("PowerOff not forwarded")
+	}
+}
+
+func TestProjectDeletion(t *testing.T) {
+	s, _, _ := newHIL(t, 1)
+	s.CreateProject("t")
+	s.AllocateNode("t", "node-a")
+	if err := s.DeleteProject("t"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("deleting project with nodes: %v", err)
+	}
+	s.FreeNode("t", "node-a")
+	if err := s.DeleteProject("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateProject("t"); err != nil {
+		t.Fatal("name not reusable after delete")
+	}
+}
+
+func TestDeleteNetworkInUse(t *testing.T) {
+	s, _, _ := newHIL(t, 1)
+	s.CreateProject("t")
+	s.AllocateNode("t", "node-a")
+	s.CreateNetwork("t", "n")
+	s.ConnectNode("t", "node-a", "n")
+	if err := s.DeleteNetwork("t", "n"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("deleting network with members: %v", err)
+	}
+	s.DetachNode("t", "node-a", "n")
+	if err := s.DeleteNetwork("t", "n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under arbitrary allocate/free interleavings, every node is
+// owned by at most one project and the free list is exactly the
+// unowned set.
+func TestQuickOwnershipInvariant(t *testing.T) {
+	s, _, _ := newHIL(t, 6)
+	projects := []string{"p0", "p1", "p2"}
+	for _, p := range projects {
+		s.CreateProject(p)
+	}
+	nodes := []string{"node-a", "node-b", "node-c", "node-d", "node-e", "node-f"}
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			p := projects[int(op)%len(projects)]
+			n := nodes[int(op>>4)%len(nodes)]
+			if op&0x8000 == 0 {
+				_ = s.AllocateNode(p, n)
+			} else {
+				_ = s.FreeNode(p, n)
+			}
+		}
+		owned := make(map[string]string)
+		for _, p := range projects {
+			ns, err := s.ProjectNodes(p)
+			if err != nil {
+				return false
+			}
+			for _, n := range ns {
+				if prev, dup := owned[n]; dup {
+					t.Logf("node %s in both %s and %s", n, prev, p)
+					return false
+				}
+				owned[n] = p
+				if got, _ := s.NodeOwner(n); got != p {
+					return false
+				}
+			}
+		}
+		for _, free := range s.FreeNodes() {
+			if _, bad := owned[free]; bad {
+				return false
+			}
+		}
+		return len(owned)+len(s.FreeNodes()) == len(nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s, fabric, bmcs := newHIL(t, 2)
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if err := c.CreateProject("web"); err != nil {
+		t.Fatal(err)
+	}
+	free, err := c.FreeNodes()
+	if err != nil || len(free) != 2 {
+		t.Fatalf("FreeNodes = %v, %v", free, err)
+	}
+	node, err := c.AllocateNode("web", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateNetwork("web", "enclave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConnectNode("web", node, "enclave"); err != nil {
+		t.Fatal(err)
+	}
+	port, _ := s.NodePort(node)
+	vs, _ := fabric.VLANsOf(port)
+	if len(vs) != 1 {
+		t.Fatalf("node on %d VLANs, want 1", len(vs))
+	}
+	if err := c.Power("web", node, "cycle"); err != nil {
+		t.Fatal(err)
+	}
+	idx := int(node[len(node)-1] - 'a')
+	if bmcs[idx].cycles != 1 {
+		t.Fatal("power cycle not forwarded over HTTP")
+	}
+	md, err := c.NodeMetadata(node)
+	if err != nil || md["gen"] != "m620" {
+		t.Fatalf("metadata over HTTP = %v, %v", md, err)
+	}
+	// Error mapping.
+	if err := c.CreateProject("web"); err == nil {
+		t.Fatal("duplicate project over HTTP accepted")
+	}
+	if _, err := c.NodeMetadata("ghost"); err == nil {
+		t.Fatal("unknown node over HTTP accepted")
+	}
+	if err := c.Power("web", node, "explode"); err == nil {
+		t.Fatal("bad power op accepted")
+	}
+	if err := c.DetachNode("web", node, "enclave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteNetwork("web", "enclave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeNode("web", node); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package hil
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// This file provides HIL's REST surface, mirroring the real project's
+// HTTP API, so tenant tooling (cmd/boltedctl) drives the service the
+// same way it would drive a deployed HIL.
+
+// NewHandler exposes a Service over HTTP.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	writeErr := func(w http.ResponseWriter, err error) {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNotFound):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrUnauthorized):
+			code = http.StatusForbidden
+		case errors.Is(err, ErrInUse):
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+	}
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	decode := func(r *http.Request, v interface{}) error {
+		return json.NewDecoder(r.Body).Decode(v)
+	}
+
+	mux.HandleFunc("PUT /projects/{project}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CreateProject(r.PathValue("project")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("DELETE /projects/{project}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteProject(r.PathValue("project")); err != nil {
+			writeErr(w, err)
+			return
+		}
+	})
+	mux.HandleFunc("GET /nodes/free", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.FreeNodes())
+	})
+	mux.HandleFunc("GET /nodes/{node}/metadata", func(w http.ResponseWriter, r *http.Request) {
+		md, err := s.NodeMetadata(r.PathValue("node"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, md)
+	})
+	mux.HandleFunc("POST /projects/{project}/nodes", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ Node string }
+		if err := decode(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var err error
+		node := req.Node
+		if node == "" {
+			node, err = s.AllocateAnyNode(r.PathValue("project"))
+		} else {
+			err = s.AllocateNode(r.PathValue("project"), node)
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"node": node})
+	})
+	mux.HandleFunc("DELETE /projects/{project}/nodes/{node}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.FreeNode(r.PathValue("project"), r.PathValue("node")); err != nil {
+			writeErr(w, err)
+			return
+		}
+	})
+	mux.HandleFunc("PUT /projects/{project}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CreateNetwork(r.PathValue("project"), r.PathValue("network")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("DELETE /projects/{project}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteNetwork(r.PathValue("project"), r.PathValue("network")); err != nil {
+			writeErr(w, err)
+			return
+		}
+	})
+	mux.HandleFunc("PUT /projects/{project}/nodes/{node}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.ConnectNode(r.PathValue("project"), r.PathValue("node"), r.PathValue("network")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("DELETE /projects/{project}/nodes/{node}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DetachNode(r.PathValue("project"), r.PathValue("node"), r.PathValue("network")); err != nil {
+			writeErr(w, err)
+			return
+		}
+	})
+	mux.HandleFunc("POST /projects/{project}/nodes/{node}/power", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ Op string }
+		if err := decode(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var err error
+		switch req.Op {
+		case "on":
+			err = s.PowerOn(r.PathValue("project"), r.PathValue("node"))
+		case "off":
+			err = s.PowerOff(r.PathValue("project"), r.PathValue("node"))
+		case "cycle":
+			err = s.PowerCycle(r.PathValue("project"), r.PathValue("node"))
+		default:
+			http.Error(w, "unknown power op "+req.Op, http.StatusBadRequest)
+			return
+		}
+		if err != nil {
+			writeErr(w, err)
+		}
+	})
+	return mux
+}
+
+// Client is an HTTP client for a remote HIL service.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the HIL API at base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: http.DefaultClient}
+}
+
+func (c *Client) do(method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("hil: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// CreateProject creates a project.
+func (c *Client) CreateProject(name string) error {
+	return c.do("PUT", "/projects/"+name, nil, nil)
+}
+
+// FreeNodes lists unallocated nodes.
+func (c *Client) FreeNodes() ([]string, error) {
+	var out []string
+	err := c.do("GET", "/nodes/free", nil, &out)
+	return out, err
+}
+
+// AllocateNode reserves a node ("" = any free node); returns its name.
+func (c *Client) AllocateNode(project, node string) (string, error) {
+	var out struct{ Node string }
+	err := c.do("POST", "/projects/"+project+"/nodes", map[string]string{"Node": node}, &out)
+	return out.Node, err
+}
+
+// FreeNode releases a node back to the free pool.
+func (c *Client) FreeNode(project, node string) error {
+	return c.do("DELETE", "/projects/"+project+"/nodes/"+node, nil, nil)
+}
+
+// CreateNetwork allocates a tenant network.
+func (c *Client) CreateNetwork(project, network string) error {
+	return c.do("PUT", "/projects/"+project+"/networks/"+network, nil, nil)
+}
+
+// DeleteNetwork frees a tenant network.
+func (c *Client) DeleteNetwork(project, network string) error {
+	return c.do("DELETE", "/projects/"+project+"/networks/"+network, nil, nil)
+}
+
+// ConnectNode attaches a node to a network.
+func (c *Client) ConnectNode(project, node, network string) error {
+	return c.do("PUT", "/projects/"+project+"/nodes/"+node+"/networks/"+network, nil, nil)
+}
+
+// DetachNode removes a node from a network.
+func (c *Client) DetachNode(project, node, network string) error {
+	return c.do("DELETE", "/projects/"+project+"/nodes/"+node+"/networks/"+network, nil, nil)
+}
+
+// NodeMetadata fetches a node's provider-published metadata.
+func (c *Client) NodeMetadata(node string) (map[string]string, error) {
+	var out map[string]string
+	err := c.do("GET", "/nodes/"+node+"/metadata", nil, &out)
+	return out, err
+}
+
+// Power issues a power operation: "on", "off" or "cycle".
+func (c *Client) Power(project, node, op string) error {
+	return c.do("POST", "/projects/"+project+"/nodes/"+node+"/power", map[string]string{"Op": op}, nil)
+}

@@ -1,0 +1,183 @@
+package ima
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"bolted/internal/tpm"
+)
+
+func newCollector(t testing.TB, p Policy) (*Collector, *tpm.TPM) {
+	t.Helper()
+	tp, err := tpm.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCollector(tp, p), tp
+}
+
+func TestPolicyFiltering(t *testing.T) {
+	c, _ := newCollector(t, Policy{MeasureExec: true})
+	if !c.Measure("/bin/ls", []byte("ls"), HookExec, 1000) {
+		t.Error("exec by non-root not measured under MeasureExec")
+	}
+	if c.Measure("/etc/passwd", []byte("pw"), HookRead, 0) {
+		t.Error("root read measured without MeasureRootReads")
+	}
+
+	c2, _ := newCollector(t, Policy{MeasureRootReads: true})
+	if c2.Measure("/etc/passwd", []byte("pw"), HookRead, 1000) {
+		t.Error("non-root read measured")
+	}
+	if !c2.Measure("/etc/passwd", []byte("pw"), HookRead, 0) {
+		t.Error("root read not measured")
+	}
+	if c2.Measure("/bin/ls", []byte("ls"), HookExec, 0) {
+		t.Error("exec measured without MeasureExec")
+	}
+}
+
+func TestMeasureOnFirstUse(t *testing.T) {
+	c, _ := newCollector(t, StressPolicy)
+	content := []byte("#!/bin/sh\necho hi")
+	if !c.Measure("/usr/bin/tool", content, HookExec, 0) {
+		t.Fatal("first use not measured")
+	}
+	for i := 0; i < 5; i++ {
+		if c.Measure("/usr/bin/tool", content, HookExec, 0) {
+			t.Fatal("unchanged file re-measured")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", c.Len())
+	}
+	// Tampering re-measures: this is the detection hook.
+	if !c.Measure("/usr/bin/tool", []byte("evil"), HookExec, 0) {
+		t.Fatal("changed content not re-measured")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("entries = %d, want 2 after tamper", c.Len())
+	}
+}
+
+func TestReplayMatchesPCR10(t *testing.T) {
+	c, tp := newCollector(t, StressPolicy)
+	for i := 0; i < 20; i++ {
+		c.Measure(fmt.Sprintf("/bin/tool%d", i), []byte{byte(i)}, HookExec, 0)
+	}
+	want, _ := tp.PCRValue(PCR)
+	if got := ReplayAggregate(c.List()); got != want {
+		t.Fatalf("replay = %x, want quoted PCR10 %x", got, want)
+	}
+}
+
+func TestReplayDetectsListTampering(t *testing.T) {
+	c, tp := newCollector(t, StressPolicy)
+	c.Measure("/bin/a", []byte("a"), HookExec, 0)
+	c.Measure("/bin/evil", []byte("evil"), HookExec, 0)
+	list := c.List()
+	// A compromised node that strips the incriminating entry can no
+	// longer match the TPM-quoted aggregate.
+	stripped := list[:1]
+	want, _ := tp.PCRValue(PCR)
+	if ReplayAggregate(stripped) == want {
+		t.Fatal("stripped list still matches PCR10")
+	}
+	// Nor can it substitute a whitelisted hash.
+	forged := append([]Entry(nil), list...)
+	forged[1].FileHash = sha256.Sum256([]byte("innocent"))
+	if ReplayAggregate(forged) == want {
+		t.Fatal("forged list still matches PCR10")
+	}
+}
+
+func TestWhitelistCheck(t *testing.T) {
+	w := NewWhitelist()
+	w.AllowContent("/bin/sh", []byte("shell-v1"))
+	w.AllowContent("/bin/sh", []byte("shell-v2")) // two approved versions
+	w.AllowContent("/bin/ls", []byte("ls"))
+
+	entries := []Entry{
+		{Path: "/bin/sh", FileHash: sha256.Sum256([]byte("shell-v2")), Hook: HookExec},
+		{Path: "/bin/ls", FileHash: sha256.Sum256([]byte("ls")), Hook: HookExec},
+	}
+	if v := w.Check(entries); len(v) != 0 {
+		t.Fatalf("clean list produced violations: %v", v)
+	}
+
+	entries = append(entries,
+		Entry{Path: "/bin/sh", FileHash: sha256.Sum256([]byte("trojan")), Hook: HookExec},
+		Entry{Path: "/tmp/dropper", FileHash: sha256.Sum256([]byte("x")), Hook: HookExec},
+	)
+	v := w.Check(entries)
+	if len(v) != 2 {
+		t.Fatalf("violations = %d, want 2: %v", len(v), v)
+	}
+	if v[0].Reason != "hash not approved for path" {
+		t.Errorf("violation 0 reason = %q", v[0].Reason)
+	}
+	if v[1].Reason != "path not in whitelist" {
+		t.Errorf("violation 1 reason = %q", v[1].Reason)
+	}
+}
+
+func TestConcurrentMeasurement(t *testing.T) {
+	c, tp := newCollector(t, StressPolicy)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Measure(fmt.Sprintf("/w%d/f%d", w, i), []byte{byte(w), byte(i)}, HookExec, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Fatalf("entries = %d, want 800", c.Len())
+	}
+	// Under concurrency the list order may not match PCR extend order;
+	// the TPM event log is the ground truth the verifier ultimately
+	// trusts. Verify the event log replay matches PCR10.
+	replayed := tpm.ReplayLog(tp.EventLog())
+	want, _ := tp.PCRValue(PCR)
+	if replayed[PCR] != want {
+		t.Fatal("event log replay does not match PCR10")
+	}
+}
+
+// Property: whitelist approves exactly what was allowed.
+func TestQuickWhitelist(t *testing.T) {
+	f := func(good, bad []byte) bool {
+		if string(good) == string(bad) {
+			return true
+		}
+		w := NewWhitelist()
+		w.AllowContent("/f", good)
+		okList := []Entry{{Path: "/f", FileHash: sha256.Sum256(good)}}
+		badList := []Entry{{Path: "/f", FileHash: sha256.Sum256(bad)}}
+		return len(w.Check(okList)) == 0 && len(w.Check(badList)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replay aggregate is order-sensitive (hash chain, not a set).
+func TestQuickReplayOrderSensitive(t *testing.T) {
+	f := func(a, b [8]byte) bool {
+		if a == b {
+			return true
+		}
+		e1 := Entry{Path: "/a", FileHash: sha256.Sum256(a[:])}
+		e2 := Entry{Path: "/b", FileHash: sha256.Sum256(b[:])}
+		return ReplayAggregate([]Entry{e1, e2}) != ReplayAggregate([]Entry{e2, e1})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,407 @@
+package keylime
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"bolted/internal/ima"
+	"bolted/internal/tpm"
+)
+
+// This file puts the Keylime components behind REST, matching the real
+// project's deployment: the agent serves quotes and accepts key shares
+// over HTTP on the node; the registrar serves enrolment. A verifier (or
+// tenant) anywhere on the attestation network can then drive them via
+// RemoteAgent / RegistrarClient, which satisfy the same interfaces as
+// the in-process objects.
+
+// --- wire encodings ---
+
+type wireQuote struct {
+	Nonce     string   `json:"nonce"`
+	PCRSel    []int    `json:"pcr_sel"`
+	PCRValues []string `json:"pcr_values"`
+	BootCount uint64   `json:"boot_count"`
+	Sig       string   `json:"sig"`
+}
+
+func quoteToWire(q *tpm.Quote) wireQuote {
+	w := wireQuote{
+		Nonce:     hex.EncodeToString(q.Nonce),
+		PCRSel:    q.PCRSel,
+		BootCount: q.BootCount,
+		Sig:       hex.EncodeToString(q.Sig),
+	}
+	for _, v := range q.PCRValues {
+		w.PCRValues = append(w.PCRValues, hex.EncodeToString(v[:]))
+	}
+	return w
+}
+
+func wireToQuote(w wireQuote) (*tpm.Quote, error) {
+	nonce, err := hex.DecodeString(w.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := hex.DecodeString(w.Sig)
+	if err != nil {
+		return nil, err
+	}
+	q := &tpm.Quote{Nonce: nonce, PCRSel: w.PCRSel, BootCount: w.BootCount, Sig: sig}
+	for _, s := range w.PCRValues {
+		raw, err := hex.DecodeString(s)
+		if err != nil || len(raw) != tpm.DigestSize {
+			return nil, errors.New("keylime: bad PCR value encoding")
+		}
+		var d tpm.Digest
+		copy(d[:], raw)
+		q.PCRValues = append(q.PCRValues, d)
+	}
+	return q, nil
+}
+
+type wireIMAEntry struct {
+	Path     string `json:"path"`
+	FileHash string `json:"file_hash"`
+	Hook     string `json:"hook"`
+}
+
+func imaToWire(es []ima.Entry) []wireIMAEntry {
+	out := make([]wireIMAEntry, 0, len(es))
+	for _, e := range es {
+		out = append(out, wireIMAEntry{
+			Path:     e.Path,
+			FileHash: hex.EncodeToString(e.FileHash[:]),
+			Hook:     string(e.Hook),
+		})
+	}
+	return out
+}
+
+func wireToIMA(ws []wireIMAEntry) ([]ima.Entry, error) {
+	out := make([]ima.Entry, 0, len(ws))
+	for _, w := range ws {
+		raw, err := hex.DecodeString(w.FileHash)
+		if err != nil || len(raw) != tpm.DigestSize {
+			return nil, errors.New("keylime: bad IMA hash encoding")
+		}
+		e := ima.Entry{Path: w.Path, Hook: ima.Hook(w.Hook)}
+		copy(e.FileHash[:], raw)
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func encodeECDSA(pub *ecdsa.PublicKey) string {
+	var xy [64]byte
+	pub.X.FillBytes(xy[:32])
+	pub.Y.FillBytes(xy[32:])
+	return hex.EncodeToString(xy[:])
+}
+
+func decodeECDSA(s string) (*ecdsa.PublicKey, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 64 {
+		return nil, errors.New("keylime: bad ECDSA key encoding")
+	}
+	pub := &ecdsa.PublicKey{
+		Curve: elliptic.P256(),
+		X:     new(big.Int).SetBytes(raw[:32]),
+		Y:     new(big.Int).SetBytes(raw[32:]),
+	}
+	if !pub.Curve.IsOnCurve(pub.X, pub.Y) {
+		return nil, errors.New("keylime: ECDSA point not on curve")
+	}
+	return pub, nil
+}
+
+// --- agent HTTP server ---
+
+// NewAgentHandler serves an agent's REST API: quotes, IMA lists, and
+// key-share delivery — what the real keylime agent exposes on the node.
+func NewAgentHandler(a *Agent) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /quote", func(w http.ResponseWriter, r *http.Request) {
+		nonce, err := hex.DecodeString(r.URL.Query().Get("nonce"))
+		if err != nil || len(nonce) == 0 {
+			http.Error(w, "bad nonce", http.StatusBadRequest)
+			return
+		}
+		var sel []int
+		for _, part := range strings.Split(r.URL.Query().Get("pcrs"), ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				http.Error(w, "bad pcr selection", http.StatusBadRequest)
+				return
+			}
+			sel = append(sel, n)
+		}
+		q, err := a.Quote(nonce, sel, r.URL.Query().Get("from"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(quoteToWire(q))
+	})
+	mux.HandleFunc("GET /ima", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(imaToWire(a.IMAList()))
+	})
+	mux.HandleFunc("POST /keys/u", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ U string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		u, err := hex.DecodeString(req.U)
+		if err != nil {
+			http.Error(w, "bad key share", http.StatusBadRequest)
+			return
+		}
+		a.ReceiveU(u)
+	})
+	mux.HandleFunc("POST /keys/v", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ V, Payload string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err1 := hex.DecodeString(req.V)
+		payload, err2 := hex.DecodeString(req.Payload)
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad key share or payload", http.StatusBadRequest)
+			return
+		}
+		a.ReceiveV(v, payload)
+	})
+	return mux
+}
+
+// RemoteAgent drives an agent's REST API; it satisfies AgentConn, so a
+// verifier can monitor nodes it only reaches over the network.
+type RemoteAgent struct {
+	uuid string
+	Base string
+	HTTP *http.Client
+}
+
+var _ AgentConn = (*RemoteAgent)(nil)
+
+// NewRemoteAgent returns a client for an agent at base URL.
+func NewRemoteAgent(uuid, base string) *RemoteAgent {
+	return &RemoteAgent{uuid: uuid, Base: base, HTTP: http.DefaultClient}
+}
+
+// UUID implements AgentConn.
+func (ra *RemoteAgent) UUID() string { return ra.uuid }
+
+// Quote implements AgentConn.
+func (ra *RemoteAgent) Quote(nonce []byte, sel []int, verifierPort string) (*tpm.Quote, error) {
+	parts := make([]string, len(sel))
+	for i, s := range sel {
+		parts[i] = strconv.Itoa(s)
+	}
+	url := fmt.Sprintf("%s/quote?nonce=%s&pcrs=%s&from=%s",
+		ra.Base, hex.EncodeToString(nonce), strings.Join(parts, ","), verifierPort)
+	resp, err := ra.HTTP.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("keylime: remote quote: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var wq wireQuote
+	if err := json.NewDecoder(resp.Body).Decode(&wq); err != nil {
+		return nil, err
+	}
+	return wireToQuote(wq)
+}
+
+// IMAList implements AgentConn. Transport failures return an empty
+// list, which the verifier's aggregate check will flag.
+func (ra *RemoteAgent) IMAList() []ima.Entry {
+	resp, err := ra.HTTP.Get(ra.Base + "/ima")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var ws []wireIMAEntry
+	if err := json.NewDecoder(resp.Body).Decode(&ws); err != nil {
+		return nil
+	}
+	es, err := wireToIMA(ws)
+	if err != nil {
+		return nil
+	}
+	return es
+}
+
+func (ra *RemoteAgent) post(path string, body interface{}) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := ra.HTTP.Post(ra.Base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("keylime: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// ReceiveU implements AgentConn.
+func (ra *RemoteAgent) ReceiveU(u []byte) {
+	_ = ra.post("/keys/u", map[string]string{"U": hex.EncodeToString(u)})
+}
+
+// ReceiveV implements AgentConn.
+func (ra *RemoteAgent) ReceiveV(v, sealedPayload []byte) {
+	_ = ra.post("/keys/v", map[string]string{
+		"V": hex.EncodeToString(v), "Payload": hex.EncodeToString(sealedPayload),
+	})
+}
+
+// --- registrar HTTP server ---
+
+// NewRegistrarHandler serves the registrar's enrolment REST API.
+func NewRegistrarHandler(reg *Registrar) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /agents/{uuid}/register", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ EK, AIK string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ekRaw, err := hex.DecodeString(req.EK)
+		if err != nil {
+			http.Error(w, "bad EK", http.StatusBadRequest)
+			return
+		}
+		ek, err := ecdh.P256().NewPublicKey(ekRaw)
+		if err != nil {
+			http.Error(w, "bad EK point", http.StatusBadRequest)
+			return
+		}
+		aik, err := decodeECDSA(req.AIK)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		blob, err := reg.Register(r.PathValue("uuid"), ek, aik)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{
+			"ephemeral":   hex.EncodeToString(blob.EphemeralPub),
+			"nonce":       hex.EncodeToString(blob.Nonce),
+			"ciphertext":  hex.EncodeToString(blob.Ciphertext),
+			"aik_binding": hex.EncodeToString(blob.AIKBinding[:]),
+		})
+	})
+	mux.HandleFunc("POST /agents/{uuid}/activate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ Proof string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		proof, err := hex.DecodeString(req.Proof)
+		if err != nil {
+			http.Error(w, "bad proof", http.StatusBadRequest)
+			return
+		}
+		if err := reg.Activate(r.PathValue("uuid"), proof); err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+	})
+	mux.HandleFunc("GET /agents/{uuid}/aik", func(w http.ResponseWriter, r *http.Request) {
+		aik, err := reg.AIK(r.PathValue("uuid"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"aik": encodeECDSA(aik)})
+	})
+	return mux
+}
+
+// RegisterOverHTTP performs the agent's full enrolment dance against a
+// registrar's REST endpoint.
+func (a *Agent) RegisterOverHTTP(base, registrarPort string) error {
+	if err := a.checkPath(registrarPort); err != nil {
+		return fmt.Errorf("keylime: agent cannot reach registrar: %w", err)
+	}
+	body, err := json.Marshal(map[string]string{
+		"EK":  hex.EncodeToString(a.EKPublic().Bytes()),
+		"AIK": encodeECDSA(a.AIKPublic()),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/agents/"+a.uuid+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("keylime: register: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var raw map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return err
+	}
+	blob := &tpm.CredentialBlob{}
+	if blob.EphemeralPub, err = hex.DecodeString(raw["ephemeral"]); err != nil {
+		return err
+	}
+	if blob.Nonce, err = hex.DecodeString(raw["nonce"]); err != nil {
+		return err
+	}
+	if blob.Ciphertext, err = hex.DecodeString(raw["ciphertext"]); err != nil {
+		return err
+	}
+	binding, err := hex.DecodeString(raw["aik_binding"])
+	if err != nil || len(binding) != tpm.DigestSize {
+		return errors.New("keylime: bad AIK binding")
+	}
+	copy(blob.AIKBinding[:], binding)
+
+	secret, err := a.machine.TPM().ActivateCredential(blob)
+	if err != nil {
+		return fmt.Errorf("keylime: credential activation failed: %w", err)
+	}
+	proofBody, err := json.Marshal(map[string]string{
+		"Proof": hex.EncodeToString(activationProof(secret, a.uuid)),
+	})
+	if err != nil {
+		return err
+	}
+	resp2, err := http.Post(base+"/agents/"+a.uuid+"/activate", "application/json", bytes.NewReader(proofBody))
+	if err != nil {
+		return err
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp2.Body)
+		return fmt.Errorf("keylime: activate: %s: %s", resp2.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

@@ -1,0 +1,439 @@
+package keylime
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bolted/internal/firmware"
+	"bolted/internal/ima"
+	"bolted/internal/netsim"
+	"bolted/internal/tpm"
+)
+
+var heads = firmware.BuildLinuxBoot("heads-v1", []byte("linuxboot source v1"))
+
+// rig is a minimal airlock: one node, registrar+verifier on the
+// attestation network, everything wired through a fabric.
+type rig struct {
+	fabric   *netsim.Fabric
+	machine  *firmware.Machine
+	agent    *Agent
+	reg      *Registrar
+	verifier *Verifier
+	tenant   *Tenant
+}
+
+const (
+	regPort = "svc-registrar"
+	cvPort  = "svc-verifier"
+)
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	fabric, err := netsim.NewFabric(100, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"node-port", regPort, cvPort} {
+		if _, err := fabric.AddPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Airlock VLAN shared by node + attestation services.
+	v, err := fabric.AllocateVLAN("airlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"node-port", regPort, cvPort} {
+		if err := fabric.Attach(p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := firmware.NewMachine("node1", "node-port", firmware.NewLinuxBoot(heads, "m620"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistrar()
+	verifier := NewVerifier(reg, cvPort)
+	return &rig{
+		fabric:   fabric,
+		machine:  m,
+		agent:    NewAgent("node1", m, fabric),
+		reg:      reg,
+		verifier: verifier,
+		tenant:   NewTenant(verifier),
+	}
+}
+
+func (r *rig) whitelist() map[int][]tpm.Digest {
+	exp := firmware.ExpectedPCRs(r.machine.Firmware(), nil)
+	return map[int][]tpm.Digest{
+		firmware.PCRPlatform:   {exp[firmware.PCRPlatform]},
+		firmware.PCRBootloader: {exp[firmware.PCRBootloader]},
+	}
+}
+
+func (r *rig) spec() ProvisionSpec {
+	return ProvisionSpec{
+		Payload: &Payload{
+			Kernel:     []byte("vmlinuz"),
+			Initrd:     []byte("initrd"),
+			Script:     "#!/bin/sh\nkexec",
+			DiskKey:    bytes.Repeat([]byte{1}, 64),
+			NetworkKey: bytes.Repeat([]byte{2}, 32),
+		},
+		PlatformPCRs: r.whitelist(),
+		HILMetadata:  map[string]string{EKMetadataKey: EncodeEK(r.machine.TPM().EKPublic())},
+	}
+}
+
+func TestKeySplitCombine(t *testing.T) {
+	k := NewBootstrapKey()
+	u, v, err := SplitKey(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(u, k) || bytes.Equal(v, k) {
+		t.Fatal("a share equals the key")
+	}
+	got, err := CombineKey(u, v)
+	if err != nil || !bytes.Equal(got, k) {
+		t.Fatal("combine does not invert split")
+	}
+	if _, _, err := SplitKey([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := CombineKey(u, []byte("short")); err == nil {
+		t.Fatal("short share accepted")
+	}
+}
+
+func TestPayloadSealOpen(t *testing.T) {
+	k := NewBootstrapKey()
+	p := &Payload{
+		Kernel:     []byte("kernel-bytes"),
+		Initrd:     []byte("initrd-bytes"),
+		Script:     "echo hello",
+		DiskKey:    []byte("disk-key-64-bytes"),
+		NetworkKey: []byte("net-key"),
+	}
+	sealed, err := SealPayload(k, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, p.Kernel) {
+		t.Fatal("payload kernel visible in sealed blob")
+	}
+	got, err := OpenPayload(k, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Kernel, p.Kernel) || got.Script != p.Script ||
+		!bytes.Equal(got.DiskKey, p.DiskKey) || !bytes.Equal(got.NetworkKey, p.NetworkKey) ||
+		!bytes.Equal(got.Initrd, p.Initrd) {
+		t.Fatalf("payload mismatch: %+v", got)
+	}
+	if _, err := OpenPayload(NewBootstrapKey(), sealed); err == nil {
+		t.Fatal("wrong key opened payload")
+	}
+	sealed[len(sealed)-1] ^= 1
+	if _, err := OpenPayload(k, sealed); err == nil {
+		t.Fatal("tampered payload opened")
+	}
+}
+
+func TestRegistrationAndActivation(t *testing.T) {
+	r := newRig(t)
+	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+		t.Fatal(err)
+	}
+	aik, err := r.reg.AIK("node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aik.Equal(r.machine.TPM().AIKPublic()) {
+		t.Fatal("registrar certified a different AIK")
+	}
+	ek, err := r.reg.EK("node1")
+	if err != nil || !ek.Equal(r.machine.TPM().EKPublic()) {
+		t.Fatal("registrar stored a different EK")
+	}
+}
+
+func TestAIKUnavailableBeforeActivation(t *testing.T) {
+	r := newRig(t)
+	// Register keys but never complete the activation proof.
+	if _, err := r.reg.Register("node1", r.agent.EKPublic(), r.agent.AIKPublic()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.reg.AIK("node1"); err == nil {
+		t.Fatal("unactivated AIK was certified")
+	}
+	if err := r.reg.Activate("node1", []byte("forged-proof")); err == nil {
+		t.Fatal("forged activation proof accepted")
+	}
+	if err := r.reg.Activate("ghost", nil); err == nil {
+		t.Fatal("activation of unknown agent accepted")
+	}
+}
+
+func TestImposterCannotRegisterAsNode(t *testing.T) {
+	r := newRig(t)
+	// An imposter machine claims node1's identity but holds its own TPM:
+	// it registers node1's EK (copied from public metadata) with its own
+	// AIK. Credential activation must fail because the imposter's TPM
+	// cannot decrypt a credential made for node1's EK.
+	imposter, err := firmware.NewMachine("evil", "node-port", firmware.NewLinuxBoot(heads, "m620"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imposter.PowerOn()
+	blob, err := r.reg.Register("node1", r.machine.TPM().EKPublic(), imposter.TPM().AIKPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := imposter.TPM().ActivateCredential(blob); err == nil {
+		t.Fatal("imposter activated credential for another TPM's EK")
+	}
+}
+
+func TestFullProvisionFlow(t *testing.T) {
+	r := newRig(t)
+	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+		t.Fatal(err)
+	}
+	spec := r.spec()
+	k, err := r.tenant.Provision(r.reg, r.agent, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ := r.verifier.Status("node1")
+	if status != StatusVerified {
+		t.Fatalf("status = %s", status)
+	}
+	p, err := r.agent.Unwrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Kernel, spec.Payload.Kernel) || !bytes.Equal(p.DiskKey, spec.Payload.DiskKey) {
+		t.Fatal("unwrapped payload mismatch")
+	}
+	if len(k) != KeySize {
+		t.Fatal("tenant did not get the bootstrap key back")
+	}
+}
+
+func TestUnwrapFailsBeforeAttestation(t *testing.T) {
+	r := newRig(t)
+	r.agent.RegisterWith(r.reg, regPort)
+	r.agent.ReceiveU(bytes.Repeat([]byte{1}, KeySize))
+	if _, err := r.agent.Unwrap(); err == nil {
+		t.Fatal("unwrap succeeded with only U")
+	}
+}
+
+func TestCompromisedFirmwareRejected(t *testing.T) {
+	r := newRig(t)
+	// The whitelist is computed from clean firmware, then the machine is
+	// reflashed with an implant and rebooted.
+	wl := r.whitelist()
+	evil := firmware.BuildLinuxBoot("heads-v1", []byte("linuxboot source v1 IMPLANT"))
+	r.machine.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
+	r.machine.PowerCycle()
+	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+		t.Fatal(err)
+	}
+	spec := r.spec()
+	spec.PlatformPCRs = wl
+	_, err := r.tenant.Provision(r.reg, r.agent, spec)
+	if err == nil {
+		t.Fatal("compromised firmware passed attestation")
+	}
+	if !strings.Contains(err.Error(), "whitelist") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if status, _ := r.verifier.Status("node1"); status != StatusFailed {
+		t.Fatalf("status = %s, want failed", status)
+	}
+	// V was never released: the payload stays sealed.
+	if _, err := r.agent.Unwrap(); err == nil {
+		t.Fatal("agent unwrapped payload despite failed attestation")
+	}
+}
+
+func TestServerSpoofingDetected(t *testing.T) {
+	r := newRig(t)
+	r.agent.RegisterWith(r.reg, regPort)
+	spec := r.spec()
+	// Provider metadata points at a different physical TPM.
+	other, _ := firmware.NewMachine("other", "node-port", firmware.NewLinuxBoot(heads, "m620"))
+	spec.HILMetadata = map[string]string{EKMetadataKey: EncodeEK(other.TPM().EKPublic())}
+	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err == nil {
+		t.Fatal("EK mismatch not detected")
+	}
+	spec.HILMetadata = map[string]string{}
+	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err == nil {
+		t.Fatal("missing EK metadata not detected")
+	}
+}
+
+func TestIsolatedAgentCannotAttest(t *testing.T) {
+	r := newRig(t)
+	r.agent.RegisterWith(r.reg, regPort)
+	// Quarantine the node: detach from all VLANs.
+	if err := r.fabric.DetachAll("node-port"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.agent.RegisterWith(r.reg, regPort); err == nil {
+		t.Fatal("isolated agent reached registrar")
+	}
+	spec := r.spec()
+	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err == nil {
+		t.Fatal("isolated agent passed attestation")
+	}
+}
+
+// continuousRig extends the basic rig with a booted tenant OS: IMA
+// collector attached, whitelist populated.
+func continuousRig(t *testing.T) (*rig, *ima.Collector, *ima.Whitelist) {
+	t.Helper()
+	r := newRig(t)
+	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+		t.Fatal(err)
+	}
+	wl := ima.NewWhitelist()
+	wl.AllowContent("/usr/bin/spark", []byte("spark-binary"))
+	wl.AllowContent("/etc/conf", []byte("config"))
+	spec := r.spec()
+	spec.IMAWhitelist = wl
+	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err != nil {
+		t.Fatal(err)
+	}
+	col := ima.NewCollector(r.machine.TPM(), ima.StressPolicy)
+	r.agent.AttachIMA(col)
+	return r, col, wl
+}
+
+func TestContinuousAttestationClean(t *testing.T) {
+	r, col, _ := continuousRig(t)
+	col.Measure("/usr/bin/spark", []byte("spark-binary"), ima.HookExec, 0)
+	col.Measure("/etc/conf", []byte("config"), ima.HookRead, 0)
+	violations, err := r.verifier.CheckIMA("node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("clean node produced violations: %v", violations)
+	}
+	if status, _ := r.verifier.Status("node1"); status != StatusVerified {
+		t.Fatalf("status = %s", status)
+	}
+}
+
+func TestContinuousAttestationDetectsViolation(t *testing.T) {
+	r, col, _ := continuousRig(t)
+	var revoked []RevocationEvent
+	r.verifier.Subscribe(func(ev RevocationEvent) { revoked = append(revoked, ev) })
+
+	col.Measure("/usr/bin/spark", []byte("spark-binary"), ima.HookExec, 0)
+	// The paper's §7.4 scenario: a script not present in the whitelist.
+	col.Measure("/tmp/evil.sh", []byte("#!/bin/sh\ncurl evil"), ima.HookExec, 0)
+
+	violations, err := r.verifier.CheckIMA("node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v", violations)
+	}
+	if status, _ := r.verifier.Status("node1"); status != StatusRevoked {
+		t.Fatalf("status = %s, want revoked", status)
+	}
+	if len(revoked) != 1 || revoked[0].UUID != "node1" {
+		t.Fatalf("revocation events = %v", revoked)
+	}
+	// Revocation is idempotent.
+	r.verifier.Revoke("node1", "again")
+	if len(revoked) != 1 {
+		t.Fatal("duplicate revocation fanned out twice")
+	}
+}
+
+func TestContinuousAttestationDetectsListTampering(t *testing.T) {
+	r, col, _ := continuousRig(t)
+	// Measure a bad file, then tamper: the agent hides its list (returns
+	// empty) but cannot rewind PCR10.
+	col.Measure("/tmp/evil.sh", []byte("evil"), ima.HookExec, 0)
+	r.agent.AttachIMA(ima.NewCollector(r.machine.TPM(), ima.StressPolicy)) // fresh, empty list
+	if _, err := r.verifier.CheckIMA("node1"); err == nil {
+		t.Fatal("hidden IMA list not detected")
+	}
+	if status, _ := r.verifier.Status("node1"); status != StatusRevoked {
+		t.Fatalf("status = %s, want revoked", status)
+	}
+}
+
+func TestMonitoringLoopDetects(t *testing.T) {
+	r, col, _ := continuousRig(t)
+	detected := make(chan RevocationEvent, 1)
+	r.verifier.Subscribe(func(ev RevocationEvent) {
+		select {
+		case detected <- ev:
+		default:
+		}
+	})
+	if err := r.verifier.StartMonitoring("node1", 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.verifier.StartMonitoring("node1", time.Millisecond); err == nil {
+		t.Fatal("double StartMonitoring accepted")
+	}
+	defer r.verifier.StopMonitoring("node1")
+
+	// Let a few clean rounds pass, then inject the violation.
+	time.Sleep(20 * time.Millisecond)
+	col.Measure("/tmp/dropper", []byte("payload"), ima.HookExec, 0)
+	select {
+	case ev := <-detected:
+		if ev.UUID != "node1" {
+			t.Fatalf("revoked %q", ev.UUID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitoring loop did not detect violation within 2s (paper: <1s)")
+	}
+}
+
+func TestVerifierNodeManagement(t *testing.T) {
+	r := newRig(t)
+	if err := r.verifier.AddNode("x", NodeConfig{}); err == nil {
+		t.Fatal("config without agent accepted")
+	}
+	if err := r.verifier.AddNode("x", NodeConfig{Agent: r.agent}); err == nil {
+		t.Fatal("config without whitelist accepted")
+	}
+	cfg := NodeConfig{Agent: r.agent, PlatformPCRs: r.whitelist()}
+	if err := r.verifier.AddNode("node1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.verifier.AddNode("node1", cfg); err == nil {
+		t.Fatal("duplicate AddNode accepted")
+	}
+	if _, err := r.verifier.Status("ghost"); err == nil {
+		t.Fatal("status of unknown node")
+	}
+	if err := r.verifier.AttestBoot("ghost"); err == nil {
+		t.Fatal("attestation of unknown node")
+	}
+	if _, err := r.verifier.CheckIMA("node1"); err == nil {
+		t.Fatal("CheckIMA without whitelist accepted")
+	}
+	r.verifier.RemoveNode("node1")
+	if _, err := r.verifier.Status("node1"); err == nil {
+		t.Fatal("removed node still tracked")
+	}
+}

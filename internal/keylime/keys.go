@@ -1,0 +1,58 @@
+// Package keylime implements Bolted's remote attestation and key
+// management service, modelled on Keylime (§5): a Registrar that binds
+// AIKs to TPM endorsement keys via credential activation, a Cloud
+// Verifier that checks quotes against whitelists and releases key
+// material, an Agent that runs on the attested node, and tenant-side
+// helpers. The bootstrap key is split U/V so that neither the verifier
+// nor the tenant channel alone can decrypt the payload delivered to the
+// node (kernel, initrd, boot script, disk and network keys).
+package keylime
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+)
+
+// KeySize is the bootstrap key length (AES-256).
+const KeySize = 32
+
+// NewBootstrapKey generates a fresh random bootstrap key K.
+func NewBootstrapKey() []byte {
+	k := make([]byte, KeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		panic("keylime: entropy source failed: " + err.Error())
+	}
+	return k
+}
+
+// SplitKey splits K into shares U and V such that K = U xor V. The
+// tenant delivers U to the agent directly; the verifier releases V only
+// after attestation succeeds. Either share alone is information-
+// theoretically useless.
+func SplitKey(k []byte) (u, v []byte, err error) {
+	if len(k) != KeySize {
+		return nil, nil, errors.New("keylime: bootstrap key must be 32 bytes")
+	}
+	v = make([]byte, KeySize)
+	if _, err := io.ReadFull(rand.Reader, v); err != nil {
+		return nil, nil, err
+	}
+	u = make([]byte, KeySize)
+	for i := range k {
+		u[i] = k[i] ^ v[i]
+	}
+	return u, v, nil
+}
+
+// CombineKey reassembles K from its shares.
+func CombineKey(u, v []byte) ([]byte, error) {
+	if len(u) != KeySize || len(v) != KeySize {
+		return nil, errors.New("keylime: key shares must be 32 bytes")
+	}
+	k := make([]byte, KeySize)
+	for i := range k {
+		k[i] = u[i] ^ v[i]
+	}
+	return k, nil
+}

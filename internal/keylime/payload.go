@@ -1,0 +1,136 @@
+package keylime
+
+import (
+	"archive/zip"
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Payload is the secure delivery Keylime makes to an attested node: the
+// tenant's kernel and initrd, the script the agent runs to join the
+// enclave and kexec, and the disk/network encryption keys (§5: "an
+// encrypted zip file containing the tenant's kernel, initrd, and a
+// script ... also includes the keys for decrypting the storage and
+// network").
+type Payload struct {
+	Kernel     []byte
+	Initrd     []byte
+	Script     string
+	DiskKey    []byte
+	NetworkKey []byte
+}
+
+// payload file names inside the zip.
+const (
+	fileKernel  = "kernel"
+	fileInitrd  = "initrd"
+	fileScript  = "autorun.sh"
+	fileDiskKey = "keys/disk.key"
+	fileNetKey  = "keys/network.key"
+)
+
+// SealPayload builds the encrypted zip: a real in-memory zip archive
+// sealed with AES-256-GCM under the bootstrap key K.
+func SealPayload(k []byte, p *Payload) ([]byte, error) {
+	if len(k) != KeySize {
+		return nil, errors.New("keylime: seal key must be 32 bytes")
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{fileKernel, p.Kernel},
+		{fileInitrd, p.Initrd},
+		{fileScript, []byte(p.Script)},
+		{fileDiskKey, p.DiskKey},
+		{fileNetKey, p.NetworkKey},
+	} {
+		w, err := zw.Create(f.name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(f.data); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	return aead.Seal(nonce, nonce, buf.Bytes(), nil), nil
+}
+
+// OpenPayload decrypts and unpacks a sealed payload with K.
+func OpenPayload(k, sealed []byte) (*Payload, error) {
+	if len(k) != KeySize {
+		return nil, errors.New("keylime: open key must be 32 bytes")
+	}
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, errors.New("keylime: sealed payload too short")
+	}
+	plain, err := aead.Open(nil, sealed[:aead.NonceSize()], sealed[aead.NonceSize():], nil)
+	if err != nil {
+		return nil, errors.New("keylime: payload decryption failed (wrong key?)")
+	}
+	zr, err := zip.NewReader(bytes.NewReader(plain), int64(len(plain)))
+	if err != nil {
+		return nil, fmt.Errorf("keylime: payload is not a zip: %w", err)
+	}
+	out := &Payload{}
+	for _, zf := range zr.File {
+		rc, err := zf.Open()
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch zf.Name {
+		case fileKernel:
+			out.Kernel = data
+		case fileInitrd:
+			out.Initrd = data
+		case fileScript:
+			out.Script = string(data)
+		case fileDiskKey:
+			out.DiskKey = data
+		case fileNetKey:
+			out.NetworkKey = data
+		default:
+			return nil, fmt.Errorf("keylime: unexpected payload member %q", zf.Name)
+		}
+	}
+	if len(out.Kernel) == 0 {
+		return nil, errors.New("keylime: payload has no kernel")
+	}
+	return out, nil
+}

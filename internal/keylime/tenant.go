@@ -1,0 +1,104 @@
+package keylime
+
+import (
+	"crypto/ecdh"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"bolted/internal/ima"
+	"bolted/internal/tpm"
+)
+
+// Tenant is the tenant-side Keylime component: it originates the
+// bootstrap key, provisions the verifier, delivers the U share to the
+// agent, and performs the anti-spoofing check binding the attested TPM
+// to the provider-published node identity.
+type Tenant struct {
+	verifier *Verifier
+}
+
+// NewTenant creates the tenant client for a verifier (which the tenant
+// may itself host — Charlie — or rent from the provider — Bob).
+func NewTenant(v *Verifier) *Tenant { return &Tenant{verifier: v} }
+
+// EKMetadataKey is the HIL node-metadata key under which the provider
+// publishes each node's TPM endorsement public key.
+const EKMetadataKey = "tpm_ek_pub"
+
+// EncodeEK formats an endorsement key for HIL metadata.
+func EncodeEK(ek *ecdh.PublicKey) string { return hex.EncodeToString(ek.Bytes()) }
+
+// VerifyNodeIdentity checks that the EK an agent registered with equals
+// the provider-published EK for the node the tenant reserved. A
+// mismatch means the provider (or an attacker) wired the tenant to a
+// different physical machine — the server-spoofing attack of §5.
+func VerifyNodeIdentity(reg *Registrar, uuid string, hilMetadata map[string]string) error {
+	published, ok := hilMetadata[EKMetadataKey]
+	if !ok {
+		return errors.New("keylime: provider metadata has no TPM EK binding")
+	}
+	ek, err := reg.EK(uuid)
+	if err != nil {
+		return err
+	}
+	if EncodeEK(ek) != published {
+		return fmt.Errorf("keylime: node %q TPM EK does not match provider metadata (server spoofing?)", uuid)
+	}
+	return nil
+}
+
+// ProvisionSpec is what the tenant wants delivered to an attested node.
+type ProvisionSpec struct {
+	Payload       *Payload
+	PlatformPCRs  map[int][]tpm.Digest
+	IMAWhitelist  *ima.Whitelist // nil disables continuous attestation
+	HILMetadata   map[string]string
+	SkipEKBinding bool // test hook / providers without EK publication
+}
+
+// Provision runs the tenant side of bringing a node into the enclave:
+//
+//  1. Verify the agent's EK matches the provider-published identity.
+//  2. Generate K, split into U and V.
+//  3. Seal the payload with K, hand V + payload + whitelist to the CV.
+//  4. Deliver U directly to the agent.
+//  5. Ask the CV to attest the node; on success the CV releases V and
+//     the agent can unwrap.
+//
+// It returns the bootstrap key so the tenant can later derive the same
+// disk/network keys it embedded in the payload.
+func (t *Tenant) Provision(reg *Registrar, agent AgentConn, spec ProvisionSpec) ([]byte, error) {
+	if spec.Payload == nil {
+		return nil, errors.New("keylime: provision needs a payload")
+	}
+	uuid := agent.UUID()
+	if !spec.SkipEKBinding {
+		if err := VerifyNodeIdentity(reg, uuid, spec.HILMetadata); err != nil {
+			return nil, err
+		}
+	}
+	k := NewBootstrapKey()
+	u, v, err := SplitKey(k)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := SealPayload(k, spec.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.verifier.AddNode(uuid, NodeConfig{
+		Agent:         agent,
+		V:             v,
+		SealedPayload: sealed,
+		PlatformPCRs:  spec.PlatformPCRs,
+		IMAWhitelist:  spec.IMAWhitelist,
+	}); err != nil {
+		return nil, err
+	}
+	agent.ReceiveU(u)
+	if err := t.verifier.AttestBoot(uuid); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

@@ -1,0 +1,38 @@
+package luks
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// pbkdf2SHA256 derives keyLen bytes from a passphrase and salt using
+// PBKDF2-HMAC-SHA256 (RFC 8018). The standard library has no PBKDF2, so
+// the LUKS substrate carries its own.
+func pbkdf2SHA256(pass, salt []byte, iter, keyLen int) []byte {
+	prf := hmac.New(sha256.New, pass)
+	hashLen := prf.Size()
+	numBlocks := (keyLen + hashLen - 1) / hashLen
+
+	dk := make([]byte, 0, numBlocks*hashLen)
+	var block [4]byte
+	u := make([]byte, hashLen)
+	for i := 1; i <= numBlocks; i++ {
+		prf.Reset()
+		prf.Write(salt)
+		binary.BigEndian.PutUint32(block[:], uint32(i))
+		prf.Write(block[:])
+		t := prf.Sum(nil)
+		copy(u, t)
+		for n := 2; n <= iter; n++ {
+			prf.Reset()
+			prf.Write(u)
+			u = prf.Sum(u[:0])
+			for x := range t {
+				t[x] ^= u[x]
+			}
+		}
+		dk = append(dk, t...)
+	}
+	return dk[:keyLen]
+}

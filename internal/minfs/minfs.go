@@ -1,0 +1,474 @@
+// Package minfs is a small persistent filesystem over any
+// blockdev.Device: superblock, block-allocation bitmap, fixed inode
+// table with direct + single-indirect extents, and a flat namespace.
+// It gives the Filebench-style workload (§7.5's VM experiment) a real
+// data path that stacks over RAM disks, LUKS volumes, or the network
+// block device — every file operation becomes real sector I/O through
+// whatever encryption layers the tenant chose.
+package minfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bolted/internal/blockdev"
+)
+
+// Geometry.
+const (
+	// BlockSectors is the filesystem block size in sectors (4 KiB).
+	BlockSectors = 8
+	// BlockSize is the block size in bytes.
+	BlockSize = BlockSectors * blockdev.SectorSize
+
+	inodeSize     = 128
+	nameLen       = 64
+	directPtrs    = 8
+	ptrsPerBlock  = BlockSize / 4
+	maxFileBlocks = directPtrs + ptrsPerBlock
+	// MaxFileSize is the largest file the inode geometry supports.
+	MaxFileSize = maxFileBlocks * BlockSize
+
+	magic = 0x424F4654 // "BOFT"
+)
+
+// Errors.
+var (
+	ErrNotFound   = errors.New("minfs: file not found")
+	ErrExists     = errors.New("minfs: file exists")
+	ErrNoSpace    = errors.New("minfs: out of space")
+	ErrNoInodes   = errors.New("minfs: out of inodes")
+	ErrNameTooBig = errors.New("minfs: name too long")
+	ErrFileTooBig = errors.New("minfs: file exceeds maximum size")
+	ErrNotFS      = errors.New("minfs: device has no filesystem")
+)
+
+// superblock is sector 0.
+type superblock struct {
+	Magic       uint32
+	NumInodes   uint32
+	BitmapStart uint32 // sector
+	BitmapSecs  uint32
+	InodeStart  uint32 // sector
+	InodeSecs   uint32
+	DataStart   uint32 // sector of block 0
+	NumBlocks   uint32 // data blocks
+}
+
+// inode is one table entry.
+type inode struct {
+	used     bool
+	name     string
+	size     uint32
+	direct   [directPtrs]uint32 // block numbers + 1 (0 = unset)
+	indirect uint32             // block number + 1 of the pointer block
+}
+
+// FS is a mounted filesystem. Safe for concurrent use.
+type FS struct {
+	dev blockdev.Device
+	sb  superblock
+
+	mu     sync.Mutex
+	bitmap []byte  // one bit per data block
+	inodes []inode // cached table
+}
+
+// Format writes a fresh filesystem with the given inode count and
+// returns it mounted.
+func Format(dev blockdev.Device, numInodes int) (*FS, error) {
+	if numInodes < 1 || numInodes > 1<<16 {
+		return nil, fmt.Errorf("minfs: inode count %d out of range", numInodes)
+	}
+	total := dev.NumSectors()
+	inodeSecs := (int64(numInodes)*inodeSize + blockdev.SectorSize - 1) / blockdev.SectorSize
+
+	// Iterate: bitmap size depends on data blocks which depend on it.
+	bitmapSecs := int64(1)
+	for {
+		dataStart := 1 + bitmapSecs + inodeSecs
+		dataSectors := total - dataStart
+		if dataSectors < BlockSectors {
+			return nil, errors.New("minfs: device too small")
+		}
+		blocks := dataSectors / BlockSectors
+		need := (blocks + 8*blockdev.SectorSize - 1) / (8 * blockdev.SectorSize)
+		if need <= bitmapSecs {
+			fs := &FS{
+				dev: dev,
+				sb: superblock{
+					Magic:       magic,
+					NumInodes:   uint32(numInodes),
+					BitmapStart: 1,
+					BitmapSecs:  uint32(bitmapSecs),
+					InodeStart:  uint32(1 + bitmapSecs),
+					InodeSecs:   uint32(inodeSecs),
+					DataStart:   uint32(1 + bitmapSecs + inodeSecs),
+					NumBlocks:   uint32(blocks),
+				},
+				bitmap: make([]byte, bitmapSecs*blockdev.SectorSize),
+				inodes: make([]inode, numInodes),
+			}
+			if err := fs.writeSuper(); err != nil {
+				return nil, err
+			}
+			if err := fs.writeBitmap(); err != nil {
+				return nil, err
+			}
+			if err := fs.writeAllInodes(); err != nil {
+				return nil, err
+			}
+			return fs, nil
+		}
+		bitmapSecs = need
+	}
+}
+
+// Mount reads an existing filesystem from the device.
+func Mount(dev blockdev.Device) (*FS, error) {
+	raw := make([]byte, blockdev.SectorSize)
+	if err := dev.ReadSectors(raw, 0); err != nil {
+		return nil, err
+	}
+	var sb superblock
+	sb.Magic = binary.LittleEndian.Uint32(raw[0:])
+	if sb.Magic != magic {
+		return nil, ErrNotFS
+	}
+	sb.NumInodes = binary.LittleEndian.Uint32(raw[4:])
+	sb.BitmapStart = binary.LittleEndian.Uint32(raw[8:])
+	sb.BitmapSecs = binary.LittleEndian.Uint32(raw[12:])
+	sb.InodeStart = binary.LittleEndian.Uint32(raw[16:])
+	sb.InodeSecs = binary.LittleEndian.Uint32(raw[20:])
+	sb.DataStart = binary.LittleEndian.Uint32(raw[24:])
+	sb.NumBlocks = binary.LittleEndian.Uint32(raw[28:])
+
+	fs := &FS{dev: dev, sb: sb}
+	fs.bitmap = make([]byte, int(sb.BitmapSecs)*blockdev.SectorSize)
+	if err := dev.ReadSectors(fs.bitmap, int64(sb.BitmapStart)); err != nil {
+		return nil, err
+	}
+	inRaw := make([]byte, int(sb.InodeSecs)*blockdev.SectorSize)
+	if err := dev.ReadSectors(inRaw, int64(sb.InodeStart)); err != nil {
+		return nil, err
+	}
+	fs.inodes = make([]inode, sb.NumInodes)
+	for i := range fs.inodes {
+		fs.inodes[i] = decodeInode(inRaw[i*inodeSize : (i+1)*inodeSize])
+	}
+	return fs, nil
+}
+
+func (fs *FS) writeSuper() error {
+	raw := make([]byte, blockdev.SectorSize)
+	binary.LittleEndian.PutUint32(raw[0:], fs.sb.Magic)
+	binary.LittleEndian.PutUint32(raw[4:], fs.sb.NumInodes)
+	binary.LittleEndian.PutUint32(raw[8:], fs.sb.BitmapStart)
+	binary.LittleEndian.PutUint32(raw[12:], fs.sb.BitmapSecs)
+	binary.LittleEndian.PutUint32(raw[16:], fs.sb.InodeStart)
+	binary.LittleEndian.PutUint32(raw[20:], fs.sb.InodeSecs)
+	binary.LittleEndian.PutUint32(raw[24:], fs.sb.DataStart)
+	binary.LittleEndian.PutUint32(raw[28:], fs.sb.NumBlocks)
+	return fs.dev.WriteSectors(raw, 0)
+}
+
+func (fs *FS) writeBitmap() error {
+	return fs.dev.WriteSectors(fs.bitmap, int64(fs.sb.BitmapStart))
+}
+
+func encodeInode(in inode, dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if !in.used {
+		return
+	}
+	dst[0] = 1
+	copy(dst[1:1+nameLen], in.name)
+	binary.LittleEndian.PutUint32(dst[1+nameLen:], in.size)
+	off := 1 + nameLen + 4
+	for i, p := range in.direct {
+		binary.LittleEndian.PutUint32(dst[off+4*i:], p)
+	}
+	binary.LittleEndian.PutUint32(dst[off+4*directPtrs:], in.indirect)
+}
+
+func decodeInode(src []byte) inode {
+	var in inode
+	if src[0] == 0 {
+		return in
+	}
+	in.used = true
+	end := 1
+	for end < 1+nameLen && src[end] != 0 {
+		end++
+	}
+	in.name = string(src[1:end])
+	in.size = binary.LittleEndian.Uint32(src[1+nameLen:])
+	off := 1 + nameLen + 4
+	for i := range in.direct {
+		in.direct[i] = binary.LittleEndian.Uint32(src[off+4*i:])
+	}
+	in.indirect = binary.LittleEndian.Uint32(src[off+4*directPtrs:])
+	return in
+}
+
+// writeInode persists one table entry.
+func (fs *FS) writeInode(idx int) error {
+	sector := int64(fs.sb.InodeStart) + int64(idx*inodeSize)/blockdev.SectorSize
+	raw := make([]byte, blockdev.SectorSize)
+	if err := fs.dev.ReadSectors(raw, sector); err != nil {
+		return err
+	}
+	within := (idx * inodeSize) % blockdev.SectorSize
+	encodeInode(fs.inodes[idx], raw[within:within+inodeSize])
+	return fs.dev.WriteSectors(raw, sector)
+}
+
+func (fs *FS) writeAllInodes() error {
+	raw := make([]byte, int(fs.sb.InodeSecs)*blockdev.SectorSize)
+	for i := range fs.inodes {
+		encodeInode(fs.inodes[i], raw[i*inodeSize:(i+1)*inodeSize])
+	}
+	return fs.dev.WriteSectors(raw, int64(fs.sb.InodeStart))
+}
+
+// --- block allocation ---
+
+func (fs *FS) allocBlock() (uint32, error) {
+	for b := uint32(0); b < fs.sb.NumBlocks; b++ {
+		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
+			fs.bitmap[b/8] |= 1 << (b % 8)
+			return b, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (fs *FS) freeBlock(b uint32) {
+	fs.bitmap[b/8] &^= 1 << (b % 8)
+}
+
+// FreeBlocks reports the number of unallocated data blocks.
+func (fs *FS) FreeBlocks() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for b := uint32(0); b < fs.sb.NumBlocks; b++ {
+		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (fs *FS) blockSector(b uint32) int64 {
+	return int64(fs.sb.DataStart) + int64(b)*BlockSectors
+}
+
+func (fs *FS) readBlock(b uint32, dst []byte) error {
+	return fs.dev.ReadSectors(dst, fs.blockSector(b))
+}
+
+func (fs *FS) writeBlock(b uint32, src []byte) error {
+	return fs.dev.WriteSectors(src, fs.blockSector(b))
+}
+
+// --- file extents ---
+
+// fileBlocks returns the block list of an inode, in order.
+func (fs *FS) fileBlocks(in *inode) ([]uint32, error) {
+	blocks := int((int64(in.size) + BlockSize - 1) / BlockSize)
+	out := make([]uint32, 0, blocks)
+	for i := 0; i < blocks && i < directPtrs; i++ {
+		out = append(out, in.direct[i]-1)
+	}
+	if blocks > directPtrs {
+		if in.indirect == 0 {
+			return nil, errors.New("minfs: corrupt inode: missing indirect block")
+		}
+		raw := make([]byte, BlockSize)
+		if err := fs.readBlock(in.indirect-1, raw); err != nil {
+			return nil, err
+		}
+		for i := directPtrs; i < blocks; i++ {
+			out = append(out, binary.LittleEndian.Uint32(raw[4*(i-directPtrs):])-1)
+		}
+	}
+	return out, nil
+}
+
+func (fs *FS) lookupLocked(name string) int {
+	for i := range fs.inodes {
+		if fs.inodes[i].used && fs.inodes[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- public API ---
+
+// Write stores a whole file, replacing any existing content.
+func (fs *FS) Write(name string, data []byte) error {
+	if len(name) == 0 || len(name) > nameLen-1 {
+		return ErrNameTooBig
+	}
+	if len(data) > MaxFileSize {
+		return ErrFileTooBig
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	idx := fs.lookupLocked(name)
+	if idx < 0 {
+		for i := range fs.inodes {
+			if !fs.inodes[i].used {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return ErrNoInodes
+		}
+		fs.inodes[idx] = inode{used: true, name: name}
+	} else if err := fs.truncateLocked(idx); err != nil {
+		return err
+	}
+
+	in := &fs.inodes[idx]
+	in.size = uint32(len(data))
+	blocks := (len(data) + BlockSize - 1) / BlockSize
+	var indirectRaw []byte
+	allocated := make([]uint32, 0, blocks)
+	fail := func(err error) error {
+		for _, b := range allocated {
+			fs.freeBlock(b)
+		}
+		fs.inodes[idx] = inode{}
+		return err
+	}
+	for i := 0; i < blocks; i++ {
+		b, err := fs.allocBlock()
+		if err != nil {
+			return fail(err)
+		}
+		allocated = append(allocated, b)
+		chunk := make([]byte, BlockSize)
+		copy(chunk, data[i*BlockSize:])
+		if err := fs.writeBlock(b, chunk); err != nil {
+			return fail(err)
+		}
+		if i < directPtrs {
+			in.direct[i] = b + 1
+		} else {
+			if indirectRaw == nil {
+				ib, err := fs.allocBlock()
+				if err != nil {
+					return fail(err)
+				}
+				allocated = append(allocated, ib)
+				in.indirect = ib + 1
+				indirectRaw = make([]byte, BlockSize)
+			}
+			binary.LittleEndian.PutUint32(indirectRaw[4*(i-directPtrs):], b+1)
+		}
+	}
+	if indirectRaw != nil {
+		if err := fs.writeBlock(in.indirect-1, indirectRaw); err != nil {
+			return fail(err)
+		}
+	}
+	if err := fs.writeInode(idx); err != nil {
+		return fail(err)
+	}
+	return fs.writeBitmap()
+}
+
+// truncateLocked frees a file's blocks, keeping the inode.
+func (fs *FS) truncateLocked(idx int) error {
+	in := &fs.inodes[idx]
+	blocks, err := fs.fileBlocks(in)
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		fs.freeBlock(b)
+	}
+	if in.indirect != 0 {
+		fs.freeBlock(in.indirect - 1)
+	}
+	name := in.name
+	fs.inodes[idx] = inode{used: true, name: name}
+	return nil
+}
+
+// Read returns a file's full content.
+func (fs *FS) Read(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	idx := fs.lookupLocked(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	in := &fs.inodes[idx]
+	blocks, err := fs.fileBlocks(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, in.size)
+	buf := make([]byte, BlockSize)
+	for _, b := range blocks {
+		if err := fs.readBlock(b, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out[:in.size], nil
+}
+
+// Delete removes a file and frees its blocks.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	idx := fs.lookupLocked(name)
+	if idx < 0 {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := fs.truncateLocked(idx); err != nil {
+		return err
+	}
+	fs.inodes[idx] = inode{}
+	if err := fs.writeInode(idx); err != nil {
+		return err
+	}
+	return fs.writeBitmap()
+}
+
+// Stat returns a file's size.
+func (fs *FS) Stat(name string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	idx := fs.lookupLocked(name)
+	if idx < 0 {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return int64(fs.inodes[idx].size), nil
+}
+
+// List returns all file names, sorted.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for i := range fs.inodes {
+		if fs.inodes[i].used {
+			out = append(out, fs.inodes[i].name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,286 @@
+package minfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bolted/internal/blockdev"
+	"bolted/internal/luks"
+)
+
+func newFS(t testing.TB, size int64) (*FS, *blockdev.RAMDisk) {
+	t.Helper()
+	disk, err := blockdev.NewRAMDisk(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(disk, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, disk
+}
+
+func TestCRUD(t *testing.T) {
+	fs, _ := newFS(t, 4<<20)
+	data := []byte("hello bolted filesystem")
+	if err := fs.Write("greeting.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("greeting.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	size, err := fs.Stat("greeting.txt")
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("stat = %d, %v", size, err)
+	}
+	// Overwrite shrinks and grows correctly.
+	big := bytes.Repeat([]byte("B"), 3*BlockSize+17)
+	if err := fs.Write("greeting.txt", big); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Read("greeting.txt")
+	if !bytes.Equal(got, big) {
+		t.Fatal("overwrite corrupted content")
+	}
+	if err := fs.Delete("greeting.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("greeting.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if err := fs.Delete("greeting.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestIndirectExtents(t *testing.T) {
+	fs, _ := newFS(t, 16<<20)
+	// Bigger than the direct extents (8 * 4 KiB), exercising the
+	// indirect block.
+	data := make([]byte, directPtrs*BlockSize+5*BlockSize+123)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := fs.Write("big.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("big.bin")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("indirect-extent file corrupted")
+	}
+	free := fs.FreeBlocks()
+	if err := fs.Delete("big.bin"); err != nil {
+		t.Fatal(err)
+	}
+	// Delete returned every block including the indirect one.
+	if fs.FreeBlocks() != free+len(data)/BlockSize+1+1 {
+		t.Fatalf("blocks leaked: free %d -> %d", free, fs.FreeBlocks())
+	}
+}
+
+func TestPersistenceAcrossMount(t *testing.T) {
+	fs, disk := newFS(t, 4<<20)
+	files := map[string][]byte{
+		"a": []byte("alpha"),
+		"b": bytes.Repeat([]byte("beta"), 5000),
+		"c": {},
+	}
+	for name, data := range files {
+		if err := fs.Write(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.Delete("c")
+
+	// Re-mount from the raw device: everything must be rediscovered
+	// from on-disk state only.
+	fs2, err := Mount(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := fs2.List()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("remounted list = %v", names)
+	}
+	for _, name := range names {
+		got, err := fs2.Read(name)
+		if err != nil || !bytes.Equal(got, files[name]) {
+			t.Fatalf("remounted %q corrupted", name)
+		}
+	}
+	// Writes through the new mount persist too.
+	if err := fs2.Write("d", []byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	fs3, _ := Mount(disk)
+	if got, _ := fs3.Read("d"); string(got) != "delta" {
+		t.Fatal("second remount lost data")
+	}
+}
+
+func TestMountRejectsBlankDevice(t *testing.T) {
+	disk, _ := blockdev.NewRAMDisk(1 << 20)
+	if _, err := Mount(disk); !errors.Is(err, ErrNotFS) {
+		t.Fatalf("mount of blank device: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	fs, _ := newFS(t, 4<<20)
+	if err := fs.Write("", []byte("x")); err == nil {
+		t.Error("empty name accepted")
+	}
+	long := bytes.Repeat([]byte("n"), nameLen)
+	if err := fs.Write(string(long), []byte("x")); !errors.Is(err, ErrNameTooBig) {
+		t.Errorf("long name: %v", err)
+	}
+	if err := fs.Write("huge", make([]byte, MaxFileSize+1)); !errors.Is(err, ErrFileTooBig) {
+		t.Errorf("oversize file: %v", err)
+	}
+	tiny, _ := blockdev.NewRAMDisk(2 * blockdev.SectorSize)
+	if _, err := Format(tiny, 8); err == nil {
+		t.Error("format of tiny device succeeded")
+	}
+	if _, err := Format(tiny, 0); err == nil {
+		t.Error("zero inodes accepted")
+	}
+}
+
+func TestDiskFullRecovery(t *testing.T) {
+	fs, _ := newFS(t, 1<<20) // small: ~200 data blocks
+	free := fs.FreeBlocks()
+	// Fill the disk.
+	var written int
+	for i := 0; ; i++ {
+		err := fs.Write(fmt.Sprintf("f%03d", i), make([]byte, 4*BlockSize))
+		if err != nil {
+			if !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrNoInodes) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		written = i + 1
+	}
+	if written == 0 {
+		t.Fatal("nothing written before full")
+	}
+	// A failed write must not leak blocks: delete one file and the
+	// same-size write succeeds.
+	if err := fs.Delete("f000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("replacement", make([]byte, 4*BlockSize)); err != nil {
+		t.Fatalf("write after free failed: %v", err)
+	}
+	// Deleting everything restores all blocks.
+	for _, name := range fs.List() {
+		if err := fs.Delete(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.FreeBlocks() != free {
+		t.Fatalf("blocks leaked: %d -> %d", free, fs.FreeBlocks())
+	}
+}
+
+func TestInodesExhaustion(t *testing.T) {
+	disk, _ := blockdev.NewRAMDisk(8 << 20)
+	fs, err := Format(disk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := fs.Write(fmt.Sprintf("f%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Write("f5", []byte("x")); !errors.Is(err, ErrNoInodes) {
+		t.Fatalf("5th file: %v", err)
+	}
+}
+
+func TestOverLUKS(t *testing.T) {
+	// The Filebench stack: filesystem over an encrypted volume. File
+	// content must never appear on the raw device.
+	disk, _ := blockdev.NewRAMDisk(8 << 20)
+	vol, err := luks.FormatWithIterations(disk, []byte("pw"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(vol, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := bytes.Repeat([]byte("CLASSIFIED-REPORT."), 300)
+	if err := fs.Write("report.doc", secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("report.doc")
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatal("file over LUKS corrupted")
+	}
+	raw := make([]byte, 8<<20)
+	disk.ReadSectors(raw, 0)
+	if bytes.Contains(raw, []byte("CLASSIFIED-REPORT")) {
+		t.Fatal("plaintext on raw device under LUKS")
+	}
+	// And it remounts through the encrypted volume.
+	vol2, err := luks.Open(disk, []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(vol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs2.Read("report.doc"); !bytes.Equal(got, secret) {
+		t.Fatal("remount over LUKS lost data")
+	}
+}
+
+// Property: minfs behaves like a map[string][]byte under random
+// write/delete/read sequences.
+func TestQuickMapEquivalence(t *testing.T) {
+	fs, _ := newFS(t, 8<<20)
+	ref := make(map[string][]byte)
+	names := []string{"a", "b", "c", "d"}
+	f := func(ops []struct {
+		Name byte
+		Del  bool
+		Data []byte
+	}) bool {
+		for _, op := range ops {
+			name := names[int(op.Name)%len(names)]
+			if op.Del {
+				err := fs.Delete(name)
+				_, existed := ref[name]
+				if existed != (err == nil) {
+					return false
+				}
+				delete(ref, name)
+				continue
+			}
+			if len(op.Data) > MaxFileSize {
+				continue
+			}
+			if err := fs.Write(name, op.Data); err != nil {
+				return false
+			}
+			ref[name] = append([]byte(nil), op.Data...)
+		}
+		for name, want := range ref {
+			got, err := fs.Read(name)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return len(fs.List()) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

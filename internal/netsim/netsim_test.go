@@ -1,0 +1,252 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newFabric(t testing.TB) *Fabric {
+	t.Helper()
+	f, err := NewFabric(100, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestVLANIsolation(t *testing.T) {
+	f := newFabric(t)
+	for _, p := range []string{"node1", "node2", "node3"} {
+		if _, err := f.AddPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1, _ := f.AllocateVLAN("tenantA")
+	v2, _ := f.AllocateVLAN("tenantB")
+	f.Attach("node1", v1)
+	f.Attach("node2", v1)
+	f.Attach("node3", v2)
+
+	if !f.Reachable("node1", "node2") {
+		t.Error("same-VLAN ports not reachable")
+	}
+	if f.Reachable("node1", "node3") {
+		t.Error("cross-VLAN ports reachable (isolation broken)")
+	}
+	if err := f.CheckReachable("node1", "node3"); err == nil {
+		t.Error("CheckReachable returned nil for isolated ports")
+	}
+}
+
+func TestDetachAllQuarantines(t *testing.T) {
+	f := newFabric(t)
+	f.AddPort("victim")
+	f.AddPort("peer")
+	v, _ := f.AllocateVLAN("t")
+	f.Attach("victim", v)
+	f.Attach("peer", v)
+	if err := f.DetachAll("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Reachable("victim", "peer") {
+		t.Error("quarantined port still reachable")
+	}
+	vs, _ := f.VLANsOf("victim")
+	if len(vs) != 0 {
+		t.Errorf("quarantined port still on VLANs %v", vs)
+	}
+}
+
+func TestVLANPoolLifecycle(t *testing.T) {
+	f, err := NewFabric(100, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.AllocateVLAN("x")
+	b, _ := f.AllocateVLAN("y")
+	if a == b {
+		t.Fatal("duplicate VLAN allocation")
+	}
+	if _, err := f.AllocateVLAN("z"); err == nil {
+		t.Fatal("exhausted pool still allocated")
+	}
+	f.AddPort("p")
+	f.Attach("p", a)
+	if err := f.FreeVLAN(a); err == nil {
+		t.Fatal("freed VLAN with members")
+	}
+	f.Detach("p", a)
+	if err := f.FreeVLAN(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AllocateVLAN("again"); err != nil {
+		t.Fatal("freed VLAN not reusable")
+	}
+	if err := f.FreeVLAN(55); err == nil {
+		t.Fatal("freeing unallocated VLAN succeeded")
+	}
+}
+
+func TestPortErrors(t *testing.T) {
+	f := newFabric(t)
+	f.AddPort("p")
+	if _, err := f.AddPort("p"); err == nil {
+		t.Error("duplicate port accepted")
+	}
+	v, _ := f.AllocateVLAN("t")
+	if err := f.Attach("ghost", v); err == nil {
+		t.Error("attach of unknown port accepted")
+	}
+	if err := f.Attach("p", 4000); err == nil {
+		t.Error("attach to unallocated VLAN accepted")
+	}
+	if err := f.Detach("p", v); err == nil {
+		t.Error("detach from unjoined VLAN accepted")
+	}
+	if f.Reachable("ghost", "p") {
+		t.Error("unknown port reachable")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	f := newFabric(t)
+	f.AddPort("b")
+	f.AddPort("a")
+	v, _ := f.AllocateVLAN("t")
+	f.Attach("b", v)
+	f.Attach("a", v)
+	m := f.Members(v)
+	if len(m) != 2 || m[0] != "a" || m[1] != "b" {
+		t.Fatalf("Members = %v, want [a b]", m)
+	}
+}
+
+func TestInvalidRanges(t *testing.T) {
+	for _, r := range [][2]VLANID{{0, 10}, {10, 5}, {1, 4095}} {
+		if _, err := NewFabric(r[0], r[1]); err == nil {
+			t.Errorf("range %v accepted", r)
+		}
+	}
+}
+
+// Property: reachability is symmetric and requires shared membership.
+func TestQuickReachabilitySymmetric(t *testing.T) {
+	f := newFabric(t)
+	f.AddPort("a")
+	f.AddPort("b")
+	vs := make([]VLANID, 10)
+	for i := range vs {
+		vs[i], _ = f.AllocateVLAN("t")
+	}
+	check := func(aMask, bMask uint16) bool {
+		f.DetachAll("a")
+		f.DetachAll("b")
+		share := false
+		for i, v := range vs {
+			if aMask&(1<<i) != 0 {
+				f.Attach("a", v)
+			}
+			if bMask&(1<<i) != 0 {
+				f.Attach("b", v)
+			}
+			if aMask&(1<<i) != 0 && bMask&(1<<i) != 0 {
+				share = true
+			}
+		}
+		return f.Reachable("a", "b") == share && f.Reachable("b", "a") == share
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrivateVLANIsolation(t *testing.T) {
+	f := newFabric(t)
+	for _, p := range []string{"nodeA", "nodeB", "svc"} {
+		f.AddPort(p)
+	}
+	v, _ := f.AllocateVLAN("provisioning")
+	if err := f.SetVLANIsolated(v, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetVLANIsolated(999, true); err == nil {
+		t.Fatal("isolating unallocated VLAN accepted")
+	}
+	f.Attach("nodeA", v)
+	f.Attach("nodeB", v)
+	if err := f.AttachPromiscuous("svc", v); err != nil {
+		t.Fatal(err)
+	}
+	if f.Reachable("nodeA", "nodeB") {
+		t.Fatal("host ports reach each other on private VLAN")
+	}
+	if !f.Reachable("nodeA", "svc") || !f.Reachable("svc", "nodeB") {
+		t.Fatal("host port cannot reach promiscuous service port")
+	}
+	// Detach clears promiscuous state; reattach as host is host-only.
+	f.Detach("svc", v)
+	f.Attach("svc", v)
+	if f.Reachable("nodeA", "svc") {
+		t.Fatal("promiscuous flag survived detach")
+	}
+	// Un-isolating restores flat reachability.
+	f.SetVLANIsolated(v, false)
+	if !f.Reachable("nodeA", "nodeB") {
+		t.Fatal("flat VLAN members not reachable")
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	l := TenGbE(9000)
+	var prev time.Duration
+	for _, n := range []int64{1 << 10, 1 << 20, 1 << 26, 1 << 30} {
+		tt := l.TransferTime(n, TransferCost{})
+		if tt <= prev {
+			t.Fatalf("transfer time not increasing: %v after %v", tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestTransferCostsSlowDown(t *testing.T) {
+	l := TenGbE(1500)
+	base := l.TransferTime(1<<26, TransferCost{})
+	withHdr := l.TransferTime(1<<26, TransferCost{PerPacketHdr: 52})
+	withCPU := l.TransferTime(1<<26, TransferCost{PerPacketHdr: 52, PerPacketCPU: 2 * time.Microsecond})
+	if withHdr <= base {
+		t.Error("header overhead did not slow transfer")
+	}
+	if withCPU <= withHdr {
+		t.Error("CPU cost did not slow transfer")
+	}
+}
+
+// Jumbo frames beat standard MTU when per-packet costs dominate —
+// the paper's Figure 3b jumbo-frame result.
+func TestJumboFramesHelpUnderIPsec(t *testing.T) {
+	cost := TransferCost{PerPacketHdr: 52, PerPacketCPU: 3 * time.Microsecond}
+	std := TenGbE(1500).Throughput(cost)
+	jumbo := TenGbE(9000).Throughput(cost)
+	if jumbo <= std {
+		t.Fatalf("jumbo %v <= standard %v under per-packet cost", jumbo, std)
+	}
+	// Without per-packet CPU cost the gap should be much smaller.
+	plainStd := TenGbE(1500).Throughput(TransferCost{})
+	plainJumbo := TenGbE(9000).Throughput(TransferCost{})
+	if plainJumbo/plainStd > jumbo/std {
+		t.Fatal("jumbo advantage not driven by per-packet cost")
+	}
+}
+
+func TestCipherBandwidthCap(t *testing.T) {
+	l := TenGbE(9000)
+	capped := l.Throughput(TransferCost{CPUBandwidthBps: 4e9})
+	if capped > 5.5e9 {
+		t.Fatalf("throughput %g not limited by 4 Gbit cipher", capped)
+	}
+	uncapped := l.Throughput(TransferCost{})
+	if uncapped < 8e9 {
+		t.Fatalf("plain throughput %g unexpectedly low", uncapped)
+	}
+}

@@ -1,0 +1,130 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// EP — the Embarrassingly Parallel benchmark: generate pairs of
+// uniform deviates with the NPB linear congruential generator, convert
+// acceptable pairs to Gaussian deviates by the acceptance-rejection
+// (Marsaglia polar) method, and count them in concentric square annuli.
+// The only communication is the final reduction, which is why Figure 7
+// shows EP nearly immune to network encryption.
+
+// EPResult is the verified output.
+type EPResult struct {
+	Pairs   int64     // Gaussian pairs accepted
+	SumX    float64   // sum of X deviates
+	SumY    float64   // sum of Y deviates
+	Counts  [10]int64 // annulus counts
+	PerRank int       // pairs attempted per rank
+	WorldSz int
+}
+
+// NPB's LCG: a = 5^13, modulus 2^46.
+const (
+	lcgA = 1220703125.0
+	lcgM = 70368744177664.0 // 2^46
+)
+
+// lcg advances the NPB random stream, returning a uniform in (0,1).
+func lcg(seed *float64) float64 {
+	// Double-precision exact for 46-bit modulus per the NPB spec trick:
+	// split multiply to stay within 2^52.
+	const r23 = 1.0 / (1 << 23)
+	const t23 = 1 << 23
+	const r46 = 1.0 / lcgM
+	a1 := math.Floor(r23 * lcgA)
+	a2 := lcgA - t23*a1
+	x1 := math.Floor(r23 * *seed)
+	x2 := *seed - t23*x1
+	t1 := a1*x2 + a2*x1
+	t2 := math.Floor(r23 * t1)
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := math.Floor(r46 * t3)
+	*seed = t3 - lcgM*t4
+	return r46 * *seed
+}
+
+// RunEP executes EP with pairsPerRank attempts on each rank of w.
+func RunEP(w *World, pairsPerRank int) (*EPResult, error) {
+	if pairsPerRank < 1 {
+		return nil, fmt.Errorf("npb: EP needs at least one pair per rank")
+	}
+	res := &EPResult{PerRank: pairsPerRank, WorldSz: w.Size()}
+	err := w.Run(func(c *Comm) error {
+		seed := 271828183.0 + float64(c.Rank())*314159.0
+		var sx, sy float64
+		var pairs float64
+		var counts [10]float64
+		for i := 0; i < pairsPerRank; i++ {
+			u1 := 2*lcg(&seed) - 1
+			u2 := 2*lcg(&seed) - 1
+			t := u1*u1 + u2*u2
+			if t > 1 || t == 0 {
+				continue
+			}
+			f := math.Sqrt(-2 * math.Log(t) / t)
+			x, y := u1*f, u2*f
+			pairs++
+			sx += x
+			sy += y
+			ring := int(math.Max(math.Abs(x), math.Abs(y)))
+			if ring < 10 {
+				counts[ring]++
+			}
+		}
+		// The single communication step: one 13-element allreduce.
+		vec := append([]float64{pairs, sx, sy}, counts[:]...)
+		total, err := c.AllReduceSum(vec)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res.Pairs = int64(total[0])
+			res.SumX = total[1]
+			res.SumY = total[2]
+			for i := range res.Counts {
+				res.Counts[i] = int64(total[3+i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// VerifyEP checks the statistical properties of a run: the acceptance
+// rate of the polar method is pi/4, and the Gaussian sums are near zero
+// relative to the sample size.
+func VerifyEP(r *EPResult) error {
+	attempts := float64(r.PerRank) * float64(r.WorldSz)
+	rate := float64(r.Pairs) / attempts
+	if math.Abs(rate-math.Pi/4) > 0.02 {
+		return fmt.Errorf("npb: EP acceptance rate %.4f, want ~%.4f", rate, math.Pi/4)
+	}
+	sigma := math.Sqrt(float64(r.Pairs))
+	if math.Abs(r.SumX) > 6*sigma || math.Abs(r.SumY) > 6*sigma {
+		return fmt.Errorf("npb: EP Gaussian sums too large: %g, %g", r.SumX, r.SumY)
+	}
+	var inRings int64
+	for _, n := range r.Counts {
+		inRings += n
+	}
+	if inRings != r.Pairs {
+		return fmt.Errorf("npb: EP ring counts %d != pairs %d", inRings, r.Pairs)
+	}
+	// For unit Gaussians, P(max(|X|,|Y|) < 1) = erf(1/sqrt2)^2 ~ 0.466.
+	frac := float64(r.Counts[0]) / float64(r.Pairs)
+	if math.Abs(frac-0.466) > 0.03 {
+		return fmt.Errorf("npb: EP ring-0 fraction %.3f, want ~0.466", frac)
+	}
+	if r.Counts[0] < r.Counts[1] || r.Counts[1] < r.Counts[2] {
+		return fmt.Errorf("npb: EP ring counts not decreasing: %v", r.Counts)
+	}
+	return nil
+}

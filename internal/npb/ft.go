@@ -1,0 +1,218 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// FT — the Fourier Transform benchmark: a distributed 2-D FFT. Rows of
+// an N x N complex grid are partitioned across ranks; the column pass
+// requires a global transpose, performed as an all-to-all of N/P x N/P
+// blocks — the bulk, bandwidth-bound pattern that dominates FT's
+// communication in Figure 7.
+
+// fft performs an in-place iterative radix-2 Cooley-Tukey transform.
+// inverse=true applies the unscaled inverse; callers divide by N.
+func fft(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("npb: fft length must be a power of two")
+	}
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+func encodeC128s(xs []complex128) []byte {
+	fs := make([]float64, 2*len(xs))
+	for i, x := range xs {
+		fs[2*i] = real(x)
+		fs[2*i+1] = imag(x)
+	}
+	return encodeF64s(fs)
+}
+
+func decodeC128s(b []byte) []complex128 {
+	fs := decodeF64s(b)
+	xs := make([]complex128, len(fs)/2)
+	for i := range xs {
+		xs[i] = complex(fs[2*i], fs[2*i+1])
+	}
+	return xs
+}
+
+// FTConfig sizes a run.
+type FTConfig struct {
+	N    int // grid dimension (power of two, multiple of world size)
+	Seed int64
+}
+
+// DefaultFTConfig returns a small grid.
+func DefaultFTConfig() FTConfig { return FTConfig{N: 64, Seed: 11} }
+
+// FTResult is the verified output.
+type FTResult struct {
+	N             int
+	RoundTripErr  float64 // max |ifft(fft(x)) - x|
+	ParsevalRatio float64 // energy(freq)/(N^2 * energy(time)), must be 1
+}
+
+// transpose performs the distributed transpose of locally held rows
+// via all-to-all block exchange.
+func transpose(c *Comm, rows [][]complex128, n int) ([][]complex128, error) {
+	p := c.Size()
+	rowsPer := n / p
+	// Chunk j carries my block of columns [j*rowsPer, (j+1)*rowsPer).
+	chunks := make([][]byte, p)
+	for j := 0; j < p; j++ {
+		block := make([]complex128, 0, rowsPer*rowsPer)
+		for r := 0; r < rowsPer; r++ {
+			for cc := 0; cc < rowsPer; cc++ {
+				block = append(block, rows[r][j*rowsPer+cc])
+			}
+		}
+		chunks[j] = encodeC128s(block)
+	}
+	got, err := c.AllToAll(chunks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]complex128, rowsPer)
+	for r := range out {
+		out[r] = make([]complex128, n)
+	}
+	for j := 0; j < p; j++ {
+		block := decodeC128s(got[j])
+		// Rank j's rows [j*rowsPer ...] of my column block become my
+		// columns [j*rowsPer ...], transposed within the block.
+		for r := 0; r < rowsPer; r++ {
+			for cc := 0; cc < rowsPer; cc++ {
+				out[cc][j*rowsPer+r] = block[r*rowsPer+cc]
+			}
+		}
+	}
+	return out, nil
+}
+
+// fft2D runs the distributed 2-D transform over locally held rows.
+func fft2D(c *Comm, rows [][]complex128, n int, inverse bool) ([][]complex128, error) {
+	for _, row := range rows {
+		fft(row, inverse)
+	}
+	t, err := transpose(c, rows, n)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range t {
+		fft(row, inverse)
+	}
+	// Transpose back so rows are rows again.
+	return transpose(c, t, n)
+}
+
+// RunFT executes the distributed FFT round trip and checks Parseval.
+func RunFT(w *World, cfg FTConfig) (*FTResult, error) {
+	n := cfg.N
+	if n&(n-1) != 0 || n%w.Size() != 0 {
+		return nil, fmt.Errorf("npb: FT N=%d must be a power of two divisible by %d", n, w.Size())
+	}
+	res := &FTResult{N: n}
+	rowsPer := n / w.Size()
+
+	err := w.Run(func(c *Comm) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c.Rank())))
+		orig := make([][]complex128, rowsPer)
+		work := make([][]complex128, rowsPer)
+		var timeEnergy float64
+		for r := range orig {
+			orig[r] = make([]complex128, n)
+			work[r] = make([]complex128, n)
+			for i := range orig[r] {
+				v := complex(rng.Float64()-0.5, rng.Float64()-0.5)
+				orig[r][i] = v
+				work[r][i] = v
+				timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+			}
+		}
+		freq, err := fft2D(c, work, n, false)
+		if err != nil {
+			return err
+		}
+		var freqEnergy float64
+		for _, row := range freq {
+			for _, v := range row {
+				freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+			}
+		}
+		sums, err := c.AllReduceSum([]float64{timeEnergy, freqEnergy})
+		if err != nil {
+			return err
+		}
+
+		back, err := fft2D(c, freq, n, true)
+		if err != nil {
+			return err
+		}
+		scale := 1 / float64(n*n)
+		var maxErr float64
+		for r := range back {
+			for i := range back[r] {
+				d := cmplx.Abs(back[r][i]*complex(scale, 0) - orig[r][i])
+				if d > maxErr {
+					maxErr = d
+				}
+			}
+		}
+		errs, err := c.AllReduceSum([]float64{maxErr})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res.RoundTripErr = errs[0] / float64(c.Size()) // avg of per-rank maxima; all tiny
+			res.ParsevalRatio = sums[1] / (float64(n*n) * sums[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// VerifyFT checks the transform is numerically correct.
+func VerifyFT(r *FTResult) error {
+	if r.RoundTripErr > 1e-9 {
+		return fmt.Errorf("npb: FT round-trip error %g", r.RoundTripErr)
+	}
+	if math.Abs(r.ParsevalRatio-1) > 1e-9 {
+		return fmt.Errorf("npb: FT Parseval ratio %g, want 1", r.ParsevalRatio)
+	}
+	return nil
+}

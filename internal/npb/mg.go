@@ -1,0 +1,275 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// MG — the MultiGrid benchmark: V-cycles of a geometric multigrid
+// solver for the 1-D Poisson equation -u'' = f with homogeneous
+// Dirichlet boundaries, domain-decomposed across ranks. Each smoothing
+// sweep exchanges one-point halos with neighbours — the
+// moderate-volume, latency-sensitive neighbour pattern MG contributes
+// to Figure 7.
+//
+// The discretization is cell-centered (N cells, centers (i+1/2)h,
+// Dirichlet faces via ghost = -u), which makes factor-two coarsening
+// exactly nested at every level — vertex-centered coarsening would
+// drift the coarse boundary by O(h) per level and spoil deep V-cycles.
+
+// MGConfig sizes a run.
+type MGConfig struct {
+	PointsPerRank int // fine-grid cells per rank (power of two)
+	Levels        int // multigrid levels
+	Cycles        int // V-cycles
+	Smooth        int // weighted-Jacobi sweeps per level per leg
+}
+
+// DefaultMGConfig returns a small configuration.
+func DefaultMGConfig() MGConfig {
+	return MGConfig{PointsPerRank: 64, Levels: 4, Cycles: 8, Smooth: 3}
+}
+
+// MGResult is the verified output.
+type MGResult struct {
+	InitialResidual float64
+	FinalResidual   float64
+	Cycles          int
+}
+
+// haloExchange swaps boundary values with neighbour ranks, returning
+// the ghost values (left, right). World edges return 0; callers apply
+// the Dirichlet ghost themselves.
+func haloExchange(c *Comm, leftVal, rightVal float64) (ghostL, ghostR float64, err error) {
+	n := c.Size()
+	r := c.Rank()
+	if r+1 < n {
+		if err := c.SendF64s(r+1, []float64{rightVal}); err != nil {
+			return 0, 0, err
+		}
+	}
+	if r > 0 {
+		if err := c.SendF64s(r-1, []float64{leftVal}); err != nil {
+			return 0, 0, err
+		}
+	}
+	if r > 0 {
+		v, err := c.RecvF64s(r - 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		ghostL = v[0]
+	}
+	if r+1 < n {
+		v, err := c.RecvF64s(r + 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		ghostR = v[0]
+	}
+	return ghostL, ghostR, nil
+}
+
+// mgLevel holds one grid level's local state.
+type mgLevel struct {
+	u, f []float64
+	h    float64
+}
+
+// RunMG executes the distributed multigrid solve.
+func RunMG(w *World, cfg MGConfig) (*MGResult, error) {
+	if cfg.PointsPerRank < 1<<(cfg.Levels-1) {
+		return nil, fmt.Errorf("npb: MG needs >= %d points/rank for %d levels", 1<<(cfg.Levels-1), cfg.Levels)
+	}
+	res := &MGResult{Cycles: cfg.Cycles}
+	totalN := cfg.PointsPerRank * w.Size()
+
+	err := w.Run(func(c *Comm) error {
+		atLeftEdge := c.Rank() == 0
+		atRightEdge := c.Rank() == c.Size()-1
+
+		levels := make([]*mgLevel, cfg.Levels)
+		n := cfg.PointsPerRank
+		h := 1.0 / float64(totalN)
+		for l := 0; l < cfg.Levels; l++ {
+			levels[l] = &mgLevel{u: make([]float64, n), f: make([]float64, n), h: h}
+			n /= 2
+			h *= 2
+		}
+		// RHS: f = pi^2 sin(pi x) at cell centers; exact u = sin(pi x).
+		for i := range levels[0].f {
+			x := (float64(c.Rank()*cfg.PointsPerRank+i) + 0.5) * levels[0].h
+			levels[0].f[i] = math.Pi * math.Pi * math.Sin(math.Pi*x)
+		}
+
+		// stencil returns (neighbourSum, diag) for cell i given ghosts.
+		stencil := func(lv *mgLevel, i int, gl, gr float64) (nbr, diag float64) {
+			diag = 2
+			var left, right float64
+			switch {
+			case i > 0:
+				left = lv.u[i-1]
+			case atLeftEdge:
+				diag++ // Dirichlet face: ghost = -u folds into the diagonal
+			default:
+				left = gl
+			}
+			switch {
+			case i < len(lv.u)-1:
+				right = lv.u[i+1]
+			case atRightEdge:
+				diag++
+			default:
+				right = gr
+			}
+			return left + right, diag
+		}
+
+		smooth := func(lv *mgLevel, sweeps int) error {
+			h2 := lv.h * lv.h
+			for s := 0; s < sweeps; s++ {
+				gl, gr, err := haloExchange(c, lv.u[0], lv.u[len(lv.u)-1])
+				if err != nil {
+					return err
+				}
+				next := make([]float64, len(lv.u))
+				for i := range lv.u {
+					nbr, diag := stencil(lv, i, gl, gr)
+					gs := (nbr + h2*lv.f[i]) / diag
+					next[i] = lv.u[i] + (2.0/3.0)*(gs-lv.u[i])
+				}
+				lv.u = next
+			}
+			return nil
+		}
+		residual := func(lv *mgLevel) ([]float64, error) {
+			gl, gr, err := haloExchange(c, lv.u[0], lv.u[len(lv.u)-1])
+			if err != nil {
+				return nil, err
+			}
+			h2 := lv.h * lv.h
+			r := make([]float64, len(lv.u))
+			for i := range lv.u {
+				nbr, diag := stencil(lv, i, gl, gr)
+				r[i] = lv.f[i] - (diag*lv.u[i]-nbr)/h2
+			}
+			return r, nil
+		}
+		norm := func(r []float64) (float64, error) {
+			var s float64
+			for _, v := range r {
+				s += v * v
+			}
+			out, err := c.AllReduceSum([]float64{s})
+			if err != nil {
+				return 0, err
+			}
+			return math.Sqrt(out[0]), nil
+		}
+
+		// coarseSolve: gather the coarsest RHS, run the Thomas
+		// algorithm on the global tridiagonal (diag 3/h^2 at the edge
+		// cells from the Dirichlet faces), keep the local slice.
+		coarseSolve := func(lv *mgLevel) error {
+			fAll, err := c.AllGatherF64s(lv.f)
+			if err != nil {
+				return err
+			}
+			n := len(fAll)
+			h2 := lv.h * lv.h
+			diag := make([]float64, n)
+			rhs := make([]float64, n)
+			for i := range diag {
+				diag[i] = 2 / h2
+				rhs[i] = fAll[i]
+			}
+			diag[0], diag[n-1] = 3/h2, 3/h2
+			off := -1 / h2
+			for i := 1; i < n; i++ {
+				m := off / diag[i-1]
+				diag[i] -= m * off
+				rhs[i] -= m * rhs[i-1]
+			}
+			u := make([]float64, n)
+			u[n-1] = rhs[n-1] / diag[n-1]
+			for i := n - 2; i >= 0; i-- {
+				u[i] = (rhs[i] - off*u[i+1]) / diag[i]
+			}
+			copy(lv.u, u[c.Rank()*len(lv.u):])
+			return nil
+		}
+
+		var vcycle func(l int) error
+		vcycle = func(l int) error {
+			lv := levels[l]
+			if l == cfg.Levels-1 {
+				return coarseSolve(lv)
+			}
+			if err := smooth(lv, cfg.Smooth); err != nil {
+				return err
+			}
+			r, err := residual(lv)
+			if err != nil {
+				return err
+			}
+			// Cell-pair averaging restriction; coarse cell j is exactly
+			// the union of fine cells 2j, 2j+1, so no halo is needed.
+			coarse := levels[l+1]
+			for j := range coarse.f {
+				coarse.f[j] = (r[2*j] + r[2*j+1]) / 2
+				coarse.u[j] = 0
+			}
+			if err := vcycle(l + 1); err != nil {
+				return err
+			}
+			// Piecewise-constant prolongation over the cell pair.
+			for j := range coarse.u {
+				lv.u[2*j] += coarse.u[j]
+				lv.u[2*j+1] += coarse.u[j]
+			}
+			return smooth(lv, cfg.Smooth)
+		}
+
+		r0, err := residual(levels[0])
+		if err != nil {
+			return err
+		}
+		init, err := norm(r0)
+		if err != nil {
+			return err
+		}
+		for cycle := 0; cycle < cfg.Cycles; cycle++ {
+			if err := vcycle(0); err != nil {
+				return err
+			}
+		}
+		rF, err := residual(levels[0])
+		if err != nil {
+			return err
+		}
+		final, err := norm(rF)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res.InitialResidual = init
+			res.FinalResidual = final
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// VerifyMG checks the V-cycles actually converged.
+func VerifyMG(r *MGResult) error {
+	if r.FinalResidual >= r.InitialResidual/10 {
+		return fmt.Errorf("npb: MG residual %g did not drop 10x from %g", r.FinalResidual, r.InitialResidual)
+	}
+	if math.IsNaN(r.FinalResidual) || math.IsInf(r.FinalResidual, 0) {
+		return fmt.Errorf("npb: MG residual is not finite")
+	}
+	return nil
+}

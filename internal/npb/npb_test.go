@@ -1,0 +1,337 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func world(t testing.TB, n int, secure bool) *World {
+	t.Helper()
+	w, err := NewWorld(n, secure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// --- communication layer ---
+
+func TestAllReduceSum(t *testing.T) {
+	w := world(t, 4, false)
+	err := w.Run(func(c *Comm) error {
+		out, err := c.AllReduceSum([]float64{float64(c.Rank()), 1})
+		if err != nil {
+			return err
+		}
+		if out[0] != 6 || out[1] != 4 { // 0+1+2+3, 1*4
+			t.Errorf("rank %d: allreduce = %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	w := world(t, 4, false)
+	err := w.Run(func(c *Comm) error {
+		mine := []float64{float64(c.Rank() * 10), float64(c.Rank()*10 + 1)}
+		all, err := c.AllGatherF64s(mine)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < 4; r++ {
+			if all[2*r] != float64(r*10) || all[2*r+1] != float64(r*10+1) {
+				t.Errorf("rank %d: gathered %v", c.Rank(), all)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	w := world(t, 3, false)
+	err := w.Run(func(c *Comm) error {
+		chunks := make([][]byte, 3)
+		for j := range chunks {
+			chunks[j] = []byte{byte(c.Rank()), byte(j)}
+		}
+		got, err := c.AllToAll(chunks)
+		if err != nil {
+			return err
+		}
+		for j := range got {
+			// From rank j we receive {j, myRank}.
+			if got[j][0] != byte(j) || got[j][1] != byte(c.Rank()) {
+				t.Errorf("rank %d: from %d got %v", c.Rank(), j, got[j])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecureWorldEncryptsTraffic(t *testing.T) {
+	// The same collective works over the IPsec-sealed world, and the
+	// counters count plaintext payload bytes.
+	w := world(t, 4, true)
+	err := w.Run(func(c *Comm) error {
+		out, err := c.AllReduceSum([]float64{1})
+		if err != nil {
+			return err
+		}
+		if out[0] != 4 {
+			t.Errorf("secure allreduce = %v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Msgs == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+// --- the kernels ---
+
+func TestEPVerifies(t *testing.T) {
+	w := world(t, 4, false)
+	res, err := RunEP(w, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEP(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCGVerifies(t *testing.T) {
+	w := world(t, 4, false)
+	cfg := DefaultCGConfig()
+	res, err := RunCG(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCG(cfg, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCGMatchesSingleRank(t *testing.T) {
+	// Distribution must not change the numerics: 1 rank and 4 ranks
+	// produce the same eigenvalue.
+	cfg := DefaultCGConfig()
+	r1, err := RunCG(world(t, 1, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunCG(world(t, 4, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Eigen-r4.Eigen) > 1e-8 {
+		t.Fatalf("eigen mismatch: 1 rank %.12f, 4 ranks %.12f", r1.Eigen, r4.Eigen)
+	}
+}
+
+func TestMGVerifies(t *testing.T) {
+	w := world(t, 4, false)
+	res, err := RunMG(w, DefaultMGConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMG(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFTVerifies(t *testing.T) {
+	w := world(t, 4, false)
+	res, err := RunFT(w, DefaultFTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFT(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelsOverIPsec(t *testing.T) {
+	// All four kernels run unchanged over the encrypted world.
+	cfg := DefaultCGConfig()
+	if res, err := RunEP(world(t, 2, true), 5000); err != nil {
+		t.Fatal(err)
+	} else if err := VerifyEP(res); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := RunCG(world(t, 2, true), cfg); err != nil {
+		t.Fatal(err)
+	} else if err := VerifyCG(cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := RunMG(world(t, 2, true), DefaultMGConfig()); err != nil {
+		t.Fatal(err)
+	} else if err := VerifyMG(res); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := RunFT(world(t, 2, true), DefaultFTConfig()); err != nil {
+		t.Fatal(err)
+	} else if err := VerifyFT(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommunicationProfiles validates the Figure-7 premise with real
+// kernels: per unit of "work", CG exchanges far more messages than EP,
+// and FT moves bulk data in few messages.
+func TestCommunicationProfiles(t *testing.T) {
+	wEP := world(t, 4, false)
+	if _, err := RunEP(wEP, 20000); err != nil {
+		t.Fatal(err)
+	}
+	ep := wEP.Stats()
+
+	wCG := world(t, 4, false)
+	if _, err := RunCG(wCG, DefaultCGConfig()); err != nil {
+		t.Fatal(err)
+	}
+	cg := wCG.Stats()
+
+	wFT := world(t, 4, false)
+	if _, err := RunFT(wFT, DefaultFTConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ft := wFT.Stats()
+
+	if cg.Msgs < 50*ep.Msgs {
+		t.Errorf("CG messages (%d) not >> EP messages (%d)", cg.Msgs, ep.Msgs)
+	}
+	avg := func(s Stats) float64 { return float64(s.CommBytes) / float64(s.Msgs) }
+	if avg(ft) < 4*avg(cg) {
+		t.Errorf("FT average message (%.0f B) not bulk vs CG (%.0f B)", avg(ft), avg(cg))
+	}
+}
+
+func TestTeraSortVerifies(t *testing.T) {
+	cfg := DefaultTeraSortConfig()
+	w := world(t, 4, false)
+	res, err := RunTeraSort(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTeraSort(cfg, 4, res); err != nil {
+		t.Fatal(err)
+	}
+	// The shuffle must have moved most records (random keys spread
+	// roughly uniformly over ranks).
+	stats := w.Stats()
+	shuffled := int64(4*cfg.RecordsPerRank) * TeraRecordSize
+	if stats.CommBytes < shuffled/2 {
+		t.Errorf("shuffle moved %d bytes, expected ~%d", stats.CommBytes, shuffled)
+	}
+}
+
+func TestTeraSortOverIPsec(t *testing.T) {
+	cfg := TeraSortConfig{RecordsPerRank: 1500, SamplesPerRank: 32, Seed: 9}
+	w := world(t, 4, true)
+	res, err := RunTeraSort(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTeraSort(cfg, 4, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeraSortSingleRank(t *testing.T) {
+	cfg := TeraSortConfig{RecordsPerRank: 2000, SamplesPerRank: 16, Seed: 1}
+	res, err := RunTeraSort(world(t, 1, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTeraSort(cfg, 1, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeraSortValidation(t *testing.T) {
+	w := world(t, 2, false)
+	if _, err := RunTeraSort(w, TeraSortConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+// --- FFT unit tests ---
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a pure tone concentrates all energy in one bin.
+	n := 32
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/float64(n)))
+	}
+	fft(a, false)
+	for i := range a {
+		mag := cmplx.Abs(a[i])
+		if i == 3 && math.Abs(mag-float64(n)) > 1e-9 {
+			t.Fatalf("bin 3 magnitude %g, want %d", mag, n)
+		}
+		if i != 3 && mag > 1e-9 {
+			t.Fatalf("leakage into bin %d: %g", i, mag)
+		}
+	}
+}
+
+func TestQuickFFTRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(5))
+		a := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			orig[i] = a[i]
+		}
+		fft(a, false)
+		fft(a, true)
+		for i := range a {
+			if cmplx.Abs(a[i]/complex(float64(n), 0)-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, false); err == nil {
+		t.Fatal("zero-size world accepted")
+	}
+	w := world(t, 2, false)
+	if _, err := RunCG(w, CGConfig{N: 3, NonZeros: 2, CGIters: 1, Outer: 1}); err == nil {
+		t.Fatal("indivisible CG size accepted")
+	}
+	if _, err := RunFT(w, FTConfig{N: 48}); err == nil {
+		t.Fatal("non-power-of-two FT size accepted")
+	}
+	if _, err := RunEP(w, 0); err == nil {
+		t.Fatal("zero-pair EP accepted")
+	}
+	if _, err := RunMG(w, MGConfig{PointsPerRank: 2, Levels: 5, Cycles: 1, Smooth: 1}); err == nil {
+		t.Fatal("too-shallow MG grid accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package npb implements miniature but *real* versions of the NAS
+// Parallel Benchmarks the paper evaluates (EP, CG, MG, FT): actual
+// numerical kernels running on an in-process message-passing world,
+// optionally with every message sealed and opened through the IPsec
+// substrate. They serve three purposes: realistic example workloads for
+// enclaves, validation that each benchmark's communication:compute
+// profile matches the premise behind the Figure-7 model (EP barely
+// communicates, CG exchanges many small messages, FT moves bulk
+// all-to-all traffic), and numerics tests that the kernels are not
+// stubs (EP's Gaussian counts, CG's eigenvalue, MG's residual, FT's
+// round-trip all verify).
+package npb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"bolted/internal/ipsec"
+)
+
+// Stats aggregates a run's communication behaviour across all ranks.
+type Stats struct {
+	Msgs      int64
+	CommBytes int64
+}
+
+// World is a fixed-size group of ranks exchanging point-to-point
+// messages, like a tiny MPI communicator.
+type World struct {
+	size   int
+	chans  [][]chan []byte // chans[src][dst]
+	seal   [][]*ipsec.Endpoint
+	msgs   atomic.Int64
+	bytes  atomic.Int64
+	secure bool
+}
+
+// NewWorld creates a world of n ranks. With secure=true every message
+// really traverses an ESP tunnel (seal on send, open on receive) using
+// hardware AES, like a Charlie enclave.
+func NewWorld(n int, secure bool) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("npb: world size %d", n)
+	}
+	w := &World{size: n, secure: secure}
+	w.chans = make([][]chan []byte, n)
+	for i := range w.chans {
+		w.chans[i] = make([]chan []byte, n)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan []byte, 64)
+		}
+	}
+	if secure {
+		w.seal = make([][]*ipsec.Endpoint, n)
+		for i := range w.seal {
+			w.seal[i] = make([]*ipsec.Endpoint, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b, err := ipsec.NewPair(ipsec.SuiteHWAES, ipsec.NewMasterKey())
+				if err != nil {
+					return nil, err
+				}
+				w.seal[i][j] = a
+				w.seal[j][i] = b
+			}
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the accumulated communication counters.
+func (w *World) Stats() Stats {
+	return Stats{Msgs: w.msgs.Load(), CommBytes: w.bytes.Load()}
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send transmits data to rank dst.
+func (c *Comm) Send(dst int, data []byte) error {
+	w := c.w
+	w.msgs.Add(1)
+	w.bytes.Add(int64(len(data)))
+	payload := data
+	if w.secure && dst != c.rank {
+		pkt, err := w.seal[c.rank][dst].Send(data)
+		if err != nil {
+			return err
+		}
+		payload = pkt
+	} else {
+		payload = append([]byte(nil), data...)
+	}
+	w.chans[c.rank][dst] <- payload
+	return nil
+}
+
+// Recv receives the next message from rank src.
+func (c *Comm) Recv(src int) ([]byte, error) {
+	w := c.w
+	payload := <-w.chans[src][c.rank]
+	if w.secure && src != c.rank {
+		return w.seal[c.rank][src].Recv(payload)
+	}
+	return payload, nil
+}
+
+// Run executes fn on every rank concurrently and waits; the first
+// error wins.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(&Comm{w: w, rank: r})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- typed helpers ---
+
+func encodeF64s(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+func decodeF64s(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// SendF64s sends a float64 vector.
+func (c *Comm) SendF64s(dst int, xs []float64) error { return c.Send(dst, encodeF64s(xs)) }
+
+// RecvF64s receives a float64 vector.
+func (c *Comm) RecvF64s(src int) ([]float64, error) {
+	b, err := c.Recv(src)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64s(b), nil
+}
+
+// AllReduceSum sums each element of x across ranks (naive: gather to
+// rank 0, broadcast back — two messages per rank, like small-cluster
+// collectives).
+func (c *Comm) AllReduceSum(x []float64) ([]float64, error) {
+	if c.rank != 0 {
+		if err := c.SendF64s(0, x); err != nil {
+			return nil, err
+		}
+		return c.RecvF64s(0)
+	}
+	acc := append([]float64(nil), x...)
+	for src := 1; src < c.Size(); src++ {
+		xs, err := c.RecvF64s(src)
+		if err != nil {
+			return nil, err
+		}
+		for i := range acc {
+			acc[i] += xs[i]
+		}
+	}
+	for dst := 1; dst < c.Size(); dst++ {
+		if err := c.SendF64s(dst, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// AllGatherF64s concatenates each rank's slice in rank order on every
+// rank. Slices must have equal length.
+func (c *Comm) AllGatherF64s(mine []float64) ([]float64, error) {
+	n := c.Size()
+	out := make([]float64, len(mine)*n)
+	copy(out[c.rank*len(mine):], mine)
+	// Ring exchange: n-1 rounds.
+	cur := mine
+	curOwner := c.rank
+	for step := 0; step < n-1; step++ {
+		next := (c.rank + 1) % n
+		prev := (c.rank - 1 + n) % n
+		if err := c.SendF64s(next, cur); err != nil {
+			return nil, err
+		}
+		got, err := c.RecvF64s(prev)
+		if err != nil {
+			return nil, err
+		}
+		curOwner = (curOwner - 1 + n) % n
+		copy(out[curOwner*len(mine):], got)
+		cur = got
+	}
+	return out, nil
+}
+
+// AllToAll sends chunk[j] to rank j and returns the received chunks in
+// rank order (the FT transpose pattern).
+func (c *Comm) AllToAll(chunks [][]byte) ([][]byte, error) {
+	n := c.Size()
+	if len(chunks) != n {
+		return nil, fmt.Errorf("npb: alltoall needs %d chunks, got %d", n, len(chunks))
+	}
+	for j := 0; j < n; j++ {
+		if err := c.Send(j, chunks[j]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		b, err := c.Recv(j)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = b
+	}
+	return out, nil
+}
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier() error {
+	_, err := c.AllReduceSum([]float64{0})
+	return err
+}

@@ -1,0 +1,320 @@
+// Package sim provides a deterministic discrete-event simulator used to
+// model datacenter-scale timing (server POST, network transfers, storage
+// service times) without real hardware.
+//
+// The simulator supports two styles of use:
+//
+//   - Callback events scheduled with At or After.
+//   - Goroutine-backed processes started with Go, which may Sleep, and
+//     Acquire/Release capacity-limited Resources. Exactly one process (or
+//     callback) runs at a time, so process code needs no locking of
+//     simulator state.
+//
+// Time is represented with time.Duration offsets from the simulation
+// epoch. Runs are fully deterministic: events at equal times fire in
+// schedule order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event simulation instance. The zero value is not
+// usable; call New.
+type Sim struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    int64
+	yield  chan struct{}
+	rng    *rand.Rand
+	nlive  int // live (started, unfinished) processes
+	inProc bool
+}
+
+// New returns an empty simulation whose clock starts at zero. The seed
+// feeds the simulation-local random source exposed by Rand.
+func New(seed int64) *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+type event struct {
+	at   time.Duration
+	seq  int64
+	fn   func()
+	proc *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+func (s *Sim) schedule(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, s.now))
+	}
+	s.schedule(&event{at: t, fn: fn})
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.At(s.now+d, fn)
+}
+
+// Proc is a goroutine-backed simulation process. Its methods must only be
+// called from within the process function itself.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the name the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation the process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Go starts a new process executing fn. The process begins at the current
+// simulated time, after any already-queued events for that instant.
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.nlive++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		s.nlive--
+		s.yield <- struct{}{}
+	}()
+	s.schedule(&event{at: s.now, proc: p})
+	return p
+}
+
+// Sleep suspends the process for simulated duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	s := p.sim
+	s.schedule(&event{at: s.now + d, proc: p})
+	p.yield()
+}
+
+// yield hands control back to the scheduler and blocks until resumed.
+func (p *Proc) yield() {
+	p.sim.yield <- struct{}{}
+	<-p.resume
+}
+
+// park blocks the process without scheduling a wake-up; something else
+// (a resource release, a channel send) must wake it via wake.
+func (p *Proc) park() { p.yield() }
+
+// wake schedules the process to resume at the current simulated time.
+func (p *Proc) wake() {
+	s := p.sim
+	s.schedule(&event{at: s.now, proc: p})
+}
+
+// Run executes events until the queue is empty. It returns the final
+// simulated time. If processes remain blocked on resources when the queue
+// drains, Run panics, because the simulation deadlocked.
+func (s *Sim) Run() time.Duration {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = ev.at
+		if ev.fn != nil {
+			s.inProc = true
+			ev.fn()
+			s.inProc = false
+			continue
+		}
+		ev.proc.resume <- struct{}{}
+		<-s.yield
+	}
+	if s.nlive > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked at %v", s.nlive, s.now))
+	}
+	return s.now
+}
+
+// Resource is a capacity-limited FIFO resource (e.g. an OSD queue, the
+// single Bolted airlock). Create with NewResource.
+type Resource struct {
+	sim     *Sim
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with the given concurrent capacity.
+func (s *Sim) NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{sim: s, name: name, cap: capacity}
+}
+
+// Acquire blocks the process until a unit of the resource is available.
+// Waiters are served in FIFO order.
+func (p *Proc) Acquire(r *Resource) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+}
+
+// Release returns one unit of the resource, waking the longest-waiting
+// process if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		w.wake()
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.inUse--
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued reports the number of processes waiting for the resource.
+func (r *Resource) Queued() int { return len(r.waiters) }
+
+// Use runs fn while holding one unit of the resource.
+func (p *Proc) Use(r *Resource, fn func()) {
+	p.Acquire(r)
+	defer r.Release()
+	fn()
+}
+
+// Gate is a broadcast synchronization point: processes Wait until some
+// event Opens the gate, after which all current and future waiters pass
+// immediately.
+type Gate struct {
+	open    bool
+	waiters []*Proc
+}
+
+// NewGate returns a closed gate.
+func (s *Sim) NewGate() *Gate { return &Gate{} }
+
+// Wait blocks the process until the gate is open.
+func (p *Proc) Wait(g *Gate) {
+	if g.open {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.park()
+}
+
+// Open opens the gate, waking all waiters at the current simulated time.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	for _, w := range g.waiters {
+		w.wake()
+	}
+	g.waiters = nil
+}
+
+// Opened reports whether the gate has been opened.
+func (g *Gate) Opened() bool { return g.open }
+
+// WaitGroup is a fork/join primitive: a parent process WaitFors child
+// processes that call Done.
+type WaitGroup struct {
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup expecting n Done calls.
+func (s *Sim) NewWaitGroup(n int) *WaitGroup {
+	if n < 0 {
+		panic("sim: negative WaitGroup count")
+	}
+	return &WaitGroup{n: n}
+}
+
+// Add increases the expected Done count.
+func (w *WaitGroup) Add(n int) { w.n += n }
+
+// Done signals completion of one unit, waking waiters when the count
+// reaches zero.
+func (w *WaitGroup) Done() {
+	if w.n == 0 {
+		panic("sim: WaitGroup Done below zero")
+	}
+	w.n--
+	if w.n == 0 {
+		for _, p := range w.waiters {
+			p.wake()
+		}
+		w.waiters = nil
+	}
+}
+
+// WaitFor blocks the process until the group's count reaches zero.
+func (p *Proc) WaitFor(w *WaitGroup) {
+	if w.n == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.park()
+}

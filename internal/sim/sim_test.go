@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCallbackOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end time = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(5*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(time.Second, func() {})
+	})
+	s.Run()
+}
+
+func TestProcSleep(t *testing.T) {
+	s := New(1)
+	var wake time.Duration
+	s.Go("sleeper", func(p *Proc) {
+		p.Sleep(90 * time.Second)
+		wake = p.Now()
+	})
+	s.Run()
+	if wake != 90*time.Second {
+		t.Fatalf("woke at %v, want 90s", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	s := New(1)
+	var trace []string
+	mk := func(name string, d time.Duration) {
+		s.Go(name, func(p *Proc) {
+			p.Sleep(d)
+			trace = append(trace, name)
+			p.Sleep(d)
+			trace = append(trace, name)
+		})
+	}
+	mk("a", 1*time.Second)
+	mk("b", 3*time.Second)
+	s.Run()
+	want := []string{"a", "a", "b", "b"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("airlock", 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Go("worker", func(p *Proc) {
+			p.Acquire(r)
+			p.Sleep(10 * time.Second)
+			r.Release()
+			finish = append(finish, p.Now())
+		})
+	}
+	end := s.Run()
+	if end != 30*time.Second {
+		t.Fatalf("end = %v, want 30s (serialized)", end)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("pool", 2)
+	for i := 0; i < 4; i++ {
+		s.Go("worker", func(p *Proc) {
+			p.Acquire(r)
+			p.Sleep(10 * time.Second)
+			r.Release()
+		})
+	}
+	if end := s.Run(); end != 20*time.Second {
+		t.Fatalf("end = %v, want 20s (two waves of two)", end)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("r", 1)
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		s.Go(name, func(p *Proc) {
+			p.Acquire(r)
+			order = append(order, name)
+			p.Sleep(time.Second)
+			r.Release()
+		})
+	}
+	s.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUseReleasesOnReturn(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("r", 1)
+	s.Go("a", func(p *Proc) {
+		p.Use(r, func() { p.Sleep(time.Second) })
+	})
+	s.Go("b", func(p *Proc) {
+		p.Acquire(r)
+		r.Release()
+	})
+	s.Run()
+	if r.InUse() != 0 {
+		t.Fatalf("resource still in use after Run")
+	}
+}
+
+func TestGateBroadcast(t *testing.T) {
+	s := New(1)
+	g := s.NewGate()
+	var woke int
+	for i := 0; i < 5; i++ {
+		s.Go("waiter", func(p *Proc) {
+			p.Wait(g)
+			woke++
+		})
+	}
+	s.At(42*time.Second, func() { g.Open() })
+	end := s.Run()
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+	if end != 42*time.Second {
+		t.Fatalf("end = %v, want 42s", end)
+	}
+	// A late waiter passes straight through an open gate.
+	s2 := New(1)
+	g2 := s2.NewGate()
+	g2.Open()
+	passed := false
+	s2.Go("late", func(p *Proc) { p.Wait(g2); passed = true })
+	s2.Run()
+	if !passed {
+		t.Fatal("late waiter blocked on open gate")
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlocked Run did not panic")
+		}
+	}()
+	s := New(1)
+	r := s.NewResource("r", 1)
+	s.Go("holder", func(p *Proc) {
+		p.Acquire(r)
+		// Never releases; the second acquirer deadlocks.
+	})
+	s.Go("blocked", func(p *Proc) {
+		p.Acquire(r)
+	})
+	s.Run()
+}
+
+func TestWaitGroupForkJoin(t *testing.T) {
+	s := New(1)
+	var joined time.Duration
+	s.Go("parent", func(p *Proc) {
+		wg := s.NewWaitGroup(3)
+		for i := 1; i <= 3; i++ {
+			d := time.Duration(i) * 10 * time.Second
+			s.Go("child", func(c *Proc) {
+				c.Sleep(d)
+				wg.Done()
+			})
+		}
+		p.WaitFor(wg)
+		joined = p.Now()
+	})
+	s.Run()
+	if joined != 30*time.Second {
+		t.Fatalf("joined at %v, want 30s (slowest child)", joined)
+	}
+	// Waiting on a drained group returns immediately.
+	s2 := New(1)
+	ok := false
+	s2.Go("p", func(p *Proc) {
+		wg := s2.NewWaitGroup(0)
+		p.WaitFor(wg)
+		ok = true
+	})
+	s2.Run()
+	if !ok {
+		t.Fatal("WaitFor on empty group blocked")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(7)
+		r := s.NewResource("r", 3)
+		var out []time.Duration
+		for i := 0; i < 20; i++ {
+			s.Go("w", func(p *Proc) {
+				d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+				p.Sleep(d)
+				p.Acquire(r)
+				p.Sleep(time.Second)
+				r.Release()
+				out = append(out, p.Now())
+			})
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

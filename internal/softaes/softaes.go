@@ -1,0 +1,253 @@
+// Package softaes is a pure-Go, table-free AES implementation used as the
+// "software AES" comparison point in the IPsec experiments (Figure 3b of
+// the Bolted paper). The standard library's crypto/aes uses AES-NI on
+// amd64, which models the paper's hardware-accelerated path; this package
+// deliberately takes the plain arithmetic path a kernel without AES-NI
+// support would take.
+//
+// It implements cipher.Block for 128-, 192- and 256-bit keys, so it can be
+// wrapped by cipher.NewGCM exactly like the hardware path.
+//
+// This implementation is NOT constant-time and must never be used to
+// protect real data; it exists to reproduce a performance experiment.
+package softaes
+
+import (
+	"crypto/cipher"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+var sbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+var invSbox [256]byte
+
+func init() {
+	for i, v := range sbox {
+		invSbox[v] = byte(i)
+	}
+}
+
+// rcon round constants for key expansion (first byte of each word).
+var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
+
+// Cipher is a software AES block cipher. It implements cipher.Block.
+type Cipher struct {
+	rounds int
+	enc    [][4][4]byte // round keys as state matrices (column-major)
+}
+
+var _ cipher.Block = (*Cipher)(nil)
+
+// KeySizeError reports an invalid AES key length.
+type KeySizeError int
+
+func (k KeySizeError) Error() string {
+	return fmt.Sprintf("softaes: invalid key size %d", int(k))
+}
+
+// New creates a software AES cipher for a 16-, 24- or 32-byte key.
+func New(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, KeySizeError(len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	c.expandKey(key)
+	return c, nil
+}
+
+// expandKey computes the AES key schedule.
+func (c *Cipher) expandKey(key []byte) {
+	nk := len(key) / 4
+	nw := 4 * (c.rounds + 1)
+	w := make([][4]byte, nw)
+	for i := 0; i < nk; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	for i := nk; i < nw; i++ {
+		t := w[i-1]
+		if i%nk == 0 {
+			// RotWord + SubWord + Rcon.
+			t = [4]byte{sbox[t[1]], sbox[t[2]], sbox[t[3]], sbox[t[0]]}
+			t[0] ^= rcon[i/nk]
+		} else if nk > 6 && i%nk == 4 {
+			t = [4]byte{sbox[t[0]], sbox[t[1]], sbox[t[2]], sbox[t[3]]}
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-nk][j] ^ t[j]
+		}
+	}
+	c.enc = make([][4][4]byte, c.rounds+1)
+	for r := 0; r <= c.rounds; r++ {
+		for col := 0; col < 4; col++ {
+			for row := 0; row < 4; row++ {
+				c.enc[r][row][col] = w[4*r+col][row]
+			}
+		}
+	}
+}
+
+// BlockSize returns the AES block size, 16 bytes.
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+// xtime multiplies by x in GF(2^8) modulo the AES polynomial.
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+// gmul multiplies two bytes in GF(2^8).
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+type state [4][4]byte
+
+func loadState(src []byte) state {
+	var st state
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			st[row][col] = src[4*col+row]
+		}
+	}
+	return st
+}
+
+func storeState(st *state, dst []byte) {
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			dst[4*col+row] = st[row][col]
+		}
+	}
+}
+
+func (st *state) addRoundKey(rk *[4][4]byte) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			st[r][c] ^= rk[r][c]
+		}
+	}
+}
+
+func (st *state) subBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			st[r][c] = sbox[st[r][c]]
+		}
+	}
+}
+
+func (st *state) invSubBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			st[r][c] = invSbox[st[r][c]]
+		}
+	}
+}
+
+func (st *state) shiftRows() {
+	st[1][0], st[1][1], st[1][2], st[1][3] = st[1][1], st[1][2], st[1][3], st[1][0]
+	st[2][0], st[2][1], st[2][2], st[2][3] = st[2][2], st[2][3], st[2][0], st[2][1]
+	st[3][0], st[3][1], st[3][2], st[3][3] = st[3][3], st[3][0], st[3][1], st[3][2]
+}
+
+func (st *state) invShiftRows() {
+	st[1][0], st[1][1], st[1][2], st[1][3] = st[1][3], st[1][0], st[1][1], st[1][2]
+	st[2][0], st[2][1], st[2][2], st[2][3] = st[2][2], st[2][3], st[2][0], st[2][1]
+	st[3][0], st[3][1], st[3][2], st[3][3] = st[3][1], st[3][2], st[3][3], st[3][0]
+}
+
+func (st *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := st[0][c], st[1][c], st[2][c], st[3][c]
+		st[0][c] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
+		st[1][c] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
+		st[2][c] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
+		st[3][c] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+	}
+}
+
+func (st *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := st[0][c], st[1][c], st[2][c], st[3][c]
+		st[0][c] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
+		st[1][c] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
+		st[2][c] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
+		st[3][c] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+	}
+}
+
+// Encrypt encrypts one 16-byte block from src into dst.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("softaes: input not full block")
+	}
+	st := loadState(src)
+	st.addRoundKey(&c.enc[0])
+	for r := 1; r < c.rounds; r++ {
+		st.subBytes()
+		st.shiftRows()
+		st.mixColumns()
+		st.addRoundKey(&c.enc[r])
+	}
+	st.subBytes()
+	st.shiftRows()
+	st.addRoundKey(&c.enc[c.rounds])
+	storeState(&st, dst)
+}
+
+// Decrypt decrypts one 16-byte block from src into dst.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("softaes: input not full block")
+	}
+	st := loadState(src)
+	st.addRoundKey(&c.enc[c.rounds])
+	for r := c.rounds - 1; r >= 1; r-- {
+		st.invShiftRows()
+		st.invSubBytes()
+		st.addRoundKey(&c.enc[r])
+		st.invMixColumns()
+	}
+	st.invShiftRows()
+	st.invSubBytes()
+	st.addRoundKey(&c.enc[0])
+	storeState(&st, dst)
+}

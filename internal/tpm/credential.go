@@ -1,0 +1,105 @@
+package tpm
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// CredentialBlob is a secret encrypted to a TPM's endorsement key. Only
+// the TPM holding the matching EK private key can recover the secret, so
+// returning it proves possession of that EK — this is how a Keylime
+// registrar binds a claimed AIK to a physical TPM identity (TPM2
+// MakeCredential / ActivateCredential).
+type CredentialBlob struct {
+	EphemeralPub []byte // ECDH ephemeral public key (uncompressed point)
+	Nonce        []byte // AES-GCM nonce
+	Ciphertext   []byte // sealed secret
+	AIKBinding   Digest // SHA-256 of the AIK public key the secret vouches for
+}
+
+// MakeCredential encrypts secret to the endorsement key ekPub, binding it
+// to the AIK whose public-key hash is aikBinding. Run by the registrar.
+func MakeCredential(ekPub *ecdh.PublicKey, aikBinding Digest, secret []byte) (*CredentialBlob, error) {
+	eph, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(ekPub)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: ECDH: %w", err)
+	}
+	aead, err := credentialAEAD(shared, aikBinding)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	readFull(nonce)
+	return &CredentialBlob{
+		EphemeralPub: eph.PublicKey().Bytes(),
+		Nonce:        nonce,
+		Ciphertext:   aead.Seal(nil, nonce, secret, aikBinding[:]),
+		AIKBinding:   aikBinding,
+	}, nil
+}
+
+// ActivateCredential recovers the secret from a credential blob using the
+// TPM's EK private key. It fails if the blob was made for a different EK
+// or binds a different AIK than this TPM's.
+func (t *TPM) ActivateCredential(blob *CredentialBlob) ([]byte, error) {
+	if blob == nil {
+		return nil, errors.New("tpm: nil credential blob")
+	}
+	wantBinding := AIKBinding(t.AIKPublic())
+	if blob.AIKBinding != wantBinding {
+		return nil, errors.New("tpm: credential bound to a different AIK")
+	}
+	ephPub, err := ecdh.P256().NewPublicKey(blob.EphemeralPub)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: bad ephemeral key: %w", err)
+	}
+	shared, err := t.ek.ECDH(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: ECDH: %w", err)
+	}
+	aead, err := credentialAEAD(shared, blob.AIKBinding)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := aead.Open(nil, blob.Nonce, blob.Ciphertext, blob.AIKBinding[:])
+	if err != nil {
+		return nil, errors.New("tpm: credential activation failed (wrong EK?)")
+	}
+	return secret, nil
+}
+
+// AIKBinding hashes an AIK public key into the binding digest used by
+// MakeCredential: SHA-256 over the fixed-width X || Y coordinates.
+func AIKBinding(pub *ecdsa.PublicKey) Digest {
+	var xy [64]byte
+	pub.X.FillBytes(xy[:32])
+	pub.Y.FillBytes(xy[32:])
+	h := sha256.New()
+	h.Write([]byte("TPM_AIK_BINDING"))
+	h.Write(xy[:])
+	var out Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func credentialAEAD(shared []byte, binding Digest) (cipher.AEAD, error) {
+	kdf := sha256.New()
+	kdf.Write([]byte("TPM_CREDENTIAL_KDF"))
+	kdf.Write(shared)
+	kdf.Write(binding[:])
+	block, err := aes.NewCipher(kdf.Sum(nil))
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

@@ -1,0 +1,226 @@
+package tpm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func mustTPM(t testing.TB) *TPM {
+	t.Helper()
+	tp, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestExtendSemantics(t *testing.T) {
+	tp := mustTPM(t)
+	zero, _ := tp.PCRValue(0)
+	if zero != (Digest{}) {
+		t.Fatal("fresh PCR not zero")
+	}
+	d := sha256.Sum256([]byte("firmware"))
+	if err := tp.Extend(0, d, "firmware"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tp.PCRValue(0)
+	h := sha256.New()
+	h.Write(make([]byte, DigestSize))
+	h.Write(d[:])
+	if !bytes.Equal(got[:], h.Sum(nil)) {
+		t.Fatal("extend is not SHA256(old || digest)")
+	}
+}
+
+func TestExtendOrderMatters(t *testing.T) {
+	a := sha256.Sum256([]byte("a"))
+	b := sha256.Sum256([]byte("b"))
+	t1, t2 := mustTPM(t), mustTPM(t)
+	t1.Extend(0, a, "a")
+	t1.Extend(0, b, "b")
+	t2.Extend(0, b, "b")
+	t2.Extend(0, a, "a")
+	v1, _ := t1.PCRValue(0)
+	v2, _ := t2.PCRValue(0)
+	if v1 == v2 {
+		t.Fatal("extend order did not change PCR value")
+	}
+}
+
+func TestPCRBounds(t *testing.T) {
+	tp := mustTPM(t)
+	for _, idx := range []int{-1, NumPCRs, NumPCRs + 5} {
+		if err := tp.Extend(idx, Digest{}, ""); err == nil {
+			t.Errorf("Extend(%d) accepted", idx)
+		}
+		if _, err := tp.PCRValue(idx); err == nil {
+			t.Errorf("PCRValue(%d) accepted", idx)
+		}
+		if _, err := tp.Quote(nil, []int{idx}); err == nil {
+			t.Errorf("Quote over PCR %d accepted", idx)
+		}
+	}
+}
+
+func TestResetClearsPCRsKeepsIdentity(t *testing.T) {
+	tp := mustTPM(t)
+	tp.ExtendData(0, []byte("x"), "x")
+	ekBefore := tp.EKPublicBytes()
+	boot := tp.BootCount()
+	tp.Reset()
+	v, _ := tp.PCRValue(0)
+	if v != (Digest{}) {
+		t.Fatal("Reset did not clear PCR")
+	}
+	if len(tp.EventLog()) != 0 {
+		t.Fatal("Reset did not clear event log")
+	}
+	if !bytes.Equal(tp.EKPublicBytes(), ekBefore) {
+		t.Fatal("Reset changed EK identity")
+	}
+	if tp.BootCount() != boot+1 {
+		t.Fatal("Reset did not bump boot count")
+	}
+}
+
+func TestEventLogReplayMatchesPCRs(t *testing.T) {
+	tp := mustTPM(t)
+	tp.ExtendData(0, []byte("pei"), "pei")
+	tp.ExtendData(0, []byte("acm"), "acm")
+	tp.ExtendData(4, []byte("ipxe"), "ipxe")
+	tp.ExtendData(10, []byte("ima-entry"), "ima")
+	replayed := ReplayLog(tp.EventLog())
+	for _, pcr := range []int{0, 4, 10} {
+		want, _ := tp.PCRValue(pcr)
+		if replayed[pcr] != want {
+			t.Fatalf("replay PCR %d = %x, want %x", pcr, replayed[pcr], want)
+		}
+	}
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	tp := mustTPM(t)
+	tp.ExtendData(0, []byte("fw"), "fw")
+	nonce := []byte("verifier-nonce-123")
+	q, err := tp.Quote(nonce, []int{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(tp.AIKPublic(), q, nonce); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	want, _ := tp.PCRValue(0)
+	if q.PCRValues[0] != want {
+		t.Fatal("quote carries wrong PCR value")
+	}
+}
+
+func TestQuoteRejectsNonceReplay(t *testing.T) {
+	tp := mustTPM(t)
+	q, _ := tp.Quote([]byte("old-nonce"), []int{0})
+	if err := VerifyQuote(tp.AIKPublic(), q, []byte("new-nonce")); err == nil {
+		t.Fatal("replayed quote accepted")
+	}
+}
+
+func TestQuoteRejectsTampering(t *testing.T) {
+	tp := mustTPM(t)
+	tp.ExtendData(0, []byte("good firmware"), "fw")
+	nonce := []byte("n")
+	q, _ := tp.Quote(nonce, []int{0})
+
+	evil := *q
+	evil.PCRValues = append([]Digest(nil), q.PCRValues...)
+	evil.PCRValues[0] = sha256.Sum256([]byte("claimed-good-value"))
+	if err := VerifyQuote(tp.AIKPublic(), &evil, nonce); err == nil {
+		t.Fatal("tampered PCR value accepted")
+	}
+
+	other := mustTPM(t)
+	if err := VerifyQuote(other.AIKPublic(), q, nonce); err == nil {
+		t.Fatal("quote verified under wrong AIK")
+	}
+}
+
+func TestQuoteRejectsMalformed(t *testing.T) {
+	tp := mustTPM(t)
+	q, _ := tp.Quote([]byte("n"), []int{0, 1})
+	q.PCRValues = q.PCRValues[:1]
+	if err := VerifyQuote(tp.AIKPublic(), q, []byte("n")); err == nil {
+		t.Fatal("malformed quote accepted")
+	}
+	if err := VerifyQuote(tp.AIKPublic(), nil, []byte("n")); err == nil {
+		t.Fatal("nil quote accepted")
+	}
+}
+
+func TestCredentialActivation(t *testing.T) {
+	tp := mustTPM(t)
+	secret := []byte("registrar challenge secret")
+	blob, err := MakeCredential(tp.EKPublic(), AIKBinding(tp.AIKPublic()), secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.ActivateCredential(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("recovered %q, want %q", got, secret)
+	}
+}
+
+func TestCredentialWrongEKFails(t *testing.T) {
+	genuine, imposter := mustTPM(t), mustTPM(t)
+	// Credential made for genuine's EK but binding imposter's AIK: the
+	// imposter cannot activate it (wrong EK), and genuine refuses (it
+	// binds a foreign AIK). This is the server-spoofing defence.
+	blob, err := MakeCredential(genuine.EKPublic(), AIKBinding(imposter.AIKPublic()), []byte("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := imposter.ActivateCredential(blob); err == nil {
+		t.Fatal("imposter activated a credential for someone else's EK")
+	}
+	if _, err := genuine.ActivateCredential(blob); err == nil {
+		t.Fatal("TPM activated a credential binding a foreign AIK")
+	}
+}
+
+func TestCredentialTamperFails(t *testing.T) {
+	tp := mustTPM(t)
+	blob, _ := MakeCredential(tp.EKPublic(), AIKBinding(tp.AIKPublic()), []byte("s"))
+	blob.Ciphertext[0] ^= 1
+	if _, err := tp.ActivateCredential(blob); err == nil {
+		t.Fatal("tampered credential accepted")
+	}
+	if _, err := tp.ActivateCredential(nil); err == nil {
+		t.Fatal("nil credential accepted")
+	}
+}
+
+// Property: replaying any event log reproduces a PCR state that a quote
+// over those PCRs reports.
+func TestQuickReplayConsistency(t *testing.T) {
+	tp := mustTPM(t)
+	f := func(entries [][]byte) bool {
+		tp.Reset()
+		for i, e := range entries {
+			tp.ExtendData(i%8, e, "e")
+		}
+		replayed := ReplayLog(tp.EventLog())
+		for pcr, want := range replayed {
+			got, _ := tp.PCRValue(pcr)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
