@@ -5,6 +5,7 @@
 package bolted_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -526,6 +527,54 @@ func BenchmarkNPBKernels(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkAcquireNodesParallel compares the paper prototype's serial
+// acquisition loop against the concurrent batch pipeline for the same
+// node count — the perf baseline for future provisioning work. The
+// batch path also shares one boot-info extraction per batch.
+func BenchmarkAcquireNodesParallel(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		for _, mode := range []string{"serial", "batch"} {
+			b.Run(fmt.Sprintf("%s/nodes-%d", mode, n), func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.Nodes = n
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cloud, err := core.NewCloud(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+						KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+					}); err != nil {
+						b.Fatal(err)
+					}
+					e, err := core.NewEnclave(cloud, "t", core.ProfileBob)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if mode == "serial" {
+						for j := 0; j < n; j++ {
+							if _, err := e.AcquireNode("os"); err != nil {
+								b.Fatal(err)
+							}
+						}
+					} else {
+						res, err := e.AcquireNodes(context.Background(), "os", n)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(res.Nodes) != n {
+							b.Fatalf("allocated %d of %d", len(res.Nodes), n)
+						}
+					}
+				}
+				b.ReportMetric(float64(n), "nodes/batch")
 			})
 		}
 	}

@@ -21,6 +21,12 @@
 //	enclave, _ := bolted.NewEnclave(cloud, "myproj", bolted.ProfileCharlie)
 //	node, err := enclave.AcquireNode("fedora28")   // airlock → attest → boot
 //
+// Batches provision concurrently — nodes that fail a phase land in the
+// provider's rejected pool while their siblings still allocate:
+//
+//	res, err := enclave.AcquireNodes(ctx, "fedora28", 16)
+//	// res.Nodes, res.Failed, res.Timings (per-phase breakdown)
+//
 // See examples/ for runnable scenarios and EXPERIMENTS.md for the
 // figure-by-figure reproduction of the paper's evaluation.
 package bolted
@@ -61,6 +67,49 @@ type ProvisionConfig = core.ProvisionConfig
 
 // ProvisionResult is the simulation output (phases, per-node times).
 type ProvisionResult = core.ProvisionResult
+
+// BatchResult is the outcome of one concurrent AcquireNodes batch:
+// allocated members, per-node failures routed to the rejected pool,
+// and the per-phase timing breakdown.
+type BatchResult = core.BatchResult
+
+// NodeFailure records a node that left the provisioning pipeline
+// before allocation (and which phase ended it).
+type NodeFailure = core.NodeFailure
+
+// BatchTimings is a batch's per-phase wall-clock breakdown, in the
+// same phase vocabulary as SimulateProvisioning.
+type BatchTimings = core.BatchTimings
+
+// PhaseTiming aggregates one canonical phase across a batch.
+type PhaseTiming = core.PhaseTiming
+
+// NodeState is a node's position in the Figure-1 life cycle.
+type NodeState = core.NodeState
+
+// Figure-1 life-cycle states.
+const (
+	StateFree        = core.StateFree
+	StateAirlocked   = core.StateAirlocked
+	StateBooting     = core.StateBooting
+	StateAttesting   = core.StateAttesting
+	StateProvisioned = core.StateProvisioned
+	StateAllocated   = core.StateAllocated
+	StateRejected    = core.StateRejected
+)
+
+// Canonical provisioning phase names, shared by real batch timings and
+// the discrete-event simulation.
+const (
+	PhaseAirlock   = core.PhaseAirlock
+	PhaseBoot      = core.PhaseBoot
+	PhaseAttest    = core.PhaseAttest
+	PhaseProvision = core.PhaseProvision
+)
+
+// DefaultBatchParallelism bounds how many nodes AcquireNodes keeps in
+// flight at once.
+const DefaultBatchParallelism = core.DefaultBatchParallelism
 
 // App is a macro-benchmark model (Figure 7).
 type App = workload.App

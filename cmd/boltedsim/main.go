@@ -1,9 +1,10 @@
 // Command boltedsim regenerates the paper's evaluation (§7) as text
 // tables: one sub-report per figure. Run with -fig all (default) or a
-// specific figure: 3a, 3b, 3c, 4, 5, 6, 7, ca.
+// specific figure: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +30,10 @@ func main() {
 	figures := map[string]func(bool){
 		"3a": fig3a, "3b": fig3b, "3c": fig3c,
 		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "ca": figCA,
-		"npb": figNPB,
+		"npb": figNPB, "batch": figBatch,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"3a", "3b", "3c", "4", "5", "6", "7", "ca", "npb"} {
+		for _, k := range []string{"3a", "3b", "3c", "4", "5", "6", "7", "ca", "npb", "batch"} {
 			figures[k](*quick)
 		}
 		return
@@ -341,6 +342,61 @@ func figCA(bool) {
 	t := <-banned
 	fmt.Printf("violation injected -> node cryptographically banned in %s\n", t.Sub(inject).Round(time.Millisecond))
 	fmt.Println("expect: well under the paper's ~3 s (in-process fan-out; the paper includes real network and IPsec rekey)")
+}
+
+// figBatch drives the real functional pipeline (not the timing model):
+// a serial AcquireNode loop vs one concurrent AcquireNodes batch on an
+// in-process cloud, with the batch's per-phase breakdown in the same
+// vocabulary as the Figure-4 simulation.
+func figBatch(quick bool) {
+	header("Batch provisioning: serial loop vs concurrent AcquireNodes (functional path)")
+	n := 8
+	if quick {
+		n = 4
+	}
+	mkEnclave := func() *core.Enclave {
+		cfg := core.DefaultConfig()
+		cfg.Nodes = n
+		cloud, err := core.NewCloud(cfg)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+			KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+		}); err != nil {
+			panic(err)
+		}
+		e, err := core.NewEnclave(cloud, "t", core.ProfileBob)
+		if err != nil {
+			panic(err)
+		}
+		return e
+	}
+
+	es := mkEnclave()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := es.AcquireNode("os"); err != nil {
+			panic(err)
+		}
+	}
+	serial := time.Since(start)
+
+	eb := mkEnclave()
+	res, err := eb.AcquireNodes(context.Background(), "os", n)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-28s %12s\n", "mode", "wall-clock")
+	fmt.Printf("%-28s %12s\n", fmt.Sprintf("serial AcquireNode x%d", n), serial.Round(10*time.Microsecond))
+	fmt.Printf("%-28s %12s\n", fmt.Sprintf("AcquireNodes batch of %d", n), res.Timings.Wall.Round(10*time.Microsecond))
+	fmt.Printf("\nbatch per-phase breakdown (%d nodes):\n", len(res.Nodes))
+	fmt.Printf("  %-12s %12s %12s\n", "phase", "slowest", "mean")
+	for _, pt := range res.Timings.Phases {
+		mean := pt.Total / time.Duration(pt.Nodes)
+		fmt.Printf("  %-12s %12s %12s\n", pt.Phase, pt.Max.Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+	fmt.Println("expect: batch wall-clock well under the serial loop; phase names match Figure 4's groups")
 }
 
 func figNPB(quick bool) {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -40,15 +41,22 @@ func main() {
 	enclave.IMAWhitelist().AllowContent("/usr/bin/model-trainer", []byte("trainer-v2 binary"))
 	enclave.IMAWhitelist().AllowContent("/etc/trainer.conf", []byte("epochs=100"))
 
-	n1, err := enclave.AcquireNode("hardened")
+	// Both nodes go through airlock → attest → provision concurrently;
+	// a node failing any phase would land in the rejected pool without
+	// taking its sibling down.
+	res, err := enclave.AcquireNodes(context.Background(), "hardened", 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	n2, err := enclave.AcquireNode("hardened")
-	if err != nil {
-		log.Fatal(err)
+	if len(res.Nodes) != 2 {
+		log.Fatalf("only %d of 2 nodes allocated: %v", len(res.Nodes), res.Failed)
 	}
-	fmt.Printf("enclave up: %s, %s (attested, LUKS, IPsec)\n", n1.Name, n2.Name)
+	n1, n2 := res.Nodes[0], res.Nodes[1]
+	fmt.Printf("enclave up: %s, %s (attested, LUKS, IPsec) in %v\n",
+		n1.Name, n2.Name, res.Timings.Wall.Round(time.Millisecond))
+	for _, pt := range res.Timings.Phases {
+		fmt.Printf("  phase %-10s slowest node %v\n", pt.Phase, pt.Max.Round(time.Microsecond))
+	}
 
 	// The data volume is LUKS-encrypted with a key delivered only after
 	// attestation: the tenant runs a real filesystem on it, and the

@@ -1,0 +1,3 @@
+module bolted
+
+go 1.24

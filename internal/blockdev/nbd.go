@@ -1,6 +1,7 @@
 package blockdev
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -135,6 +136,22 @@ func (t *IPsecTransport) RoundTrip(req []byte) ([]byte, error) {
 	return ipsec.ReassembleStream(t.Client, rpkts)
 }
 
+// ContextTransport bounds every round trip on a context: a cancelled
+// provisioning batch stops issuing wire requests instead of finishing a
+// multi-megabyte setup write nobody is waiting for.
+type ContextTransport struct {
+	Ctx   context.Context
+	Inner Transport
+}
+
+// RoundTrip implements Transport.
+func (t *ContextTransport) RoundTrip(req []byte) ([]byte, error) {
+	if err := t.Ctx.Err(); err != nil {
+		return nil, fmt.Errorf("blockdev: %w", err)
+	}
+	return t.Inner.RoundTrip(req)
+}
+
 // FaultTransport injects transport failures for resilience testing: it
 // fails every Nth round trip (a dropped iSCSI session, a storage-net
 // blip) while passing the rest through.
@@ -178,6 +195,19 @@ const DefaultReadAhead = 128 << 10
 // TunedReadAhead is the paper's tuned value (8 MiB), chosen because the
 // Ceph backend serves 4 MiB objects.
 const TunedReadAhead = 8 << 20
+
+// NewClientContext is NewClient with the size-negotiation round trip
+// (the "dial") bounded by ctx. The context does NOT outlive the call:
+// the returned client serves the node for its whole occupancy,
+// long after any provisioning batch context is done.
+func NewClientContext(ctx context.Context, transport Transport, readAheadBytes int64) (*Client, error) {
+	c, err := NewClient(&ContextTransport{Ctx: ctx, Inner: transport}, readAheadBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.transport = transport
+	return c, nil
+}
 
 // NewClient connects to a target through transport and negotiates the
 // device size. readAheadBytes must be a multiple of SectorSize (0

@@ -7,6 +7,7 @@
 package bmi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,6 +23,16 @@ var (
 	ErrExists   = errors.New("bmi: already exists")
 	ErrInUse    = errors.New("bmi: in use")
 )
+
+// ctxErr refuses to start an image or export mutation after the caller
+// has given up: a cancelled provisioning batch must not leak half-made
+// images or dangling exports.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("bmi: %w", err)
+	}
+	return nil
+}
 
 // Image is a named disk image.
 type Image struct {
@@ -71,7 +82,10 @@ func New(cluster *ceph.Cluster) *Service {
 func (s *Service) prefixFor(name string) string { return "img-" + name }
 
 // CreateImage allocates an empty image of the given byte size.
-func (s *Service) CreateImage(name string, size int64) (*Image, error) {
+func (s *Service) CreateImage(ctx context.Context, name string, size int64) (*Image, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.images[name]; ok {
@@ -98,7 +112,10 @@ func (s *Service) Device(name string) (blockdev.Device, error) {
 }
 
 // CloneImage copies src's objects into a new image dst (BMI "clone").
-func (s *Service) CloneImage(src, dst string) (*Image, error) {
+func (s *Service) CloneImage(ctx context.Context, src, dst string) (*Image, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	srcImg, ok := s.images[src]
 	if !ok {
@@ -119,8 +136,8 @@ func (s *Service) CloneImage(src, dst string) (*Image, error) {
 }
 
 // SnapshotImage creates an immutable snapshot of an image.
-func (s *Service) SnapshotImage(src, snap string) (*Image, error) {
-	img, err := s.CloneImage(src, snap)
+func (s *Service) SnapshotImage(ctx context.Context, src, snap string) (*Image, error) {
+	img, err := s.CloneImage(ctx, src, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +149,10 @@ func (s *Service) SnapshotImage(src, snap string) (*Image, error) {
 
 // DeleteImage removes an image and its objects; it fails while any node
 // has the image exported.
-func (s *Service) DeleteImage(name string) error {
+func (s *Service) DeleteImage(ctx context.Context, name string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	img, ok := s.images[name]
 	if !ok {
@@ -180,7 +200,10 @@ func (s *Service) GetImage(name string) (*Image, error) {
 // the golden image stays pristine; cow=false exports the image
 // read-write (e.g. for image preparation). A node can hold only one
 // export at a time.
-func (s *Service) ExportForBoot(node, image string, cow bool) (*Export, error) {
+func (s *Service) ExportForBoot(ctx context.Context, node, image string, cow bool) (*Export, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.exports[node]; ok {
@@ -223,7 +246,10 @@ func (s *Service) GetExport(node string) (*Export, error) {
 // node's CoW state is persisted as a new image (shutdown + later
 // restart on any compatible node — the elasticity property); otherwise
 // the overlay is discarded and no node state survives.
-func (s *Service) Unexport(node, saveAs string) error {
+func (s *Service) Unexport(ctx context.Context, node, saveAs string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	e, ok := s.exports[node]
 	if !ok {
@@ -242,7 +268,7 @@ func (s *Service) Unexport(node, saveAs string) error {
 	}
 	// Persist: clone the golden image, then apply the overlay's dirty
 	// sectors on top.
-	saved, err := s.CloneImage(e.Image, saveAs)
+	saved, err := s.CloneImage(ctx, e.Image, saveAs)
 	if err != nil {
 		return err
 	}

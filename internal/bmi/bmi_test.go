@@ -2,6 +2,7 @@ package bmi
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -30,23 +31,23 @@ func testSpec() OSImageSpec {
 
 func TestImageLifecycle(t *testing.T) {
 	s := newBMI(t)
-	if _, err := s.CreateImage("a", 1<<20); err != nil {
+	if _, err := s.CreateImage(context.Background(), "a", 1<<20); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CreateImage("a", 1<<20); !errors.Is(err, ErrExists) {
+	if _, err := s.CreateImage(context.Background(), "a", 1<<20); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
-	if _, err := s.CreateImage("bad", 100); err == nil {
+	if _, err := s.CreateImage(context.Background(), "bad", 100); err == nil {
 		t.Fatal("unaligned size accepted")
 	}
 	imgs := s.ListImages()
 	if len(imgs) != 1 || imgs[0] != "a" {
 		t.Fatalf("ListImages = %v", imgs)
 	}
-	if err := s.DeleteImage("a"); err != nil {
+	if err := s.DeleteImage(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.DeleteImage("a"); !errors.Is(err, ErrNotFound) {
+	if err := s.DeleteImage(context.Background(), "a"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double delete: %v", err)
 	}
 }
@@ -57,7 +58,7 @@ func TestOSImageBootInfo(t *testing.T) {
 	if _, err := s.CreateOSImage("fedora", spec); err != nil {
 		t.Fatal(err)
 	}
-	bi, err := s.ExtractBootInfo("fedora")
+	bi, err := s.ExtractBootInfo(context.Background(), "fedora")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestOSImageValidation(t *testing.T) {
 	if _, err := s.CreateOSImage("x", OSImageSpec{KernelID: "k"}); err == nil {
 		t.Fatal("kernel-less image accepted")
 	}
-	s.CreateImage("raw", 1<<20)
-	if _, err := s.ExtractBootInfo("raw"); err == nil {
+	s.CreateImage(context.Background(), "raw", 1<<20)
+	if _, err := s.ExtractBootInfo(context.Background(), "raw"); err == nil {
 		t.Fatal("boot info from raw image accepted")
 	}
-	if _, err := s.ExtractBootInfo("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.ExtractBootInfo(context.Background(), "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("boot info from missing image: %v", err)
 	}
 }
@@ -90,7 +91,7 @@ func TestOSImageValidation(t *testing.T) {
 func TestCloneIndependence(t *testing.T) {
 	s := newBMI(t)
 	s.CreateOSImage("golden", testSpec())
-	if _, err := s.CloneImage("golden", "copy"); err != nil {
+	if _, err := s.CloneImage(context.Background(), "golden", "copy"); err != nil {
 		t.Fatal(err)
 	}
 	// Mutate the clone; golden must be unaffected.
@@ -100,16 +101,16 @@ func TestCloneIndependence(t *testing.T) {
 		junk[i] = 0xFF
 	}
 	dev.WriteSectors(junk, 0)
-	if _, err := s.ExtractBootInfo("copy"); err == nil {
+	if _, err := s.ExtractBootInfo(context.Background(), "copy"); err == nil {
 		t.Fatal("clobbered clone still parses")
 	}
-	if _, err := s.ExtractBootInfo("golden"); err != nil {
+	if _, err := s.ExtractBootInfo(context.Background(), "golden"); err != nil {
 		t.Fatalf("golden damaged by clone mutation: %v", err)
 	}
-	if _, err := s.CloneImage("ghost", "x"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.CloneImage(context.Background(), "ghost", "x"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("clone of missing: %v", err)
 	}
-	if _, err := s.CloneImage("golden", "copy"); !errors.Is(err, ErrExists) {
+	if _, err := s.CloneImage(context.Background(), "golden", "copy"); !errors.Is(err, ErrExists) {
 		t.Fatalf("clone onto existing: %v", err)
 	}
 }
@@ -117,17 +118,17 @@ func TestCloneIndependence(t *testing.T) {
 func TestSnapshotImmutable(t *testing.T) {
 	s := newBMI(t)
 	s.CreateOSImage("golden", testSpec())
-	snap, err := s.SnapshotImage("golden", "golden@v1")
+	snap, err := s.SnapshotImage(context.Background(), "golden", "golden@v1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !snap.Snapshot {
 		t.Fatal("snapshot not marked")
 	}
-	if _, err := s.ExportForBoot("node1", "golden@v1", false); err == nil {
+	if _, err := s.ExportForBoot(context.Background(), "node1", "golden@v1", false); err == nil {
 		t.Fatal("read-write export of snapshot accepted")
 	}
-	if _, err := s.ExportForBoot("node1", "golden@v1", true); err != nil {
+	if _, err := s.ExportForBoot(context.Background(), "node1", "golden@v1", true); err != nil {
 		t.Fatalf("CoW export of snapshot rejected: %v", err)
 	}
 }
@@ -135,7 +136,7 @@ func TestSnapshotImmutable(t *testing.T) {
 func TestExportCoWKeepsGoldenPristine(t *testing.T) {
 	s := newBMI(t)
 	s.CreateOSImage("golden", testSpec())
-	e, err := s.ExportForBoot("node1", "golden", true)
+	e, err := s.ExportForBoot(context.Background(), "node1", "golden", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +153,11 @@ func TestExportCoWKeepsGoldenPristine(t *testing.T) {
 		t.Fatalf("dirty = %d, want 4", e.DirtySectors())
 	}
 	// Golden image unaffected.
-	if _, err := s.ExtractBootInfo("golden"); err != nil {
+	if _, err := s.ExtractBootInfo(context.Background(), "golden"); err != nil {
 		t.Fatalf("golden image damaged by node writes: %v", err)
 	}
 	// Release without saving: nothing persists anywhere.
-	if err := s.Unexport("node1", ""); err != nil {
+	if err := s.Unexport(context.Background(), "node1", ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.GetExport("node1"); !errors.Is(err, ErrNotFound) {
@@ -167,23 +168,23 @@ func TestExportCoWKeepsGoldenPristine(t *testing.T) {
 func TestExportSaveState(t *testing.T) {
 	s := newBMI(t)
 	s.CreateOSImage("golden", testSpec())
-	e, _ := s.ExportForBoot("node1", "golden", true)
+	e, _ := s.ExportForBoot(context.Background(), "node1", "golden", true)
 	client, _ := blockdev.NewClient(blockdev.Loopback{Target: e.Target}, 0)
 	marker := bytes.Repeat([]byte{0xAB}, blockdev.SectorSize)
 	stateSector := client.NumSectors() - 1
 	if err := client.WriteSectors(marker, stateSector); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Unexport("node1", "node1-state"); err != nil {
+	if err := s.Unexport(context.Background(), "node1", "node1-state"); err != nil {
 		t.Fatal(err)
 	}
 	// The saved image contains golden + the node's write, and can boot
 	// on any other node (elasticity: restart image on a compatible node).
-	bi, err := s.ExtractBootInfo("node1-state")
+	bi, err := s.ExtractBootInfo(context.Background(), "node1-state")
 	if err != nil || bi.KernelID != "fedora28-4.17.9" {
 		t.Fatalf("saved image boot info: %v", err)
 	}
-	e2, err := s.ExportForBoot("node2", "node1-state", true)
+	e2, err := s.ExportForBoot(context.Background(), "node2", "node1-state", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,23 +199,23 @@ func TestExportSaveState(t *testing.T) {
 func TestExportExclusivity(t *testing.T) {
 	s := newBMI(t)
 	s.CreateOSImage("golden", testSpec())
-	if _, err := s.ExportForBoot("node1", "golden", true); err != nil {
+	if _, err := s.ExportForBoot(context.Background(), "node1", "golden", true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ExportForBoot("node1", "golden", true); !errors.Is(err, ErrInUse) {
+	if _, err := s.ExportForBoot(context.Background(), "node1", "golden", true); !errors.Is(err, ErrInUse) {
 		t.Fatalf("double export: %v", err)
 	}
-	if err := s.DeleteImage("golden"); !errors.Is(err, ErrInUse) {
+	if err := s.DeleteImage(context.Background(), "golden"); !errors.Is(err, ErrInUse) {
 		t.Fatalf("delete of exported image: %v", err)
 	}
-	if _, err := s.ExportForBoot("node2", "ghost", true); !errors.Is(err, ErrNotFound) {
+	if _, err := s.ExportForBoot(context.Background(), "node2", "ghost", true); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("export of missing image: %v", err)
 	}
-	if err := s.Unexport("ghost", ""); !errors.Is(err, ErrNotFound) {
+	if err := s.Unexport(context.Background(), "ghost", ""); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unexport of missing: %v", err)
 	}
-	s.Unexport("node1", "")
-	if err := s.DeleteImage("golden"); err != nil {
+	s.Unexport(context.Background(), "node1", "")
+	if err := s.DeleteImage(context.Background(), "golden"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -226,7 +227,7 @@ func TestBootTouchesFractionOfImage(t *testing.T) {
 	spec := testSpec()
 	spec.RootFS = bytes.Repeat([]byte("R"), 4<<20) // 4 MiB of rootfs
 	s.CreateOSImage("golden", spec)
-	e, _ := s.ExportForBoot("node1", "golden", true)
+	e, _ := s.ExportForBoot(context.Background(), "node1", "golden", true)
 	client, _ := blockdev.NewClient(blockdev.Loopback{Target: e.Target}, blockdev.DefaultReadAhead)
 
 	// A boot reads the manifest area and the kernel+initrd, not the

@@ -63,7 +63,7 @@ func NewHandler(s *Service) http.Handler {
 		if req.OS != nil {
 			_, err = s.CreateOSImage(r.PathValue("name"), *req.OS)
 		} else {
-			_, err = s.CreateImage(r.PathValue("name"), req.Size)
+			_, err = s.CreateImage(r.Context(), r.PathValue("name"), req.Size)
 		}
 		if err != nil {
 			writeErr(w, err)
@@ -72,7 +72,7 @@ func NewHandler(s *Service) http.Handler {
 		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("DELETE /images/{name}", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.DeleteImage(r.PathValue("name")); err != nil {
+		if err := s.DeleteImage(r.Context(), r.PathValue("name")); err != nil {
 			writeErr(w, err)
 		}
 	})
@@ -87,9 +87,9 @@ func NewHandler(s *Service) http.Handler {
 		}
 		var err error
 		if req.Snapshot {
-			_, err = s.SnapshotImage(r.PathValue("name"), req.Target)
+			_, err = s.SnapshotImage(r.Context(), r.PathValue("name"), req.Target)
 		} else {
-			_, err = s.CloneImage(r.PathValue("name"), req.Target)
+			_, err = s.CloneImage(r.Context(), r.PathValue("name"), req.Target)
 		}
 		if err != nil {
 			writeErr(w, err)
@@ -98,7 +98,7 @@ func NewHandler(s *Service) http.Handler {
 		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("GET /images/{name}/bootinfo", func(w http.ResponseWriter, r *http.Request) {
-		bi, err := s.ExtractBootInfo(r.PathValue("name"))
+		bi, err := s.ExtractBootInfo(r.Context(), r.PathValue("name"))
 		if err != nil {
 			writeErr(w, err)
 			return

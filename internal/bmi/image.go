@@ -1,6 +1,7 @@
 package bmi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -87,7 +88,7 @@ func (s *Service) CreateOSImage(name string, spec OSImageSpec) (*Image, error) {
 	off += alignUp(m.RootLen)
 
 	size := alignUp(off + off/4)
-	img, err := s.CreateImage(name, size)
+	img, err := s.CreateImage(context.Background(), name, size)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +157,10 @@ func readExtent(dev blockdev.Device, off, length int64) ([]byte, error) {
 
 // ExtractBootInfo reads the kernel, initrd and command line out of an
 // OS image without booting it.
-func (s *Service) ExtractBootInfo(image string) (*BootInfo, error) {
+func (s *Service) ExtractBootInfo(ctx context.Context, image string) (*BootInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	dev, err := s.Device(image)
 	if err != nil {
 		return nil, err

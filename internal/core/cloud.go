@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"bolted/internal/bmi"
 	"bolted/internal/ceph"
@@ -122,7 +124,9 @@ type Cloud struct {
 	// because flash contents may diverge from this.
 	canonicalFW firmware.Firmware
 	machines    map[string]*firmware.Machine
-	rejected    map[string]string // node -> rejection reason
+
+	rejMu    sync.Mutex
+	rejected map[string]string // node -> rejection reason
 }
 
 // NewCloud constructs and wires a cloud: fabric ports for every node
@@ -256,19 +260,31 @@ func (c *Cloud) ExpectedBootPCRs(node string) (map[int][]tpm.Digest, error) {
 	return out, nil
 }
 
-// MarkRejected quarantines a node that failed attestation: detached
-// from every network, reserved into the provider's rejected project so
-// no tenant can allocate it, and recorded for forensics.
-func (c *Cloud) MarkRejected(node, reason string) {
+// MarkRejected quarantines a node that failed a lifecycle phase:
+// detached from every network, moved from the owning project straight
+// into the provider's rejected project — never through the free pool,
+// where a concurrent batch could claim the tainted node — and recorded
+// for forensics. Quarantine must proceed even for a cancelled batch,
+// so it never takes a caller context.
+func (c *Cloud) MarkRejected(project, node, reason string) {
+	c.rejMu.Lock()
 	c.rejected[node] = reason
-	_ = c.HIL.AllocateNode(RejectedProject, node)
-	if port, err := c.HIL.NodePort(node); err == nil {
-		_ = c.Fabric.DetachAll(port)
+	c.rejMu.Unlock()
+	ctx := context.Background()
+	if err := c.HIL.TransferNode(ctx, project, node, RejectedProject); err != nil {
+		// Not owned by the project (rejection raced a release): reserve
+		// it from the free pool instead.
+		_ = c.HIL.AllocateNode(ctx, RejectedProject, node)
+		if port, err := c.HIL.NodePort(node); err == nil {
+			_ = c.Fabric.DetachAll(port)
+		}
 	}
 }
 
 // Rejected returns the rejected pool: node -> reason.
 func (c *Cloud) Rejected() map[string]string {
+	c.rejMu.Lock()
+	defer c.rejMu.Unlock()
 	out := make(map[string]string, len(c.rejected))
 	for k, v := range c.rejected {
 		out[k] = v

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -333,14 +334,14 @@ func TestAirlockIsolationBetweenConcurrentBoots(t *testing.T) {
 	e, _ := NewEnclave(c, "t", ProfileBob)
 	// Drive the lifecycle manually up to the airlock for both nodes.
 	for _, name := range []string{"node00", "node01"} {
-		if err := c.HIL.AllocateNode(e.Project, name); err != nil {
+		if err := c.HIL.AllocateNode(context.Background(), e.Project, name); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.HIL.CreateNetwork(e.Project, airlockNet(name)); err != nil {
+		if err := c.HIL.CreateNetwork(context.Background(), e.Project, airlockNet(name)); err != nil {
 			t.Fatal(err)
 		}
 		for _, net := range []string{airlockNet(name), NetAttestation, NetProvisioning} {
-			if err := c.HIL.ConnectNode(e.Project, name, net); err != nil {
+			if err := c.HIL.ConnectNode(context.Background(), e.Project, name, net); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -411,7 +412,7 @@ func TestJournalRecordsLifecycle(t *testing.T) {
 	for _, ev := range e.Journal().ByNode(n.Name) {
 		kinds = append(kinds, ev.Kind)
 	}
-	want := []EventKind{EvAllocated, EvAirlocked, EvAttested, EvJoined, EvBooted}
+	want := []EventKind{EvAllocated, EvAirlocked, EvBooting, EvAttesting, EvAttested, EvProvisioned, EvBooted, EvJoined}
 	if len(kinds) != len(want) {
 		t.Fatalf("journal kinds = %v", kinds)
 	}
@@ -546,5 +547,15 @@ func TestTimingPhaseBreakdownConsistent(t *testing.T) {
 	}
 	if r.Makespan != r.PerNode[0] {
 		t.Fatalf("single-node makespan mismatch")
+	}
+}
+
+func TestProfileDiskEncryptionRequiresAttestation(t *testing.T) {
+	// The LUKS key only reaches the node inside the attested payload;
+	// without attestation the provisioner would have no key to format
+	// the volume with.
+	bad := Profile{Name: "z", EncryptDisk: true}
+	if err := bad.Validate(); err == nil {
+		t.Error("disk encryption without attestation accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -55,6 +56,7 @@ type Enclave struct {
 	netKey       []byte // enclave-wide IPsec PSK, distributed via payloads
 
 	journal Journal
+	lc      *lifecycle
 
 	mu    sync.Mutex
 	nodes map[string]*Node
@@ -74,7 +76,7 @@ func NewEnclave(c *Cloud, name string, profile Profile) (*Enclave, error) {
 	if err := c.HIL.CreateProject(name); err != nil {
 		return nil, err
 	}
-	if err := c.HIL.CreateNetwork(name, EnclaveNet); err != nil {
+	if err := c.HIL.CreateNetwork(context.Background(), name, EnclaveNet); err != nil {
 		return nil, err
 	}
 	e := &Enclave{
@@ -84,6 +86,7 @@ func NewEnclave(c *Cloud, name string, profile Profile) (*Enclave, error) {
 		nodes:   make(map[string]*Node),
 		netKey:  randKey(32),
 	}
+	e.lc = newLifecycle(&e.journal)
 	if profile.Attest {
 		e.verifierPort = PortVerifier
 		if profile.TenantVerifier {
@@ -154,139 +157,169 @@ func randKey(n int) []byte {
 // compromised server cannot infect other uncompromised servers").
 func airlockNet(node string) string { return "airlock-" + node }
 
+// volName names a node's remote data volume; provisioning and the
+// reject/abort cleanup paths must agree on it.
+func (e *Enclave) volName(node string) string { return e.Project + "-" + node + "-vol" }
+
 // AcquireNode runs the full Figure-1 lifecycle for one server and
-// returns it as an enclave member:
-//
-//	(1) allocate + airlock  (2) secure firmware + agent
-//	(3) attest              (4/5) move to enclave or rejected pool
-//	(6) provision: remote volume, disk/network encryption, kexec
+// returns it as an enclave member. It is a single-node wrapper over the
+// concurrent batch path (AcquireNodes); callers that provision more
+// than one node should use the batch API directly.
 func (e *Enclave) AcquireNode(image string) (*Node, error) {
-	c := e.cloud
-	name, err := c.HIL.AllocateAnyNode(e.Project)
+	res, err := e.AcquireNodes(context.Background(), image, 1)
 	if err != nil {
 		return nil, err
 	}
-	e.journal.record(EvAllocated, name, "image="+image)
+	if len(res.Nodes) == 1 {
+		return res.Nodes[0], nil
+	}
+	if len(res.Failed) == 0 {
+		return nil, errors.New("core: node acquisition produced neither a member nor a failure")
+	}
+	f := res.Failed[0]
+	return nil, fmt.Errorf("core: node %s failed %s phase, moved to rejected pool: %w", f.Node, f.Phase, f.Err)
+}
 
-	// (1) Airlock: the node shares VLANs only with the attestation and
-	// provisioning services, never with other airlocked nodes.
-	if err := c.HIL.CreateNetwork(e.Project, airlockNet(name)); err != nil {
-		return nil, err
+// nodeWork carries one node through the provisioning pipeline phases.
+type nodeWork struct {
+	name    string
+	boot    *bmi.BootInfo
+	machine *firmware.Machine
+	agent   *keylime.Agent
+
+	// kernel/initrd/diskKey start as the (unauthenticated) image
+	// contents and are replaced by the attested payload when the
+	// profile attests.
+	kernel, initrd []byte
+	diskKey        []byte
+
+	node *Node // set by provisionNode, membership by admitNode
+}
+
+// airlockNode is phase (1): wire the node into its private airlock.
+// The node shares VLANs only with the attestation and provisioning
+// services, never with other airlocked nodes.
+func (e *Enclave) airlockNode(ctx context.Context, name string) error {
+	c := e.cloud
+	if err := c.HIL.CreateNetwork(ctx, e.Project, airlockNet(name)); err != nil {
+		return err
 	}
 	for _, net := range []string{airlockNet(name), NetAttestation, NetProvisioning} {
-		if err := c.HIL.ConnectNode(e.Project, name, net); err != nil {
-			return nil, err
+		if err := c.HIL.ConnectNode(ctx, e.Project, name, net); err != nil {
+			return err
 		}
 	}
-	e.journal.record(EvAirlocked, name, "")
+	return e.lc.to(name, StateAirlocked, "")
+}
 
-	// (2) Power on: flash firmware measures itself (and scrubs, if
-	// LinuxBoot); UEFI machines chain-load the Heads runtime via iPXE.
-	machine, err := c.Machine(name)
-	if err != nil {
-		return nil, err
+// bootNode is phase (2): power on — flash firmware measures itself
+// (and scrubs, if LinuxBoot), UEFI machines chain-load the Heads
+// runtime via iPXE — then register the Keylime agent.
+func (e *Enclave) bootNode(ctx context.Context, w *nodeWork) error {
+	c := e.cloud
+	if err := e.lc.to(w.name, StateBooting, "firmware="+string(c.Config.Firmware)); err != nil {
+		return err
 	}
-	if err := c.HIL.PowerCycle(e.Project, name); err != nil {
-		return nil, err
+	machine, err := c.Machine(w.name)
+	if err != nil {
+		return err
+	}
+	if err := c.HIL.PowerCycle(ctx, e.Project, w.name); err != nil {
+		return err
 	}
 	if c.Config.Firmware == FirmwareUEFI {
 		if err := firmware.NetworkBootRuntime(machine, c.Heads); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	agent := keylime.NewAgent(name, machine, c.Fabric)
-	if err := agent.RegisterWith(c.Registrar, PortRegistrar); err != nil {
-		return nil, err
+	agent := keylime.NewAgent(w.name, machine, c.Fabric)
+	if err := agent.RegisterWith(ctx, c.Registrar, PortRegistrar); err != nil {
+		return err
 	}
+	w.machine, w.agent = machine, agent
+	w.kernel, w.initrd = w.boot.Kernel, w.boot.Initrd
+	return nil
+}
 
-	bootInfo, err := c.BMI.ExtractBootInfo(image)
+// attestNode is phase (3): quote over the boot PCRs against the
+// provider-published whitelist; on success the verifier releases the
+// sealed payload, whose kernel/initrd/keys become authoritative.
+func (e *Enclave) attestNode(ctx context.Context, w *nodeWork) error {
+	c := e.cloud
+	if err := e.lc.to(w.name, StateAttesting, "verifier="+e.verifierPort); err != nil {
+		return err
+	}
+	if e.Profile.EncryptDisk {
+		w.diskKey = randKey(luks.MasterKeySize)
+	}
+	payload := &keylime.Payload{
+		Kernel:  w.kernel,
+		Initrd:  w.initrd,
+		Script:  "#!/bin/sh\n# join enclave network, kexec tenant kernel\n",
+		DiskKey: w.diskKey,
+	}
+	if e.Profile.EncryptNetwork {
+		payload.NetworkKey = e.netKey
+	}
+	whitelist, err := c.ExpectedBootPCRs(w.name)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	md, err := c.HIL.NodeMetadata(w.name)
+	if err != nil {
+		return err
+	}
+	_, err = e.tenant.Provision(ctx, c.Registrar, w.agent, keylime.ProvisionSpec{
+		Payload:      payload,
+		PlatformPCRs: whitelist,
+		IMAWhitelist: e.imaWhitelist,
+		HILMetadata:  md,
+	})
+	if err != nil {
+		return err
+	}
+	p, err := w.agent.Unwrap()
+	if err != nil {
+		return err
+	}
+	// The attested payload is authoritative: kexec what Keylime
+	// delivered, not what came over the unauthenticated image path.
+	w.kernel, w.initrd, w.diskKey = p.Kernel, p.Initrd, p.DiskKey
+	e.journal.record(EvAttested, w.name, "verifier="+e.verifierPort)
+	return nil
+}
+
+// provisionNode is phases (4) and (6): leave the airlock, join the
+// tenant enclave, export the remote data volume, assemble the
+// disk/network encryption stack, and kexec the tenant OS. The
+// provisioning network stays attached (the boot volume is
+// iSCSI-mounted for the node's lifetime).
+func (e *Enclave) provisionNode(ctx context.Context, w *nodeWork) error {
+	c := e.cloud
+	if err := c.HIL.DetachNode(ctx, e.Project, w.name, airlockNet(w.name)); err != nil {
+		return err
+	}
+	if err := c.HIL.DeleteNetwork(ctx, e.Project, airlockNet(w.name)); err != nil {
+		return err
+	}
+	if err := c.HIL.ConnectNode(ctx, e.Project, w.name, EnclaveNet); err != nil {
+		return err
 	}
 
 	node := &Node{
-		Name:     name,
-		Agent:    agent,
-		Machine:  machine,
-		BootInfo: bootInfo,
+		Name:     w.name,
+		Agent:    w.agent,
+		Machine:  w.machine,
+		BootInfo: w.boot,
 		tunnels:  make(map[string]*ipsec.Endpoint),
 	}
-
-	kernel, initrd := bootInfo.Kernel, bootInfo.Initrd
-	var diskKey []byte
-
-	// (3) Attestation. On failure the node goes to the rejected pool,
-	// isolated from everything (4/5).
-	if e.Profile.Attest {
-		if e.Profile.EncryptDisk {
-			diskKey = randKey(luks.MasterKeySize)
-		}
-		payload := &keylime.Payload{
-			Kernel:  kernel,
-			Initrd:  initrd,
-			Script:  "#!/bin/sh\n# join enclave network, kexec tenant kernel\n",
-			DiskKey: diskKey,
-		}
-		if e.Profile.EncryptNetwork {
-			payload.NetworkKey = e.netKey
-		}
-		whitelist, err := c.ExpectedBootPCRs(name)
-		if err != nil {
-			return nil, err
-		}
-		md, err := c.HIL.NodeMetadata(name)
-		if err != nil {
-			return nil, err
-		}
-		_, err = e.tenant.Provision(c.Registrar, agent, keylime.ProvisionSpec{
-			Payload:      payload,
-			PlatformPCRs: whitelist,
-			IMAWhitelist: e.imaWhitelist,
-			HILMetadata:  md,
-		})
-		if err != nil {
-			// (5) Rejected pool: out of the project, off every network,
-			// and forgotten by the verifier (a fresh attempt on a
-			// repaired node starts from scratch).
-			e.verifier.RemoveNode(name)
-			_ = c.HIL.FreeNode(e.Project, name)
-			_ = c.HIL.DeleteNetwork(e.Project, airlockNet(name))
-			c.MarkRejected(name, err.Error())
-			e.journal.record(EvRejected, name, err.Error())
-			return nil, fmt.Errorf("core: node %s failed attestation, moved to rejected pool: %w", name, err)
-		}
-		p, err := agent.Unwrap()
-		if err != nil {
-			return nil, err
-		}
-		// The attested payload is authoritative: kexec what Keylime
-		// delivered, not what came over the unauthenticated image path.
-		kernel, initrd, diskKey = p.Kernel, p.Initrd, p.DiskKey
-		e.journal.record(EvAttested, name, "verifier="+e.verifierPort)
+	node.volName = e.volName(w.name)
+	if _, err := c.BMI.CreateImage(ctx, node.volName, DataVolumeSize); err != nil {
+		return err
 	}
-
-	// (4) Leave the airlock, join the tenant enclave. The provisioning
-	// network stays attached (the boot volume is iSCSI-mounted for the
-	// node's lifetime).
-	if err := c.HIL.DetachNode(e.Project, name, airlockNet(name)); err != nil {
-		return nil, err
-	}
-	if err := c.HIL.DeleteNetwork(e.Project, airlockNet(name)); err != nil {
-		return nil, err
-	}
-	if err := c.HIL.ConnectNode(e.Project, name, EnclaveNet); err != nil {
-		return nil, err
-	}
-	e.journal.record(EvJoined, name, "network="+EnclaveNet)
-
-	// (6) Provision the remote data volume and boot the tenant OS.
-	node.volName = e.Project + "-" + name + "-vol"
-	if _, err := c.BMI.CreateImage(node.volName, DataVolumeSize); err != nil {
-		return nil, err
-	}
-	export, err := c.BMI.ExportForBoot(name, node.volName, false)
+	export, err := c.BMI.ExportForBoot(ctx, w.name, node.volName, false)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	node.export = export
 
@@ -296,53 +329,72 @@ func (e *Enclave) AcquireNode(image string) (*Node, error) {
 		// and iSCSI server: ESP-wrap the block transport.
 		tr, err := blockdev.NewIPsecTransport(transport, ipsec.SuiteHWAES, 9000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		transport = tr
 	}
-	nbd, err := blockdev.NewClient(transport, blockdev.TunedReadAhead)
+	nbd, err := blockdev.NewClientContext(ctx, transport, blockdev.TunedReadAhead)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	node.Disk = nbd
 	if e.Profile.EncryptDisk {
-		vol, err := luks.FormatWithIterations(nbd, diskKey[:32], 64)
+		vol, err := luks.FormatWithIterations(nbd, w.diskKey[:32], 64)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		node.Disk = vol
 	}
-
-	if err := machine.Kexec(bootInfo.KernelID, kernel, initrd); err != nil {
-		return nil, err
+	if err := e.lc.to(w.name, StateProvisioned, "volume="+node.volName); err != nil {
+		return err
 	}
-	e.journal.record(EvBooted, name, "kernel="+bootInfo.KernelID)
+
+	if err := w.machine.Kexec(w.boot.KernelID, w.kernel, w.initrd); err != nil {
+		return err
+	}
+	e.journal.record(EvBooted, w.name, "kernel="+w.boot.KernelID)
 
 	// Runtime integrity: attach IMA and whitelist the booted kernel's
 	// own components.
 	if e.Profile.ContinuousAttest {
-		node.IMA = ima.NewCollector(machine.TPM(), ima.StressPolicy)
-		agent.AttachIMA(node.IMA)
+		node.IMA = ima.NewCollector(w.machine.TPM(), ima.StressPolicy)
+		w.agent.AttachIMA(node.IMA)
 	}
+	w.node = node
+	return nil
+}
 
-	// Pairwise IPsec mesh with existing members, keyed from the
-	// payload-delivered enclave PSK.
+// admitNode completes the lifecycle: wire the pairwise IPsec mesh with
+// existing members (keyed from the payload-delivered enclave PSK) and
+// record full membership. Admissions serialize on e.mu, so every
+// concurrent batch member pairs with all earlier admits.
+func (e *Enclave) admitNode(w *nodeWork) error {
 	e.mu.Lock()
 	if e.Profile.EncryptNetwork {
+		// Build every pair before installing any: a mid-mesh failure
+		// must not leave peers holding tunnels to a never-admitted node.
+		type pairing struct {
+			peer *Node
+			a, b *ipsec.Endpoint
+		}
+		pairs := make([]pairing, 0, len(e.nodes))
 		for peer, pn := range e.nodes {
-			key := pairKey(e.netKey, name, peer)
+			key := pairKey(e.netKey, w.name, peer)
 			a, b, err := ipsec.NewPair(ipsec.SuiteHWAES, key)
 			if err != nil {
 				e.mu.Unlock()
-				return nil, err
+				return err
 			}
-			node.tunnels[peer] = a
-			pn.tunnels[name] = b
+			pairs = append(pairs, pairing{pn, a, b})
+		}
+		for _, p := range pairs {
+			w.node.tunnels[p.peer.Name] = p.a
+			p.peer.tunnels[w.name] = p.b
 		}
 	}
-	e.nodes[name] = node
+	e.nodes[w.name] = w.node
 	e.mu.Unlock()
-	return node, nil
+	return e.lc.to(w.name, StateAllocated, "network="+EnclaveNet)
 }
 
 // pairKey derives a deterministic per-pair PSK from the enclave key so
@@ -434,26 +486,26 @@ func (e *Enclave) ReleaseNode(name, saveAs string) error {
 		e.verifier.StopMonitoring(name)
 		e.verifier.RemoveNode(name)
 	}
+	ctx := context.Background()
 	c := e.cloud
-	if err := c.BMI.Unexport(name, ""); err != nil {
+	if err := c.BMI.Unexport(ctx, name, ""); err != nil {
 		return err
 	}
 	if saveAs != "" {
 		// The volume is exported read-write, so its image already holds
 		// the node's state: preserve it under the new name.
-		if _, err := c.BMI.CloneImage(n.volName, saveAs); err != nil {
+		if _, err := c.BMI.CloneImage(ctx, n.volName, saveAs); err != nil {
 			return err
 		}
 		e.journal.record(EvStateSaved, name, "image="+saveAs)
 	}
-	if err := c.BMI.DeleteImage(n.volName); err != nil {
+	if err := c.BMI.DeleteImage(ctx, n.volName); err != nil {
 		return err
 	}
-	if err := c.HIL.FreeNode(e.Project, name); err != nil {
+	if err := c.HIL.FreeNode(ctx, e.Project, name); err != nil {
 		return err
 	}
-	e.journal.record(EvReleased, name, "")
-	return nil
+	return e.lc.to(name, StateFree, "")
 }
 
 // Destroy releases every node and deletes the enclave's project.
@@ -463,7 +515,7 @@ func (e *Enclave) Destroy() error {
 			return err
 		}
 	}
-	if err := e.cloud.HIL.DeleteNetwork(e.Project, EnclaveNet); err != nil {
+	if err := e.cloud.HIL.DeleteNetwork(context.Background(), e.Project, EnclaveNet); err != nil {
 		return err
 	}
 	return e.cloud.HIL.DeleteProject(e.Project)

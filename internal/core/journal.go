@@ -11,15 +11,18 @@ type EventKind string
 
 // Journal event kinds, one per Figure-1 transition plus runtime events.
 const (
-	EvAllocated  EventKind = "allocated"   // node reserved from the free pool
-	EvAirlocked  EventKind = "airlocked"   // moved into the airlock
-	EvAttested   EventKind = "attested"    // passed boot attestation
-	EvRejected   EventKind = "rejected"    // failed attestation -> rejected pool
-	EvJoined     EventKind = "joined"      // member of the tenant enclave
-	EvBooted     EventKind = "booted"      // kexec'd into the tenant kernel
-	EvRevoked    EventKind = "revoked"     // runtime violation, keys revoked
-	EvReleased   EventKind = "released"    // returned to the free pool
-	EvStateSaved EventKind = "state-saved" // volume preserved as an image
+	EvAllocated   EventKind = "allocated"   // node reserved from the free pool
+	EvAirlocked   EventKind = "airlocked"   // moved into the airlock
+	EvBooting     EventKind = "booting"     // powered on, firmware runtime coming up
+	EvAttesting   EventKind = "attesting"   // registered, quote in flight
+	EvAttested    EventKind = "attested"    // passed boot attestation
+	EvRejected    EventKind = "rejected"    // failed a lifecycle phase -> rejected pool
+	EvJoined      EventKind = "joined"      // member of the tenant enclave
+	EvProvisioned EventKind = "provisioned" // remote volume + disk stack ready
+	EvBooted      EventKind = "booted"      // kexec'd into the tenant kernel
+	EvRevoked     EventKind = "revoked"     // runtime violation, keys revoked
+	EvReleased    EventKind = "released"    // returned to the free pool
+	EvStateSaved  EventKind = "state-saved" // volume preserved as an image
 )
 
 // Event is one journal record.

@@ -53,6 +53,8 @@ func (p Profile) Validate() error {
 		return errProfile("continuous attestation requires a tenant-deployed verifier (runtime whitelists are tenant-generated, §4.1)")
 	case p.TenantVerifier && !p.Attest:
 		return errProfile("a tenant verifier is useless without attestation")
+	case p.EncryptDisk && !p.Attest:
+		return errProfile("disk encryption requires attestation (the LUKS key is delivered in the attested payload)")
 	default:
 		return nil
 	}

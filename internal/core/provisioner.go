@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bolted/internal/bmi"
+)
+
+// This file is the concurrent provisioner: a worker-pool pipeline that
+// drives many nodes through the Figure-1 life cycle at once. The
+// paper's prototype provisioned one server at a time, so a 16-blade
+// enclave paid the full boot+attest latency per node sequentially;
+// here the batch pays roughly one node's latency plus contention. Each
+// node's failure is isolated: a blade that fails any phase is routed to
+// the provider's rejected pool while its siblings continue to
+// allocation, and a cancelled batch returns in-flight nodes to the
+// free pool instead of leaking switch or storage state.
+
+// DefaultBatchParallelism bounds how many nodes AcquireNodes keeps in
+// flight at once. The per-node airlock design means concurrency is not
+// limited by a single airlock (the §7.3 prototype limitation) — the
+// bound only caps pressure on the shared HIL, BMI and verifier
+// services.
+const DefaultBatchParallelism = 8
+
+// NodeFailure records a node that left the pipeline before allocation.
+type NodeFailure struct {
+	Node  string
+	Phase string // canonical phase name (PhaseAirlock, ..., timing.go)
+	Err   error
+}
+
+func (f NodeFailure) String() string {
+	return fmt.Sprintf("%s failed %s: %v", f.Node, f.Phase, f.Err)
+}
+
+// BatchResult is the outcome of one AcquireNodes call.
+type BatchResult struct {
+	// Nodes are the new enclave members, sorted by name.
+	Nodes []*Node
+	// Failed are nodes quarantined in the provider's rejected pool.
+	Failed []NodeFailure
+	// Aborted are nodes returned to the free pool because the caller's
+	// context ended mid-flight. They are healthy; they just never
+	// finished.
+	Aborted []NodeFailure
+	// Timings is the per-phase breakdown, in the same vocabulary as
+	// SimulateProvisioning.
+	Timings BatchTimings
+}
+
+// AcquireNodes provisions n nodes concurrently through the Figure-1
+// life cycle: airlock, boot, attest (profile permitting), provision.
+// All n nodes are reserved up front — if the free pool cannot supply
+// the batch, nothing is touched and an error is returned. After that,
+// per-node failures do not abort the batch: the failing node moves to
+// the rejected pool and appears in BatchResult.Failed while its
+// siblings continue. Cancelling ctx stops the pipeline at the next
+// phase boundary and returns unfinished nodes to the free pool; nodes
+// already allocated stay allocated and are returned alongside ctx's
+// error.
+func (e *Enclave) AcquireNodes(ctx context.Context, image string, n int) (*BatchResult, error) {
+	if n < 1 {
+		return nil, errors.New("core: batch size must be at least 1")
+	}
+	c := e.cloud
+	start := time.Now()
+
+	// Boot info is a property of the image, not the node: extract once
+	// per batch instead of once per node.
+	bootInfo, err := c.BMI.ExtractBootInfo(ctx, image)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reserve the whole batch first (cheap serialized HIL map updates;
+	// concurrent AllocateAnyNode calls would race each other for the
+	// same free node). Failing here leaves no trace.
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name, err := c.HIL.AllocateAnyNode(ctx, e.Project)
+		if err != nil {
+			for _, got := range names {
+				_ = c.HIL.FreeNode(context.Background(), e.Project, got)
+				e.journal.record(EvReleased, got, "batch reservation rolled back")
+			}
+			return nil, fmt.Errorf("core: reserved %d of %d nodes: %w", len(names), n, err)
+		}
+		e.journal.record(EvAllocated, name, "image="+image)
+		names = append(names, name)
+	}
+
+	res := &BatchResult{}
+	var mu sync.Mutex // guards res
+	workers := DefaultBatchParallelism
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range jobs {
+				node, spans, fail := e.provisionOne(ctx, name, bootInfo)
+				mu.Lock()
+				for _, sp := range spans {
+					res.Timings.observe(sp.phase, sp.d)
+				}
+				switch {
+				case node != nil:
+					res.Nodes = append(res.Nodes, node)
+				case fail.aborted:
+					res.Aborted = append(res.Aborted, fail.NodeFailure)
+				default:
+					res.Failed = append(res.Failed, fail.NodeFailure)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, name := range names {
+		jobs <- name
+	}
+	close(jobs)
+	wg.Wait()
+
+	sort.Slice(res.Nodes, func(i, j int) bool { return res.Nodes[i].Name < res.Nodes[j].Name })
+	sort.Slice(res.Failed, func(i, j int) bool { return res.Failed[i].Node < res.Failed[j].Node })
+	sort.Slice(res.Aborted, func(i, j int) bool { return res.Aborted[i].Node < res.Aborted[j].Node })
+	res.Timings.Wall = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// phaseSpan is one node's measured time in one canonical phase.
+type phaseSpan struct {
+	phase string
+	d     time.Duration
+}
+
+// provisionFailure annotates a NodeFailure with how the node left the
+// pipeline: rejected (quarantined) or aborted (returned to free).
+type provisionFailure struct {
+	NodeFailure
+	aborted bool
+}
+
+// provisionOne drives a single reserved node through the pipeline. On
+// success the node is a full member and the return is (node, spans,
+// nil); on failure the node has already been routed to the rejected
+// pool (or the free pool, for cancellation) and the failure says which
+// phase ended it.
+func (e *Enclave) provisionOne(ctx context.Context, name string, boot *bmi.BootInfo) (*Node, []phaseSpan, *provisionFailure) {
+	w := &nodeWork{name: name, boot: boot}
+	var spans []phaseSpan
+	run := func(phase string, fn func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		err := fn()
+		spans = append(spans, phaseSpan{phase, time.Since(t0)})
+		return err
+	}
+
+	phase := PhaseAirlock
+	err := run(PhaseAirlock, func() error { return e.airlockNode(ctx, name) })
+	if err == nil {
+		phase = PhaseBoot
+		err = run(PhaseBoot, func() error { return e.bootNode(ctx, w) })
+	}
+	if err == nil && e.Profile.Attest {
+		phase = PhaseAttest
+		err = run(PhaseAttest, func() error { return e.attestNode(ctx, w) })
+	}
+	if err == nil {
+		phase = PhaseProvision
+		err = run(PhaseProvision, func() error {
+			if err := e.provisionNode(ctx, w); err != nil {
+				return err
+			}
+			return e.admitNode(w)
+		})
+	}
+	if err == nil {
+		return w.node, spans, nil
+	}
+
+	fail := &provisionFailure{NodeFailure: NodeFailure{Node: name, Phase: phase, Err: err}}
+	// Abort only when the phase error IS the caller's cancellation. A
+	// genuine phase failure (say, compromised firmware) that merely
+	// coincides with — or wraps — a cancellation must still quarantine
+	// the node, never hand it back to the free pool.
+	if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+		fail.aborted = true
+		e.abortNode(name, err)
+	} else {
+		e.rejectNode(name, phase, err)
+	}
+	return nil, spans, fail
+}
+
+// releaseNodeResources is the cleanup shared by rejection and abort:
+// forget the node at the verifier (a fresh attempt on a repaired node
+// starts from scratch) and tear down its storage. Errors from
+// resources the node never reached are ignored.
+func (e *Enclave) releaseNodeResources(name string) {
+	ctx := context.Background()
+	if e.verifier != nil {
+		e.verifier.RemoveNode(name)
+	}
+	_ = e.cloud.BMI.Unexport(ctx, name, "")
+	_ = e.cloud.BMI.DeleteImage(ctx, e.volName(name))
+}
+
+// rejectNode quarantines a node that failed a phase: off every
+// network and parked in the provider's rejected pool for forensics.
+// The node moves there directly — it must never transit the free
+// pool, where a concurrent batch could claim it.
+func (e *Enclave) rejectNode(name, phase string, cause error) {
+	e.releaseNodeResources(name)
+	e.cloud.MarkRejected(e.Project, name, cause.Error())
+	_ = e.cloud.HIL.DeleteNetwork(context.Background(), e.Project, airlockNet(name))
+	_ = e.lc.to(name, StateRejected, phase+": "+cause.Error())
+}
+
+// abortNode unwinds a node whose batch was cancelled: same cleanup as
+// rejection, but the node is healthy, so it returns to the free pool
+// rather than quarantine.
+func (e *Enclave) abortNode(name string, cause error) {
+	e.releaseNodeResources(name)
+	ctx := context.Background()
+	_ = e.cloud.HIL.FreeNode(ctx, e.Project, name)
+	_ = e.cloud.HIL.DeleteNetwork(ctx, e.Project, airlockNet(name))
+	if e.lc.state(name) != StateFree {
+		_ = e.lc.to(name, StateFree, "aborted: "+cause.Error())
+	} else {
+		// Reserved but never airlocked: journal the return directly.
+		e.journal.record(EvReleased, name, "aborted: "+cause.Error())
+	}
+}

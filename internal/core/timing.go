@@ -108,10 +108,68 @@ func DefaultProvisionConfig() ProvisionConfig {
 	}
 }
 
-// Phase is one step of a provisioning timeline.
+// Canonical life-cycle phase names, the vocabulary shared by the real
+// provisioner (Enclave.AcquireNodes reports BatchTimings keyed by these)
+// and the discrete-event simulation (every simulated Phase carries one
+// as its Group), so measured and simulated breakdowns line up.
+const (
+	PhaseAirlock   = "airlock"   // HIL reservation + airlock wiring
+	PhaseBoot      = "boot"      // power-on, firmware, agent registration
+	PhaseAttest    = "attest"    // quote, verification, payload release
+	PhaseProvision = "provision" // network move, volume, crypto, kexec
+)
+
+// Phase is one step of a provisioning timeline. Group is the canonical
+// phase (PhaseAirlock, PhaseBoot, PhaseAttest, PhaseProvision) the step
+// belongs to; Name is the fine-grained label shown in Figure-4 stacks.
 type Phase struct {
 	Name     string
+	Group    string
 	Duration time.Duration
+}
+
+// PhaseTiming aggregates one canonical phase across a provisioning
+// batch: how many nodes went through it, the summed per-node time, and
+// the slowest node (the phase's contribution to batch wall-clock).
+type PhaseTiming struct {
+	Phase string
+	Nodes int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// BatchTimings is the real path's counterpart of ProvisionResult: the
+// per-phase breakdown of one AcquireNodes batch, in canonical phase
+// order, plus the batch's end-to-end wall-clock.
+type BatchTimings struct {
+	Wall   time.Duration
+	Phases []PhaseTiming
+}
+
+// ByPhase returns the aggregate for one canonical phase (zero value if
+// the batch never entered it).
+func (b *BatchTimings) ByPhase(name string) PhaseTiming {
+	for _, p := range b.Phases {
+		if p.Phase == name {
+			return p
+		}
+	}
+	return PhaseTiming{Phase: name}
+}
+
+// observe folds one node's time in a phase into the aggregate.
+func (b *BatchTimings) observe(phase string, d time.Duration) {
+	for i := range b.Phases {
+		if b.Phases[i].Phase == phase {
+			b.Phases[i].Nodes++
+			b.Phases[i].Total += d
+			if d > b.Phases[i].Max {
+				b.Phases[i].Max = d
+			}
+			return
+		}
+	}
+	b.Phases = append(b.Phases, PhaseTiming{Phase: phase, Nodes: 1, Total: d, Max: d})
 }
 
 // ProvisionResult is the simulation output.
@@ -132,6 +190,16 @@ func (r *ProvisionResult) Total() time.Duration {
 		t += p.Duration
 	}
 	return t
+}
+
+// ByGroup sums node 0's timeline per canonical phase, for comparison
+// with a real batch's BatchTimings.
+func (r *ProvisionResult) ByGroup() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, p := range r.Phases {
+		out[p.Group] += p.Duration
+	}
+	return out
 }
 
 // SimulateProvisioning runs the boot timeline for cfg.Concurrency nodes
@@ -170,11 +238,11 @@ func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
 		i := i
 		s.Go(fmt.Sprintf("node%02d", i), func(p *sim.Proc) {
 			var phases []Phase
-			step := func(name string, d time.Duration) {
+			step := func(name, group string, d time.Duration) {
 				p.Sleep(d)
-				phases = append(phases, Phase{name, d})
+				phases = append(phases, Phase{name, group, d})
 			}
-			stepIO := func(name string, bytes int64, slowdown float64) {
+			stepIO := func(name, group string, bytes int64, slowdown float64) {
 				start := p.Now()
 				demand := int64(float64(bytes) * slowdown)
 				wg := p.Sim().NewWaitGroup(bootIOStreams)
@@ -186,30 +254,30 @@ func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
 					})
 				}
 				p.WaitFor(wg)
-				phases = append(phases, Phase{name, p.Now() - start})
+				phases = append(phases, Phase{name, group, p.Now() - start})
 			}
 
 			if cfg.Foreman {
-				step("POST (UEFI)", firmware.UEFIPOSTTime)
-				step("PXE", phasePXE)
-				step("installer boot", foremanInstallerBoot)
+				step("POST (UEFI)", PhaseBoot, firmware.UEFIPOSTTime)
+				step("PXE", PhaseBoot, phasePXE)
+				step("installer boot", PhaseBoot, foremanInstallerBoot)
 				// Full image copy to local disk, one sequential stream.
 				start := p.Now()
 				backend.ChargeImageRead(p, fmt.Sprintf("foreman-%d", i), foremanImageBytes)
-				phases = append(phases, Phase{"copy image to local disk", p.Now() - start})
-				step("POST again (reboot)", firmware.UEFIPOSTTime)
-				step("local boot", foremanLocalBoot)
+				phases = append(phases, Phase{"copy image to local disk", PhaseProvision, p.Now() - start})
+				step("POST again (reboot)", PhaseBoot, firmware.UEFIPOSTTime)
+				step("local boot", PhaseProvision, foremanLocalBoot)
 			} else {
 				if cfg.Firmware == FirmwareUEFI {
-					step("POST (UEFI)", firmware.UEFIPOSTTime)
-					step("PXE -> iPXE", phasePXE)
-					step("iPXE downloads Heads", phaseIPXEFetch)
-					step("boot LinuxBoot runtime", phaseRuntimeBoot)
+					step("POST (UEFI)", PhaseBoot, firmware.UEFIPOSTTime)
+					step("PXE -> iPXE", PhaseBoot, phasePXE)
+					step("iPXE downloads Heads", PhaseBoot, phaseIPXEFetch)
+					step("boot LinuxBoot runtime", PhaseBoot, phaseRuntimeBoot)
 				} else {
-					step("POST (LinuxBoot)", firmware.LinuxBootPOSTTime)
+					step("POST (LinuxBoot)", PhaseBoot, firmware.LinuxBootPOSTTime)
 				}
 				if cfg.Security >= SecAttested {
-					step("download Keylime agent", phaseAgentFetch)
+					step("download Keylime agent", PhaseBoot, phaseAgentFetch)
 					// Registration, quote and verification; a slice of
 					// it is serialized by the single airlock.
 					start := p.Now()
@@ -218,20 +286,20 @@ func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
 					p.Acquire(airlock)
 					p.Sleep(airlockSerial)
 					airlock.Release()
-					phases = append(phases, Phase{"register + attest", p.Now() - start})
+					phases = append(phases, Phase{"register + attest", PhaseAttest, p.Now() - start})
 				} else {
-					step("fetch tenant kernel", phaseKernelFetch)
+					step("fetch tenant kernel", PhaseProvision, phaseKernelFetch)
 				}
-				step("move to tenant network (HIL)", phaseHILMove)
+				step("move to tenant network (HIL)", PhaseProvision, phaseHILMove)
 				if cfg.Security == SecFull {
-					step("LUKS unlock + IPsec tunnel", phaseCryptoSetup)
+					step("LUKS unlock + IPsec tunnel", PhaseProvision, phaseCryptoSetup)
 				}
-				step("kexec + kernel init", phaseKexecBoot)
+				step("kexec + kernel init", PhaseProvision, phaseKexecBoot)
 				slow := 1.0
 				if cfg.Security == SecFull {
 					slow = fullIOSlowdown
 				}
-				stepIO("boot I/O (network storage)", bootIOBytes, slow)
+				stepIO("boot I/O (network storage)", PhaseProvision, bootIOBytes, slow)
 			}
 
 			res.PerNode[i] = p.Now()

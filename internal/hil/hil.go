@@ -14,6 +14,7 @@
 package hil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,6 +37,15 @@ var (
 	ErrUnauthorized = errors.New("hil: node not owned by project")
 	ErrInUse        = errors.New("hil: resource in use")
 )
+
+// ctxErr reports a caller-side cancellation before any switch or BMC
+// state is touched: a cancelled batch must not half-program the fabric.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("hil: %w", err)
+	}
+	return nil
+}
 
 // Node is HIL's view of a physical server.
 type Node struct {
@@ -195,7 +205,10 @@ func (s *Service) FreeNodes() []string {
 }
 
 // AllocateNode reserves a specific free node into a project.
-func (s *Service) AllocateNode(project, node string) error {
+func (s *Service) AllocateNode(ctx context.Context, project, node string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.projects[project]
@@ -215,17 +228,75 @@ func (s *Service) AllocateNode(project, node string) error {
 }
 
 // AllocateAnyNode reserves an arbitrary free node and returns its name.
-func (s *Service) AllocateAnyNode(project string) (string, error) {
-	free := s.FreeNodes()
+// Scan and claim happen under one lock hold: concurrent allocators must
+// never pick the same node and fail each other spuriously.
+func (s *Service) AllocateAnyNode(ctx context.Context, project string) (string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.projects[project]
+	if !ok {
+		return "", fmt.Errorf("%w: project %q", ErrNotFound, project)
+	}
+	var free []string
+	for name, n := range s.nodes {
+		if n.project == "" {
+			free = append(free, name)
+		}
+	}
 	if len(free) == 0 {
 		return "", fmt.Errorf("%w: no free nodes", ErrNotFound)
 	}
-	return free[0], s.AllocateNode(project, free[0])
+	sort.Strings(free)
+	s.nodes[free[0]].project = project
+	p.nodes[free[0]] = true
+	return free[0], nil
+}
+
+// TransferNode atomically moves an owned node from one project to
+// another without passing through the free pool — the quarantine path:
+// a node being rejected must never be allocatable in between. Like
+// FreeNode, the node leaves every network and is powered off.
+func (s *Service) TransferNode(ctx context.Context, from, node, to string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	n, p, err := s.ownedLocked(from, node)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	tp, ok := s.projects[to]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: project %q", ErrNotFound, to)
+	}
+	delete(p.nodes, node)
+	tp.nodes[node] = true
+	n.project = to
+	n.networks = make(map[string]netsim.VLANID)
+	bmc := n.bmc
+	port := n.Port
+	s.mu.Unlock()
+
+	if err := s.fabric.DetachAll(port); err != nil {
+		return err
+	}
+	if bmc != nil {
+		_ = bmc.PowerOff() // already-off is fine
+	}
+	return nil
 }
 
 // FreeNode returns a node to the free pool: it is detached from every
 // network and powered off, so no tenant state keeps running.
-func (s *Service) FreeNode(project, node string) error {
+func (s *Service) FreeNode(ctx context.Context, project, node string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	n, p, err := s.ownedLocked(project, node)
 	if err != nil {
@@ -264,7 +335,10 @@ func (s *Service) ownedLocked(project, node string) (*Node, *Project, error) {
 }
 
 // CreateNetwork allocates a tenant-private network (VLAN).
-func (s *Service) CreateNetwork(project, name string) error {
+func (s *Service) CreateNetwork(ctx context.Context, project, name string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.projects[project]
@@ -283,7 +357,10 @@ func (s *Service) CreateNetwork(project, name string) error {
 }
 
 // DeleteNetwork frees a tenant network; all nodes must be detached.
-func (s *Service) DeleteNetwork(project, name string) error {
+func (s *Service) DeleteNetwork(ctx context.Context, project, name string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.projects[project]
@@ -314,7 +391,10 @@ func (s *Service) resolveNetLocked(p *Project, name string) (netsim.VLANID, erro
 }
 
 // ConnectNode attaches an owned node to a network (tenant or public).
-func (s *Service) ConnectNode(project, node, network string) error {
+func (s *Service) ConnectNode(ctx context.Context, project, node, network string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	n, p, err := s.ownedLocked(project, node)
 	if err != nil {
@@ -333,7 +413,10 @@ func (s *Service) ConnectNode(project, node, network string) error {
 }
 
 // DetachNode removes an owned node from a network.
-func (s *Service) DetachNode(project, node, network string) error {
+func (s *Service) DetachNode(ctx context.Context, project, node, network string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	n, _, err := s.ownedLocked(project, node)
 	if err != nil {
@@ -367,7 +450,10 @@ func (s *Service) nodeBMC(project, node string) (BMC, error) {
 }
 
 // PowerOn powers on an owned node via its BMC.
-func (s *Service) PowerOn(project, node string) error {
+func (s *Service) PowerOn(ctx context.Context, project, node string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	b, err := s.nodeBMC(project, node)
 	if err != nil {
 		return err
@@ -376,7 +462,10 @@ func (s *Service) PowerOn(project, node string) error {
 }
 
 // PowerOff powers off an owned node via its BMC.
-func (s *Service) PowerOff(project, node string) error {
+func (s *Service) PowerOff(ctx context.Context, project, node string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	b, err := s.nodeBMC(project, node)
 	if err != nil {
 		return err
@@ -385,7 +474,10 @@ func (s *Service) PowerOff(project, node string) error {
 }
 
 // PowerCycle power-cycles an owned node via its BMC.
-func (s *Service) PowerCycle(project, node string) error {
+func (s *Service) PowerCycle(ctx context.Context, project, node string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	b, err := s.nodeBMC(project, node)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package hil
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -49,7 +50,7 @@ func TestAllocationLifecycle(t *testing.T) {
 	if got := len(s.FreeNodes()); got != 3 {
 		t.Fatalf("free = %d, want 3", got)
 	}
-	if err := s.AllocateNode("charlie", "node-a"); err != nil {
+	if err := s.AllocateNode(context.Background(), "charlie", "node-a"); err != nil {
 		t.Fatal(err)
 	}
 	owner, _ := s.NodeOwner("node-a")
@@ -58,15 +59,15 @@ func TestAllocationLifecycle(t *testing.T) {
 	}
 	// Double allocation fails.
 	s.CreateProject("bob")
-	if err := s.AllocateNode("bob", "node-a"); !errors.Is(err, ErrInUse) {
+	if err := s.AllocateNode(context.Background(), "bob", "node-a"); !errors.Is(err, ErrInUse) {
 		t.Fatalf("double alloc: %v", err)
 	}
 	// Any-node allocation takes a free one.
-	n, err := s.AllocateAnyNode("bob")
+	n, err := s.AllocateAnyNode(context.Background(), "bob")
 	if err != nil || n == "node-a" {
 		t.Fatalf("AllocateAnyNode = %q, %v", n, err)
 	}
-	if err := s.FreeNode("charlie", "node-a"); err != nil {
+	if err := s.FreeNode(context.Background(), "charlie", "node-a"); err != nil {
 		t.Fatal(err)
 	}
 	if owner, _ := s.NodeOwner("node-a"); owner != "" {
@@ -78,16 +79,16 @@ func TestAuthorizationEnforced(t *testing.T) {
 	s, _, _ := newHIL(t, 2)
 	s.CreateProject("alice")
 	s.CreateProject("mallory")
-	s.AllocateNode("alice", "node-a")
-	s.CreateNetwork("alice", "net")
+	s.AllocateNode(context.Background(), "alice", "node-a")
+	s.CreateNetwork(context.Background(), "alice", "net")
 
-	if err := s.ConnectNode("mallory", "node-a", "net"); !errors.Is(err, ErrUnauthorized) {
+	if err := s.ConnectNode(context.Background(), "mallory", "node-a", "net"); !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("cross-project connect: %v", err)
 	}
-	if err := s.PowerCycle("mallory", "node-a"); !errors.Is(err, ErrUnauthorized) {
+	if err := s.PowerCycle(context.Background(), "mallory", "node-a"); !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("cross-project power: %v", err)
 	}
-	if err := s.FreeNode("mallory", "node-a"); !errors.Is(err, ErrUnauthorized) {
+	if err := s.FreeNode(context.Background(), "mallory", "node-a"); !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("cross-project free: %v", err)
 	}
 }
@@ -96,18 +97,18 @@ func TestNetworkingIsolation(t *testing.T) {
 	s, fabric, _ := newHIL(t, 3)
 	s.CreateProject("a")
 	s.CreateProject("b")
-	s.AllocateNode("a", "node-a")
-	s.AllocateNode("a", "node-b")
-	s.AllocateNode("b", "node-c")
-	s.CreateNetwork("a", "enclave")
-	s.CreateNetwork("b", "enclave") // same name, different project: distinct VLANs
-	if err := s.ConnectNode("a", "node-a", "enclave"); err != nil {
+	s.AllocateNode(context.Background(), "a", "node-a")
+	s.AllocateNode(context.Background(), "a", "node-b")
+	s.AllocateNode(context.Background(), "b", "node-c")
+	s.CreateNetwork(context.Background(), "a", "enclave")
+	s.CreateNetwork(context.Background(), "b", "enclave") // same name, different project: distinct VLANs
+	if err := s.ConnectNode(context.Background(), "a", "node-a", "enclave"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ConnectNode("a", "node-b", "enclave"); err != nil {
+	if err := s.ConnectNode(context.Background(), "a", "node-b", "enclave"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ConnectNode("b", "node-c", "enclave"); err != nil {
+	if err := s.ConnectNode(context.Background(), "b", "node-c", "enclave"); err != nil {
 		t.Fatal(err)
 	}
 	if !fabric.Reachable("port-a", "port-b") {
@@ -121,11 +122,11 @@ func TestNetworkingIsolation(t *testing.T) {
 func TestFreeNodeQuarantinesAndPowersOff(t *testing.T) {
 	s, fabric, bmcs := newHIL(t, 2)
 	s.CreateProject("t")
-	s.AllocateNode("t", "node-a")
-	s.CreateNetwork("t", "n")
-	s.ConnectNode("t", "node-a", "n")
+	s.AllocateNode(context.Background(), "t", "node-a")
+	s.CreateNetwork(context.Background(), "t", "n")
+	s.ConnectNode(context.Background(), "t", "node-a", "n")
 	bmcs[0].on = true
-	if err := s.FreeNode("t", "node-a"); err != nil {
+	if err := s.FreeNode(context.Background(), "t", "node-a"); err != nil {
 		t.Fatal(err)
 	}
 	vs, _ := fabric.VLANsOf("port-a")
@@ -150,12 +151,12 @@ func TestPublicNetworks(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.CreateProject("t")
-	s.AllocateNode("t", "node-a")
-	s.AllocateNode("t", "node-b")
-	if err := s.ConnectNode("t", "node-a", "provisioning"); err != nil {
+	s.AllocateNode(context.Background(), "t", "node-a")
+	s.AllocateNode(context.Background(), "t", "node-b")
+	if err := s.ConnectNode(context.Background(), "t", "node-a", "provisioning"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ConnectNode("t", "node-b", "provisioning"); err != nil {
+	if err := s.ConnectNode(context.Background(), "t", "node-b", "provisioning"); err != nil {
 		t.Fatal(err)
 	}
 	if !fabric.Reachable("port-a", "bmi-host") {
@@ -174,10 +175,10 @@ func TestNonIsolatedPublicNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.CreateProject("t")
-	s.AllocateNode("t", "node-a")
-	s.AllocateNode("t", "node-b")
-	s.ConnectNode("t", "node-a", "internet")
-	s.ConnectNode("t", "node-b", "internet")
+	s.AllocateNode(context.Background(), "t", "node-a")
+	s.AllocateNode(context.Background(), "t", "node-b")
+	s.ConnectNode(context.Background(), "t", "node-a", "internet")
+	s.ConnectNode(context.Background(), "t", "node-b", "internet")
 	if !fabric.Reachable("port-a", "port-b") {
 		t.Fatal("members of a non-isolated public network should reach each other")
 	}
@@ -209,18 +210,18 @@ func TestMetadataSourceOfTruth(t *testing.T) {
 func TestBMCProxy(t *testing.T) {
 	s, _, bmcs := newHIL(t, 1)
 	s.CreateProject("t")
-	s.AllocateNode("t", "node-a")
-	if err := s.PowerOn("t", "node-a"); err != nil {
+	s.AllocateNode(context.Background(), "t", "node-a")
+	if err := s.PowerOn(context.Background(), "t", "node-a"); err != nil {
 		t.Fatal(err)
 	}
 	if !bmcs[0].on {
 		t.Fatal("PowerOn not forwarded")
 	}
-	s.PowerCycle("t", "node-a")
+	s.PowerCycle(context.Background(), "t", "node-a")
 	if bmcs[0].cycles != 1 {
 		t.Fatal("PowerCycle not forwarded")
 	}
-	s.PowerOff("t", "node-a")
+	s.PowerOff(context.Background(), "t", "node-a")
 	if bmcs[0].on {
 		t.Fatal("PowerOff not forwarded")
 	}
@@ -229,11 +230,11 @@ func TestBMCProxy(t *testing.T) {
 func TestProjectDeletion(t *testing.T) {
 	s, _, _ := newHIL(t, 1)
 	s.CreateProject("t")
-	s.AllocateNode("t", "node-a")
+	s.AllocateNode(context.Background(), "t", "node-a")
 	if err := s.DeleteProject("t"); !errors.Is(err, ErrInUse) {
 		t.Fatalf("deleting project with nodes: %v", err)
 	}
-	s.FreeNode("t", "node-a")
+	s.FreeNode(context.Background(), "t", "node-a")
 	if err := s.DeleteProject("t"); err != nil {
 		t.Fatal(err)
 	}
@@ -245,14 +246,14 @@ func TestProjectDeletion(t *testing.T) {
 func TestDeleteNetworkInUse(t *testing.T) {
 	s, _, _ := newHIL(t, 1)
 	s.CreateProject("t")
-	s.AllocateNode("t", "node-a")
-	s.CreateNetwork("t", "n")
-	s.ConnectNode("t", "node-a", "n")
-	if err := s.DeleteNetwork("t", "n"); !errors.Is(err, ErrInUse) {
+	s.AllocateNode(context.Background(), "t", "node-a")
+	s.CreateNetwork(context.Background(), "t", "n")
+	s.ConnectNode(context.Background(), "t", "node-a", "n")
+	if err := s.DeleteNetwork(context.Background(), "t", "n"); !errors.Is(err, ErrInUse) {
 		t.Fatalf("deleting network with members: %v", err)
 	}
-	s.DetachNode("t", "node-a", "n")
-	if err := s.DeleteNetwork("t", "n"); err != nil {
+	s.DetachNode(context.Background(), "t", "node-a", "n")
+	if err := s.DeleteNetwork(context.Background(), "t", "n"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -272,9 +273,9 @@ func TestQuickOwnershipInvariant(t *testing.T) {
 			p := projects[int(op)%len(projects)]
 			n := nodes[int(op>>4)%len(nodes)]
 			if op&0x8000 == 0 {
-				_ = s.AllocateNode(p, n)
+				_ = s.AllocateNode(context.Background(), p, n)
 			} else {
-				_ = s.FreeNode(p, n)
+				_ = s.FreeNode(context.Background(), p, n)
 			}
 		}
 		owned := make(map[string]string)
@@ -363,5 +364,88 @@ func TestHTTPAPI(t *testing.T) {
 	}
 	if err := c.FreeNode("web", node); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTransferNodeQuarantinePath(t *testing.T) {
+	s, fabric, bmcs := newHIL(t, 2)
+	for _, p := range []string{"tenant", "quarantine"} {
+		if err := s.CreateProject(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := s.AllocateNode(ctx, "tenant", "node-a"); err != nil {
+		t.Fatal(err)
+	}
+	s.CreateNetwork(ctx, "tenant", "airlock")
+	s.ConnectNode(ctx, "tenant", "node-a", "airlock")
+	bmcs[0].on = true
+
+	if err := s.TransferNode(ctx, "tenant", "node-a", "quarantine"); err != nil {
+		t.Fatal(err)
+	}
+	// The node never transits the free pool: it is owned by the target
+	// project, off every network, and powered down.
+	if owner, _ := s.NodeOwner("node-a"); owner != "quarantine" {
+		t.Fatalf("owner = %q", owner)
+	}
+	if vlans, _ := fabric.VLANsOf("port-a"); len(vlans) != 0 {
+		t.Fatalf("transferred node still on VLANs %v", vlans)
+	}
+	if bmcs[0].on {
+		t.Fatal("transferred node still powered")
+	}
+	// Errors: not owned by the source project, unknown target.
+	if err := s.TransferNode(ctx, "tenant", "node-a", "quarantine"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("re-transfer = %v", err)
+	}
+	if err := s.TransferNode(ctx, "quarantine", "node-a", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown target = %v", err)
+	}
+}
+
+func TestAllocateAnyNodeConcurrentNoDuplicates(t *testing.T) {
+	const nodes = 12
+	s, _, _ := newHIL(t, nodes)
+	projects := []string{"p0", "p1", "p2"}
+	for _, p := range projects {
+		if err := s.CreateProject(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 projects race for 12 nodes, 4 each: every allocation must
+	// succeed (capacity suffices) and no node may be handed out twice.
+	got := make(chan string, nodes)
+	errc := make(chan error, nodes)
+	for _, p := range projects {
+		p := p
+		go func() {
+			for i := 0; i < nodes/len(projects); i++ {
+				n, err := s.AllocateAnyNode(context.Background(), p)
+				if err != nil {
+					errc <- err
+					return
+				}
+				got <- n
+			}
+			errc <- nil
+		}()
+	}
+	for range projects {
+		if err := <-errc; err != nil {
+			t.Fatalf("spurious allocation failure: %v", err)
+		}
+	}
+	close(got)
+	seen := make(map[string]bool)
+	for n := range got {
+		if seen[n] {
+			t.Fatalf("node %s allocated twice", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != nodes {
+		t.Fatalf("allocated %d of %d", len(seen), nodes)
 	}
 }

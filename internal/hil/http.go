@@ -72,9 +72,9 @@ func NewHandler(s *Service) http.Handler {
 		var err error
 		node := req.Node
 		if node == "" {
-			node, err = s.AllocateAnyNode(r.PathValue("project"))
+			node, err = s.AllocateAnyNode(r.Context(), r.PathValue("project"))
 		} else {
-			err = s.AllocateNode(r.PathValue("project"), node)
+			err = s.AllocateNode(r.Context(), r.PathValue("project"), node)
 		}
 		if err != nil {
 			writeErr(w, err)
@@ -83,33 +83,33 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, map[string]string{"node": node})
 	})
 	mux.HandleFunc("DELETE /projects/{project}/nodes/{node}", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.FreeNode(r.PathValue("project"), r.PathValue("node")); err != nil {
+		if err := s.FreeNode(r.Context(), r.PathValue("project"), r.PathValue("node")); err != nil {
 			writeErr(w, err)
 			return
 		}
 	})
 	mux.HandleFunc("PUT /projects/{project}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.CreateNetwork(r.PathValue("project"), r.PathValue("network")); err != nil {
+		if err := s.CreateNetwork(r.Context(), r.PathValue("project"), r.PathValue("network")); err != nil {
 			writeErr(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("DELETE /projects/{project}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.DeleteNetwork(r.PathValue("project"), r.PathValue("network")); err != nil {
+		if err := s.DeleteNetwork(r.Context(), r.PathValue("project"), r.PathValue("network")); err != nil {
 			writeErr(w, err)
 			return
 		}
 	})
 	mux.HandleFunc("PUT /projects/{project}/nodes/{node}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.ConnectNode(r.PathValue("project"), r.PathValue("node"), r.PathValue("network")); err != nil {
+		if err := s.ConnectNode(r.Context(), r.PathValue("project"), r.PathValue("node"), r.PathValue("network")); err != nil {
 			writeErr(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("DELETE /projects/{project}/nodes/{node}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.DetachNode(r.PathValue("project"), r.PathValue("node"), r.PathValue("network")); err != nil {
+		if err := s.DetachNode(r.Context(), r.PathValue("project"), r.PathValue("node"), r.PathValue("network")); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -123,11 +123,11 @@ func NewHandler(s *Service) http.Handler {
 		var err error
 		switch req.Op {
 		case "on":
-			err = s.PowerOn(r.PathValue("project"), r.PathValue("node"))
+			err = s.PowerOn(r.Context(), r.PathValue("project"), r.PathValue("node"))
 		case "off":
-			err = s.PowerOff(r.PathValue("project"), r.PathValue("node"))
+			err = s.PowerOff(r.Context(), r.PathValue("project"), r.PathValue("node"))
 		case "cycle":
-			err = s.PowerCycle(r.PathValue("project"), r.PathValue("node"))
+			err = s.PowerCycle(r.Context(), r.PathValue("project"), r.PathValue("node"))
 		default:
 			http.Error(w, "unknown power op "+req.Op, http.StatusBadRequest)
 			return

@@ -1,6 +1,7 @@
 package keylime
 
 import (
+	"context"
 	"crypto/ecdh"
 	"crypto/ecdsa"
 	"errors"
@@ -64,7 +65,10 @@ func (a *Agent) checkPath(peerPort string) error {
 // RegisterWith performs the full enrolment dance against a registrar
 // reachable on registrarPort: submit EK+AIK, activate the returned
 // credential in the TPM, return the proof.
-func (a *Agent) RegisterWith(r *Registrar, registrarPort string) error {
+func (a *Agent) RegisterWith(ctx context.Context, r *Registrar, registrarPort string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("keylime: %w", err)
+	}
 	if err := a.checkPath(registrarPort); err != nil {
 		return fmt.Errorf("keylime: agent cannot reach registrar: %w", err)
 	}

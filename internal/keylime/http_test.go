@@ -2,6 +2,7 @@ package keylime
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestFullAttestationOverHTTP(t *testing.T) {
 		IMAWhitelist: wl,
 		HILMetadata:  spec.HILMetadata,
 	}
-	if _, err := tenant.Provision(r.reg, remote, specRemote); err != nil {
+	if _, err := tenant.Provision(context.Background(), r.reg, remote, specRemote); err != nil {
 		t.Fatal(err)
 	}
 	// The V share and payload reached the real agent through its REST

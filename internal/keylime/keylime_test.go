@@ -2,6 +2,7 @@ package keylime
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -149,7 +150,7 @@ func TestPayloadSealOpen(t *testing.T) {
 
 func TestRegistrationAndActivation(t *testing.T) {
 	r := newRig(t)
-	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+	if err := r.agent.RegisterWith(context.Background(), r.reg, regPort); err != nil {
 		t.Fatal(err)
 	}
 	aik, err := r.reg.AIK("node1")
@@ -204,11 +205,11 @@ func TestImposterCannotRegisterAsNode(t *testing.T) {
 
 func TestFullProvisionFlow(t *testing.T) {
 	r := newRig(t)
-	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+	if err := r.agent.RegisterWith(context.Background(), r.reg, regPort); err != nil {
 		t.Fatal(err)
 	}
 	spec := r.spec()
-	k, err := r.tenant.Provision(r.reg, r.agent, spec)
+	k, err := r.tenant.Provision(context.Background(), r.reg, r.agent, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestFullProvisionFlow(t *testing.T) {
 
 func TestUnwrapFailsBeforeAttestation(t *testing.T) {
 	r := newRig(t)
-	r.agent.RegisterWith(r.reg, regPort)
+	r.agent.RegisterWith(context.Background(), r.reg, regPort)
 	r.agent.ReceiveU(bytes.Repeat([]byte{1}, KeySize))
 	if _, err := r.agent.Unwrap(); err == nil {
 		t.Fatal("unwrap succeeded with only U")
@@ -245,12 +246,12 @@ func TestCompromisedFirmwareRejected(t *testing.T) {
 	evil := firmware.BuildLinuxBoot("heads-v1", []byte("linuxboot source v1 IMPLANT"))
 	r.machine.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
 	r.machine.PowerCycle()
-	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+	if err := r.agent.RegisterWith(context.Background(), r.reg, regPort); err != nil {
 		t.Fatal(err)
 	}
 	spec := r.spec()
 	spec.PlatformPCRs = wl
-	_, err := r.tenant.Provision(r.reg, r.agent, spec)
+	_, err := r.tenant.Provision(context.Background(), r.reg, r.agent, spec)
 	if err == nil {
 		t.Fatal("compromised firmware passed attestation")
 	}
@@ -268,32 +269,32 @@ func TestCompromisedFirmwareRejected(t *testing.T) {
 
 func TestServerSpoofingDetected(t *testing.T) {
 	r := newRig(t)
-	r.agent.RegisterWith(r.reg, regPort)
+	r.agent.RegisterWith(context.Background(), r.reg, regPort)
 	spec := r.spec()
 	// Provider metadata points at a different physical TPM.
 	other, _ := firmware.NewMachine("other", "node-port", firmware.NewLinuxBoot(heads, "m620"))
 	spec.HILMetadata = map[string]string{EKMetadataKey: EncodeEK(other.TPM().EKPublic())}
-	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err == nil {
+	if _, err := r.tenant.Provision(context.Background(), r.reg, r.agent, spec); err == nil {
 		t.Fatal("EK mismatch not detected")
 	}
 	spec.HILMetadata = map[string]string{}
-	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err == nil {
+	if _, err := r.tenant.Provision(context.Background(), r.reg, r.agent, spec); err == nil {
 		t.Fatal("missing EK metadata not detected")
 	}
 }
 
 func TestIsolatedAgentCannotAttest(t *testing.T) {
 	r := newRig(t)
-	r.agent.RegisterWith(r.reg, regPort)
+	r.agent.RegisterWith(context.Background(), r.reg, regPort)
 	// Quarantine the node: detach from all VLANs.
 	if err := r.fabric.DetachAll("node-port"); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.agent.RegisterWith(r.reg, regPort); err == nil {
+	if err := r.agent.RegisterWith(context.Background(), r.reg, regPort); err == nil {
 		t.Fatal("isolated agent reached registrar")
 	}
 	spec := r.spec()
-	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err == nil {
+	if _, err := r.tenant.Provision(context.Background(), r.reg, r.agent, spec); err == nil {
 		t.Fatal("isolated agent passed attestation")
 	}
 }
@@ -303,7 +304,7 @@ func TestIsolatedAgentCannotAttest(t *testing.T) {
 func continuousRig(t *testing.T) (*rig, *ima.Collector, *ima.Whitelist) {
 	t.Helper()
 	r := newRig(t)
-	if err := r.agent.RegisterWith(r.reg, regPort); err != nil {
+	if err := r.agent.RegisterWith(context.Background(), r.reg, regPort); err != nil {
 		t.Fatal(err)
 	}
 	wl := ima.NewWhitelist()
@@ -311,7 +312,7 @@ func continuousRig(t *testing.T) (*rig, *ima.Collector, *ima.Whitelist) {
 	wl.AllowContent("/etc/conf", []byte("config"))
 	spec := r.spec()
 	spec.IMAWhitelist = wl
-	if _, err := r.tenant.Provision(r.reg, r.agent, spec); err != nil {
+	if _, err := r.tenant.Provision(context.Background(), r.reg, r.agent, spec); err != nil {
 		t.Fatal(err)
 	}
 	col := ima.NewCollector(r.machine.TPM(), ima.StressPolicy)
@@ -426,7 +427,7 @@ func TestVerifierNodeManagement(t *testing.T) {
 	if _, err := r.verifier.Status("ghost"); err == nil {
 		t.Fatal("status of unknown node")
 	}
-	if err := r.verifier.AttestBoot("ghost"); err == nil {
+	if err := r.verifier.AttestBoot(context.Background(), "ghost"); err == nil {
 		t.Fatal("attestation of unknown node")
 	}
 	if _, err := r.verifier.CheckIMA("node1"); err == nil {

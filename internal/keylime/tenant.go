@@ -1,6 +1,7 @@
 package keylime
 
 import (
+	"context"
 	"crypto/ecdh"
 	"encoding/hex"
 	"errors"
@@ -68,7 +69,10 @@ type ProvisionSpec struct {
 //
 // It returns the bootstrap key so the tenant can later derive the same
 // disk/network keys it embedded in the payload.
-func (t *Tenant) Provision(reg *Registrar, agent AgentConn, spec ProvisionSpec) ([]byte, error) {
+func (t *Tenant) Provision(ctx context.Context, reg *Registrar, agent AgentConn, spec ProvisionSpec) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("keylime: %w", err)
+	}
 	if spec.Payload == nil {
 		return nil, errors.New("keylime: provision needs a payload")
 	}
@@ -97,7 +101,7 @@ func (t *Tenant) Provision(reg *Registrar, agent AgentConn, spec ProvisionSpec) 
 		return nil, err
 	}
 	agent.ReceiveU(u)
-	if err := t.verifier.AttestBoot(uuid); err != nil {
+	if err := t.verifier.AttestBoot(ctx, uuid); err != nil {
 		return nil, err
 	}
 	return k, nil

@@ -1,6 +1,7 @@
 package keylime
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -147,14 +148,17 @@ func nonce() []byte {
 // boot PCRs, verified against the registrar-certified AIK and the
 // platform whitelist. On first success the verifier releases V and the
 // sealed payload to the agent.
-func (v *Verifier) AttestBoot(uuid string) error {
+func (v *Verifier) AttestBoot(ctx context.Context, uuid string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("keylime: %w", err)
+	}
 	v.mu.Lock()
 	m, ok := v.nodes[uuid]
 	v.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("keylime: node %q not monitored", uuid)
 	}
-	err := v.attestBoot(uuid, m)
+	err := v.attestBoot(ctx, uuid, m)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err != nil {
@@ -171,7 +175,7 @@ func (v *Verifier) AttestBoot(uuid string) error {
 	return nil
 }
 
-func (v *Verifier) attestBoot(uuid string, m *monitored) error {
+func (v *Verifier) attestBoot(ctx context.Context, uuid string, m *monitored) error {
 	aik, err := v.registrar.AIK(uuid)
 	if err != nil {
 		return fmt.Errorf("keylime: no certified AIK: %w", err)
@@ -185,6 +189,11 @@ func (v *Verifier) attestBoot(uuid string, m *monitored) error {
 	q, err := m.cfg.Agent.Quote(n, sel, v.port)
 	if err != nil {
 		return err
+	}
+	// The quote round trip is the slow step; honor a cancellation that
+	// raced it before committing the verdict.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("keylime: %w", err)
 	}
 	if err := tpm.VerifyQuote(aik, q, n); err != nil {
 		return err

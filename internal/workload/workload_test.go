@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -112,6 +113,9 @@ func TestKernelCompileIMAMeasuresEveryFile(t *testing.T) {
 }
 
 func TestKernelCompileScalesWithThreads(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("thread-scaling needs at least 2 CPUs")
+	}
 	spec1 := CompileSpec{Files: 400, FileBytes: 8 << 10, Threads: 1, WorkFactor: 20}
 	spec8 := spec1
 	spec8.Threads = 8
