@@ -7,6 +7,7 @@ package bolted_test
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"bolted/internal/keylime"
 	"bolted/internal/luks"
 	"bolted/internal/npb"
+	"bolted/internal/remote"
 	"bolted/internal/tpm"
 	"bolted/internal/workload"
 )
@@ -607,4 +609,72 @@ func BenchmarkEnclaveAcquire(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAcquireNodesTransport compares the full concurrent batch
+// pipeline in process against the identical pipeline driven entirely
+// over boltedd's wire API (HIL + BMI + registrar + node plane over
+// HTTP) — the overhead a tenant pays for trusting nothing but the
+// service plane's network interface. CI emits this comparison as
+// BENCH_provisioning.json.
+func BenchmarkAcquireNodesTransport(b *testing.B) {
+	const batch = 4
+	seed := func(b *testing.B) *core.Cloud {
+		cfg := core.DefaultConfig()
+		cfg.Nodes = batch
+		cloud, err := core.NewCloud(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+			KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return cloud
+	}
+	run := func(b *testing.B, cloud *core.Cloud) {
+		e, err := core.NewEnclave(cloud, "t", core.ProfileBob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.AcquireNodes(context.Background(), "os", batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Nodes) != batch {
+			b.Fatalf("allocated %d of %d", len(res.Nodes), batch)
+		}
+	}
+
+	b.Run("in-process", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cloud := seed(b)
+			b.StartTimer()
+			run(b, cloud)
+		}
+		b.ReportMetric(batch, "nodes/batch")
+	})
+	b.Run("http", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			serverCloud := seed(b)
+			handler, err := remote.NewHandler(serverCloud)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := httptest.NewServer(handler)
+			cloud, err := remote.Dial(srv.URL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			run(b, cloud)
+			b.StopTimer()
+			srv.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(batch, "nodes/batch")
+	})
 }

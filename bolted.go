@@ -12,6 +12,7 @@
 //	internal/keylime   remote attestation + key bootstrap
 //	internal/firmware  UEFI / LinuxBoot machine + measured boot model
 //	internal/core      enclave orchestration and timing models
+//	internal/remote    the wire seam: full service plane over HTTP
 //	internal/workload  the paper's evaluation workloads
 //
 // Quick start:
@@ -32,8 +33,11 @@
 package bolted
 
 import (
+	"net/http"
+
 	"bolted/internal/bmi"
 	"bolted/internal/core"
+	"bolted/internal/remote"
 	"bolted/internal/workload"
 )
 
@@ -142,8 +146,35 @@ var (
 	ProfileCharlie = core.ProfileCharlie
 )
 
+// HILService is the orchestrator's narrow view of the Hardware
+// Isolation Layer — satisfied in-process and over HTTP.
+type HILService = core.HILService
+
+// BMIService is the orchestrator's narrow view of Bare Metal Imaging.
+type BMIService = core.BMIService
+
+// NodeDriver covers the node-plane pipeline steps (runtime boot,
+// agent lifecycle, kexec, runtime IMA).
+type NodeDriver = core.NodeDriver
+
 // NewCloud constructs and wires a cloud.
 func NewCloud(cfg CloudConfig) (*Cloud, error) { return core.NewCloud(cfg) }
+
+// Dial connects to a boltedd serving the full Bolted service plane and
+// returns a Cloud whose HIL, BMI and Keylime registrar are HTTP
+// clients against it. The returned Cloud runs the identical enclave
+// pipeline — NewEnclave + AcquireNodes provision a concurrent batch
+// entirely over the wire:
+//
+//	cloud, _ := bolted.Dial("http://127.0.0.1:8080")
+//	enclave, _ := bolted.NewEnclave(cloud, "myproj", bolted.ProfileBob)
+//	res, _ := enclave.AcquireNodes(ctx, "fedora28", 4)
+func Dial(serverURL string) (*Cloud, error) { return remote.Dial(serverURL) }
+
+// NewServerHandler exposes an in-process cloud's complete service
+// plane (HIL, BMI, Keylime registrar, node plane) over HTTP — what
+// cmd/boltedd serves and Dial consumes.
+func NewServerHandler(c *Cloud) (http.Handler, error) { return remote.NewHandler(c) }
 
 // DefaultConfig mirrors the paper's 16-blade testbed.
 func DefaultConfig() CloudConfig { return core.DefaultConfig() }

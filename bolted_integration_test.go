@@ -54,7 +54,7 @@ func TestFacadeThreeTenantsEndToEnd(t *testing.T) {
 		}
 	}
 	// All three coexist; the free pool is empty.
-	if free := cloud.HIL.FreeNodes(); len(free) != 0 {
+	if free, _ := cloud.HIL.FreeNodes(); len(free) != 0 {
 		t.Fatalf("free pool = %v", free)
 	}
 }

@@ -1,5 +1,7 @@
 // Command boltedctl is the tenant CLI for a running boltedd: it speaks
-// the HIL REST API to manage projects, nodes, networks and power.
+// the service-plane REST APIs to manage projects, nodes, networks,
+// power and images — and can drive the full enclave pipeline over the
+// wire with "enclave acquire".
 //
 // Usage:
 //
@@ -22,21 +24,24 @@
 //	image delete <name>
 //	image bootinfo <name>
 //	firmware verify <node> <source-id> <source-file>
+//	enclave acquire <image> <n>   (-profile alice|bob|charlie, -project NAME)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
+	"bolted"
 	"bolted/internal/bmi"
 	"bolted/internal/core"
 	"bolted/internal/hil"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: boltedctl [-server URL] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: boltedctl [-server URL] [-profile P] [-project NAME] <command> [args]
 commands:
   project create <name>
   node list-free
@@ -52,18 +57,25 @@ commands:
         snapshot <src> <snap> | delete <name> | bootinfo <name>
   firmware verify <node> <source-id> <source-file>
         (rebuild LinuxBoot from source and compare against the
-         provider-published platform PCR for the node)`)
+         provider-published platform PCR for the node)
+  enclave acquire <image> <n>
+        (dial the server's full service plane and provision a batch of
+         n nodes end-to-end — airlock, boot, attest, provision —
+         entirely over the wire)`)
 	os.Exit(2)
 }
 
 func main() {
-	server := flag.String("server", "http://127.0.0.1:8080", "boltedd HIL API base URL")
+	server := flag.String("server", "http://127.0.0.1:8080", "boltedd service-plane base URL")
+	profileName := flag.String("profile", "bob", "enclave security profile: alice, bob or charlie")
+	project := flag.String("project", "boltedctl", "enclave project name")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
 		usage()
 	}
 	c := hil.NewClient(*server)
+	ctx := context.Background()
 
 	need := func(n int) {
 		if len(args) != n {
@@ -83,20 +95,22 @@ func main() {
 			fmt.Println(n)
 		}
 	case "node allocate":
-		node := ""
 		if len(args) == 4 {
-			node = args[3]
+			err = c.AllocateNode(ctx, args[2], args[3])
+			if err == nil {
+				fmt.Println(args[3])
+			}
 		} else {
 			need(3)
-		}
-		var got string
-		got, err = c.AllocateNode(args[2], node)
-		if err == nil {
-			fmt.Println(got)
+			var got string
+			got, err = c.AllocateAnyNode(ctx, args[2])
+			if err == nil {
+				fmt.Println(got)
+			}
 		}
 	case "node free":
 		need(4)
-		err = c.FreeNode(args[2], args[3])
+		err = c.FreeNode(ctx, args[2], args[3])
 	case "node metadata":
 		need(3)
 		var md map[string]string
@@ -106,19 +120,19 @@ func main() {
 		}
 	case "net create":
 		need(4)
-		err = c.CreateNetwork(args[2], args[3])
+		err = c.CreateNetwork(ctx, args[2], args[3])
 	case "net delete":
 		need(4)
-		err = c.DeleteNetwork(args[2], args[3])
+		err = c.DeleteNetwork(ctx, args[2], args[3])
 	case "net connect":
 		need(5)
-		err = c.ConnectNode(args[2], args[3], args[4])
+		err = c.ConnectNode(ctx, args[2], args[3], args[4])
 	case "net detach":
 		need(5)
-		err = c.DetachNode(args[2], args[3], args[4])
+		err = c.DetachNode(ctx, args[2], args[3], args[4])
 	case "power on", "power off", "power cycle":
 		need(4)
-		err = c.Power(args[2], args[3], args[1])
+		err = c.Power(ctx, args[2], args[3], args[1])
 	case "image list":
 		need(2)
 		var imgs []string
@@ -131,21 +145,21 @@ func main() {
 		var size int64
 		size, err = strconv.ParseInt(args[3], 10, 64)
 		if err == nil {
-			err = bmiClient(*server).CreateImage(args[2], size)
+			_, err = bmiClient(*server).CreateImage(ctx, args[2], size)
 		}
 	case "image clone":
 		need(4)
-		err = bmiClient(*server).CloneImage(args[2], args[3])
+		_, err = bmiClient(*server).CloneImage(ctx, args[2], args[3])
 	case "image snapshot":
 		need(4)
-		err = bmiClient(*server).SnapshotImage(args[2], args[3])
+		_, err = bmiClient(*server).SnapshotImage(ctx, args[2], args[3])
 	case "image delete":
 		need(3)
-		err = bmiClient(*server).DeleteImage(args[2])
+		err = bmiClient(*server).DeleteImage(ctx, args[2])
 	case "image bootinfo":
 		need(3)
 		var bi *bmi.BootInfo
-		bi, err = bmiClient(*server).ExtractBootInfo(args[2])
+		bi, err = bmiClient(*server).ExtractBootInfo(ctx, args[2])
 		if err == nil {
 			fmt.Printf("kernel-id: %s\ncmdline:   %s\nkernel:    %d bytes\ninitrd:    %d bytes\n",
 				bi.KernelID, bi.Cmdline, len(bi.Kernel), len(bi.Initrd))
@@ -165,6 +179,13 @@ func main() {
 		if err = core.VerifyPublishedFirmware(md, args[3], source); err == nil {
 			fmt.Printf("node %s: published firmware measurement matches your build of %s\n", args[2], args[3])
 		}
+	case "enclave acquire":
+		need(4)
+		var n int
+		n, err = strconv.Atoi(args[3])
+		if err == nil {
+			err = acquireEnclave(ctx, *server, *project, *profileName, args[2], n)
+		}
 	default:
 		usage()
 	}
@@ -172,6 +193,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boltedctl:", err)
 		os.Exit(1)
 	}
+}
+
+// acquireEnclave dials the server's full service plane and runs the
+// concurrent batch pipeline against it: every HIL, BMI and Keylime
+// interaction crosses the wire.
+func acquireEnclave(ctx context.Context, server, project, profileName, image string, n int) error {
+	var profile bolted.Profile
+	switch profileName {
+	case "alice":
+		profile = bolted.ProfileAlice
+	case "bob":
+		profile = bolted.ProfileBob
+	case "charlie":
+		profile = bolted.ProfileCharlie
+	default:
+		return fmt.Errorf("unknown profile %q (want alice, bob or charlie)", profileName)
+	}
+	cloud, err := bolted.Dial(server)
+	if err != nil {
+		return err
+	}
+	enclave, err := bolted.NewEnclave(cloud, project, profile)
+	if err != nil {
+		return err
+	}
+	res, err := enclave.AcquireNodes(ctx, image, n)
+	if err != nil {
+		return err
+	}
+	for _, node := range res.Nodes {
+		fmt.Printf("allocated %s\n", node.Name)
+	}
+	for _, f := range res.Failed {
+		fmt.Printf("rejected  %s (%s: %v)\n", f.Node, f.Phase, f.Err)
+	}
+	fmt.Printf("batch: %d allocated, %d rejected in %v\n", len(res.Nodes), len(res.Failed), res.Timings.Wall.Round(0))
+	return nil
 }
 
 // bmiClient returns a BMI client for the boltedd server's /bmi prefix.

@@ -1,20 +1,28 @@
-// Command boltedd runs a demo Bolted cloud and serves the HIL REST API
-// over HTTP, so boltedctl (or curl) can drive allocation, networking
-// and power operations the way tenant tooling drives a real HIL.
+// Command boltedd runs a demo Bolted cloud and serves the full service
+// plane over HTTP — HIL at /, BMI at /bmi/, the Keylime registrar at
+// /registrar/ and the node plane at /plane/ — so boltedctl, curl, or a
+// bolted.Dial tenant can drive everything from allocation to a full
+// end-to-end enclave batch the way tenant tooling drives a real
+// deployment.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bolted/internal/bmi"
 	"bolted/internal/core"
-	"bolted/internal/hil"
+	"bolted/internal/remote"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address for the HIL API")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address for the service plane")
 	nodes := flag.Int("nodes", 4, "number of bare-metal nodes")
 	fw := flag.String("firmware", "linuxboot", "node flash firmware: linuxboot or uefi")
 	flag.Parse()
@@ -35,13 +43,42 @@ func main() {
 		log.Fatalf("boltedd: seed image: %v", err)
 	}
 
-	mux := http.NewServeMux()
-	mux.Handle("/bmi/", http.StripPrefix("/bmi", bmi.NewHandler(cloud.BMI)))
-	mux.Handle("/", hil.NewHandler(cloud.HIL))
-
-	log.Printf("boltedd: %d %s nodes; HIL API at http://%s/, BMI API at http://%s/bmi/", *nodes, *fw, *addr, *addr)
-	log.Printf("boltedd: free nodes: %v", cloud.HIL.FreeNodes())
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		log.Fatal(err)
+	handler, err := remote.NewHandler(cloud)
+	if err != nil {
+		log.Fatalf("boltedd: %v", err)
 	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       15 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	free, _ := cloud.HIL.FreeNodes()
+	log.Printf("boltedd: %d %s nodes; HIL at http://%s/, BMI at http://%s/bmi/, registrar at http://%s/registrar/, node plane at http://%s/plane/",
+		*nodes, *fw, *addr, *addr, *addr, *addr)
+	log.Printf("boltedd: free nodes: %v", free)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("boltedd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("boltedd: signal received, draining connections")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("boltedd: forced shutdown: %v", err)
+		}
+	}
+	log.Printf("boltedd: stopped")
 }

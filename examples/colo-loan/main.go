@@ -79,7 +79,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("burst over: nodes returned, free pool = %d\n", len(cloud.HIL.FreeNodes()))
+	free, _ := cloud.HIL.FreeNodes()
+	fmt.Printf("burst over: nodes returned, free pool = %d\n", len(free))
 }
 
 func errShort(err error) string {

@@ -54,5 +54,6 @@ func main() {
 	if err := enclave.ReleaseNode(node.Name, ""); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("node released; free pool: %v\n", cloud.HIL.FreeNodes()[:3])
+	free, _ := cloud.HIL.FreeNodes()
+	fmt.Printf("node released; free pool: %v\n", free[:3])
 }

@@ -171,8 +171,10 @@ func (s *Service) DeleteImage(ctx context.Context, name string) error {
 	return nil
 }
 
-// ListImages returns image names, sorted.
-func (s *Service) ListImages() []string {
+// ListImages returns image names, sorted. The error return exists for
+// remote implementations of the same surface; the in-process service
+// never fails.
+func (s *Service) ListImages() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []string
@@ -180,7 +182,7 @@ func (s *Service) ListImages() []string {
 		out = append(out, name)
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
 }
 
 // GetImage looks up an image.

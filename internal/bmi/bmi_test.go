@@ -40,7 +40,7 @@ func TestImageLifecycle(t *testing.T) {
 	if _, err := s.CreateImage(context.Background(), "bad", 100); err == nil {
 		t.Fatal("unaligned size accepted")
 	}
-	imgs := s.ListImages()
+	imgs, _ := s.ListImages()
 	if len(imgs) != 1 || imgs[0] != "a" {
 		t.Fatalf("ListImages = %v", imgs)
 	}

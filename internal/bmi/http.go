@@ -2,17 +2,35 @@ package bmi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+
+	"bolted/internal/blockdev"
 )
 
-// This file provides BMI's REST surface so tenant tooling can manage
-// images remotely — mirroring the real M2/BMI HTTP API. Binary image
-// content travels base64-encoded inside JSON (the volumes here are
-// simulation-sized).
+// This file provides BMI's REST surface so tenant tooling and the
+// transport-agnostic orchestrator can manage images AND boot exports
+// remotely — mirroring the real M2/BMI HTTP API. Binary image content
+// travels base64-encoded inside JSON (the volumes here are
+// simulation-sized); block I/O against an export travels as raw
+// request/response frames of the blockdev wire protocol, the
+// iSCSI-like path a diskless node uses to page in its image.
+
+// errHeader carries the sentinel-error class out of band so clients can
+// reconstruct errors.Is semantics across the wire.
+const errHeader = "X-Bolted-Error"
+
+// Sentinel wire tags.
+const (
+	errTagNotFound = "not-found"
+	errTagExists   = "exists"
+	errTagInUse    = "in-use"
+)
 
 // NewHandler exposes a Service over HTTP.
 func NewHandler(s *Service) http.Handler {
@@ -22,10 +40,13 @@ func NewHandler(s *Service) http.Handler {
 		code := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, ErrNotFound):
+			w.Header().Set(errHeader, errTagNotFound)
 			code = http.StatusNotFound
 		case errors.Is(err, ErrExists):
+			w.Header().Set(errHeader, errTagExists)
 			code = http.StatusConflict
 		case errors.Is(err, ErrInUse):
+			w.Header().Set(errHeader, errTagInUse)
 			code = http.StatusConflict
 		}
 		http.Error(w, err.Error(), code)
@@ -38,7 +59,12 @@ func NewHandler(s *Service) http.Handler {
 	}
 
 	mux.HandleFunc("GET /images", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.ListImages())
+		imgs, err := s.ListImages()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, imgs)
 	})
 	mux.HandleFunc("GET /images/{name}", func(w http.ResponseWriter, r *http.Request) {
 		img, err := s.GetImage(r.PathValue("name"))
@@ -105,10 +131,55 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, bi)
 	})
+	mux.HandleFunc("PUT /exports/{node}", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Image string
+			Cow   bool
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if _, err := s.ExportForBoot(r.Context(), r.PathValue("node"), req.Image, req.Cow); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("DELETE /exports/{node}", func(w http.ResponseWriter, r *http.Request) {
+		saveAs := r.URL.Query().Get("save-as")
+		if err := s.Unexport(r.Context(), r.PathValue("node"), saveAs); err != nil {
+			writeErr(w, err)
+		}
+	})
+	mux.HandleFunc("POST /exports/{node}/io", func(w http.ResponseWriter, r *http.Request) {
+		e, err := s.GetExport(r.PathValue("node"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		frame, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := e.Target.Handle(frame)
+		if err != nil {
+			// Device-level failures travel in-band as protocol error
+			// frames; only a malformed frame lands here.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(resp)
+	})
 	return mux
 }
 
-// Client is an HTTP client for a remote BMI service.
+// Client is an HTTP client for a remote BMI service. Its methods mirror
+// *Service exactly, including sentinel-error semantics: errors.Is
+// against ErrNotFound / ErrExists / ErrInUse behaves the same whether
+// the service is in-process or across the wire.
 type Client struct {
 	Base string
 	HTTP *http.Client
@@ -119,7 +190,29 @@ func NewClient(base string) *Client {
 	return &Client{Base: base, HTTP: http.DefaultClient}
 }
 
-func (c *Client) do(method, path string, body, out interface{}) error {
+// sentinelFor maps a response back to the service's sentinel errors,
+// preferring the explicit error header, falling back to the status
+// code for servers that predate it (where ErrExists and ErrInUse are
+// indistinguishable and map to ErrExists).
+func sentinelFor(resp *http.Response) error {
+	switch resp.Header.Get(errHeader) {
+	case errTagNotFound:
+		return ErrNotFound
+	case errTagExists:
+		return ErrExists
+	case errTagInUse:
+		return ErrInUse
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return ErrNotFound
+	case http.StatusConflict:
+		return ErrExists
+	}
+	return nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -128,7 +221,7 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -139,6 +232,9 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		msg, _ := io.ReadAll(resp.Body)
+		if sentinel := sentinelFor(resp); sentinel != nil {
+			return fmt.Errorf("%w: %s %s: %s", sentinel, method, path, bytes.TrimSpace(msg))
+		}
 		return fmt.Errorf("bmi: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
 	}
 	if out != nil {
@@ -150,38 +246,126 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 // ListImages lists image names.
 func (c *Client) ListImages() ([]string, error) {
 	var out []string
-	err := c.do("GET", "/images", nil, &out)
+	err := c.do(context.Background(), "GET", "/images", nil, &out)
 	return out, err
 }
 
+// GetImage looks up an image.
+func (c *Client) GetImage(name string) (*Image, error) {
+	var out struct {
+		Name     string `json:"name"`
+		Size     int64  `json:"size"`
+		Snapshot bool   `json:"snapshot"`
+	}
+	if err := c.do(context.Background(), "GET", "/images/"+url.PathEscape(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &Image{Name: out.Name, Size: out.Size, Snapshot: out.Snapshot}, nil
+}
+
 // CreateImage allocates an empty image.
-func (c *Client) CreateImage(name string, size int64) error {
-	return c.do("PUT", "/images/"+name, map[string]interface{}{"Size": size}, nil)
+func (c *Client) CreateImage(ctx context.Context, name string, size int64) (*Image, error) {
+	if err := c.do(ctx, "PUT", "/images/"+url.PathEscape(name), map[string]interface{}{"Size": size}, nil); err != nil {
+		return nil, err
+	}
+	return &Image{Name: name, Size: size}, nil
 }
 
 // CreateOSImage builds a bootable OS image remotely.
-func (c *Client) CreateOSImage(name string, spec OSImageSpec) error {
-	return c.do("PUT", "/images/"+name, map[string]interface{}{"OS": &spec}, nil)
+func (c *Client) CreateOSImage(name string, spec OSImageSpec) (*Image, error) {
+	if err := c.do(context.Background(), "PUT", "/images/"+url.PathEscape(name), map[string]interface{}{"OS": &spec}, nil); err != nil {
+		return nil, err
+	}
+	return c.GetImage(name)
 }
 
 // DeleteImage removes an image.
-func (c *Client) DeleteImage(name string) error {
-	return c.do("DELETE", "/images/"+name, nil, nil)
+func (c *Client) DeleteImage(ctx context.Context, name string) error {
+	return c.do(ctx, "DELETE", "/images/"+url.PathEscape(name), nil, nil)
 }
 
 // CloneImage copies an image.
-func (c *Client) CloneImage(src, dst string) error {
-	return c.do("POST", "/images/"+src+"/clone", map[string]interface{}{"Target": dst}, nil)
+func (c *Client) CloneImage(ctx context.Context, src, dst string) (*Image, error) {
+	if err := c.do(ctx, "POST", "/images/"+url.PathEscape(src)+"/clone", map[string]interface{}{"Target": dst}, nil); err != nil {
+		return nil, err
+	}
+	return c.GetImage(dst)
 }
 
 // SnapshotImage creates an immutable snapshot.
-func (c *Client) SnapshotImage(src, snap string) error {
-	return c.do("POST", "/images/"+src+"/clone", map[string]interface{}{"Target": snap, "Snapshot": true}, nil)
+func (c *Client) SnapshotImage(ctx context.Context, src, snap string) (*Image, error) {
+	if err := c.do(ctx, "POST", "/images/"+url.PathEscape(src)+"/clone", map[string]interface{}{"Target": snap, "Snapshot": true}, nil); err != nil {
+		return nil, err
+	}
+	return c.GetImage(snap)
 }
 
 // ExtractBootInfo fetches an image's kernel/initrd/cmdline.
-func (c *Client) ExtractBootInfo(name string) (*BootInfo, error) {
+func (c *Client) ExtractBootInfo(ctx context.Context, name string) (*BootInfo, error) {
 	var out BootInfo
-	err := c.do("GET", "/images/"+name+"/bootinfo", nil, &out)
-	return &out, err
+	err := c.do(ctx, "GET", "/images/"+url.PathEscape(name)+"/bootinfo", nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// exportTransport moves blockdev wire-protocol frames to a remote
+// export over HTTP — the iSCSI session of the diskless boot path.
+type exportTransport struct {
+	c    *Client
+	node string
+}
+
+// RoundTrip implements blockdev.Transport.
+func (t *exportTransport) RoundTrip(req []byte) ([]byte, error) {
+	hreq, err := http.NewRequest("POST", t.c.Base+"/exports/"+url.PathEscape(t.node)+"/io", bytes.NewReader(req))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.c.HTTP.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(resp.Body)
+		if sentinel := sentinelFor(resp); sentinel != nil {
+			return nil, fmt.Errorf("%w: export io %s: %s", sentinel, t.node, bytes.TrimSpace(msg))
+		}
+		return nil, fmt.Errorf("bmi: export io %s: %s: %s", t.node, resp.Status, bytes.TrimSpace(msg))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ExportForBoot creates the node's boot target on the server and
+// returns an Export whose Target proxies block I/O over HTTP, so the
+// caller assembles exactly the same transport/encryption stack as for
+// an in-process export.
+func (c *Client) ExportForBoot(ctx context.Context, node, image string, cow bool) (*Export, error) {
+	err := c.do(ctx, "PUT", "/exports/"+url.PathEscape(node), map[string]interface{}{"Image": image, "Cow": cow}, nil)
+	if err != nil {
+		return nil, err
+	}
+	// No read-ahead here: the caller's own block client (the node's
+	// NBD initiator) decides the read-ahead policy, and a second cache
+	// below it would only duplicate prefetches over the wire.
+	dev, err := blockdev.NewClient(&exportTransport{c: c, node: node}, 0)
+	if err != nil {
+		// The export exists server-side but is unusable; tear it down.
+		_ = c.Unexport(context.Background(), node, "")
+		return nil, err
+	}
+	return &Export{Node: node, Image: image, Target: blockdev.NewTarget(dev)}, nil
+}
+
+// Unexport tears down a node's boot target, optionally persisting its
+// CoW state as a new image.
+func (c *Client) Unexport(ctx context.Context, node, saveAs string) error {
+	path := "/exports/" + url.PathEscape(node)
+	if saveAs != "" {
+		path += "?save-as=" + url.QueryEscape(saveAs)
+	}
+	return c.do(ctx, "DELETE", path, nil, nil)
 }

@@ -2,30 +2,38 @@ package bmi
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net/http/httptest"
 	"testing"
+
+	"bolted/internal/blockdev"
 )
 
-func TestHTTPAPI(t *testing.T) {
+func newClientServer(t *testing.T) (*Service, *Client) {
+	t.Helper()
 	s := newBMI(t)
 	srv := httptest.NewServer(NewHandler(s))
-	defer srv.Close()
-	c := NewClient(srv.URL)
+	t.Cleanup(srv.Close)
+	return s, NewClient(srv.URL)
+}
 
-	if err := c.CreateOSImage("fedora", testSpec()); err != nil {
+func TestHTTPAPI(t *testing.T) {
+	s, c := newClientServer(t)
+	ctx := context.Background()
+
+	if _, err := c.CreateOSImage("fedora", testSpec()); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CreateImage("scratch", 1<<20); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.CreateImage("scratch", 1<<20); err == nil {
-		t.Fatal("duplicate create over HTTP accepted")
+	img, err := c.CreateImage(ctx, "scratch", 1<<20)
+	if err != nil || img.Name != "scratch" || img.Size != 1<<20 {
+		t.Fatalf("CreateImage = %+v, %v", img, err)
 	}
 	imgs, err := c.ListImages()
 	if err != nil || len(imgs) != 2 {
 		t.Fatalf("ListImages = %v, %v", imgs, err)
 	}
-	bi, err := c.ExtractBootInfo("fedora")
+	bi, err := c.ExtractBootInfo(ctx, "fedora")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,23 +41,136 @@ func TestHTTPAPI(t *testing.T) {
 	if bi.KernelID != spec.KernelID || !bytes.Equal(bi.Kernel, spec.Kernel) {
 		t.Fatalf("boot info over HTTP corrupted: %+v", bi.KernelID)
 	}
-	if _, err := c.ExtractBootInfo("scratch"); err == nil {
+	if _, err := c.ExtractBootInfo(ctx, "scratch"); err == nil {
 		t.Fatal("boot info from raw image accepted")
 	}
-	if err := c.CloneImage("fedora", "fedora2"); err != nil {
+	if _, err := c.CloneImage(ctx, "fedora", "fedora2"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.SnapshotImage("fedora", "fedora@v1"); err != nil {
-		t.Fatal(err)
+	snap, err := c.SnapshotImage(ctx, "fedora", "fedora@v1")
+	if err != nil || !snap.Snapshot {
+		t.Fatalf("SnapshotImage = %+v, %v", snap, err)
 	}
-	img, err := s.GetImage("fedora@v1")
-	if err != nil || !img.Snapshot {
+	img2, err := s.GetImage("fedora@v1")
+	if err != nil || !img2.Snapshot {
 		t.Fatal("snapshot flag lost over HTTP")
 	}
-	if err := c.DeleteImage("fedora2"); err != nil {
+	got, err := c.GetImage("fedora2")
+	if err != nil || got.Name != "fedora2" || got.Snapshot {
+		t.Fatalf("GetImage over HTTP = %+v, %v", got, err)
+	}
+	if err := c.DeleteImage(ctx, "fedora2"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DeleteImage("ghost"); err == nil {
-		t.Fatal("delete of missing image over HTTP accepted")
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	_, c := newClientServer(t)
+	ctx := context.Background()
+
+	if _, err := c.CreateOSImage("fedora", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Remote callers must see the same sentinel errors as in-process
+	// callers, not flat strings.
+	if err := c.DeleteImage(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing = %v, want ErrNotFound", err)
+	}
+	if _, err := c.GetImage("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing = %v, want ErrNotFound", err)
+	}
+	if _, err := c.CreateImage(ctx, "fedora", 1<<20); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create = %v, want ErrExists", err)
+	}
+	if _, err := c.CloneImage(ctx, "ghost", "copy"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("clone missing = %v, want ErrNotFound", err)
+	}
+	if _, err := c.ExportForBoot(ctx, "node-a", "fedora", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteImage(ctx, "fedora"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("delete exported = %v, want ErrInUse", err)
+	}
+	if _, err := c.ExportForBoot(ctx, "node-a", "fedora", true); !errors.Is(err, ErrInUse) {
+		t.Fatalf("double export = %v, want ErrInUse", err)
+	}
+	if err := c.Unexport(ctx, "node-a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unexport(ctx, "node-a", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double unexport = %v, want ErrNotFound", err)
+	}
+}
+
+// TestHTTPExportIO drives real block I/O through a remote export: the
+// reads below are exactly what a diskless node does when paging in its
+// boot volume over the provider's storage network.
+func TestHTTPExportIO(t *testing.T) {
+	s, c := newClientServer(t)
+	ctx := context.Background()
+
+	if _, err := c.CreateOSImage("golden", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	export, err := c.ExportForBoot(ctx, "node-a", "golden", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The remote Target plugs into the same client stack as a local one.
+	dev, err := blockdev.NewClient(blockdev.Loopback{Target: export.Target}, blockdev.DefaultReadAhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := s.Device("golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumSectors() != local.NumSectors() {
+		t.Fatalf("remote export size %d, local %d", dev.NumSectors(), local.NumSectors())
+	}
+	want := make([]byte, 4*blockdev.SectorSize)
+	if err := local.ReadSectors(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4*blockdev.SectorSize)
+	if err := dev.ReadSectors(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("remote export reads differ from the golden image")
+	}
+	// Writes land in the server-side CoW overlay, not the golden image.
+	dirty := bytes.Repeat([]byte{0xAB}, blockdev.SectorSize)
+	if err := dev.WriteSectors(dirty, 1); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, blockdev.SectorSize)
+	if err := dev.ReadSectors(back, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, dirty) {
+		t.Fatal("remote write did not read back")
+	}
+	pristine := make([]byte, blockdev.SectorSize)
+	if err := local.ReadSectors(pristine, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(pristine, dirty) {
+		t.Fatal("remote write leaked through the CoW overlay into the golden image")
+	}
+	// Save-as over the wire persists the dirty sector as a new image.
+	if err := c.Unexport(ctx, "node-a", "node-a-state"); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := s.Device("node-a-state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedSec := make([]byte, blockdev.SectorSize)
+	if err := saved.ReadSectors(savedSec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(savedSec, dirty) {
+		t.Fatal("save-as over HTTP lost the node's written state")
 	}
 }

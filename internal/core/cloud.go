@@ -108,16 +108,30 @@ func DefaultConfig() CloudConfig {
 	}
 }
 
-// Cloud is a fully wired Bolted deployment: provider infrastructure
-// plus the physical machines.
+// Cloud is a Bolted deployment as the tenant's orchestration engine
+// sees it: the service plane (HIL, BMI, attestation registrar, node
+// driver) behind narrow interfaces. NewCloud wires a fully in-process
+// deployment including the physical machines; NewRemoteCloud builds
+// the same structure from wire clients against a remote boltedd, and
+// the enclave pipeline cannot tell the difference.
 type Cloud struct {
 	Config    CloudConfig
-	Fabric    *netsim.Fabric
-	HIL       *hil.Service
-	BMI       *bmi.Service
-	Ceph      *ceph.Cluster
-	Registrar *keylime.Registrar
-	Heads     firmware.LinuxBootImage
+	HIL       HILService
+	BMI       BMIService
+	Registrar keylime.RegistrarConn
+	Driver    NodeDriver
+
+	// Provider-side infrastructure, populated only for in-process
+	// clouds; nil when the services live behind a remote boltedd.
+	Fabric *netsim.Fabric
+	Ceph   *ceph.Cluster
+	Heads  firmware.LinuxBootImage
+
+	// Concrete in-process services, kept so a server (boltedd) can put
+	// REST handlers in front of the deployment it hosts.
+	hilLocal *hil.Service
+	bmiLocal *bmi.Service
+	regLocal *keylime.Registrar
 
 	// canonicalFW is the firmware the provider *claims* is installed —
 	// the basis of the published whitelist. Attestation exists exactly
@@ -127,6 +141,50 @@ type Cloud struct {
 
 	rejMu    sync.Mutex
 	rejected map[string]string // node -> rejection reason
+}
+
+// LocalHIL returns the in-process HIL service (nil for remote clouds).
+// Server wiring only; the orchestrator goes through c.HIL.
+func (c *Cloud) LocalHIL() *hil.Service { return c.hilLocal }
+
+// LocalBMI returns the in-process BMI service (nil for remote clouds).
+func (c *Cloud) LocalBMI() *bmi.Service { return c.bmiLocal }
+
+// LocalRegistrar returns the in-process registrar (nil for remote
+// clouds).
+func (c *Cloud) LocalRegistrar() *keylime.Registrar { return c.regLocal }
+
+// Remote reports whether this cloud's service plane lives behind a
+// network API rather than in this process.
+func (c *Cloud) Remote() bool { return c.hilLocal == nil }
+
+// RemoteServices bundles the wire clients a remote Cloud is built
+// from. Every field is required.
+type RemoteServices struct {
+	HIL       HILService
+	BMI       BMIService
+	Registrar keylime.RegistrarConn
+	Driver    NodeDriver
+}
+
+// NewRemoteCloud builds a Cloud whose entire service plane is driven
+// through the given (typically HTTP-backed) interfaces — the paper's
+// actual deployment shape, where the tenant's orchestration engine
+// trusts nothing but the services' network APIs. The config describes
+// the remote deployment (node count, firmware kind) and is advisory:
+// the provider's services remain the source of truth.
+func NewRemoteCloud(cfg CloudConfig, svc RemoteServices) (*Cloud, error) {
+	if svc.HIL == nil || svc.BMI == nil || svc.Registrar == nil || svc.Driver == nil {
+		return nil, fmt.Errorf("core: remote cloud needs HIL, BMI, registrar and node driver")
+	}
+	return &Cloud{
+		Config:    cfg,
+		HIL:       svc.HIL,
+		BMI:       svc.BMI,
+		Registrar: svc.Registrar,
+		Driver:    svc.Driver,
+		rejected:  make(map[string]string),
+	}, nil
 }
 
 // NewCloud constructs and wires a cloud: fabric ports for every node
@@ -145,17 +203,24 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	if err != nil {
 		return nil, err
 	}
+	hilSvc := hil.New(fabric)
+	bmiSvc := bmi.New(cluster)
+	regSvc := keylime.NewRegistrar()
 	c := &Cloud{
 		Config:    cfg,
 		Fabric:    fabric,
-		HIL:       hil.New(fabric),
-		BMI:       bmi.New(cluster),
+		HIL:       hilSvc,
+		BMI:       bmiSvc,
 		Ceph:      cluster,
-		Registrar: keylime.NewRegistrar(),
+		Registrar: regSvc,
 		Heads:     firmware.BuildLinuxBoot("heads-v1.0", cfg.HeadsSource),
+		hilLocal:  hilSvc,
+		bmiLocal:  bmiSvc,
+		regLocal:  regSvc,
 		machines:  make(map[string]*firmware.Machine),
 		rejected:  make(map[string]string),
 	}
+	c.Driver = newLocalDriver(c)
 
 	for _, p := range []string{PortBMI, PortRegistrar, PortVerifier} {
 		if _, err := fabric.AddPort(p); err != nil {
@@ -166,23 +231,23 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	// attestation and provisioning services, but nodes must never see
 	// each other through them.
 	for _, net := range []string{NetAttestation, NetProvisioning} {
-		if err := c.HIL.CreatePublicNetwork(net, true); err != nil {
+		if err := hilSvc.CreatePublicNetwork(net, true); err != nil {
 			return nil, err
 		}
 	}
 	// The rejected pool is a provider-owned project: nodes that fail
 	// attestation park here, off every network, until an operator
 	// investigates. They must never silently return to the free pool.
-	if err := c.HIL.CreateProject(RejectedProject); err != nil {
+	if err := hilSvc.CreateProject(RejectedProject); err != nil {
 		return nil, err
 	}
 	// Provider service placement: BMI on provisioning, registrar and the
 	// provider verifier on attestation.
-	if err := c.HIL.ConnectServicePort(PortBMI, NetProvisioning); err != nil {
+	if err := hilSvc.ConnectServicePort(PortBMI, NetProvisioning); err != nil {
 		return nil, err
 	}
 	for _, p := range []string{PortRegistrar, PortVerifier} {
-		if err := c.HIL.ConnectServicePort(p, NetAttestation); err != nil {
+		if err := hilSvc.ConnectServicePort(p, NetAttestation); err != nil {
 			return nil, err
 		}
 	}
@@ -213,7 +278,7 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 			MetadataPlatformGen:   cfg.PlatformGen,
 			MetadataFirmware:      c.canonicalFW.Name(),
 		}
-		if err := c.HIL.RegisterNode(name, port, m, md); err != nil {
+		if err := hilSvc.RegisterNode(name, port, m, md); err != nil {
 			return nil, err
 		}
 	}
@@ -275,8 +340,10 @@ func (c *Cloud) MarkRejected(project, node, reason string) {
 		// Not owned by the project (rejection raced a release): reserve
 		// it from the free pool instead.
 		_ = c.HIL.AllocateNode(ctx, RejectedProject, node)
-		if port, err := c.HIL.NodePort(node); err == nil {
-			_ = c.Fabric.DetachAll(port)
+		if c.Fabric != nil {
+			if port, err := c.HIL.NodePort(node); err == nil {
+				_ = c.Fabric.DetachAll(port)
+			}
 		}
 	}
 }

@@ -296,7 +296,7 @@ func TestReleaseSavesState(t *testing.T) {
 	if err := e.ReleaseNode(n.Name, "saved-vol"); err != nil {
 		t.Fatal(err)
 	}
-	dev, err := c.BMI.Device("saved-vol")
+	dev, err := c.LocalBMI().Device("saved-vol")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestEnclaveDestroy(t *testing.T) {
 	if err := e.Destroy(); err != nil {
 		t.Fatal(err)
 	}
-	if len(c.HIL.FreeNodes()) != 2 {
+	if free, _ := c.HIL.FreeNodes(); len(free) != 2 {
 		t.Fatal("nodes not freed on destroy")
 	}
 	// The project name is reusable.
@@ -435,7 +435,8 @@ func TestJournalRecordsLifecycle(t *testing.T) {
 	}
 	// A rejected node's trail ends in rejection. The free pool is
 	// sorted, so the released node00 is what the next acquire gets.
-	m, _ := c.Machine(c.HIL.FreeNodes()[0])
+	freePool, _ := c.HIL.FreeNodes()
+	m, _ := c.Machine(freePool[0])
 	evil := firmware.BuildLinuxBoot("x", []byte("implant"))
 	m.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
 	if _, err := e.AcquireNode("fedora28"); err == nil {

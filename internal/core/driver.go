@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"bolted/internal/firmware"
+	"bolted/internal/ima"
+	"bolted/internal/keylime"
+	"bolted/internal/tpm"
+)
+
+// localDriver is the in-process NodeDriver: it reaches straight into
+// the simulated machines and switch fabric, the way the pre-refactor
+// orchestrator did. boltedd wraps the same driver behind the node-plane
+// REST API, so local and remote pipelines execute identical node-side
+// steps.
+type localDriver struct {
+	c *Cloud
+
+	mu     sync.Mutex
+	agents map[string]*keylime.Agent
+}
+
+func newLocalDriver(c *Cloud) *localDriver {
+	return &localDriver{c: c, agents: make(map[string]*keylime.Agent)}
+}
+
+// agent returns the node's live agent (created by Boot).
+func (d *localDriver) agent(node string) (*keylime.Agent, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.agents[node]
+	if !ok {
+		return nil, fmt.Errorf("core: node %q has no running agent (not booted?)", node)
+	}
+	return a, nil
+}
+
+// Boot implements NodeDriver.
+func (d *localDriver) Boot(ctx context.Context, node string) (keylime.AgentConn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m, err := d.c.Machine(node)
+	if err != nil {
+		return nil, err
+	}
+	if d.c.Config.Firmware == FirmwareUEFI {
+		if err := firmware.NetworkBootRuntime(m, d.c.Heads); err != nil {
+			return nil, err
+		}
+	}
+	agent := keylime.NewAgent(node, m, d.c.Fabric)
+	if err := agent.RegisterWith(ctx, d.c.Registrar, PortRegistrar); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.agents[node] = agent // re-boot replaces any stale agent
+	d.mu.Unlock()
+	return agent, nil
+}
+
+// ExpectedBootPCRs implements NodeDriver.
+func (d *localDriver) ExpectedBootPCRs(ctx context.Context, node string) (map[int][]tpm.Digest, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return d.c.ExpectedBootPCRs(node)
+}
+
+// KexecAttested implements NodeDriver: the node kexecs what Keylime
+// delivered — the payload its agent unwrapped — never what came over
+// the unauthenticated image path.
+func (d *localDriver) KexecAttested(ctx context.Context, node, kernelID string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	a, err := d.agent(node)
+	if err != nil {
+		return err
+	}
+	p, err := a.Unwrap()
+	if err != nil {
+		return err
+	}
+	return a.Machine().Kexec(kernelID, p.Kernel, p.Initrd)
+}
+
+// Kexec implements NodeDriver.
+func (d *localDriver) Kexec(ctx context.Context, node, kernelID string, kernel, initrd []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	m, err := d.c.Machine(node)
+	if err != nil {
+		return err
+	}
+	return m.Kexec(kernelID, kernel, initrd)
+}
+
+// StartIMA implements NodeDriver.
+func (d *localDriver) StartIMA(ctx context.Context, node string) (*ima.Collector, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	a, err := d.agent(node)
+	if err != nil {
+		return nil, err
+	}
+	col := ima.NewCollector(a.Machine().TPM(), ima.StressPolicy)
+	a.AttachIMA(col)
+	return col, nil
+}
+
+// StopAgent implements NodeDriver.
+func (d *localDriver) StopAgent(ctx context.Context, node string) error {
+	d.mu.Lock()
+	delete(d.agents, node)
+	d.mu.Unlock()
+	return nil
+}
+
+// AddServicePort implements NodeDriver.
+func (d *localDriver) AddServicePort(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	_, err := d.c.Fabric.AddPort(name)
+	return err
+}
+
+// Reachable implements NodeDriver.
+func (d *localDriver) Reachable(ctx context.Context, portA, portB string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return d.c.Fabric.CheckReachable(portA, portB)
+}

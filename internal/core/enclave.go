@@ -27,15 +27,21 @@ const DataVolumeSize int64 = 16 << 20
 
 // Node is a server that has joined an enclave.
 type Node struct {
-	Name     string
-	Agent    *keylime.Agent
+	Name string
+	// Agent is the node's Keylime agent handle: the in-process agent
+	// for local clouds, a RemoteAgent speaking the node's REST API for
+	// remote ones.
+	Agent keylime.AgentConn
+	// Machine is the underlying simulated machine (nil for remote
+	// clouds, where only the provider can touch hardware).
 	Machine  *firmware.Machine
 	BootInfo *bmi.BootInfo
 	// Disk is the node's remote data volume: a LUKS volume for
 	// encrypting profiles, the raw network device otherwise.
 	Disk blockdev.Device
 	// IMA is the runtime measurement collector (continuous attestation
-	// profiles only).
+	// profiles only; nil for remote clouds, where the collector lives
+	// on the node and is read through the agent).
 	IMA *ima.Collector
 
 	export  *bmi.Export
@@ -91,7 +97,7 @@ func NewEnclave(c *Cloud, name string, profile Profile) (*Enclave, error) {
 		e.verifierPort = PortVerifier
 		if profile.TenantVerifier {
 			e.verifierPort = "tenant-" + name + "-cv"
-			if _, err := c.Fabric.AddPort(e.verifierPort); err != nil {
+			if err := c.Driver.AddServicePort(context.Background(), e.verifierPort); err != nil {
 				return nil, err
 			}
 			if err := c.HIL.ConnectServicePort(e.verifierPort, NetAttestation); err != nil {
@@ -184,12 +190,13 @@ func (e *Enclave) AcquireNode(image string) (*Node, error) {
 type nodeWork struct {
 	name    string
 	boot    *bmi.BootInfo
-	machine *firmware.Machine
-	agent   *keylime.Agent
+	machine *firmware.Machine // in-process clouds only
+	agent   keylime.AgentConn
 
-	// kernel/initrd/diskKey start as the (unauthenticated) image
-	// contents and are replaced by the attested payload when the
-	// profile attests.
+	// kernel/initrd come from the (unauthenticated) image path; under
+	// attesting profiles the node ignores them and kexecs the payload
+	// its agent unwrapped instead. diskKey is the tenant-generated LUKS
+	// master key delivered inside that payload.
 	kernel, initrd []byte
 	diskKey        []byte
 
@@ -214,29 +221,25 @@ func (e *Enclave) airlockNode(ctx context.Context, name string) error {
 
 // bootNode is phase (2): power on — flash firmware measures itself
 // (and scrubs, if LinuxBoot), UEFI machines chain-load the Heads
-// runtime via iPXE — then register the Keylime agent.
+// runtime via iPXE — then the node's Keylime agent comes up and
+// enrols. The node-side steps run through the driver, so they happen
+// on the node whether the cloud is in-process or remote.
 func (e *Enclave) bootNode(ctx context.Context, w *nodeWork) error {
 	c := e.cloud
 	if err := e.lc.to(w.name, StateBooting, "firmware="+string(c.Config.Firmware)); err != nil {
 		return err
 	}
-	machine, err := c.Machine(w.name)
-	if err != nil {
-		return err
-	}
 	if err := c.HIL.PowerCycle(ctx, e.Project, w.name); err != nil {
 		return err
 	}
-	if c.Config.Firmware == FirmwareUEFI {
-		if err := firmware.NetworkBootRuntime(machine, c.Heads); err != nil {
-			return err
-		}
-	}
-	agent := keylime.NewAgent(w.name, machine, c.Fabric)
-	if err := agent.RegisterWith(ctx, c.Registrar, PortRegistrar); err != nil {
+	agent, err := c.Driver.Boot(ctx, w.name)
+	if err != nil {
 		return err
 	}
-	w.machine, w.agent = machine, agent
+	w.agent = agent
+	if m, err := c.Machine(w.name); err == nil {
+		w.machine = m // in-process visibility for tests and examples
+	}
 	w.kernel, w.initrd = w.boot.Kernel, w.boot.Initrd
 	return nil
 }
@@ -261,7 +264,7 @@ func (e *Enclave) attestNode(ctx context.Context, w *nodeWork) error {
 	if e.Profile.EncryptNetwork {
 		payload.NetworkKey = e.netKey
 	}
-	whitelist, err := c.ExpectedBootPCRs(w.name)
+	whitelist, err := c.Driver.ExpectedBootPCRs(ctx, w.name)
 	if err != nil {
 		return err
 	}
@@ -278,13 +281,11 @@ func (e *Enclave) attestNode(ctx context.Context, w *nodeWork) error {
 	if err != nil {
 		return err
 	}
-	p, err := w.agent.Unwrap()
-	if err != nil {
-		return err
-	}
-	// The attested payload is authoritative: kexec what Keylime
-	// delivered, not what came over the unauthenticated image path.
-	w.kernel, w.initrd, w.diskKey = p.Kernel, p.Initrd, p.DiskKey
+	// The attested payload is authoritative: the node unwraps it with
+	// the released key shares and kexecs its contents (KexecAttested),
+	// never what came over the unauthenticated image path. The tenant
+	// keeps its own copy of the payload contents it authored — the
+	// disk key in w.diskKey is the one the node just received.
 	e.journal.record(EvAttested, w.name, "verifier="+e.verifierPort)
 	return nil
 }
@@ -349,16 +350,27 @@ func (e *Enclave) provisionNode(ctx context.Context, w *nodeWork) error {
 		return err
 	}
 
-	if err := w.machine.Kexec(w.boot.KernelID, w.kernel, w.initrd); err != nil {
-		return err
+	if e.Profile.Attest {
+		// Kexec what Keylime delivered: the node's agent unwraps the
+		// attested payload; incomplete key shares fail here.
+		if err := c.Driver.KexecAttested(ctx, w.name, w.boot.KernelID); err != nil {
+			return err
+		}
+	} else {
+		if err := c.Driver.Kexec(ctx, w.name, w.boot.KernelID, w.kernel, w.initrd); err != nil {
+			return err
+		}
 	}
 	e.journal.record(EvBooted, w.name, "kernel="+w.boot.KernelID)
 
-	// Runtime integrity: attach IMA and whitelist the booted kernel's
-	// own components.
+	// Runtime integrity: attach IMA on the node and whitelist the
+	// booted kernel's own components.
 	if e.Profile.ContinuousAttest {
-		node.IMA = ima.NewCollector(w.machine.TPM(), ima.StressPolicy)
-		w.agent.AttachIMA(node.IMA)
+		col, err := c.Driver.StartIMA(ctx, w.name)
+		if err != nil {
+			return err
+		}
+		node.IMA = col
 	}
 	w.node = node
 	return nil
@@ -432,7 +444,7 @@ func (e *Enclave) Send(from, to string, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.cloud.Fabric.CheckReachable(srcPort, dstPort); err != nil {
+	if err := e.cloud.Driver.Reachable(context.Background(), srcPort, dstPort); err != nil {
 		return nil, err
 	}
 	if !e.Profile.EncryptNetwork {
@@ -488,6 +500,9 @@ func (e *Enclave) ReleaseNode(name, saveAs string) error {
 	}
 	ctx := context.Background()
 	c := e.cloud
+	// The node is powered off on release; its agent (and any remote
+	// agent API) must die with it.
+	_ = c.Driver.StopAgent(ctx, name)
 	if err := c.BMI.Unexport(ctx, name, ""); err != nil {
 		return err
 	}

@@ -73,7 +73,7 @@ func TestFederatedEnclaveAcrossClouds(t *testing.T) {
 	if err := fed.ReleaseNode(a3, ""); err == nil {
 		t.Fatal("double release accepted")
 	}
-	if len(cloudB.HIL.FreeNodes()) != 2 {
+	if free, _ := cloudB.HIL.FreeNodes(); len(free) != 2 {
 		t.Fatal("partner node not freed")
 	}
 }

@@ -211,13 +211,14 @@ func (e *Enclave) provisionOne(ctx context.Context, name string, boot *bmi.BootI
 
 // releaseNodeResources is the cleanup shared by rejection and abort:
 // forget the node at the verifier (a fresh attempt on a repaired node
-// starts from scratch) and tear down its storage. Errors from
-// resources the node never reached are ignored.
+// starts from scratch), stop its agent, and tear down its storage.
+// Errors from resources the node never reached are ignored.
 func (e *Enclave) releaseNodeResources(name string) {
 	ctx := context.Background()
 	if e.verifier != nil {
 		e.verifier.RemoveNode(name)
 	}
+	_ = e.cloud.Driver.StopAgent(ctx, name)
 	_ = e.cloud.BMI.Unexport(ctx, name, "")
 	_ = e.cloud.BMI.DeleteImage(ctx, e.volName(name))
 }

@@ -35,7 +35,7 @@ func TestAcquireNodesBatchHappyPath(t *testing.T) {
 			t.Fatalf("%s verifier status = %s, %v", n.Name, st, err)
 		}
 	}
-	if free := c.HIL.FreeNodes(); len(free) != 0 {
+	if free, _ := c.HIL.FreeNodes(); len(free) != 0 {
 		t.Fatalf("free pool = %v", free)
 	}
 	// Per-node journal trails are complete and ordered despite the
@@ -171,7 +171,7 @@ func TestAcquireNodesContextCancelledUpFront(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	// Nothing was reserved or touched.
-	if free := c.HIL.FreeNodes(); len(free) != 2 {
+	if free, _ := c.HIL.FreeNodes(); len(free) != 2 {
 		t.Fatalf("free pool = %v", free)
 	}
 	if got := len(e.Journal().Events()); got != 0 {
@@ -260,7 +260,7 @@ func TestAcquireNodesBatchLargerThanFreePool(t *testing.T) {
 		t.Fatal("batch larger than free pool accepted")
 	}
 	// The failed reservation left the pool untouched.
-	if free := c.HIL.FreeNodes(); len(free) != 2 {
+	if free, _ := c.HIL.FreeNodes(); len(free) != 2 {
 		t.Fatalf("free pool = %v", free)
 	}
 }

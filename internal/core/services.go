@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+
+	"bolted/internal/bmi"
+	"bolted/internal/hil"
+	"bolted/internal/ima"
+	"bolted/internal/keylime"
+	"bolted/internal/tpm"
+)
+
+// This file defines the orchestrator's service plane as narrow
+// interfaces — the wire contract of §4: the tenant-run orchestration
+// engine drives the provider's HIL, BMI and attestation services over
+// their network APIs, trusting nothing but that interface. Everything
+// Cloud, Enclave and the batch provisioner call goes through these
+// types, so the same pipeline runs against in-process services
+// (*hil.Service, *bmi.Service, ...) or their HTTP clients against a
+// remote boltedd, with identical semantics including sentinel errors.
+
+// HILService is the Hardware Isolation Layer surface the orchestrator
+// (and tenant tooling) depends on: project/node allocation, network
+// isolation, the BMC power proxy, and provider-published node
+// metadata. Satisfied by *hil.Service in process and *hil.Client over
+// HTTP.
+type HILService interface {
+	CreateProject(name string) error
+	DeleteProject(name string) error
+	FreeNodes() ([]string, error)
+	AllocateNode(ctx context.Context, project, node string) error
+	AllocateAnyNode(ctx context.Context, project string) (string, error)
+	TransferNode(ctx context.Context, from, node, to string) error
+	FreeNode(ctx context.Context, project, node string) error
+	CreateNetwork(ctx context.Context, project, name string) error
+	DeleteNetwork(ctx context.Context, project, name string) error
+	ConnectNode(ctx context.Context, project, node, network string) error
+	DetachNode(ctx context.Context, project, node, network string) error
+	ConnectServicePort(port, publicNet string) error
+	PowerOn(ctx context.Context, project, node string) error
+	PowerOff(ctx context.Context, project, node string) error
+	PowerCycle(ctx context.Context, project, node string) error
+	NodeMetadata(node string) (map[string]string, error)
+	NodeOwner(node string) (string, error)
+	NodePort(node string) (string, error)
+}
+
+// BMIService is the Bare Metal Imaging surface the orchestrator
+// depends on: image CRUD, boot-info extraction, and per-node boot
+// exports. Satisfied by *bmi.Service in process and *bmi.Client over
+// HTTP (whose exports proxy block I/O across the wire).
+type BMIService interface {
+	CreateImage(ctx context.Context, name string, size int64) (*bmi.Image, error)
+	CreateOSImage(name string, spec bmi.OSImageSpec) (*bmi.Image, error)
+	CloneImage(ctx context.Context, src, dst string) (*bmi.Image, error)
+	SnapshotImage(ctx context.Context, src, snap string) (*bmi.Image, error)
+	DeleteImage(ctx context.Context, name string) error
+	GetImage(name string) (*bmi.Image, error)
+	ListImages() ([]string, error)
+	ExtractBootInfo(ctx context.Context, image string) (*bmi.BootInfo, error)
+	ExportForBoot(ctx context.Context, node, image string, cow bool) (*bmi.Export, error)
+	Unexport(ctx context.Context, node, saveAs string) error
+}
+
+// NodeDriver covers the node-plane operations of the pipeline — the
+// steps that in a real deployment happen on the node itself (firmware
+// runtime boot, agent lifecycle, kexec, runtime IMA) or on provider
+// infrastructure the orchestrator only reaches indirectly (service
+// switch ports, fabric reachability). The in-process driver touches
+// machines directly; the remote driver speaks boltedd's node-plane
+// API.
+type NodeDriver interface {
+	// Boot brings up the airlocked node's attestation runtime after
+	// power-on: UEFI machines chain-load the Heads runtime, then the
+	// node's Keylime agent starts and enrols with the registrar. The
+	// returned handle is what the tenant's verifier attests.
+	Boot(ctx context.Context, node string) (keylime.AgentConn, error)
+	// ExpectedBootPCRs returns the attestation whitelist for the node's
+	// boot chain under the provider's canonical firmware.
+	ExpectedBootPCRs(ctx context.Context, node string) (map[int][]tpm.Digest, error)
+	// KexecAttested kexecs the node into the kernel its agent unwrapped
+	// from the attested payload; it fails while the key shares are
+	// incomplete, i.e. before attestation released V.
+	KexecAttested(ctx context.Context, node, kernelID string) error
+	// Kexec boots an explicit kernel/initrd (profiles without
+	// attestation, where the unauthenticated image path is trusted).
+	Kexec(ctx context.Context, node, kernelID string, kernel, initrd []byte) error
+	// StartIMA attaches a runtime measurement collector to the node's
+	// agent for continuous attestation. The returned collector is
+	// non-nil only for in-process drivers; remote collectors live on
+	// the node and are read through the agent's IMA list.
+	StartIMA(ctx context.Context, node string) (*ima.Collector, error)
+	// StopAgent tears down the node's agent (and its remote API) after
+	// the node leaves the enclave: the power-off that accompanies
+	// release, rejection or abort kills the runtime the agent lived in,
+	// so nothing of it may stay reachable. A node with no running agent
+	// is a no-op.
+	StopAgent(ctx context.Context, node string) error
+	// AddServicePort creates a switch port for a tenant-deployed
+	// service host (e.g. Charlie's own verifier).
+	AddServicePort(ctx context.Context, name string) error
+	// Reachable reports whether two switch ports share a network.
+	Reachable(ctx context.Context, portA, portB string) error
+}
+
+// The in-process services must satisfy the wire contract, and the wire
+// clients must satisfy the in-process contract — one pipeline, two
+// transports.
+var (
+	_ HILService            = (*hil.Service)(nil)
+	_ HILService            = (*hil.Client)(nil)
+	_ BMIService            = (*bmi.Service)(nil)
+	_ BMIService            = (*bmi.Client)(nil)
+	_ keylime.RegistrarConn = (*keylime.Registrar)(nil)
+	_ keylime.RegistrarConn = (*keylime.RegistrarClient)(nil)
+)

@@ -190,8 +190,10 @@ func (s *Service) DeleteProject(name string) error {
 	return nil
 }
 
-// FreeNodes lists unallocated nodes, sorted.
-func (s *Service) FreeNodes() []string {
+// FreeNodes lists unallocated nodes, sorted. The error return exists
+// for remote implementations of the same surface; the in-process
+// service never fails.
+func (s *Service) FreeNodes() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []string
@@ -201,7 +203,7 @@ func (s *Service) FreeNodes() []string {
 		}
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
 }
 
 // AllocateNode reserves a specific free node into a project.

@@ -47,8 +47,8 @@ func TestAllocationLifecycle(t *testing.T) {
 	if err := s.CreateProject("charlie"); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(s.FreeNodes()); got != 3 {
-		t.Fatalf("free = %d, want 3", got)
+	if free, _ := s.FreeNodes(); len(free) != 3 {
+		t.Fatalf("free = %d, want 3", len(free))
 	}
 	if err := s.AllocateNode(context.Background(), "charlie", "node-a"); err != nil {
 		t.Fatal(err)
@@ -295,12 +295,13 @@ func TestQuickOwnershipInvariant(t *testing.T) {
 				}
 			}
 		}
-		for _, free := range s.FreeNodes() {
-			if _, bad := owned[free]; bad {
+		free, _ := s.FreeNodes()
+		for _, f := range free {
+			if _, bad := owned[f]; bad {
 				return false
 			}
 		}
-		return len(owned)+len(s.FreeNodes()) == len(nodes)
+		return len(owned)+len(free) == len(nodes)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -316,26 +317,33 @@ func TestHTTPAPI(t *testing.T) {
 	if err := c.CreateProject("web"); err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	free, err := c.FreeNodes()
 	if err != nil || len(free) != 2 {
 		t.Fatalf("FreeNodes = %v, %v", free, err)
 	}
-	node, err := c.AllocateNode("web", "")
+	node, err := c.AllocateAnyNode(ctx, "web")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CreateNetwork("web", "enclave"); err != nil {
+	if err := c.CreateNetwork(ctx, "web", "enclave"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.ConnectNode("web", node, "enclave"); err != nil {
+	if err := c.ConnectNode(ctx, "web", node, "enclave"); err != nil {
 		t.Fatal(err)
 	}
 	port, _ := s.NodePort(node)
+	if got, err := c.NodePort(node); err != nil || got != port {
+		t.Fatalf("NodePort over HTTP = %q, %v, want %q", got, err, port)
+	}
+	if owner, err := c.NodeOwner(node); err != nil || owner != "web" {
+		t.Fatalf("NodeOwner over HTTP = %q, %v", owner, err)
+	}
 	vs, _ := fabric.VLANsOf(port)
 	if len(vs) != 1 {
 		t.Fatalf("node on %d VLANs, want 1", len(vs))
 	}
-	if err := c.Power("web", node, "cycle"); err != nil {
+	if err := c.Power(ctx, "web", node, "cycle"); err != nil {
 		t.Fatal(err)
 	}
 	idx := int(node[len(node)-1] - 'a')
@@ -346,24 +354,53 @@ func TestHTTPAPI(t *testing.T) {
 	if err != nil || md["gen"] != "m620" {
 		t.Fatalf("metadata over HTTP = %v, %v", md, err)
 	}
-	// Error mapping.
+	// Error mapping: remote callers must see the same sentinel errors
+	// as in-process callers, not flat strings.
 	if err := c.CreateProject("web"); err == nil {
 		t.Fatal("duplicate project over HTTP accepted")
 	}
-	if _, err := c.NodeMetadata("ghost"); err == nil {
-		t.Fatal("unknown node over HTTP accepted")
+	if _, err := c.NodeMetadata("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown node over HTTP = %v, want ErrNotFound", err)
 	}
-	if err := c.Power("web", node, "explode"); err == nil {
+	if err := c.AllocateNode(ctx, "web", node); !errors.Is(err, ErrInUse) {
+		t.Fatalf("double allocation over HTTP = %v, want ErrInUse", err)
+	}
+	if err := c.CreateProject("intruder"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeNode(ctx, "intruder", node); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("foreign free over HTTP = %v, want ErrUnauthorized", err)
+	}
+	if err := c.Power(ctx, "web", node, "explode"); err == nil {
 		t.Fatal("bad power op accepted")
 	}
-	if err := c.DetachNode("web", node, "enclave"); err != nil {
+	if err := c.DetachNode(ctx, "web", node, "enclave"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DeleteNetwork("web", "enclave"); err != nil {
+	if err := c.DeleteNetwork(ctx, "web", "enclave"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.FreeNode("web", node); err != nil {
+	if err := c.FreeNode(ctx, "web", node); err != nil {
 		t.Fatal(err)
+	}
+	// Admin + quarantine surface over the wire.
+	if _, err := fabric.AddPort("port-x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterNode("node-x", "port-x", map[string]string{"gen": "m620"}); err != nil {
+		t.Fatal(err)
+	}
+	if md, err := c.NodeMetadata("node-x"); err != nil || md["gen"] != "m620" {
+		t.Fatalf("registered node metadata = %v, %v", md, err)
+	}
+	if err := c.AllocateNode(ctx, "web", "node-x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TransferNode(ctx, "web", "node-x", "intruder"); err != nil {
+		t.Fatal(err)
+	}
+	if owner, _ := c.NodeOwner("node-x"); owner != "intruder" {
+		t.Fatalf("owner after remote transfer = %q", owner)
 	}
 }
 

@@ -2,16 +2,31 @@ package hil
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 )
 
 // This file provides HIL's REST surface, mirroring the real project's
-// HTTP API, so tenant tooling (cmd/boltedctl) drives the service the
-// same way it would drive a deployed HIL.
+// HTTP API, so tenant tooling (cmd/boltedctl) and the transport-
+// agnostic orchestrator drive the service the same way they would drive
+// a deployed HIL. The surface covers everything the enclave pipeline
+// needs, so Client satisfies the orchestrator's HILService interface.
+
+// errHeader carries the sentinel-error class out of band so clients can
+// reconstruct errors.Is semantics across the wire.
+const errHeader = "X-Bolted-Error"
+
+// Sentinel wire tags.
+const (
+	errTagNotFound     = "not-found"
+	errTagUnauthorized = "unauthorized"
+	errTagInUse        = "in-use"
+)
 
 // NewHandler exposes a Service over HTTP.
 func NewHandler(s *Service) http.Handler {
@@ -21,10 +36,13 @@ func NewHandler(s *Service) http.Handler {
 		code := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, ErrNotFound):
+			w.Header().Set(errHeader, errTagNotFound)
 			code = http.StatusNotFound
 		case errors.Is(err, ErrUnauthorized):
+			w.Header().Set(errHeader, errTagUnauthorized)
 			code = http.StatusForbidden
 		case errors.Is(err, ErrInUse):
+			w.Header().Set(errHeader, errTagInUse)
 			code = http.StatusConflict
 		}
 		http.Error(w, err.Error(), code)
@@ -53,7 +71,31 @@ func NewHandler(s *Service) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /nodes/free", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.FreeNodes())
+		free, err := s.FreeNodes()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, free)
+	})
+	mux.HandleFunc("PUT /nodes/{node}", func(w http.ResponseWriter, r *http.Request) {
+		// Admin operation: register a node with its switch port and
+		// provider-published metadata. The BMC stays provider-side; a
+		// node registered over the wire gets power ops only if the
+		// service later learns its BMC by other means.
+		var req struct {
+			Port     string
+			Metadata map[string]string
+		}
+		if err := decode(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.RegisterNode(r.PathValue("node"), req.Port, nil, req.Metadata); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("GET /nodes/{node}/metadata", func(w http.ResponseWriter, r *http.Request) {
 		md, err := s.NodeMetadata(r.PathValue("node"))
@@ -62,6 +104,22 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, md)
+	})
+	mux.HandleFunc("GET /nodes/{node}/owner", func(w http.ResponseWriter, r *http.Request) {
+		owner, err := s.NodeOwner(r.PathValue("node"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"owner": owner})
+	})
+	mux.HandleFunc("GET /nodes/{node}/port", func(w http.ResponseWriter, r *http.Request) {
+		port, err := s.NodePort(r.PathValue("node"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"port": port})
 	})
 	mux.HandleFunc("POST /projects/{project}/nodes", func(w http.ResponseWriter, r *http.Request) {
 		var req struct{ Node string }
@@ -84,6 +142,17 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("DELETE /projects/{project}/nodes/{node}", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.FreeNode(r.Context(), r.PathValue("project"), r.PathValue("node")); err != nil {
+			writeErr(w, err)
+			return
+		}
+	})
+	mux.HandleFunc("POST /projects/{project}/nodes/{node}/transfer", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ To string }
+		if err := decode(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.TransferNode(r.Context(), r.PathValue("project"), r.PathValue("node"), req.To); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -114,6 +183,13 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 	})
+	mux.HandleFunc("PUT /service-ports/{port}/networks/{network}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.ConnectServicePort(r.PathValue("port"), r.PathValue("network")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
 	mux.HandleFunc("POST /projects/{project}/nodes/{node}/power", func(w http.ResponseWriter, r *http.Request) {
 		var req struct{ Op string }
 		if err := decode(r, &req); err != nil {
@@ -139,7 +215,10 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-// Client is an HTTP client for a remote HIL service.
+// Client is an HTTP client for a remote HIL service. Its methods mirror
+// *Service exactly, including sentinel-error semantics: errors.Is
+// against ErrNotFound / ErrUnauthorized / ErrInUse behaves the same
+// whether the service is in-process or across the wire.
 type Client struct {
 	Base string
 	HTTP *http.Client
@@ -150,7 +229,30 @@ func NewClient(base string) *Client {
 	return &Client{Base: base, HTTP: http.DefaultClient}
 }
 
-func (c *Client) do(method, path string, body, out interface{}) error {
+// sentinelFor maps a response back to the service's sentinel errors,
+// preferring the explicit error header, falling back to the status
+// code for servers that predate it.
+func sentinelFor(resp *http.Response) error {
+	switch resp.Header.Get(errHeader) {
+	case errTagNotFound:
+		return ErrNotFound
+	case errTagUnauthorized:
+		return ErrUnauthorized
+	case errTagInUse:
+		return ErrInUse
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return ErrNotFound
+	case http.StatusForbidden:
+		return ErrUnauthorized
+	case http.StatusConflict:
+		return ErrInUse
+	}
+	return nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -159,7 +261,7 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -170,6 +272,9 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		msg, _ := io.ReadAll(resp.Body)
+		if sentinel := sentinelFor(resp); sentinel != nil {
+			return fmt.Errorf("%w: %s %s: %s", sentinel, method, path, bytes.TrimSpace(msg))
+		}
 		return fmt.Errorf("hil: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
 	}
 	if out != nil {
@@ -180,56 +285,115 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 
 // CreateProject creates a project.
 func (c *Client) CreateProject(name string) error {
-	return c.do("PUT", "/projects/"+name, nil, nil)
+	return c.do(context.Background(), "PUT", "/projects/"+url.PathEscape(name), nil, nil)
+}
+
+// DeleteProject removes an empty project.
+func (c *Client) DeleteProject(name string) error {
+	return c.do(context.Background(), "DELETE", "/projects/"+url.PathEscape(name), nil, nil)
 }
 
 // FreeNodes lists unallocated nodes.
 func (c *Client) FreeNodes() ([]string, error) {
 	var out []string
-	err := c.do("GET", "/nodes/free", nil, &out)
+	err := c.do(context.Background(), "GET", "/nodes/free", nil, &out)
 	return out, err
 }
 
-// AllocateNode reserves a node ("" = any free node); returns its name.
-func (c *Client) AllocateNode(project, node string) (string, error) {
+// RegisterNode registers a node with its switch port and provider
+// metadata (admin operation; the BMC never crosses the wire).
+func (c *Client) RegisterNode(name, port string, metadata map[string]string) error {
+	return c.do(context.Background(), "PUT", "/nodes/"+url.PathEscape(name), map[string]interface{}{
+		"Port": port, "Metadata": metadata,
+	}, nil)
+}
+
+// AllocateNode reserves a specific free node into a project.
+func (c *Client) AllocateNode(ctx context.Context, project, node string) error {
+	return c.do(ctx, "POST", "/projects/"+url.PathEscape(project)+"/nodes", map[string]string{"Node": node}, nil)
+}
+
+// AllocateAnyNode reserves an arbitrary free node and returns its name.
+func (c *Client) AllocateAnyNode(ctx context.Context, project string) (string, error) {
 	var out struct{ Node string }
-	err := c.do("POST", "/projects/"+project+"/nodes", map[string]string{"Node": node}, &out)
+	err := c.do(ctx, "POST", "/projects/"+url.PathEscape(project)+"/nodes", map[string]string{"Node": ""}, &out)
 	return out.Node, err
 }
 
+// TransferNode moves an owned node between projects without passing
+// through the free pool (the quarantine path).
+func (c *Client) TransferNode(ctx context.Context, from, node, to string) error {
+	return c.do(ctx, "POST", "/projects/"+url.PathEscape(from)+"/nodes/"+url.PathEscape(node)+"/transfer", map[string]string{"To": to}, nil)
+}
+
 // FreeNode releases a node back to the free pool.
-func (c *Client) FreeNode(project, node string) error {
-	return c.do("DELETE", "/projects/"+project+"/nodes/"+node, nil, nil)
+func (c *Client) FreeNode(ctx context.Context, project, node string) error {
+	return c.do(ctx, "DELETE", "/projects/"+url.PathEscape(project)+"/nodes/"+url.PathEscape(node), nil, nil)
 }
 
 // CreateNetwork allocates a tenant network.
-func (c *Client) CreateNetwork(project, network string) error {
-	return c.do("PUT", "/projects/"+project+"/networks/"+network, nil, nil)
+func (c *Client) CreateNetwork(ctx context.Context, project, network string) error {
+	return c.do(ctx, "PUT", "/projects/"+url.PathEscape(project)+"/networks/"+url.PathEscape(network), nil, nil)
 }
 
 // DeleteNetwork frees a tenant network.
-func (c *Client) DeleteNetwork(project, network string) error {
-	return c.do("DELETE", "/projects/"+project+"/networks/"+network, nil, nil)
+func (c *Client) DeleteNetwork(ctx context.Context, project, network string) error {
+	return c.do(ctx, "DELETE", "/projects/"+url.PathEscape(project)+"/networks/"+url.PathEscape(network), nil, nil)
 }
 
 // ConnectNode attaches a node to a network.
-func (c *Client) ConnectNode(project, node, network string) error {
-	return c.do("PUT", "/projects/"+project+"/nodes/"+node+"/networks/"+network, nil, nil)
+func (c *Client) ConnectNode(ctx context.Context, project, node, network string) error {
+	return c.do(ctx, "PUT", "/projects/"+url.PathEscape(project)+"/nodes/"+url.PathEscape(node)+"/networks/"+url.PathEscape(network), nil, nil)
 }
 
 // DetachNode removes a node from a network.
-func (c *Client) DetachNode(project, node, network string) error {
-	return c.do("DELETE", "/projects/"+project+"/nodes/"+node+"/networks/"+network, nil, nil)
+func (c *Client) DetachNode(ctx context.Context, project, node, network string) error {
+	return c.do(ctx, "DELETE", "/projects/"+url.PathEscape(project)+"/nodes/"+url.PathEscape(node)+"/networks/"+url.PathEscape(network), nil, nil)
+}
+
+// ConnectServicePort attaches a service host's switch port to a public
+// network as a promiscuous member.
+func (c *Client) ConnectServicePort(port, publicNet string) error {
+	return c.do(context.Background(), "PUT", "/service-ports/"+url.PathEscape(port)+"/networks/"+url.PathEscape(publicNet), nil, nil)
 }
 
 // NodeMetadata fetches a node's provider-published metadata.
 func (c *Client) NodeMetadata(node string) (map[string]string, error) {
 	var out map[string]string
-	err := c.do("GET", "/nodes/"+node+"/metadata", nil, &out)
+	err := c.do(context.Background(), "GET", "/nodes/"+url.PathEscape(node)+"/metadata", nil, &out)
 	return out, err
 }
 
+// NodeOwner reports which project owns a node ("" if free).
+func (c *Client) NodeOwner(node string) (string, error) {
+	var out struct{ Owner string }
+	err := c.do(context.Background(), "GET", "/nodes/"+url.PathEscape(node)+"/owner", nil, &out)
+	return out.Owner, err
+}
+
+// NodePort returns a node's switch port name.
+func (c *Client) NodePort(node string) (string, error) {
+	var out struct{ Port string }
+	err := c.do(context.Background(), "GET", "/nodes/"+url.PathEscape(node)+"/port", nil, &out)
+	return out.Port, err
+}
+
 // Power issues a power operation: "on", "off" or "cycle".
-func (c *Client) Power(project, node, op string) error {
-	return c.do("POST", "/projects/"+project+"/nodes/"+node+"/power", map[string]string{"Op": op}, nil)
+func (c *Client) Power(ctx context.Context, project, node, op string) error {
+	return c.do(ctx, "POST", "/projects/"+url.PathEscape(project)+"/nodes/"+url.PathEscape(node)+"/power", map[string]string{"Op": op}, nil)
+}
+
+// PowerOn powers on an owned node via its BMC.
+func (c *Client) PowerOn(ctx context.Context, project, node string) error {
+	return c.Power(ctx, project, node, "on")
+}
+
+// PowerOff powers off an owned node via its BMC.
+func (c *Client) PowerOff(ctx context.Context, project, node string) error {
+	return c.Power(ctx, project, node, "off")
+}
+
+// PowerCycle power-cycles an owned node via its BMC.
+func (c *Client) PowerCycle(ctx context.Context, project, node string) error {
+	return c.Power(ctx, project, node, "cycle")
 }

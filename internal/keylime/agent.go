@@ -64,8 +64,9 @@ func (a *Agent) checkPath(peerPort string) error {
 
 // RegisterWith performs the full enrolment dance against a registrar
 // reachable on registrarPort: submit EK+AIK, activate the returned
-// credential in the TPM, return the proof.
-func (a *Agent) RegisterWith(ctx context.Context, r *Registrar, registrarPort string) error {
+// credential in the TPM, return the proof. The registrar may be
+// in-process or a RegistrarClient for a remote enrolment endpoint.
+func (a *Agent) RegisterWith(ctx context.Context, r RegistrarConn, registrarPort string) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("keylime: %w", err)
 	}

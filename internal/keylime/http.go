@@ -2,6 +2,7 @@ package keylime
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdh"
 	"crypto/ecdsa"
 	"crypto/elliptic"
@@ -12,6 +13,7 @@ import (
 	"io"
 	"math/big"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"strings"
 
@@ -211,8 +213,12 @@ func (ra *RemoteAgent) Quote(nonce []byte, sel []int, verifierPort string) (*tpm
 	for i, s := range sel {
 		parts[i] = strconv.Itoa(s)
 	}
-	url := fmt.Sprintf("%s/quote?nonce=%s&pcrs=%s&from=%s",
-		ra.Base, hex.EncodeToString(nonce), strings.Join(parts, ","), verifierPort)
+	q := neturl.Values{
+		"nonce": {hex.EncodeToString(nonce)},
+		"pcrs":  {strings.Join(parts, ",")},
+		"from":  {verifierPort},
+	}
+	url := ra.Base + "/quote?" + q.Encode()
 	resp, err := ra.HTTP.Get(url)
 	if err != nil {
 		return nil, err
@@ -339,69 +345,128 @@ func NewRegistrarHandler(reg *Registrar) http.Handler {
 		}
 		json.NewEncoder(w).Encode(map[string]string{"aik": encodeECDSA(aik)})
 	})
+	mux.HandleFunc("GET /agents/{uuid}/ek", func(w http.ResponseWriter, r *http.Request) {
+		ek, err := reg.EK(r.PathValue("uuid"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"ek": hex.EncodeToString(ek.Bytes())})
+	})
 	return mux
 }
 
-// RegisterOverHTTP performs the agent's full enrolment dance against a
-// registrar's REST endpoint.
-func (a *Agent) RegisterOverHTTP(base, registrarPort string) error {
-	if err := a.checkPath(registrarPort); err != nil {
-		return fmt.Errorf("keylime: agent cannot reach registrar: %w", err)
-	}
-	body, err := json.Marshal(map[string]string{
-		"EK":  hex.EncodeToString(a.EKPublic().Bytes()),
-		"AIK": encodeECDSA(a.AIKPublic()),
-	})
+// RegistrarClient drives a registrar's REST API; it satisfies
+// RegistrarConn, so agents can enrol with — and verifiers and tenants
+// can look up certified keys from — a registrar they only reach over
+// the network.
+type RegistrarClient struct {
+	Base string
+	HTTP *http.Client
+}
+
+var _ RegistrarConn = (*RegistrarClient)(nil)
+
+// NewRegistrarClient returns a client for the registrar API at base URL.
+func NewRegistrarClient(base string) *RegistrarClient {
+	return &RegistrarClient{Base: base, HTTP: http.DefaultClient}
+}
+
+func (rc *RegistrarClient) post(path string, body interface{}, out interface{}) error {
+	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/agents/"+a.uuid+"/register", "application/json", bytes.NewReader(body))
+	resp, err := rc.HTTP.Post(rc.Base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("keylime: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func (rc *RegistrarClient) get(path string, out interface{}) error {
+	resp, err := rc.HTTP.Get(rc.Base + path)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("keylime: register: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return fmt.Errorf("keylime: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register implements RegistrarConn.
+func (rc *RegistrarClient) Register(uuid string, ekPub *ecdh.PublicKey, aikPub *ecdsa.PublicKey) (*tpm.CredentialBlob, error) {
+	if ekPub == nil || aikPub == nil {
+		return nil, errors.New("keylime: registration needs EK and AIK")
 	}
 	var raw map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
-		return err
+	err := rc.post("/agents/"+neturl.PathEscape(uuid)+"/register", map[string]string{
+		"EK":  hex.EncodeToString(ekPub.Bytes()),
+		"AIK": encodeECDSA(aikPub),
+	}, &raw)
+	if err != nil {
+		return nil, err
 	}
 	blob := &tpm.CredentialBlob{}
 	if blob.EphemeralPub, err = hex.DecodeString(raw["ephemeral"]); err != nil {
-		return err
+		return nil, err
 	}
 	if blob.Nonce, err = hex.DecodeString(raw["nonce"]); err != nil {
-		return err
+		return nil, err
 	}
 	if blob.Ciphertext, err = hex.DecodeString(raw["ciphertext"]); err != nil {
-		return err
+		return nil, err
 	}
 	binding, err := hex.DecodeString(raw["aik_binding"])
 	if err != nil || len(binding) != tpm.DigestSize {
-		return errors.New("keylime: bad AIK binding")
+		return nil, errors.New("keylime: bad AIK binding")
 	}
 	copy(blob.AIKBinding[:], binding)
+	return blob, nil
+}
 
-	secret, err := a.machine.TPM().ActivateCredential(blob)
+// Activate implements RegistrarConn.
+func (rc *RegistrarClient) Activate(uuid string, proof []byte) error {
+	return rc.post("/agents/"+neturl.PathEscape(uuid)+"/activate", map[string]string{
+		"Proof": hex.EncodeToString(proof),
+	}, nil)
+}
+
+// AIK implements RegistrarConn.
+func (rc *RegistrarClient) AIK(uuid string) (*ecdsa.PublicKey, error) {
+	var raw map[string]string
+	if err := rc.get("/agents/"+neturl.PathEscape(uuid)+"/aik", &raw); err != nil {
+		return nil, err
+	}
+	return decodeECDSA(raw["aik"])
+}
+
+// EK implements RegistrarConn.
+func (rc *RegistrarClient) EK(uuid string) (*ecdh.PublicKey, error) {
+	var raw map[string]string
+	if err := rc.get("/agents/"+neturl.PathEscape(uuid)+"/ek", &raw); err != nil {
+		return nil, err
+	}
+	ekRaw, err := hex.DecodeString(raw["ek"])
 	if err != nil {
-		return fmt.Errorf("keylime: credential activation failed: %w", err)
+		return nil, err
 	}
-	proofBody, err := json.Marshal(map[string]string{
-		"Proof": hex.EncodeToString(activationProof(secret, a.uuid)),
-	})
-	if err != nil {
-		return err
-	}
-	resp2, err := http.Post(base+"/agents/"+a.uuid+"/activate", "application/json", bytes.NewReader(proofBody))
-	if err != nil {
-		return err
-	}
-	defer resp2.Body.Close()
-	if resp2.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(resp2.Body)
-		return fmt.Errorf("keylime: activate: %s: %s", resp2.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+	return ecdh.P256().NewPublicKey(ekRaw)
+}
+
+// RegisterOverHTTP performs the agent's full enrolment dance against a
+// registrar's REST endpoint. It is RegisterWith over a RegistrarClient.
+func (a *Agent) RegisterOverHTTP(base, registrarPort string) error {
+	return a.RegisterWith(context.Background(), NewRegistrarClient(base), registrarPort)
 }

@@ -14,6 +14,18 @@ import (
 	"bolted/internal/tpm"
 )
 
+// RegistrarConn is the component-side view of a registrar: enrolment
+// for agents, certified-key lookup for verifiers and tenants. It is
+// satisfied by *Registrar in process and by *RegistrarClient over HTTP,
+// so a tenant-run verifier can use a provider registrar it only reaches
+// over the network.
+type RegistrarConn interface {
+	Register(uuid string, ekPub *ecdh.PublicKey, aikPub *ecdsa.PublicKey) (*tpm.CredentialBlob, error)
+	Activate(uuid string, proof []byte) error
+	AIK(uuid string) (*ecdsa.PublicKey, error)
+	EK(uuid string) (*ecdh.PublicKey, error)
+}
+
 // Registrar stores and certifies agents' attestation identity keys. It
 // is a pure trust root: it holds no tenant secrets (§5). An AIK is
 // certified only after the agent proves, via TPM credential activation,

@@ -34,7 +34,7 @@ func EncodeEK(ek *ecdh.PublicKey) string { return hex.EncodeToString(ek.Bytes())
 // the provider-published EK for the node the tenant reserved. A
 // mismatch means the provider (or an attacker) wired the tenant to a
 // different physical machine — the server-spoofing attack of §5.
-func VerifyNodeIdentity(reg *Registrar, uuid string, hilMetadata map[string]string) error {
+func VerifyNodeIdentity(reg RegistrarConn, uuid string, hilMetadata map[string]string) error {
 	published, ok := hilMetadata[EKMetadataKey]
 	if !ok {
 		return errors.New("keylime: provider metadata has no TPM EK binding")
@@ -69,7 +69,7 @@ type ProvisionSpec struct {
 //
 // It returns the bootstrap key so the tenant can later derive the same
 // disk/network keys it embedded in the payload.
-func (t *Tenant) Provision(ctx context.Context, reg *Registrar, agent AgentConn, spec ProvisionSpec) ([]byte, error) {
+func (t *Tenant) Provision(ctx context.Context, reg RegistrarConn, agent AgentConn, spec ProvisionSpec) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("keylime: %w", err)
 	}

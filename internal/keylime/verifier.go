@@ -69,7 +69,7 @@ type monitored struct {
 // checks server integrity, and releases key shares. Deployable by the
 // tenant (Charlie) or the provider (Bob).
 type Verifier struct {
-	registrar *Registrar
+	registrar RegistrarConn
 	port      string
 
 	mu    sync.Mutex
@@ -78,7 +78,9 @@ type Verifier struct {
 }
 
 // NewVerifier creates a verifier reachable on the given switch port.
-func NewVerifier(reg *Registrar, port string) *Verifier {
+// The registrar may be in-process or a RegistrarClient for a registrar
+// elsewhere on the attestation network.
+func NewVerifier(reg RegistrarConn, port string) *Verifier {
 	return &Verifier{registrar: reg, port: port, nodes: make(map[string]*monitored)}
 }
 

@@ -1,0 +1,266 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bolted/internal/blockdev"
+	"bolted/internal/bmi"
+	"bolted/internal/core"
+	"bolted/internal/firmware"
+	"bolted/internal/hil"
+)
+
+func testSpec() bmi.OSImageSpec {
+	return bmi.OSImageSpec{
+		KernelID: "linux-4.17",
+		Kernel:   []byte("vmlinuz-4.17"),
+		Initrd:   []byte("initramfs-4.17"),
+		Cmdline:  "root=iscsi ima_policy=tcb",
+		RootFS:   bytes.Repeat([]byte("fs"), 4096),
+	}
+}
+
+// startServer wires a fully in-process cloud, seeds an OS image, and
+// serves its complete service plane the way cmd/boltedd does.
+func startServer(t *testing.T, nodes int) (*core.Cloud, string) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cloud, err := core.NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("fedora28", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	handler, err := NewHandler(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return cloud, srv.URL
+}
+
+// journalLines flattens a node's lifecycle trail to "kind detail"
+// strings, the transport-independent part of an Event.
+func journalLines(j *core.Journal, node string) []string {
+	var out []string
+	for _, ev := range j.ByNode(node) {
+		out = append(out, string(ev.Kind)+" "+ev.Detail)
+	}
+	return out
+}
+
+// TestEndToEndBatchOverWire is the acceptance test for the transport-
+// agnostic service plane: a multi-node batch provisioned via Dial
+// against a full-surface boltedd must produce the same BatchResult and
+// the same per-node lifecycle journal as the identical batch run
+// against in-process services.
+func TestEndToEndBatchOverWire(t *testing.T) {
+	const nodes, batch = 5, 3
+	for _, profile := range []core.Profile{core.ProfileBob, core.ProfileCharlie} {
+		t.Run(profile.Name, func(t *testing.T) {
+			serverCloud, url := startServer(t, nodes)
+			remoteCloud, err := Dial(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !remoteCloud.Remote() || remoteCloud.LocalHIL() != nil || remoteCloud.LocalBMI() != nil || remoteCloud.LocalRegistrar() != nil {
+				t.Fatal("dialled cloud still holds in-process services")
+			}
+			if remoteCloud.Config.Nodes != nodes || remoteCloud.Config.Firmware != core.FirmwareLinuxBoot {
+				t.Fatalf("server info not propagated: %+v", remoteCloud.Config)
+			}
+
+			remoteEnclave, err := core.NewEnclave(remoteCloud, "tenant", profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := remoteEnclave.AcquireNodes(context.Background(), "fedora28", batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Nodes) != batch || len(res.Failed) != 0 || len(res.Aborted) != 0 {
+				t.Fatalf("remote batch = %d nodes, %d failed, %d aborted", len(res.Nodes), len(res.Failed), len(res.Aborted))
+			}
+
+			// The same batch against an identical in-process cloud must
+			// journal the identical lifecycle, transition for transition.
+			localCloud, err := core.NewCloud(core.CloudConfig{
+				Nodes: nodes, Firmware: core.FirmwareLinuxBoot,
+				HeadsSource: core.DefaultConfig().HeadsSource,
+				OSDs:        3, Replication: 2, SpindlesPerO: 9, PlatformGen: "m620",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := localCloud.BMI.CreateOSImage("fedora28", testSpec()); err != nil {
+				t.Fatal(err)
+			}
+			localEnclave, err := core.NewEnclave(localCloud, "tenant", profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			localRes, err := localEnclave.AcquireNodes(context.Background(), "fedora28", batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(localRes.Nodes) != len(res.Nodes) {
+				t.Fatalf("local batch %d nodes, remote %d", len(localRes.Nodes), len(res.Nodes))
+			}
+			for i, n := range res.Nodes {
+				if n.Name != localRes.Nodes[i].Name {
+					t.Fatalf("member %d: remote %s, local %s", i, n.Name, localRes.Nodes[i].Name)
+				}
+				remoteTrail := journalLines(remoteEnclave.Journal(), n.Name)
+				localTrail := journalLines(localEnclave.Journal(), n.Name)
+				if strings.Join(remoteTrail, "\n") != strings.Join(localTrail, "\n") {
+					t.Fatalf("node %s journal diverges over the wire:\nremote:\n  %s\nlocal:\n  %s",
+						n.Name, strings.Join(remoteTrail, "\n  "), strings.Join(localTrail, "\n  "))
+				}
+			}
+
+			// The provider's source of truth saw the allocation.
+			free, err := serverCloud.HIL.FreeNodes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(free) != nodes-batch {
+				t.Fatalf("server free pool = %d, want %d", len(free), nodes-batch)
+			}
+			for _, n := range res.Nodes {
+				owner, err := remoteCloud.HIL.NodeOwner(n.Name)
+				if err != nil || owner != "tenant" {
+					t.Fatalf("owner of %s over the wire = %q, %v", n.Name, owner, err)
+				}
+				if n.Machine != nil {
+					t.Fatal("remote member exposes a machine handle")
+				}
+			}
+
+			// Enclave data path across the wire-built membership.
+			reply, err := remoteEnclave.Send(res.Nodes[0].Name, res.Nodes[1].Name, []byte("ping"))
+			if err != nil || string(reply) != "ping" {
+				t.Fatalf("Send over remote enclave = %q, %v", reply, err)
+			}
+
+			// The node's data volume is remote block storage: writes made
+			// through the tenant's stack (LUKS for Charlie) must land on
+			// the server.
+			data := bytes.Repeat([]byte{7}, blockdev.SectorSize)
+			if err := res.Nodes[0].Disk.WriteSectors(data, 3); err != nil {
+				t.Fatal(err)
+			}
+			back := make([]byte, blockdev.SectorSize)
+			if err := res.Nodes[0].Disk.ReadSectors(back, 3); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatal("remote volume write did not read back")
+			}
+
+			// Release over the wire, preserving state as a server-side
+			// image.
+			released := res.Nodes[0]
+			if err := remoteEnclave.ReleaseNode(released.Name, "postrun"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := serverCloud.BMI.GetImage("postrun"); err != nil {
+				t.Fatalf("saved image missing on server: %v", err)
+			}
+			// The released node's agent died with it: its remote API must
+			// be gone, not left serving the previous tenant's state.
+			if _, err := released.Agent.Quote([]byte{1, 2, 3, 4}, []int{0}, core.PortVerifier); err == nil {
+				t.Fatal("released node's agent API still answers quotes")
+			}
+			free, _ = serverCloud.HIL.FreeNodes()
+			if len(free) != nodes-batch+1 {
+				t.Fatalf("free pool after remote release = %d", len(free))
+			}
+		})
+	}
+}
+
+// TestRemoteRejectionQuarantine proves failure isolation works across
+// the wire: a node whose flash firmware was implanted server-side
+// fails attestation and lands in the provider's rejected pool, while
+// its batch siblings still allocate.
+func TestRemoteRejectionQuarantine(t *testing.T) {
+	serverCloud, url := startServer(t, 3)
+	// The free pool is sorted, so node00 is part of any 2-node batch.
+	m, err := serverCloud.Machine("node00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	implant := firmware.BuildLinuxBoot("evil", []byte("firmware implant"))
+	m.ReflashFirmware(firmware.NewLinuxBoot(implant, "m620"))
+
+	remoteCloud, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := core.NewEnclave(remoteCloud, "tenant", core.ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := enclave.AcquireNodes(context.Background(), "fedora28", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 1 || len(res.Failed) != 1 {
+		t.Fatalf("batch = %d nodes, %d failed; want 1, 1", len(res.Nodes), len(res.Failed))
+	}
+	if res.Failed[0].Node != "node00" || res.Failed[0].Phase != core.PhaseAttest {
+		t.Fatalf("failure = %+v, want node00 at %s", res.Failed[0], core.PhaseAttest)
+	}
+	owner, err := remoteCloud.HIL.NodeOwner("node00")
+	if err != nil || owner != core.RejectedProject {
+		t.Fatalf("implanted node owner = %q, %v; want rejected pool", owner, err)
+	}
+	// The tenant-side quarantine ledger recorded the reason.
+	if _, ok := remoteCloud.Rejected()["node00"]; !ok {
+		t.Fatal("rejection reason not recorded tenant-side")
+	}
+}
+
+// TestRemoteErrorSemantics: reservation failures cross the wire with
+// sentinel fidelity and roll back cleanly.
+func TestRemoteErrorSemantics(t *testing.T) {
+	serverCloud, url := startServer(t, 2)
+	remoteCloud, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := core.NewEnclave(remoteCloud, "tenant", core.ProfileAlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enclave.AcquireNodes(context.Background(), "fedora28", 3); !errors.Is(err, hil.ErrNotFound) {
+		t.Fatalf("oversized batch = %v, want wrapped hil.ErrNotFound", err)
+	}
+	// The failed reservation left no trace server-side.
+	free, _ := serverCloud.HIL.FreeNodes()
+	if len(free) != 2 {
+		t.Fatalf("free pool after rollback = %d, want 2", len(free))
+	}
+	if _, err := remoteCloud.BMI.ExtractBootInfo(context.Background(), "ghost"); !errors.Is(err, bmi.ErrNotFound) {
+		t.Fatalf("missing image over wire = %v, want wrapped bmi.ErrNotFound", err)
+	}
+}
+
+// TestDialRejectsPartialSurface: a HIL-only server (the pre-refactor
+// boltedd shape) is not a full service plane.
+func TestDialRejectsPartialSurface(t *testing.T) {
+	cloud, _ := startServer(t, 1)
+	srv := httptest.NewServer(hil.NewHandler(cloud.LocalHIL()))
+	defer srv.Close()
+	if _, err := Dial(srv.URL); err == nil {
+		t.Fatal("Dial accepted a HIL-only server")
+	}
+}
