@@ -369,11 +369,11 @@ func newAttestedPair(b *testing.B) (*core.Enclave, *core.Node, *core.Node) {
 		b.Fatal(err)
 	}
 	e.IMAWhitelist().AllowContent("/usr/bin/app", []byte("app"))
-	n1, err := e.AcquireNode("os")
+	n1, err := e.AcquireNode(context.Background(), "os")
 	if err != nil {
 		b.Fatal(err)
 	}
-	n2, err := e.AcquireNode("os")
+	n2, err := e.AcquireNode(context.Background(), "os")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -562,7 +562,7 @@ func BenchmarkAcquireNodesParallel(b *testing.B) {
 					b.StartTimer()
 					if mode == "serial" {
 						for j := 0; j < n; j++ {
-							if _, err := e.AcquireNode("os"); err != nil {
+							if _, err := e.AcquireNode(context.Background(), "os"); err != nil {
 								b.Fatal(err)
 							}
 						}
@@ -603,7 +603,7 @@ func BenchmarkEnclaveAcquire(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := e.AcquireNode("os"); err != nil {
+				if _, err := e.AcquireNode(context.Background(), "os"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -676,5 +676,44 @@ func BenchmarkAcquireNodesTransport(b *testing.B) {
 			b.StartTimer()
 		}
 		b.ReportMetric(batch, "nodes/batch")
+	})
+	// The /v1 control plane runs the same batch server-side as an async
+	// Operation: the tenant's only wire traffic is submit + wait. The
+	// submit-ns metric is what a tenant blocks for before the Operation
+	// id comes back — the async win over the blocking paths above.
+	b.Run("v1-async", func(b *testing.B) {
+		var submit time.Duration
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			serverCloud := seed(b)
+			handler, err := remote.NewHandler(serverCloud)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := httptest.NewServer(handler)
+			cli := remote.NewV1Client(srv.URL)
+			if _, err := cli.CreateEnclave(context.Background(), "t", "bob"); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			t0 := time.Now()
+			op, err := cli.Acquire(context.Background(), "t", "os", batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			submit += time.Since(t0)
+			final, err := cli.WaitOperation(context.Background(), op.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if final.Result == nil || len(final.Result.Nodes) != batch {
+				b.Fatalf("operation %s = %+v", op.ID, final)
+			}
+			b.StopTimer()
+			srv.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(batch, "nodes/batch")
+		b.ReportMetric(float64(submit.Nanoseconds())/float64(b.N), "submit-ns")
 	})
 }

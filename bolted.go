@@ -20,7 +20,7 @@
 //	cloud, _ := bolted.NewCloud(bolted.DefaultConfig())
 //	cloud.BMI.CreateOSImage("fedora28", bolted.OSImageSpec{ ... })
 //	enclave, _ := bolted.NewEnclave(cloud, "myproj", bolted.ProfileCharlie)
-//	node, err := enclave.AcquireNode("fedora28")   // airlock → attest → boot
+//	node, err := enclave.AcquireNode(ctx, "fedora28")  // airlock → attest → boot
 //
 // Batches provision concurrently — nodes that fail a phase land in the
 // provider's rejected pool while their siblings still allocate:
@@ -170,6 +170,54 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) { return core.NewCloud(cfg) }
 //	enclave, _ := bolted.NewEnclave(cloud, "myproj", bolted.ProfileBob)
 //	res, _ := enclave.AcquireNodes(ctx, "fedora28", 4)
 func Dial(serverURL string) (*Cloud, error) { return remote.Dial(serverURL) }
+
+// Client is the typed binding for boltedd's /v1 tenant control plane:
+// enclaves as named server-side resources and batch acquisitions as
+// asynchronous Operations the tenant polls, streams, or cancels —
+// the surface for tenants that do not embed the orchestrator:
+//
+//	cli := bolted.NewClient("http://127.0.0.1:8080")
+//	cli.CreateEnclave(ctx, "myproj", "bob")
+//	op, _ := cli.Acquire(ctx, "myproj", "fedora28", 4) // returns immediately
+//	done, _ := cli.WaitOperation(ctx, op.ID)           // or StreamEvents / CancelOperation
+type Client = remote.V1Client
+
+// NewClient returns a /v1 control-plane client for a boltedd base URL.
+func NewClient(serverURL string) *Client { return remote.NewV1Client(serverURL) }
+
+// EnclaveInfo is the control plane's wire form of an enclave resource.
+type EnclaveInfo = remote.EnclaveInfo
+
+// OperationInfo is the control plane's wire form of a long-running
+// acquisition Operation.
+type OperationInfo = remote.OperationInfo
+
+// EventInfo is the control plane's wire form of one lifecycle journal
+// event (the /v1/operations/{id}/events stream).
+type EventInfo = remote.EventInfo
+
+// Manager is the server-side control-plane registry: named enclaves
+// plus the asynchronous Operations running against them. It powers the
+// /v1 surface, and embedding programs can drive it in process.
+type Manager = core.Manager
+
+// Operation is one asynchronous batch acquisition tracked by a
+// Manager.
+type Operation = core.Operation
+
+// OpPhase is an Operation's position in its life cycle.
+type OpPhase = core.OpPhase
+
+// Operation phases (OpDone and OpCancelled are terminal).
+const (
+	OpPending   = core.OpPending
+	OpRunning   = core.OpRunning
+	OpDone      = core.OpDone
+	OpCancelled = core.OpCancelled
+)
+
+// NewManager builds an empty control plane over a cloud.
+func NewManager(c *Cloud) *Manager { return core.NewManager(c) }
 
 // NewServerHandler exposes an in-process cloud's complete service
 // plane (HIL, BMI, Keylime registrar, node plane) over HTTP — what

@@ -4,6 +4,7 @@ package bolted_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -40,7 +41,7 @@ func TestFacadeThreeTenantsEndToEnd(t *testing.T) {
 		if profile.ContinuousAttest {
 			enclave.IMAWhitelist().AllowContent("/bin/app", []byte("app"))
 		}
-		node, err := enclave.AcquireNode("os")
+		node, err := enclave.AcquireNode(context.Background(), "os")
 		if err != nil {
 			t.Fatalf("%s: %v", profile.Name, err)
 		}
@@ -72,11 +73,11 @@ func TestFacadeFederation(t *testing.T) {
 	if _, err := fed.Join("b", cloudB, "proj"); err != nil {
 		t.Fatal(err)
 	}
-	addrA, _, err := fed.AcquireNode("a", "os")
+	addrA, _, err := fed.AcquireNode(context.Background(), "a", "os")
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrB, _, err := fed.AcquireNode("b", "os")
+	addrB, _, err := fed.AcquireNode(context.Background(), "b", "os")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +139,11 @@ func TestFacadeFullCompromiseStory(t *testing.T) {
 		t.Fatal(err)
 	}
 	enclave.IMAWhitelist().AllowContent("/bin/trusted", []byte("trusted"))
-	n1, err := enclave.AcquireNode("os")
+	n1, err := enclave.AcquireNode(context.Background(), "os")
 	if err != nil {
 		t.Fatal(err)
 	}
-	n2, err := enclave.AcquireNode("os")
+	n2, err := enclave.AcquireNode(context.Background(), "os")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,16 @@
 // Command boltedctl is the tenant CLI for a running boltedd: it speaks
 // the service-plane REST APIs to manage projects, nodes, networks,
-// power and images — and can drive the full enclave pipeline over the
-// wire with "enclave acquire".
+// power and images — and drives the /v1 tenant control plane, where
+// enclaves are named server-side resources and batch acquisitions run
+// as asynchronous Operations that can be polled, streamed and
+// cancelled.
 //
 // Usage:
 //
-//	boltedctl [-server URL] <command> [args]
+//	boltedctl [-server URL] [-json] <command> [args]
+//
+// All flags precede the command (standard library flag parsing stops
+// at the first positional argument).
 //
 //	project create <name>
 //	node list-free
@@ -24,11 +29,27 @@
 //	image delete <name>
 //	image bootinfo <name>
 //	firmware verify <node> <source-id> <source-file>
-//	enclave acquire <image> <n>   (-profile alice|bob|charlie, -project NAME)
+//	enclave create <name>         (-profile alice|bob|charlie)
+//	enclave list
+//	enclave get <name>
+//	enclave delete <name>
+//	enclave acquire <image> <n>   (-project NAME, -async)
+//	enclave release <node>        (-project NAME, -save IMAGE)
+//	op list
+//	op get <id>
+//	op wait <id>
+//	op cancel <id>
+//	op events <id>
+//
+// Exit codes are script-friendly: 0 success, 1 transport or API error,
+// 2 usage error, 3 batch finished but some nodes failed (inspect
+// result.failed), 4 operation cancelled.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +61,20 @@ import (
 	"bolted/internal/hil"
 )
 
+// Script-facing exit codes: partial batch failure is distinct from a
+// transport error so automation can branch on BatchResult.Failed.
+const (
+	exitOK        = 0
+	exitError     = 1 // transport or API error
+	exitUsage     = 2
+	exitPartial   = 3 // operation done, but some nodes were rejected
+	exitCancelled = 4 // operation cancelled before completion
+)
+
+var jsonOut bool
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: boltedctl [-server URL] [-profile P] [-project NAME] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: boltedctl [-server URL] [-json] [-profile P] [-project NAME] [-async] <command> [args]
 commands:
   project create <name>
   node list-free
@@ -58,23 +91,46 @@ commands:
   firmware verify <node> <source-id> <source-file>
         (rebuild LinuxBoot from source and compare against the
          provider-published platform PCR for the node)
+  enclave create <name> | list | get <name> | delete <name>
+        (server-side enclave resources on the /v1 control plane)
   enclave acquire <image> <n>
-        (dial the server's full service plane and provision a batch of
-         n nodes end-to-end — airlock, boot, attest, provision —
-         entirely over the wire)`)
-	os.Exit(2)
+        (start an async batch acquisition Operation against the
+         -project enclave; without -async, follow it to completion)
+  enclave release <node>   (-project NAME, -save IMAGE)
+  op list | get <id> | wait <id> | cancel <id> | events <id>
+exit codes: 0 ok, 1 transport/API error, 2 usage,
+            3 partial batch failure, 4 operation cancelled`)
+	os.Exit(exitUsage)
+}
+
+// emit prints v as JSON under -json, or runs the human formatter.
+func emit(v interface{}, human func()) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fmt.Fprintln(os.Stderr, "boltedctl:", err)
+			os.Exit(exitError)
+		}
+		return
+	}
+	human()
 }
 
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "boltedd service-plane base URL")
 	profileName := flag.String("profile", "bob", "enclave security profile: alice, bob or charlie")
-	project := flag.String("project", "boltedctl", "enclave project name")
+	project := flag.String("project", "boltedctl", "enclave name on the /v1 control plane")
+	async := flag.Bool("async", false, "enclave acquire: return the operation immediately instead of waiting")
+	saveAs := flag.String("save", "", "enclave release: preserve the node's volume as this image")
+	flag.BoolVar(&jsonOut, "json", false, "emit results as JSON")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
 		usage()
 	}
 	c := hil.NewClient(*server)
+	v1 := bolted.NewClient(*server)
 	ctx := context.Background()
 
 	need := func(n int) {
@@ -91,8 +147,12 @@ func main() {
 		need(2)
 		var free []string
 		free, err = c.FreeNodes()
-		for _, n := range free {
-			fmt.Println(n)
+		if err == nil {
+			emit(free, func() {
+				for _, n := range free {
+					fmt.Println(n)
+				}
+			})
 		}
 	case "node allocate":
 		if len(args) == 4 {
@@ -115,8 +175,12 @@ func main() {
 		need(3)
 		var md map[string]string
 		md, err = c.NodeMetadata(args[2])
-		for k, v := range md {
-			fmt.Printf("%s=%s\n", k, v)
+		if err == nil {
+			emit(md, func() {
+				for k, v := range md {
+					fmt.Printf("%s=%s\n", k, v)
+				}
+			})
 		}
 	case "net create":
 		need(4)
@@ -137,8 +201,12 @@ func main() {
 		need(2)
 		var imgs []string
 		imgs, err = bmiClient(*server).ListImages()
-		for _, i := range imgs {
-			fmt.Println(i)
+		if err == nil {
+			emit(imgs, func() {
+				for _, i := range imgs {
+					fmt.Println(i)
+				}
+			})
 		}
 	case "image create":
 		need(4)
@@ -161,8 +229,13 @@ func main() {
 		var bi *bmi.BootInfo
 		bi, err = bmiClient(*server).ExtractBootInfo(ctx, args[2])
 		if err == nil {
-			fmt.Printf("kernel-id: %s\ncmdline:   %s\nkernel:    %d bytes\ninitrd:    %d bytes\n",
-				bi.KernelID, bi.Cmdline, len(bi.Kernel), len(bi.Initrd))
+			emit(map[string]interface{}{
+				"kernel_id": bi.KernelID, "cmdline": bi.Cmdline,
+				"kernel_bytes": len(bi.Kernel), "initrd_bytes": len(bi.Initrd),
+			}, func() {
+				fmt.Printf("kernel-id: %s\ncmdline:   %s\nkernel:    %d bytes\ninitrd:    %d bytes\n",
+					bi.KernelID, bi.Cmdline, len(bi.Kernel), len(bi.Initrd))
+			})
 		}
 	case "firmware verify":
 		need(5)
@@ -179,57 +252,199 @@ func main() {
 		if err = core.VerifyPublishedFirmware(md, args[3], source); err == nil {
 			fmt.Printf("node %s: published firmware measurement matches your build of %s\n", args[2], args[3])
 		}
+	case "enclave create":
+		need(3)
+		var info *bolted.EnclaveInfo
+		info, err = v1.CreateEnclave(ctx, args[2], *profileName)
+		if err == nil {
+			emit(info, func() { fmt.Printf("enclave %s created (profile %s)\n", info.Name, info.Profile) })
+		}
+	case "enclave list":
+		need(2)
+		var encls []*bolted.EnclaveInfo
+		encls, err = v1.ListEnclaves(ctx)
+		if err == nil {
+			emit(encls, func() {
+				for _, e := range encls {
+					fmt.Printf("%s\tprofile=%s\tnodes=%d\n", e.Name, e.Profile, len(e.Nodes))
+				}
+			})
+		}
+	case "enclave get":
+		need(3)
+		var info *bolted.EnclaveInfo
+		info, err = v1.GetEnclave(ctx, args[2])
+		if err == nil {
+			emit(info, func() {
+				fmt.Printf("enclave %s (profile %s)\n", info.Name, info.Profile)
+				for n, st := range info.Nodes {
+					fmt.Printf("  %s\t%s\n", n, st)
+				}
+			})
+		}
+	case "enclave delete":
+		need(3)
+		err = v1.DeleteEnclave(ctx, args[2])
 	case "enclave acquire":
 		need(4)
 		var n int
 		n, err = strconv.Atoi(args[3])
 		if err == nil {
-			err = acquireEnclave(ctx, *server, *project, *profileName, args[2], n)
+			os.Exit(acquireV1(ctx, v1, *project, *profileName, args[2], n, *async))
 		}
+	case "enclave release":
+		need(3)
+		err = v1.ReleaseNode(ctx, *project, args[2], *saveAs)
+	case "op list":
+		need(2)
+		var ops []*bolted.OperationInfo
+		ops, err = v1.ListOperations(ctx)
+		if err == nil {
+			emit(ops, func() {
+				for _, op := range ops {
+					fmt.Printf("%s\t%s\t%s\timage=%s count=%d\n", op.ID, op.Phase, op.Enclave, op.Image, op.Count)
+				}
+			})
+		}
+	case "op get":
+		need(3)
+		var op *bolted.OperationInfo
+		op, err = v1.GetOperation(ctx, args[2])
+		if err == nil {
+			emit(op, func() { printOperation(op) })
+		}
+	case "op wait":
+		need(3)
+		var op *bolted.OperationInfo
+		op, err = v1.WaitOperation(ctx, args[2])
+		if err == nil {
+			emit(op, func() { printOperation(op) })
+			os.Exit(operationExitCode(op))
+		}
+	case "op cancel":
+		need(3)
+		var op *bolted.OperationInfo
+		op, err = v1.CancelOperation(ctx, args[2])
+		if err == nil {
+			emit(op, func() { printOperation(op) })
+		}
+	case "op events":
+		need(3)
+		enc := json.NewEncoder(os.Stdout)
+		err = v1.StreamEvents(ctx, args[2], 0, func(ev bolted.EventInfo) error {
+			if jsonOut {
+				return enc.Encode(ev)
+			}
+			printEvent(ev)
+			return nil
+		})
 	default:
 		usage()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "boltedctl:", err)
-		os.Exit(1)
+		os.Exit(exitError)
 	}
 }
 
-// acquireEnclave dials the server's full service plane and runs the
-// concurrent batch pipeline against it: every HIL, BMI and Keylime
-// interaction crosses the wire.
-func acquireEnclave(ctx context.Context, server, project, profileName, image string, n int) error {
-	var profile bolted.Profile
-	switch profileName {
-	case "alice":
-		profile = bolted.ProfileAlice
-	case "bob":
-		profile = bolted.ProfileBob
-	case "charlie":
-		profile = bolted.ProfileCharlie
+// acquireV1 drives a batch acquisition through the /v1 control plane:
+// create-or-reuse the enclave, start the Operation, and either return
+// immediately (-async) or follow the event stream to the terminal
+// state. The return value is the process exit code.
+func acquireV1(ctx context.Context, v1 *bolted.Client, enclave, profile, image string, n int, async bool) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "boltedctl:", err)
+		return exitError
+	}
+	if _, err := v1.CreateEnclave(ctx, enclave, profile); err != nil {
+		if !errors.Is(err, core.ErrExists) {
+			return fail(err)
+		}
+		// Reusing an existing enclave is fine — silently provisioning
+		// under a different security posture than the one asked for is
+		// not.
+		info, getErr := v1.GetEnclave(ctx, enclave)
+		if getErr != nil {
+			return fail(getErr)
+		}
+		if info.Profile != profile {
+			return fail(fmt.Errorf("enclave %q already exists with profile %s (asked for %s); pick another -project or delete it first",
+				enclave, info.Profile, profile))
+		}
+	}
+	op, err := v1.Acquire(ctx, enclave, image, n)
+	if err != nil {
+		return fail(err)
+	}
+	if async {
+		emit(op, func() {
+			fmt.Printf("operation %s started: %d x %s into enclave %s\n", op.ID, n, image, enclave)
+			fmt.Printf("follow with: boltedctl op wait %s | op events %s | op cancel %s\n", op.ID, op.ID, op.ID)
+		})
+		return exitOK
+	}
+	// Blocking mode: narrate the lifecycle journal while the server
+	// works, then report the final state.
+	if !jsonOut {
+		if err := v1.StreamEvents(ctx, op.ID, 0, func(ev bolted.EventInfo) error {
+			printEvent(ev)
+			return nil
+		}); err != nil {
+			return fail(err)
+		}
+	}
+	op, err = v1.WaitOperation(ctx, op.ID)
+	if err != nil {
+		return fail(err)
+	}
+	emit(op, func() { printOperation(op) })
+	return operationExitCode(op)
+}
+
+// operationExitCode maps a terminal operation onto the script-facing
+// exit codes: cancelled and failed-outright are distinct from a batch
+// that finished with some nodes rejected.
+func operationExitCode(op *bolted.OperationInfo) int {
+	switch {
+	case op.Phase == string(bolted.OpCancelled):
+		return exitCancelled
+	case op.Error != "" || op.Result == nil:
+		return exitError
+	case len(op.Result.Failed) > 0:
+		return exitPartial
 	default:
-		return fmt.Errorf("unknown profile %q (want alice, bob or charlie)", profileName)
+		return exitOK
 	}
-	cloud, err := bolted.Dial(server)
-	if err != nil {
-		return err
+}
+
+// printEvent is the human rendering of one lifecycle journal event,
+// shared by `op events` and the blocking acquire's narration.
+func printEvent(ev bolted.EventInfo) {
+	fmt.Printf("%s %-12s %s %s\n", ev.At.Format("15:04:05.000"), ev.Kind, ev.Node, ev.Detail)
+}
+
+func printOperation(op *bolted.OperationInfo) {
+	fmt.Printf("operation %s: %s (enclave %s, %d x %s)\n", op.ID, op.Phase, op.Enclave, op.Count, op.Image)
+	if op.Error != "" {
+		fmt.Printf("error: %s\n", op.Error)
 	}
-	enclave, err := bolted.NewEnclave(cloud, project, profile)
-	if err != nil {
-		return err
+	if op.Result == nil {
+		for n, st := range op.Progress {
+			fmt.Printf("  %s\t%s\n", n, st)
+		}
+		return
 	}
-	res, err := enclave.AcquireNodes(ctx, image, n)
-	if err != nil {
-		return err
+	for _, n := range op.Result.Nodes {
+		fmt.Printf("allocated %s\n", n)
 	}
-	for _, node := range res.Nodes {
-		fmt.Printf("allocated %s\n", node.Name)
+	for _, f := range op.Result.Failed {
+		fmt.Printf("rejected  %s (%s: %s)\n", f.Node, f.Phase, f.Error)
 	}
-	for _, f := range res.Failed {
-		fmt.Printf("rejected  %s (%s: %v)\n", f.Node, f.Phase, f.Err)
+	for _, f := range op.Result.Aborted {
+		fmt.Printf("aborted   %s (%s: %s)\n", f.Node, f.Phase, f.Error)
 	}
-	fmt.Printf("batch: %d allocated, %d rejected in %v\n", len(res.Nodes), len(res.Failed), res.Timings.Wall.Round(0))
-	return nil
+	fmt.Printf("batch: %d allocated, %d rejected, %d aborted in %v\n",
+		len(op.Result.Nodes), len(op.Result.Failed), len(op.Result.Aborted), op.Result.Wall)
 }
 
 // bmiClient returns a BMI client for the boltedd server's /bmi prefix.

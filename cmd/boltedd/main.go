@@ -1,9 +1,12 @@
 // Command boltedd runs a demo Bolted cloud and serves the full service
 // plane over HTTP — HIL at /, BMI at /bmi/, the Keylime registrar at
-// /registrar/ and the node plane at /plane/ — so boltedctl, curl, or a
-// bolted.Dial tenant can drive everything from allocation to a full
-// end-to-end enclave batch the way tenant tooling drives a real
-// deployment.
+// /registrar/, the node plane at /plane/ and the versioned tenant
+// control plane at /v1/ — so boltedctl, curl, or a bolted.Dial tenant
+// can drive everything from allocation to a full end-to-end enclave
+// batch the way tenant tooling drives a real deployment. The /v1 plane
+// hosts the orchestrator server-side: enclaves are named resources and
+// batch acquisitions run as asynchronous Operations tenants poll,
+// stream, or cancel.
 package main
 
 import (
@@ -52,8 +55,10 @@ func main() {
 		Handler:           handler,
 		ReadTimeout:       15 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		// The /v1 wait and event-stream handlers clear their own write
+		// deadlines per request; everything else stays bounded.
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -63,8 +68,8 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 
 	free, _ := cloud.HIL.FreeNodes()
-	log.Printf("boltedd: %d %s nodes; HIL at http://%s/, BMI at http://%s/bmi/, registrar at http://%s/registrar/, node plane at http://%s/plane/",
-		*nodes, *fw, *addr, *addr, *addr, *addr)
+	log.Printf("boltedd: %d %s nodes; HIL at http://%s/, BMI at http://%s/bmi/, registrar at http://%s/registrar/, node plane at http://%s/plane/, control plane at http://%s/v1/",
+		*nodes, *fw, *addr, *addr, *addr, *addr, *addr)
 	log.Printf("boltedd: free nodes: %v", free)
 
 	select {

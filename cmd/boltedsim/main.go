@@ -313,11 +313,11 @@ func figCA(bool) {
 		panic(err)
 	}
 	e.IMAWhitelist().AllowContent("/usr/bin/app", []byte("app"))
-	n1, err := e.AcquireNode("os")
+	n1, err := e.AcquireNode(context.Background(), "os")
 	if err != nil {
 		panic(err)
 	}
-	n2, err := e.AcquireNode("os")
+	n2, err := e.AcquireNode(context.Background(), "os")
 	if err != nil {
 		panic(err)
 	}
@@ -376,7 +376,7 @@ func figBatch(quick bool) {
 	es := mkEnclave()
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		if _, err := es.AcquireNode("os"); err != nil {
+		if _, err := es.AcquireNode(context.Background(), "os"); err != nil {
 			panic(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package bolted_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func ExampleNewEnclave() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	node, err := enclave.AcquireNode("os")
+	node, err := enclave.AcquireNode(context.Background(), "os")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 	fmt.Println("demand burst: borrowing 4 nodes from partner cloud")
 	var borrowed []*bolted.Node
 	for len(borrowed) < 4 {
-		n, err := enclave.AcquireNode("orga-hpc")
+		n, err := enclave.AcquireNode(context.Background(), "orga-hpc")
 		if err != nil {
 			fmt.Printf("  rejected a node: %v\n", errShort(err))
 			continue

@@ -1,0 +1,84 @@
+// Control plane: run a boltedd in this process, then drive it purely
+// through the /v1 tenant API — create an enclave resource, start an
+// asynchronous batch acquisition Operation, follow its live event
+// stream, and poll it to completion. The tenant side holds nothing but
+// an HTTP client: no orchestrator, no blocking multi-minute call.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"bolted"
+)
+
+func main() {
+	// Provider side: a cloud and its full service plane (raw planes
+	// plus /v1), exactly what `boltedd -nodes 8` serves.
+	cfg := bolted.DefaultConfig()
+	cfg.Nodes = 8
+	cloud, err := bolted.NewCloud(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("fedora28", bolted.OSImageSpec{
+		KernelID: "fedora28-4.17.9",
+		Kernel:   []byte("vmlinuz-4.17.9-200.fc28"),
+		Initrd:   []byte("initramfs-4.17.9-200.fc28"),
+		Cmdline:  "root=iscsi quiet",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var handler http.Handler
+	if handler, err = bolted.NewServerHandler(cloud); err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	// Tenant side: just the /v1 client.
+	ctx := context.Background()
+	cli := bolted.NewClient(srv.URL)
+	if _, err := cli.CreateEnclave(ctx, "bob-lab", "bob"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Start the batch; the Operation comes back before any node boots.
+	op, err := cli.Acquire(ctx, "bob-lab", "fedora28", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operation %s accepted (phase %s)\n", op.ID, op.Phase)
+
+	// Follow the lifecycle journal live until the operation ends.
+	if err := cli.StreamEvents(ctx, op.ID, 0, func(ev bolted.EventInfo) error {
+		fmt.Printf("  %-12s %s %s\n", ev.Kind, ev.Node, ev.Detail)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	final, err := cli.WaitOperation(ctx, op.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operation %s: %s — %d allocated, %d rejected in %v\n",
+		final.ID, final.Phase, len(final.Result.Nodes), len(final.Result.Failed), final.Result.Wall)
+
+	// The enclave resource reflects the server-side state; release one
+	// node and tear the enclave down through the same API.
+	info, _ := cli.GetEnclave(ctx, "bob-lab")
+	fmt.Printf("enclave %s nodes: %v\n", info.Name, info.Nodes)
+	for _, node := range final.Result.Nodes {
+		if err := cli.ReleaseNode(ctx, "bob-lab", node, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cli.DeleteEnclave(ctx, "bob-lab"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("enclave released and deleted over /v1")
+}

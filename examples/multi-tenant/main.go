@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,7 +49,7 @@ func main() {
 		if t.profile.ContinuousAttest {
 			e.IMAWhitelist().AllowContent("/usr/bin/app", []byte("app"))
 		}
-		n, err := e.AcquireNode("ubuntu")
+		n, err := e.AcquireNode(context.Background(), "ubuntu")
 		if err != nil {
 			log.Fatal(err)
 		}

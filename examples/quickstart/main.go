@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	// One call runs the whole lifecycle: allocate → airlock → measured
 	// boot → attest against the firmware whitelist → join the enclave →
 	// mount the remote volume → kexec the tenant kernel.
-	node, err := enclave.AcquireNode("fedora28")
+	node, err := enclave.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -57,7 +57,7 @@ func TestAliceFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := e.AcquireNode("fedora28")
+	n, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestAliceFastPath(t *testing.T) {
 		t.Fatal("Alice should have no verifier")
 	}
 	// Unencrypted traffic passes (fabric reachability only).
-	n2, err := e.AcquireNode("fedora28")
+	n2, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestBobAttestedPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := e.AcquireNode("fedora28")
+	n, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +113,11 @@ func TestCharlieFullPath(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			n1, err := e.AcquireNode("fedora28")
+			n1, err := e.AcquireNode(context.Background(), "fedora28")
 			if err != nil {
 				t.Fatal(err)
 			}
-			n2, err := e.AcquireNode("fedora28")
+			n2, err := e.AcquireNode(context.Background(), "fedora28")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -160,11 +160,11 @@ func TestContinuousAttestationRevokesTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.IMAWhitelist().AllowContent("/usr/bin/spark", []byte("spark"))
-	n1, err := e.AcquireNode("fedora28")
+	n1, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
-	n2, err := e.AcquireNode("fedora28")
+	n2, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestCompromisedNodeGoesToRejectedPool(t *testing.T) {
 	m.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
 
 	// node00 sorts first, so the first acquire attempt hits it.
-	_, err = e.AcquireNode("fedora28")
+	_, err = e.AcquireNode(context.Background(), "fedora28")
 	if err == nil {
 		t.Fatal("compromised node passed attestation")
 	}
@@ -220,7 +220,7 @@ func TestCompromisedNodeGoesToRejectedPool(t *testing.T) {
 		t.Fatalf("rejected node still on VLANs %v", vlans)
 	}
 	// The tenant can still get the clean node.
-	n, err := e.AcquireNode("fedora28")
+	n, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestMemoryScrubbedBetweenTenants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := ea.AcquireNode("fedora28")
+	n, err := ea.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestMemoryScrubbedBetweenTenants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n2, err := eb.AcquireNode("fedora28")
+	n2, err := eb.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestMemoryScrubbedBetweenTenants(t *testing.T) {
 func TestStatelessReleaseLeavesNothing(t *testing.T) {
 	c := testCloud(t, 1, FirmwareLinuxBoot)
 	e, _ := NewEnclave(c, "t", ProfileBob)
-	n, err := e.AcquireNode("fedora28")
+	n, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestStatelessReleaseLeavesNothing(t *testing.T) {
 func TestReleaseSavesState(t *testing.T) {
 	c := testCloud(t, 1, FirmwareLinuxBoot)
 	e, _ := NewEnclave(c, "t", ProfileBob)
-	n, err := e.AcquireNode("fedora28")
+	n, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,10 +310,10 @@ func TestReleaseSavesState(t *testing.T) {
 func TestEnclaveDestroy(t *testing.T) {
 	c := testCloud(t, 2, FirmwareLinuxBoot)
 	e, _ := NewEnclave(c, "t", ProfileBob)
-	if _, err := e.AcquireNode("fedora28"); err != nil {
+	if _, err := e.AcquireNode(context.Background(), "fedora28"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.AcquireNode("fedora28"); err != nil {
+	if _, err := e.AcquireNode(context.Background(), "fedora28"); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Destroy(); err != nil {
@@ -389,7 +389,7 @@ func TestVerifyPublishedFirmware(t *testing.T) {
 		t.Fatal(err)
 	}
 	e, _ := NewEnclave(c, "t", ProfileBob)
-	n, err := e.AcquireNode("os")
+	n, err := e.AcquireNode(context.Background(), "os")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func TestJournalRecordsLifecycle(t *testing.T) {
 	c := testCloud(t, 2, FirmwareLinuxBoot)
 	e, _ := NewEnclave(c, "audited", ProfileCharlie)
 	e.IMAWhitelist().AllowContent("/bin/ok", []byte("ok"))
-	n, err := e.AcquireNode("fedora28")
+	n, err := e.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,7 +439,7 @@ func TestJournalRecordsLifecycle(t *testing.T) {
 	m, _ := c.Machine(freePool[0])
 	evil := firmware.BuildLinuxBoot("x", []byte("implant"))
 	m.ReflashFirmware(firmware.NewLinuxBoot(evil, "m620"))
-	if _, err := e.AcquireNode("fedora28"); err == nil {
+	if _, err := e.AcquireNode(context.Background(), "fedora28"); err == nil {
 		t.Fatal("implant passed")
 	}
 	trail := e.Journal().ByNode(m.Name())

@@ -169,10 +169,12 @@ func (e *Enclave) volName(node string) string { return e.Project + "-" + node + 
 
 // AcquireNode runs the full Figure-1 lifecycle for one server and
 // returns it as an enclave member. It is a single-node wrapper over the
-// concurrent batch path (AcquireNodes); callers that provision more
-// than one node should use the batch API directly.
-func (e *Enclave) AcquireNode(image string) (*Node, error) {
-	res, err := e.AcquireNodes(context.Background(), image, 1)
+// concurrent batch path (AcquireNodes) and honours ctx the same way:
+// cancelling returns the node to the free pool at the next phase
+// boundary. Callers that provision more than one node should use the
+// batch API directly.
+func (e *Enclave) AcquireNode(ctx context.Context, image string) (*Node, error) {
+	res, err := e.AcquireNodes(ctx, image, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -482,7 +484,7 @@ func (e *Enclave) ReleaseNode(name, saveAs string) error {
 	n, ok := e.nodes[name]
 	if !ok {
 		e.mu.Unlock()
-		return fmt.Errorf("core: node %q not in enclave", name)
+		return fmt.Errorf("%w: node %q not in enclave", ErrNotFound, name)
 	}
 	delete(e.nodes, name)
 	for peer, pn := range e.nodes {

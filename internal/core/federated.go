@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -86,14 +87,14 @@ func splitAddr(addr string) (label, node string, err error) {
 // federation, wiring IPsec tunnels to every member in OTHER clouds
 // (same-cloud members use the per-cloud enclave's own mechanisms). It
 // returns the node plus its federation-wide address.
-func (f *FederatedEnclave) AcquireNode(label, image string) (string, *Node, error) {
+func (f *FederatedEnclave) AcquireNode(ctx context.Context, label, image string) (string, *Node, error) {
 	f.mu.Lock()
 	e, ok := f.members[label]
 	f.mu.Unlock()
 	if !ok {
 		return "", nil, fmt.Errorf("core: no cloud labelled %q", label)
 	}
-	n, err := e.AcquireNode(image)
+	n, err := e.AcquireNode(ctx, image)
 	if err != nil {
 		return "", nil, err
 	}

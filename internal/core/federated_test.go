@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -24,15 +25,15 @@ func TestFederatedEnclaveAcrossClouds(t *testing.T) {
 		t.Fatal("duplicate label accepted")
 	}
 
-	a1, n1, err := fed.AcquireNode("home", "fedora28")
+	a1, n1, err := fed.AcquireNode(context.Background(), "home", "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, _, err := fed.AcquireNode("home", "fedora28")
+	a2, _, err := fed.AcquireNode(context.Background(), "home", "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a3, n3, err := fed.AcquireNode("partner", "fedora28")
+	a3, n3, err := fed.AcquireNode(context.Background(), "partner", "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestFederatedValidation(t *testing.T) {
 		t.Fatal("invalid profile accepted")
 	}
 	fed, _ := NewFederatedEnclave(ProfileAlice)
-	if _, _, err := fed.AcquireNode("ghost", "img"); err == nil {
+	if _, _, err := fed.AcquireNode(context.Background(), "ghost", "img"); err == nil {
 		t.Fatal("acquire from unknown cloud accepted")
 	}
 	if _, err := fed.Member("ghost"); err == nil {

@@ -41,14 +41,43 @@ func (e Event) String() string {
 // sensitive tenants want an audit trail of exactly when each machine
 // was trusted, by whom, and why it left.
 type Journal struct {
-	mu     sync.Mutex
-	events []Event
+	mu       sync.Mutex
+	events   []Event
+	watchers map[int]func(Event)
+	watchSeq int
 }
 
 func (j *Journal) record(kind EventKind, node, detail string) {
+	ev := Event{At: time.Now(), Kind: kind, Node: node, Detail: detail}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.events = append(j.events, Event{At: time.Now(), Kind: kind, Node: node, Detail: detail})
+	j.events = append(j.events, ev)
+	// Watchers run under j.mu so every watcher sees events in journal
+	// order. They must be fast and must not record into this journal.
+	for _, fn := range j.watchers {
+		fn(ev)
+	}
+}
+
+// Watch registers fn to be called, in journal order, with every event
+// recorded after this call. The returned func unsubscribes. Operations
+// use this to fan the lifecycle journal out to pollers and streams;
+// fn runs synchronously inside record, so it must be fast and must not
+// record into the same journal.
+func (j *Journal) Watch(fn func(Event)) (cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.watchers == nil {
+		j.watchers = make(map[int]func(Event))
+	}
+	id := j.watchSeq
+	j.watchSeq++
+	j.watchers[id] = fn
+	return func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		delete(j.watchers, id)
+	}
 }
 
 // Events returns a copy of the journal.

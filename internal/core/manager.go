@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file is the server side of the tenant control plane: where PR 2
+// left every tenant embedding the orchestrator and blocking on a
+// multi-minute AcquireNodes call, the Manager holds named enclaves as
+// server-side resources and runs acquisitions as asynchronous
+// Operations the tenant polls, streams, or cancels through the /v1
+// API (internal/remote). The same state machine and provisioner from
+// the in-process path do the work; the Manager only adds naming,
+// lifecycle, and journal fan-out.
+
+// Control-plane sentinel errors, mapped onto typed wire envelopes by
+// internal/remote and back into errors.Is-compatible values client-side.
+var (
+	// ErrNotFound names an enclave, operation or node the manager does
+	// not know.
+	ErrNotFound = errors.New("core: not found")
+	// ErrExists rejects creating a resource under a taken name.
+	ErrExists = errors.New("core: already exists")
+	// ErrConflict rejects an action the resource's current state
+	// forbids (e.g. deleting an enclave with a running operation).
+	ErrConflict = errors.New("core: conflict")
+)
+
+// MaxRetainedOps bounds how many operations the manager keeps per
+// enclave: beyond it, the oldest terminal operations are forgotten. A
+// long-running boltedd must not grow memory with every acquisition it
+// ever served.
+const MaxRetainedOps = 64
+
+// Manager is the control-plane registry: named enclaves and the
+// operations running against them. One Manager serves all tenants of a
+// boltedd; it is safe for concurrent use.
+type Manager struct {
+	cloud *Cloud
+
+	mu       sync.Mutex
+	enclaves map[string]*Enclave
+	deleting map[string]bool // enclaves mid-Destroy; refuse new work
+	ops      map[string]*Operation
+	byencl   map[string][]*Operation // enclave -> its operations
+	opSeq    int
+}
+
+// NewManager builds an empty control plane over a cloud.
+func NewManager(c *Cloud) *Manager {
+	return &Manager{
+		cloud:    c,
+		enclaves: make(map[string]*Enclave),
+		deleting: make(map[string]bool),
+		ops:      make(map[string]*Operation),
+		byencl:   make(map[string][]*Operation),
+	}
+}
+
+// CreateEnclave creates a named enclave resource under a profile.
+func (m *Manager) CreateEnclave(name string, p Profile) (*Enclave, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: enclave needs a name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.enclaves[name]; ok {
+		return nil, fmt.Errorf("%w: enclave %q", ErrExists, name)
+	}
+	e, err := NewEnclave(m.cloud, name, p)
+	if err != nil {
+		return nil, err
+	}
+	m.enclaves[name] = e
+	return e, nil
+}
+
+// Enclave returns a named enclave. An enclave mid-delete is already
+// gone from the control plane's point of view.
+func (m *Manager) Enclave(name string) (*Enclave, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.enclaves[name]
+	if !ok || m.deleting[name] {
+		return nil, fmt.Errorf("%w: enclave %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// ListEnclaves returns the enclave names, sorted.
+func (m *Manager) ListEnclaves() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.enclaves))
+	for n := range m.enclaves {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteEnclave releases every node and removes the enclave. It
+// refuses while an operation on the enclave is still in flight — the
+// tenant must cancel (and wait out) the operation first. The enclave
+// is marked deleting before the lock drops, so a concurrent
+// StartAcquire cannot begin a batch that races the destroy.
+func (m *Manager) DeleteEnclave(name string) error {
+	m.mu.Lock()
+	e, ok := m.enclaves[name]
+	if !ok || m.deleting[name] {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: enclave %q", ErrNotFound, name)
+	}
+	for _, op := range m.byencl[name] {
+		if !op.Phase().Terminal() {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: enclave %q has running operation %s", ErrConflict, name, op.ID)
+		}
+	}
+	m.deleting[name] = true
+	m.mu.Unlock()
+
+	err := e.Destroy()
+	m.mu.Lock()
+	delete(m.deleting, name)
+	if err == nil {
+		delete(m.enclaves, name)
+		// The enclave's operations (all terminal — checked above) go
+		// with it; retaining them forever would leak on busy servers.
+		for _, op := range m.byencl[name] {
+			delete(m.ops, op.ID)
+		}
+		delete(m.byencl, name)
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// pruneOpsLocked forgets the oldest terminal operations of an enclave
+// beyond the retention bound. Callers hold m.mu.
+func (m *Manager) pruneOpsLocked(enclave string) {
+	ops := m.byencl[enclave]
+	i := 0
+	for len(ops)-i > MaxRetainedOps && ops[i].Phase().Terminal() {
+		delete(m.ops, ops[i].ID)
+		i++
+	}
+	if i > 0 {
+		m.byencl[enclave] = append([]*Operation(nil), ops[i:]...)
+	}
+}
+
+// StartAcquire begins an asynchronous batch acquisition against a
+// named enclave and returns its Operation immediately. The batch runs
+// under the manager's own cancellable context — Operation.Cancel (or
+// the /v1 cancel endpoint) stops it at the next phase boundary, and
+// the enclave's lifecycle journal fans out to the operation's event
+// stream for as long as it runs. One acquisition runs per enclave at
+// a time: the journal is enclave-scoped, so a second concurrent batch
+// would contaminate the first operation's event stream and progress —
+// it is refused with ErrConflict (tenants wanting parallel batches use
+// parallel enclaves).
+func (m *Manager) StartAcquire(enclave, image string, n int) (*Operation, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: batch size must be at least 1")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// Lookup and registration are one critical section: once the
+	// operation is in byencl, DeleteEnclave cannot pass its in-flight
+	// check and destroy the enclave under the batch.
+	m.mu.Lock()
+	e, ok := m.enclaves[enclave]
+	if !ok || m.deleting[enclave] {
+		m.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("%w: enclave %q", ErrNotFound, enclave)
+	}
+	for _, prev := range m.byencl[enclave] {
+		if !prev.Phase().Terminal() {
+			m.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("%w: enclave %q already has operation %s in flight", ErrConflict, enclave, prev.ID)
+		}
+	}
+	m.opSeq++
+	op := newOperation(fmt.Sprintf("op-%04d", m.opSeq), enclave, image, n, cancel)
+	op.seq = m.opSeq
+	m.ops[op.ID] = op
+	m.byencl[enclave] = append(m.byencl[enclave], op)
+	m.pruneOpsLocked(enclave)
+	m.mu.Unlock()
+
+	unwatch := e.Journal().Watch(op.observe)
+	go func() {
+		defer cancel()
+		defer unwatch()
+		op.setRunning()
+		res, err := e.AcquireNodes(ctx, image, n)
+		// The manager owns ctx, so a context.Canceled outcome can only
+		// mean the tenant's cancel — the operation's own terminal state,
+		// not a failure.
+		op.finish(res, err, errors.Is(err, context.Canceled))
+	}()
+	return op, nil
+}
+
+// Operation returns a tracked operation by ID.
+func (m *Manager) Operation(id string) (*Operation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	op, ok := m.ops[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: operation %q", ErrNotFound, id)
+	}
+	return op, nil
+}
+
+// ListOperations returns every tracked operation, oldest first (by
+// creation sequence — lexical ID order breaks past op-9999).
+func (m *Manager) ListOperations() []*Operation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Operation, 0, len(m.ops))
+	for _, op := range m.ops {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}

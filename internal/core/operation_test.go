@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestManagerEnclaveResourceLifecycle(t *testing.T) {
+	c := testCloud(t, 4, FirmwareLinuxBoot)
+	m := NewManager(c)
+
+	e, err := m.CreateEnclave("tenant", ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreateEnclave("tenant", ProfileBob); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create = %v, want ErrExists", err)
+	}
+	if got, err := m.Enclave("tenant"); err != nil || got != e {
+		t.Fatalf("Enclave() = %v, %v", got, err)
+	}
+	if _, err := m.Enclave("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown enclave = %v, want ErrNotFound", err)
+	}
+	if names := m.ListEnclaves(); len(names) != 1 || names[0] != "tenant" {
+		t.Fatalf("ListEnclaves = %v", names)
+	}
+	if err := m.DeleteEnclave("tenant"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Enclave("tenant"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted enclave still resolvable")
+	}
+}
+
+func TestOperationLifecycleHappyPath(t *testing.T) {
+	c := testCloud(t, 4, FirmwareLinuxBoot)
+	m := NewManager(c)
+	if _, err := m.CreateEnclave("tenant", ProfileBob); err != nil {
+		t.Fatal(err)
+	}
+	op, err := m.StartAcquire("tenant", "fedora28", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.ID == "" || op.Enclave != "tenant" || op.Image != "fedora28" || op.Count != 3 {
+		t.Fatalf("operation metadata = %+v", op)
+	}
+	if got, err := m.Operation(op.ID); err != nil || got != op {
+		t.Fatalf("Operation(%s) = %v, %v", op.ID, got, err)
+	}
+	// Non-terminal operations expose no result yet.
+	if res, opErr := op.Result(); op.Phase().Terminal() == false && (res != nil || opErr != nil) {
+		t.Fatalf("in-flight Result() = %v, %v", res, opErr)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := op.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Phase() != OpDone {
+		t.Fatalf("phase = %s, want %s", op.Phase(), OpDone)
+	}
+	if len(res.Nodes) != 3 || len(res.Failed) != 0 || len(res.Aborted) != 0 {
+		t.Fatalf("result = %d nodes, %d failed, %d aborted", len(res.Nodes), len(res.Failed), len(res.Aborted))
+	}
+	if op.Finished().IsZero() {
+		t.Fatal("terminal operation has no finish time")
+	}
+	// Per-node progress reflects the terminal lifecycle step.
+	for _, n := range res.Nodes {
+		if k := op.Progress()[n.Name]; k != EvJoined {
+			t.Fatalf("progress[%s] = %s, want %s", n.Name, k, EvJoined)
+		}
+	}
+}
+
+// TestOperationEventStreamMatchesJournal pins the journal fan-out: the
+// events an operation observed are exactly the enclave journal of its
+// run, in order.
+func TestOperationEventStreamMatchesJournal(t *testing.T) {
+	c := testCloud(t, 4, FirmwareLinuxBoot)
+	m := NewManager(c)
+	e, err := m.CreateEnclave("tenant", ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := m.StartAcquire("tenant", "fedora28", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := op.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lines := func(evs []Event) string {
+		var out []string
+		for _, ev := range evs {
+			out = append(out, string(ev.Kind)+" "+ev.Node+" "+ev.Detail)
+		}
+		return strings.Join(out, "\n")
+	}
+	if got, want := lines(op.Events()), lines(e.Journal().Events()); got != want {
+		t.Fatalf("operation events diverge from journal:\nop:\n%s\njournal:\n%s", got, want)
+	}
+}
+
+// TestOperationCancelMidBatch cancels the moment the first member
+// joins the enclave and asserts every unfinished node went back to the
+// free pool, none were quarantined, and the operation reports
+// Cancelled. The batch is double the worker-pool bound, so at the
+// first join at least DefaultBatchParallelism jobs are still queued —
+// cancelling from a synchronous journal watcher guarantees they abort
+// at their first phase boundary.
+func TestOperationCancelMidBatch(t *testing.T) {
+	const nodes = 2 * DefaultBatchParallelism
+	c := testCloud(t, nodes, FirmwareLinuxBoot)
+	m := NewManager(c)
+	e, err := m.CreateEnclave("tenant", ProfileBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := m.StartAcquire("tenant", "fedora28", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	unwatch := e.Journal().Watch(func(ev Event) {
+		if ev.Kind == EvJoined {
+			once.Do(op.Cancel)
+		}
+	})
+	defer unwatch()
+
+	res, opErr := op.Wait(context.Background())
+	if op.Phase() != OpCancelled {
+		t.Fatalf("phase = %s, want %s (err %v)", op.Phase(), OpCancelled, opErr)
+	}
+	if !errors.Is(opErr, context.Canceled) {
+		t.Fatalf("operation error = %v, want context.Canceled", opErr)
+	}
+	if total := len(res.Nodes) + len(res.Failed) + len(res.Aborted); total != nodes {
+		t.Fatalf("accounting: %d+%d+%d != %d", len(res.Nodes), len(res.Failed), len(res.Aborted), nodes)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("cancellation quarantined healthy nodes: %v", res.Failed)
+	}
+	if len(res.Nodes) == 0 {
+		t.Fatal("the joined node that triggered the cancel should have survived")
+	}
+	if len(res.Aborted) == 0 {
+		t.Fatal("a batch cancelled at first join should abort some nodes")
+	}
+	// Aborted nodes are back in the free pool, unowned and untracked.
+	for _, f := range res.Aborted {
+		if owner, _ := c.HIL.NodeOwner(f.Node); owner != "" {
+			t.Fatalf("aborted %s still owned by %q", f.Node, owner)
+		}
+		if st := e.NodeState(f.Node); st != StateFree {
+			t.Fatalf("aborted %s state = %s", f.Node, st)
+		}
+	}
+	if len(c.Rejected()) != 0 {
+		t.Fatalf("rejected pool = %v", c.Rejected())
+	}
+	free, _ := c.HIL.FreeNodes()
+	if want := nodes - len(res.Nodes); len(free) != want {
+		t.Fatalf("free pool = %d, want %d", len(free), want)
+	}
+}
+
+// TestOperationWaitTerminalOnce: every waiter — before and after the
+// terminal transition, concurrent or sequential — observes the same
+// single terminal state, and the Done channel closes exactly once.
+func TestOperationWaitTerminalOnce(t *testing.T) {
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	m := NewManager(c)
+	if _, err := m.CreateEnclave("tenant", ProfileAlice); err != nil {
+		t.Fatal(err)
+	}
+	op, err := m.StartAcquire("tenant", "fedora28", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*BatchResult, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := op.Wait(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d observed a different terminal result", i)
+		}
+	}
+	// A late waiter still gets the same terminal state immediately.
+	late, err := op.Wait(context.Background())
+	if err != nil || late != results[0] {
+		t.Fatalf("late Wait = %v, %v", late, err)
+	}
+	if ph := op.Phase(); ph != OpDone {
+		t.Fatalf("phase = %s", ph)
+	}
+	// Cancelling after the terminal state must not flip the phase.
+	op.Cancel()
+	if ph := op.Phase(); ph != OpDone {
+		t.Fatalf("cancel after done flipped phase to %s", ph)
+	}
+}
+
+// TestManagerDeleteEnclaveWithRunningOp: the control plane refuses to
+// destroy an enclave out from under its in-flight operation.
+func TestManagerDeleteEnclaveWithRunningOp(t *testing.T) {
+	c := testCloud(t, 8, FirmwareLinuxBoot)
+	m := NewManager(c)
+	if _, err := m.CreateEnclave("tenant", ProfileCharlie); err != nil {
+		t.Fatal(err)
+	}
+	op, err := m.StartAcquire("tenant", "fedora28", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 8-node Charlie batch takes long enough that this delete races
+	// the running operation; either outcome must be consistent: refused
+	// with ErrConflict while in flight, or allowed only once terminal.
+	delErr := m.DeleteEnclave("tenant")
+	if delErr == nil && !op.Phase().Terminal() {
+		t.Fatal("enclave deleted out from under a running operation")
+	}
+	if delErr != nil && !errors.Is(delErr, ErrConflict) {
+		t.Fatalf("delete during op = %v, want ErrConflict", delErr)
+	}
+	if _, err := op.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if delErr != nil {
+		if err := m.DeleteEnclave("tenant"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStartAcquireValidation(t *testing.T) {
+	c := testCloud(t, 2, FirmwareLinuxBoot)
+	m := NewManager(c)
+	if _, err := m.StartAcquire("ghost", "fedora28", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("acquire on unknown enclave = %v, want ErrNotFound", err)
+	}
+	if _, err := m.CreateEnclave("tenant", ProfileAlice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartAcquire("tenant", "fedora28", 0); err == nil {
+		t.Fatal("zero-count acquire accepted")
+	}
+
+	// One acquisition per enclave at a time: the journal is enclave-
+	// scoped, so a concurrent second batch would contaminate the first
+	// operation's event stream.
+	op1, err := m.StartAcquire("tenant", "fedora28", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second := m.StartAcquire("tenant", "fedora28", 1)
+	if second == nil && !op1.Phase().Terminal() {
+		t.Fatal("concurrent acquire on one enclave accepted")
+	}
+	if second != nil && !errors.Is(second, ErrConflict) {
+		t.Fatalf("concurrent acquire = %v, want ErrConflict", second)
+	}
+	if _, err := op1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,6 +46,20 @@ var (
 	}
 )
 
+// ProfileByName resolves one of the paper's example tenants by name —
+// the wire form a /v1 tenant selects a posture with.
+func ProfileByName(name string) (Profile, bool) {
+	switch name {
+	case "alice":
+		return ProfileAlice, true
+	case "bob":
+		return ProfileBob, true
+	case "charlie":
+		return ProfileCharlie, true
+	}
+	return Profile{}, false
+}
+
 // Validate reports profile inconsistencies.
 func (p Profile) Validate() error {
 	switch {

@@ -78,7 +78,7 @@ func TestAcquireNodesBatchWallClock(t *testing.T) {
 	}
 	// Warm up lazy initialization so the serial baseline is not
 	// penalized by first-use costs.
-	n, err := warm.AcquireNode("fedora28")
+	n, err := warm.AcquireNode(context.Background(), "fedora28")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestAcquireNodesBatchWallClock(t *testing.T) {
 	}
 	start := time.Now()
 	for i := 0; i < 8; i++ {
-		if _, err := es.AcquireNode("fedora28"); err != nil {
+		if _, err := es.AcquireNode(context.Background(), "fedora28"); err != nil {
 			t.Fatal(err)
 		}
 	}

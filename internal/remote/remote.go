@@ -170,9 +170,19 @@ func (np *nodePlane) handler() http.Handler {
 
 // NewHandler exposes a fully in-process cloud's complete service plane
 // over HTTP: HIL at /, BMI under /bmi, the Keylime registrar under
-// /registrar, and the node plane under /plane. A tenant holding only
-// this surface can run the entire enclave pipeline via Dial.
+// /registrar, the node plane under /plane, and the versioned tenant
+// control plane under /v1 (server-side enclaves with async
+// acquisition Operations, backed by a fresh core.Manager). A tenant
+// holding only this surface can run the entire enclave pipeline via
+// Dial, or let the server run it via /v1.
 func NewHandler(cloud *core.Cloud) (http.Handler, error) {
+	return NewHandlerWithManager(cloud, core.NewManager(cloud))
+}
+
+// NewHandlerWithManager is NewHandler with a caller-owned control
+// plane — for servers (and tests) that need to reach the Manager
+// behind the /v1 surface.
+func NewHandlerWithManager(cloud *core.Cloud, mgr *core.Manager) (http.Handler, error) {
 	h, b, reg := cloud.LocalHIL(), cloud.LocalBMI(), cloud.LocalRegistrar()
 	if h == nil || b == nil || reg == nil {
 		return nil, fmt.Errorf("remote: handler needs an in-process cloud (got a remote one?)")
@@ -182,6 +192,7 @@ func NewHandler(cloud *core.Cloud) (http.Handler, error) {
 	mux.Handle(prefixBMI+"/", http.StripPrefix(prefixBMI, bmi.NewHandler(b)))
 	mux.Handle(prefixRegistrar+"/", http.StripPrefix(prefixRegistrar, keylime.NewRegistrarHandler(reg)))
 	mux.Handle(prefixPlane+"/", http.StripPrefix(prefixPlane, np.handler()))
+	mux.Handle(prefixV1+"/", http.StripPrefix(prefixV1, NewV1Handler(mgr)))
 	mux.HandleFunc("GET /info", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(serverInfo{

@@ -1,0 +1,401 @@
+// v1.go is the versioned tenant control plane: Enclave, node
+// acquisition and Operation as server-side REST resources. Where the
+// raw service plane (remote.go) exposes the provider's HIL/BMI/
+// registrar wire APIs for tenants who run their own orchestrator, /v1
+// hosts the orchestrator server-side: POST /v1/enclaves creates a
+// named enclave, nodes:acquire starts a batch and returns immediately
+// with an Operation the tenant polls, streams or cancels, and DELETE
+// releases nodes and enclaves. Errors cross the wire as typed JSON
+// envelopes mapped onto the packages' sentinel errors at both ends.
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bolted/internal/bmi"
+	"bolted/internal/core"
+	"bolted/internal/hil"
+)
+
+// prefixV1 mounts the tenant control plane beside the raw plane.
+const prefixV1 = "/v1"
+
+// errInvalid marks malformed tenant requests (HTTP 400).
+var errInvalid = errors.New("remote: invalid argument")
+
+// apiError is the typed error payload inside every non-2xx response.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the v1 wire form of a failure.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// Wire error codes and the sentinel each maps onto.
+const (
+	codeNotFound     = "not_found"
+	codeExists       = "already_exists"
+	codeConflict     = "conflict"
+	codeUnauthorized = "permission_denied"
+	codeInvalid      = "invalid_argument"
+	codeInternal     = "internal"
+)
+
+// EnclaveInfo is the wire form of an enclave resource.
+type EnclaveInfo struct {
+	Name    string            `json:"name"`
+	Profile string            `json:"profile"`
+	Nodes   map[string]string `json:"nodes"` // node -> lifecycle state
+}
+
+// NodeFailureInfo is the wire form of a per-node batch failure.
+type NodeFailureInfo struct {
+	Node  string `json:"node"`
+	Phase string `json:"phase"`
+	Error string `json:"error"`
+}
+
+// PhaseTimingInfo is one canonical phase's aggregate across a batch.
+type PhaseTimingInfo struct {
+	Phase string        `json:"phase"`
+	Nodes int           `json:"nodes"`
+	Total time.Duration `json:"total_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// BatchResultInfo is the wire form of a finished acquisition.
+type BatchResultInfo struct {
+	Nodes   []string          `json:"nodes"`
+	Failed  []NodeFailureInfo `json:"failed,omitempty"`
+	Aborted []NodeFailureInfo `json:"aborted,omitempty"`
+	Wall    time.Duration     `json:"wall_ns"`
+	Phases  []PhaseTimingInfo `json:"phases,omitempty"`
+}
+
+// OperationInfo is the wire form of an Operation resource.
+type OperationInfo struct {
+	ID       string            `json:"id"`
+	Enclave  string            `json:"enclave"`
+	Image    string            `json:"image"`
+	Count    int               `json:"count"`
+	Phase    string            `json:"phase"`
+	Created  time.Time         `json:"created"`
+	Finished time.Time         `json:"finished,omitzero"`
+	Progress map[string]string `json:"progress,omitempty"` // node -> latest lifecycle event
+	Result   *BatchResultInfo  `json:"result,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// Terminal reports whether the operation has reached a final phase.
+func (o *OperationInfo) Terminal() bool { return core.OpPhase(o.Phase).Terminal() }
+
+// EventInfo is the wire form of one lifecycle journal event.
+type EventInfo struct {
+	At     time.Time `json:"at"`
+	Kind   string    `json:"kind"`
+	Node   string    `json:"node"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// createEnclaveRequest is the POST /v1/enclaves body.
+type createEnclaveRequest struct {
+	Name    string `json:"name"`
+	Profile string `json:"profile"`
+}
+
+// acquireRequest is the POST /v1/enclaves/{name}/nodes:acquire body.
+type acquireRequest struct {
+	Image string `json:"image"`
+	Count int    `json:"count"`
+}
+
+func batchResultInfo(res *core.BatchResult) *BatchResultInfo {
+	if res == nil {
+		return nil
+	}
+	out := &BatchResultInfo{Wall: res.Timings.Wall}
+	for _, n := range res.Nodes {
+		out.Nodes = append(out.Nodes, n.Name)
+	}
+	fails := func(fs []core.NodeFailure) []NodeFailureInfo {
+		var w []NodeFailureInfo
+		for _, f := range fs {
+			w = append(w, NodeFailureInfo{Node: f.Node, Phase: f.Phase, Error: f.Err.Error()})
+		}
+		return w
+	}
+	out.Failed = fails(res.Failed)
+	out.Aborted = fails(res.Aborted)
+	for _, p := range res.Timings.Phases {
+		out.Phases = append(out.Phases, PhaseTimingInfo{Phase: p.Phase, Nodes: p.Nodes, Total: p.Total, Max: p.Max})
+	}
+	return out
+}
+
+func operationInfo(op *core.Operation) *OperationInfo {
+	st := op.Status() // one atomic snapshot: "done" always carries its result
+	info := &OperationInfo{
+		ID:       op.ID,
+		Enclave:  op.Enclave,
+		Image:    op.Image,
+		Count:    op.Count,
+		Phase:    string(st.Phase),
+		Created:  op.Created,
+		Finished: st.Finished,
+		Progress: make(map[string]string),
+		Result:   batchResultInfo(st.Result),
+	}
+	for n, k := range st.Progress {
+		info.Progress[n] = string(k)
+	}
+	if st.Err != nil {
+		info.Error = st.Err.Error()
+	}
+	return info
+}
+
+func enclaveInfo(e *core.Enclave) *EnclaveInfo {
+	info := &EnclaveInfo{Name: e.Project, Profile: e.Profile.Name, Nodes: make(map[string]string)}
+	for n, st := range e.NodeStates() {
+		info.Nodes[n] = string(st)
+	}
+	return info
+}
+
+func eventInfo(ev core.Event) EventInfo {
+	return EventInfo{At: ev.At, Kind: string(ev.Kind), Node: ev.Node, Detail: ev.Detail}
+}
+
+// writeV1Error maps an error onto the typed envelope: sentinel errors
+// keep their identity across the wire (the client maps codes back), and
+// everything else is an internal error.
+func writeV1Error(w http.ResponseWriter, err error) {
+	code, status := codeInternal, http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrNotFound), errors.Is(err, hil.ErrNotFound), errors.Is(err, bmi.ErrNotFound):
+		code, status = codeNotFound, http.StatusNotFound
+	case errors.Is(err, core.ErrExists):
+		code, status = codeExists, http.StatusConflict
+	case errors.Is(err, core.ErrConflict), errors.Is(err, hil.ErrInUse):
+		code, status = codeConflict, http.StatusConflict
+	case errors.Is(err, hil.ErrUnauthorized):
+		code, status = codeUnauthorized, http.StatusForbidden
+	case errors.Is(err, errInvalid):
+		code, status = codeInvalid, http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: apiError{Code: code, Message: err.Error()}})
+}
+
+// clearWriteDeadline exempts one long-lived response (operation wait,
+// event stream) from the server's WriteTimeout without loosening the
+// bound for the rest of the surface.
+func clearWriteDeadline(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+}
+
+func writeV1JSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// NewV1Handler serves the tenant control plane for one Manager. Mount
+// it under /v1 (NewHandler does this for a full-surface boltedd).
+func NewV1Handler(mgr *core.Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /enclaves", func(w http.ResponseWriter, r *http.Request) {
+		var req createEnclaveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV1Error(w, fmt.Errorf("%w: %v", errInvalid, err))
+			return
+		}
+		if req.Name == "" {
+			writeV1Error(w, fmt.Errorf("%w: enclave needs a name", errInvalid))
+			return
+		}
+		profile, ok := core.ProfileByName(req.Profile)
+		if !ok {
+			writeV1Error(w, fmt.Errorf("%w: unknown profile %q (want alice, bob or charlie)", errInvalid, req.Profile))
+			return
+		}
+		e, err := mgr.CreateEnclave(req.Name, profile)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusCreated, enclaveInfo(e))
+	})
+
+	mux.HandleFunc("GET /enclaves", func(w http.ResponseWriter, r *http.Request) {
+		out := []*EnclaveInfo{} // empty list is [], never null, on the wire
+		for _, name := range mgr.ListEnclaves() {
+			if e, err := mgr.Enclave(name); err == nil {
+				out = append(out, enclaveInfo(e))
+			}
+		}
+		writeV1JSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /enclaves/{name}", func(w http.ResponseWriter, r *http.Request) {
+		e, err := mgr.Enclave(r.PathValue("name"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, enclaveInfo(e))
+	})
+
+	mux.HandleFunc("DELETE /enclaves/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := mgr.DeleteEnclave(r.PathValue("name")); err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	// Custom verb: POST /enclaves/{name}/nodes:acquire starts a batch
+	// and answers 202 with the Operation — the multi-minute pipeline
+	// never blocks the request.
+	mux.HandleFunc("POST /enclaves/{name}/nodes:acquire", func(w http.ResponseWriter, r *http.Request) {
+		var req acquireRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV1Error(w, fmt.Errorf("%w: %v", errInvalid, err))
+			return
+		}
+		if req.Image == "" || req.Count < 1 {
+			writeV1Error(w, fmt.Errorf("%w: acquisition needs an image and a count >= 1", errInvalid))
+			return
+		}
+		op, err := mgr.StartAcquire(r.PathValue("name"), req.Image, req.Count)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		w.Header().Set("Location", prefixV1+"/operations/"+op.ID)
+		writeV1JSON(w, http.StatusAccepted, operationInfo(op))
+	})
+
+	mux.HandleFunc("DELETE /enclaves/{name}/nodes/{node}", func(w http.ResponseWriter, r *http.Request) {
+		e, err := mgr.Enclave(r.PathValue("name"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		if err := e.ReleaseNode(r.PathValue("node"), r.URL.Query().Get("saveAs")); err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /operations", func(w http.ResponseWriter, r *http.Request) {
+		out := []*OperationInfo{} // empty list is [], never null, on the wire
+		for _, op := range mgr.ListOperations() {
+			out = append(out, operationInfo(op))
+		}
+		writeV1JSON(w, http.StatusOK, out)
+	})
+
+	// GET /operations/{id} polls; ?wait=1 long-polls until the
+	// operation is terminal (or the request context ends).
+	mux.HandleFunc("GET /operations/{id}", func(w http.ResponseWriter, r *http.Request) {
+		op, err := mgr.Operation(r.PathValue("id"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			// A long poll outlives any server WriteTimeout: an attested
+			// batch boot is minutes long on real hardware.
+			clearWriteDeadline(w)
+			select {
+			case <-op.Done():
+			case <-r.Context().Done():
+				writeV1Error(w, fmt.Errorf("%w: wait interrupted: %v", errInvalid, r.Context().Err()))
+				return
+			}
+		}
+		writeV1JSON(w, http.StatusOK, operationInfo(op))
+	})
+
+	// Custom verb: POST /operations/{id}:cancel. The ServeMux wildcard
+	// spans the whole segment, so the verb is split off by hand.
+	mux.HandleFunc("POST /operations/{idverb}", func(w http.ResponseWriter, r *http.Request) {
+		id, verb, ok := strings.Cut(r.PathValue("idverb"), ":")
+		if !ok || verb != "cancel" {
+			writeV1Error(w, fmt.Errorf("%w: unknown operation verb %q", errInvalid, verb))
+			return
+		}
+		op, err := mgr.Operation(id)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		op.Cancel()
+		writeV1JSON(w, http.StatusOK, operationInfo(op))
+	})
+
+	// GET /operations/{id}/events streams the operation's lifecycle
+	// journal as NDJSON: replay from ?from=N, then follow live until
+	// the operation is terminal. The journal fan-out guarantees no
+	// event is lost between a snapshot and the wait for the next.
+	mux.HandleFunc("GET /operations/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		op, err := mgr.Operation(r.PathValue("id"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		cursor := 0
+		if from := r.URL.Query().Get("from"); from != "" {
+			if cursor, err = strconv.Atoi(from); err != nil || cursor < 0 {
+				writeV1Error(w, fmt.Errorf("%w: bad from cursor %q", errInvalid, from))
+				return
+			}
+		}
+		// The stream follows the operation live — possibly for minutes.
+		clearWriteDeadline(w)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for {
+			evs, notify, terminal := op.EventsSince(cursor)
+			for _, ev := range evs {
+				if err := enc.Encode(eventInfo(ev)); err != nil {
+					return
+				}
+			}
+			cursor += len(evs)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if terminal {
+				// Drain what the terminal snapshot delivered, then stop:
+				// no further wake is coming.
+				if len(evs) == 0 {
+					return
+				}
+				continue
+			}
+			select {
+			case <-notify:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	return mux
+}

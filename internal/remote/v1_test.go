@@ -1,0 +1,384 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"bolted/internal/core"
+)
+
+// startV1Server wires an in-process cloud plus control plane and
+// serves the full surface (raw planes + /v1) the way boltedd does.
+func startV1Server(t *testing.T, nodes int) (*core.Cloud, *core.Manager, *V1Client) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cloud, err := core.NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("fedora28", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewManager(cloud)
+	handler, err := NewHandlerWithManager(cloud, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return cloud, mgr, NewV1Client(srv.URL)
+}
+
+// TestV1EndToEndAsyncAcquire is the acceptance test for the tentpole:
+// a /v1 client creates an enclave, starts an async acquisition over
+// HTTP, watches the event stream, and ends with a result and per-node
+// journal identical to the in-process AcquireNodes run.
+func TestV1EndToEndAsyncAcquire(t *testing.T) {
+	const nodes, batch = 5, 3
+	for _, profile := range []core.Profile{core.ProfileBob, core.ProfileCharlie} {
+		t.Run(profile.Name, func(t *testing.T) {
+			serverCloud, mgr, cli := startV1Server(t, nodes)
+			ctx := context.Background()
+
+			if _, err := cli.CreateEnclave(ctx, "tenant", profile.Name); err != nil {
+				t.Fatal(err)
+			}
+			op, err := cli.Acquire(ctx, "tenant", "fedora28", batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op.Terminal() {
+				t.Fatalf("acquire answered with a terminal operation: %+v", op)
+			}
+			if op.Enclave != "tenant" || op.Image != "fedora28" || op.Count != batch {
+				t.Fatalf("operation metadata = %+v", op)
+			}
+
+			// Watch the event stream while the server works.
+			var streamed []EventInfo
+			streamDone := make(chan error, 1)
+			go func() {
+				streamDone <- cli.StreamEvents(ctx, op.ID, 0, func(ev EventInfo) error {
+					streamed = append(streamed, ev)
+					return nil
+				})
+			}()
+
+			final, err := cli.WaitOperation(ctx, op.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final.Phase != string(core.OpDone) || final.Result == nil || final.Error != "" {
+				t.Fatalf("final operation = %+v", final)
+			}
+			if len(final.Result.Nodes) != batch || len(final.Result.Failed) != 0 || len(final.Result.Aborted) != 0 {
+				t.Fatalf("result = %+v", final.Result)
+			}
+			if final.Result.Wall <= 0 {
+				t.Fatal("no wall clock crossed the wire")
+			}
+			for _, phase := range []string{core.PhaseAirlock, core.PhaseBoot, core.PhaseAttest, core.PhaseProvision} {
+				found := false
+				for _, p := range final.Result.Phases {
+					if p.Phase == phase && p.Nodes == batch {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("phase %s missing from wire timings: %+v", phase, final.Result.Phases)
+				}
+			}
+			if err := <-streamDone; err != nil {
+				t.Fatal(err)
+			}
+
+			// The stream is exactly the server-side operation journal.
+			srvOp, err := mgr.Operation(op.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srvEvents := srvOp.Events()
+			if len(streamed) != len(srvEvents) {
+				t.Fatalf("streamed %d events, server journal has %d", len(streamed), len(srvEvents))
+			}
+			for i, ev := range streamed {
+				want := srvEvents[i]
+				if ev.Kind != string(want.Kind) || ev.Node != want.Node || ev.Detail != want.Detail {
+					t.Fatalf("event %d = %+v, want %v", i, ev, want)
+				}
+			}
+
+			// Per-node journal identical to the same batch run in process.
+			localCloud, err := core.NewCloud(core.CloudConfig{
+				Nodes: nodes, Firmware: core.FirmwareLinuxBoot,
+				HeadsSource: core.DefaultConfig().HeadsSource,
+				OSDs:        3, Replication: 2, SpindlesPerO: 9, PlatformGen: "m620",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := localCloud.BMI.CreateOSImage("fedora28", testSpec()); err != nil {
+				t.Fatal(err)
+			}
+			localEnclave, err := core.NewEnclave(localCloud, "tenant", profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			localRes, err := localEnclave.AcquireNodes(ctx, "fedora28", batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(localRes.Nodes) != len(final.Result.Nodes) {
+				t.Fatalf("local %d nodes, v1 %d", len(localRes.Nodes), len(final.Result.Nodes))
+			}
+			srvEnclave, err := mgr.Enclave("tenant")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, name := range final.Result.Nodes {
+				if name != localRes.Nodes[i].Name {
+					t.Fatalf("member %d: v1 %s, local %s", i, name, localRes.Nodes[i].Name)
+				}
+				v1Trail := journalLines(srvEnclave.Journal(), name)
+				localTrail := journalLines(localEnclave.Journal(), name)
+				if strings.Join(v1Trail, "\n") != strings.Join(localTrail, "\n") {
+					t.Fatalf("node %s journal diverges via /v1:\nv1:\n  %s\nlocal:\n  %s",
+						name, strings.Join(v1Trail, "\n  "), strings.Join(localTrail, "\n  "))
+				}
+			}
+
+			// The provider's source of truth saw the allocation, and the
+			// enclave resource reflects it.
+			free, _ := serverCloud.HIL.FreeNodes()
+			if len(free) != nodes-batch {
+				t.Fatalf("server free pool = %d, want %d", len(free), nodes-batch)
+			}
+			info, err := cli.GetEnclave(ctx, "tenant")
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocated := 0
+			for _, st := range info.Nodes {
+				if st == string(core.StateAllocated) {
+					allocated++
+				}
+			}
+			if allocated != batch {
+				t.Fatalf("enclave resource shows %d allocated nodes: %+v", allocated, info.Nodes)
+			}
+
+			// Release one node through the control plane, preserving its
+			// volume server-side.
+			released := final.Result.Nodes[0]
+			if err := cli.ReleaseNode(ctx, "tenant", released, "postrun"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := serverCloud.BMI.GetImage("postrun"); err != nil {
+				t.Fatalf("saved image missing on server: %v", err)
+			}
+			if free, _ := serverCloud.HIL.FreeNodes(); len(free) != nodes-batch+1 {
+				t.Fatalf("free pool after release = %d", len(free))
+			}
+		})
+	}
+}
+
+// TestV1CancelMidFlight cancels an operation over the wire mid-batch
+// and asserts the pool cleanup: unfinished nodes return to the free
+// pool, nothing is quarantined, and the operation ends Cancelled. The
+// cancel fires from a synchronous journal watcher at the first join,
+// while the batch is twice the worker-pool bound — so the queued half
+// is guaranteed to abort.
+func TestV1CancelMidFlight(t *testing.T) {
+	const nodes = 2 * core.DefaultBatchParallelism
+	serverCloud, mgr, cli := startV1Server(t, nodes)
+	ctx := context.Background()
+
+	if _, err := cli.CreateEnclave(ctx, "tenant", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	// The watcher must be armed before the batch starts (over HTTP the
+	// whole in-process batch can outrun the acquire round-trip). It
+	// runs under the journal lock inside the provisioning pipeline, so
+	// the wire cancel completes before any further lifecycle transition
+	// can be recorded — the queued half of the batch is guaranteed to
+	// see the cancelled context.
+	e, err := mgr.Enclave("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	unwatch := e.Journal().Watch(func(ev core.Event) {
+		if ev.Kind != core.EvJoined {
+			return
+		}
+		once.Do(func() {
+			ops := mgr.ListOperations()
+			if len(ops) != 1 {
+				t.Errorf("expected one operation, got %d", len(ops))
+				return
+			}
+			if _, err := cli.CancelOperation(ctx, ops[0].ID); err != nil {
+				t.Errorf("cancel over wire: %v", err)
+				ops[0].Cancel() // keep the test bounded
+			}
+		})
+	})
+	defer unwatch()
+
+	op, err := cli.Acquire(ctx, "tenant", "fedora28", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cli.WaitOperation(ctx, op.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Phase != string(core.OpCancelled) {
+		t.Fatalf("phase = %s, want %s", final.Phase, core.OpCancelled)
+	}
+	if final.Error == "" || !strings.Contains(final.Error, "context canceled") {
+		t.Fatalf("cancelled operation error = %q", final.Error)
+	}
+	res := final.Result
+	if res == nil {
+		t.Fatal("cancelled operation carries no result")
+	}
+	if total := len(res.Nodes) + len(res.Failed) + len(res.Aborted); total != nodes {
+		t.Fatalf("accounting: %d+%d+%d != %d", len(res.Nodes), len(res.Failed), len(res.Aborted), nodes)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("cancellation quarantined healthy nodes: %+v", res.Failed)
+	}
+	if len(res.Nodes) == 0 || len(res.Aborted) == 0 {
+		t.Fatalf("want both survivors and aborted nodes, got %d / %d", len(res.Nodes), len(res.Aborted))
+	}
+	// Pool cleanup on the provider's source of truth.
+	if got := len(serverCloud.Rejected()); got != 0 {
+		t.Fatalf("rejected pool has %d nodes", got)
+	}
+	free, _ := serverCloud.HIL.FreeNodes()
+	if want := nodes - len(res.Nodes); len(free) != want {
+		t.Fatalf("free pool = %d, want %d", len(free), want)
+	}
+	for _, f := range res.Aborted {
+		if owner, _ := serverCloud.HIL.NodeOwner(f.Node); owner != "" {
+			t.Fatalf("aborted %s still owned by %q", f.Node, owner)
+		}
+	}
+	// Cancelling a terminal operation is a no-op, not an error.
+	again, err := cli.CancelOperation(ctx, op.ID)
+	if err != nil || again.Phase != string(core.OpCancelled) {
+		t.Fatalf("repeat cancel = %+v, %v", again, err)
+	}
+}
+
+// TestV1ErrorEnvelope: typed error envelopes cross the wire and map
+// back onto the same sentinels the in-process API returns.
+func TestV1ErrorEnvelope(t *testing.T) {
+	_, _, cli := startV1Server(t, 2)
+	ctx := context.Background()
+
+	if _, err := cli.GetEnclave(ctx, "ghost"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("unknown enclave = %v, want core.ErrNotFound", err)
+	}
+	if _, err := cli.GetOperation(ctx, "op-9999"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("unknown operation = %v, want core.ErrNotFound", err)
+	}
+	if _, err := cli.CreateEnclave(ctx, "tenant", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.CreateEnclave(ctx, "tenant", "bob"); !errors.Is(err, core.ErrExists) {
+		t.Fatalf("duplicate enclave = %v, want core.ErrExists", err)
+	}
+	if _, err := cli.CreateEnclave(ctx, "other", "mallory"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := cli.Acquire(ctx, "ghost", "fedora28", 1); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("acquire on unknown enclave = %v, want core.ErrNotFound", err)
+	}
+	if _, err := cli.Acquire(ctx, "tenant", "fedora28", 0); err == nil {
+		t.Fatal("zero-count acquire accepted")
+	}
+	if err := cli.ReleaseNode(ctx, "tenant", "node99", ""); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("release of non-member = %v, want core.ErrNotFound", err)
+	}
+
+	// Deleting an enclave with a running operation conflicts; once the
+	// operation finishes the delete goes through and takes the
+	// enclave's operations with it.
+	op, err := cli.Acquire(ctx, "tenant", "fedora28", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delErr := cli.DeleteEnclave(ctx, "tenant"); delErr != nil {
+		if !errors.Is(delErr, core.ErrConflict) {
+			t.Fatalf("delete during op = %v, want core.ErrConflict", delErr)
+		}
+		if _, err := cli.WaitOperation(ctx, op.ID); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.DeleteEnclave(ctx, "tenant"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cli.GetOperation(ctx, op.ID); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("operation survived its enclave's deletion: %v", err)
+	}
+}
+
+// TestV1ListResources: collection endpoints reflect creates and
+// acquisitions.
+func TestV1ListResources(t *testing.T) {
+	_, _, cli := startV1Server(t, 3)
+	ctx := context.Background()
+
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := cli.CreateEnclave(ctx, name, "alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encls, err := cli.ListEnclaves(ctx)
+	if err != nil || len(encls) != 2 {
+		t.Fatalf("ListEnclaves = %v, %v", encls, err)
+	}
+	if encls[0].Name != "alpha" || encls[1].Name != "beta" {
+		t.Fatalf("enclave order = %s, %s", encls[0].Name, encls[1].Name)
+	}
+	op, err := cli.Acquire(ctx, "alpha", "fedora28", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.WaitOperation(ctx, op.ID); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := cli.ListOperations(ctx)
+	if err != nil || len(ops) != 1 || ops[0].ID != op.ID {
+		t.Fatalf("ListOperations = %v, %v", ops, err)
+	}
+	// Event replay from a cursor skips what came before it.
+	var all, tail []EventInfo
+	if err := cli.StreamEvents(ctx, op.ID, 0, func(ev EventInfo) error {
+		all = append(all, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no events replayed")
+	}
+	if err := cli.StreamEvents(ctx, op.ID, len(all)-1, func(ev EventInfo) error {
+		tail = append(tail, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].Kind != all[len(all)-1].Kind {
+		t.Fatalf("cursor replay = %+v", tail)
+	}
+}

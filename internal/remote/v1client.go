@@ -1,0 +1,237 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"bolted/internal/core"
+	"bolted/internal/hil"
+)
+
+// V1Client is the typed binding for the /v1 tenant control plane: the
+// enclave, acquisition and operation resources as Go calls, with wire
+// error envelopes decoded back into the same sentinel errors the
+// in-process API returns (errors.Is works identically against either
+// surface).
+type V1Client struct {
+	base string
+	http *http.Client
+}
+
+// NewV1Client returns a control-plane client for a boltedd base URL
+// (the /v1 prefix is implied).
+func NewV1Client(serverURL string) *V1Client {
+	return &V1Client{base: trimBase(serverURL) + prefixV1, http: http.DefaultClient}
+}
+
+func trimBase(u string) string {
+	for len(u) > 0 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// decodeV1Error turns a non-2xx response into the sentinel the server
+// mapped from, so client code branches with errors.Is exactly as it
+// would in process.
+func decodeV1Error(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return fmt.Errorf("remote: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	msg := env.Error.Message
+	wrap := func(sentinel error) error {
+		// The server-side message usually already starts with the
+		// sentinel's own text; don't print it twice.
+		if rest, ok := strings.CutPrefix(msg, sentinel.Error()); ok {
+			return fmt.Errorf("%w%s", sentinel, rest)
+		}
+		return fmt.Errorf("%w: %s", sentinel, msg)
+	}
+	switch env.Error.Code {
+	case codeNotFound:
+		return wrap(core.ErrNotFound)
+	case codeExists:
+		return wrap(core.ErrExists)
+	case codeConflict:
+		return wrap(core.ErrConflict)
+	case codeUnauthorized:
+		return wrap(hil.ErrUnauthorized)
+	default:
+		return fmt.Errorf("remote: %s: %s", env.Error.Code, msg)
+	}
+}
+
+// do runs one control-plane request; out (when non-nil) receives the
+// decoded 2xx body.
+func (c *V1Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeV1Error(resp)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// CreateEnclave creates a named enclave under a profile ("alice",
+// "bob" or "charlie").
+func (c *V1Client) CreateEnclave(ctx context.Context, name, profile string) (*EnclaveInfo, error) {
+	var info EnclaveInfo
+	if err := c.do(ctx, "POST", "/enclaves", createEnclaveRequest{Name: name, Profile: profile}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// ListEnclaves returns every enclave resource.
+func (c *V1Client) ListEnclaves(ctx context.Context) ([]*EnclaveInfo, error) {
+	var out []*EnclaveInfo
+	if err := c.do(ctx, "GET", "/enclaves", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetEnclave returns one enclave resource.
+func (c *V1Client) GetEnclave(ctx context.Context, name string) (*EnclaveInfo, error) {
+	var info EnclaveInfo
+	if err := c.do(ctx, "GET", "/enclaves/"+url.PathEscape(name), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DeleteEnclave releases every node and removes the enclave. It fails
+// with core.ErrConflict while an operation on it is still running.
+func (c *V1Client) DeleteEnclave(ctx context.Context, name string) error {
+	return c.do(ctx, "DELETE", "/enclaves/"+url.PathEscape(name), nil, nil)
+}
+
+// Acquire starts an asynchronous batch acquisition and returns the
+// Operation resource immediately (phase pending or running). Follow it
+// with GetOperation / WaitOperation / StreamEvents, or stop it with
+// CancelOperation.
+func (c *V1Client) Acquire(ctx context.Context, enclave, image string, n int) (*OperationInfo, error) {
+	var info OperationInfo
+	err := c.do(ctx, "POST", "/enclaves/"+url.PathEscape(enclave)+"/nodes:acquire",
+		acquireRequest{Image: image, Count: n}, &info)
+	if err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// ReleaseNode removes a node from an enclave and returns it to the
+// free pool; a non-empty saveAs preserves its volume as an image.
+func (c *V1Client) ReleaseNode(ctx context.Context, enclave, node, saveAs string) error {
+	path := "/enclaves/" + url.PathEscape(enclave) + "/nodes/" + url.PathEscape(node)
+	if saveAs != "" {
+		path += "?saveAs=" + url.QueryEscape(saveAs)
+	}
+	return c.do(ctx, "DELETE", path, nil, nil)
+}
+
+// ListOperations returns every operation resource, oldest first.
+func (c *V1Client) ListOperations(ctx context.Context) ([]*OperationInfo, error) {
+	var out []*OperationInfo
+	if err := c.do(ctx, "GET", "/operations", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetOperation polls an operation.
+func (c *V1Client) GetOperation(ctx context.Context, id string) (*OperationInfo, error) {
+	var info OperationInfo
+	if err := c.do(ctx, "GET", "/operations/"+url.PathEscape(id), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// WaitOperation blocks (server-side long poll) until the operation is
+// terminal and returns its final state.
+func (c *V1Client) WaitOperation(ctx context.Context, id string) (*OperationInfo, error) {
+	var info OperationInfo
+	if err := c.do(ctx, "GET", "/operations/"+url.PathEscape(id)+"?wait=1", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// CancelOperation asks the batch to stop at the next phase boundary;
+// unfinished nodes return to the free pool. The returned snapshot is
+// immediate — wait for the terminal state to observe the cleanup.
+func (c *V1Client) CancelOperation(ctx context.Context, id string) (*OperationInfo, error) {
+	var info OperationInfo
+	if err := c.do(ctx, "POST", "/operations/"+url.PathEscape(id)+":cancel", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// StreamEvents follows an operation's lifecycle journal from event
+// index `from`, calling fn for each event in order until the operation
+// is terminal (returning nil), fn returns an error (returned as-is),
+// or ctx ends.
+func (c *V1Client) StreamEvents(ctx context.Context, id string, from int, fn func(EventInfo) error) error {
+	path := "/operations/" + url.PathEscape(id) + "/events?from=" + strconv.Itoa(from)
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeV1Error(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev EventInfo
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("remote: bad event line: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
