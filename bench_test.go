@@ -15,6 +15,7 @@ import (
 	"bolted/internal/bmi"
 	"bolted/internal/ceph"
 	"bolted/internal/core"
+	"bolted/internal/guard"
 	"bolted/internal/ima"
 	"bolted/internal/ipsec"
 	"bolted/internal/keylime"
@@ -716,4 +717,84 @@ func BenchmarkAcquireNodesTransport(b *testing.B) {
 		b.ReportMetric(batch, "nodes/batch")
 		b.ReportMetric(float64(submit.Nanoseconds())/float64(b.N), "submit-ns")
 	})
+}
+
+// BenchmarkGuardQuarantine measures the runtime attestation guard's
+// incident-response latencies across enclave sizes: detect-quarantine
+// is the span from IMA violation injection to the EvQuarantined
+// journal record (guard round cadence 2 ms, so the measured figure is
+// dominated by check+quote+teardown, not by waiting for the tick);
+// rekey is one enclave-wide PSK rotation — the O(members^2) pairwise
+// SA rebuild every incident pays. CI emits these as BENCH_guard.json
+// next to BENCH_provisioning.json.
+func BenchmarkGuardQuarantine(b *testing.B) {
+	build := func(b *testing.B, nodes int) (*core.Cloud, *core.Manager, *core.Enclave, *core.BatchResult) {
+		cfg := core.DefaultConfig()
+		cfg.Nodes = nodes
+		cloud, err := core.NewCloud(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+			KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		mgr := core.NewManager(cloud)
+		e, err := mgr.CreateEnclave("t", core.ProfileCharlie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.IMAWhitelist().AllowContent("/usr/bin/app", []byte("app-v1"))
+		op, err := mgr.StartAcquire("t", "os", nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := op.Wait(context.Background())
+		if err != nil || len(res.Nodes) != nodes {
+			b.Fatalf("allocated %d of %d: %v", len(res.Nodes), nodes, err)
+		}
+		return cloud, mgr, e, res
+	}
+
+	for _, nodes := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("detect-quarantine/nodes-%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_, mgr, e, res := build(b, nodes)
+				if _, err := guard.Enable(mgr, "t", guard.Policy{
+					Interval:       2 * time.Millisecond,
+					CoalesceWindow: time.Millisecond,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				quarantined := make(chan struct{})
+				unwatch := e.Journal().Watch(func(ev core.Event) {
+					if ev.Kind == core.EvQuarantined {
+						close(quarantined)
+					}
+				})
+				victim := res.Nodes[0]
+				b.StartTimer()
+				victim.IMA.Measure("/tmp/evil", []byte("evil"), ima.HookExec, 0)
+				<-quarantined
+				b.StopTimer()
+				unwatch()
+				mgr.DetachGuard("t")
+			}
+			b.ReportMetric(float64(nodes), "nodes/enclave")
+		})
+
+		b.Run(fmt.Sprintf("rekey/nodes-%d", nodes), func(b *testing.B) {
+			_, mgr, e, _ := build(b, nodes)
+			defer mgr.DetachGuard("t")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.RotateNetKey(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nodes), "nodes/enclave")
+		})
+	}
 }

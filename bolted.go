@@ -37,6 +37,7 @@ import (
 
 	"bolted/internal/bmi"
 	"bolted/internal/core"
+	"bolted/internal/guard"
 	"bolted/internal/remote"
 	"bolted/internal/workload"
 )
@@ -91,7 +92,7 @@ type PhaseTiming = core.PhaseTiming
 // NodeState is a node's position in the Figure-1 life cycle.
 type NodeState = core.NodeState
 
-// Figure-1 life-cycle states.
+// Figure-1 life-cycle states (plus the runtime guard's quarantine).
 const (
 	StateFree        = core.StateFree
 	StateAirlocked   = core.StateAirlocked
@@ -100,6 +101,7 @@ const (
 	StateProvisioned = core.StateProvisioned
 	StateAllocated   = core.StateAllocated
 	StateRejected    = core.StateRejected
+	StateQuarantined = core.StateQuarantined
 )
 
 // Canonical provisioning phase names, shared by real batch timings and
@@ -219,10 +221,84 @@ const (
 // NewManager builds an empty control plane over a cloud.
 func NewManager(c *Cloud) *Manager { return core.NewManager(c) }
 
+// Guard is the runtime attestation guard for one enclave (§7.4 as an
+// automated subsystem): it drives periodic IMA rounds over every
+// Allocated member and answers a verifier revocation with quarantine,
+// an enclave-wide IPsec rekey, and — policy permitting — an attested
+// replacement node:
+//
+//	g, _ := bolted.EnableGuard(mgr, "myproj", bolted.GuardPolicy{
+//		SelfHeal: true, Image: "hardened",
+//	})
+type Guard = guard.Guard
+
+// GuardPolicy configures a Guard (check interval, quote concurrency,
+// failure tolerance, self-healing).
+type GuardPolicy = guard.Policy
+
+// GuardStatus is a point-in-time view of a Guard.
+type GuardStatus = guard.Status
+
+// EnableGuard attaches a runtime attestation guard to a managed
+// enclave and starts its monitoring and response loops.
+func EnableGuard(mgr *Manager, enclave string, p GuardPolicy) (*Guard, error) {
+	return guard.Enable(mgr, enclave, p)
+}
+
+// Incident is one detected revocation and the guard's automated
+// response to it, tracked by a Manager.
+type Incident = core.Incident
+
+// IncidentState is an incident's position in its response life cycle.
+type IncidentState = core.IncidentState
+
+// Incident states (Resolved, Degraded and Unhandled are terminal).
+const (
+	IncidentDetected   = core.IncidentDetected
+	IncidentResponding = core.IncidentResponding
+	IncidentResolved   = core.IncidentResolved
+	IncidentDegraded   = core.IncidentDegraded
+	IncidentUnhandled  = core.IncidentUnhandled
+)
+
+// EventKind classifies enclave lifecycle journal events.
+type EventKind = core.EventKind
+
+// Runtime-guard journal event kinds (the boot-time kinds are internal
+// to the provisioner; these are the ones incident tooling matches on).
+const (
+	EventRevoked     = core.EvRevoked
+	EventQuarantined = core.EvQuarantined
+	EventRekeyed     = core.EvRekeyed
+	EventHealed      = core.EvHealed
+	EventDegraded    = core.EvDegraded
+)
+
+// GuardInfo is the control plane's wire form of a guard resource.
+type GuardInfo = remote.GuardInfo
+
+// GuardPolicyInfo is the wire form of a guard policy.
+type GuardPolicyInfo = remote.GuardPolicyInfo
+
+// IncidentInfo is the control plane's wire form of an incident
+// resource.
+type IncidentInfo = remote.IncidentInfo
+
+// RevocationInfo is the wire form of one verifier revocation event
+// (the /v1 equivalent of keylime.Verifier.Subscribe).
+type RevocationInfo = remote.RevocationInfo
+
 // NewServerHandler exposes an in-process cloud's complete service
 // plane (HIL, BMI, Keylime registrar, node plane) over HTTP — what
 // cmd/boltedd serves and Dial consumes.
 func NewServerHandler(c *Cloud) (http.Handler, error) { return remote.NewHandler(c) }
+
+// NewServerHandlerWithManager is NewServerHandler with a caller-owned
+// control plane, for servers that also drive the Manager in process
+// (e.g. to enable guards or inspect incidents without a round trip).
+func NewServerHandlerWithManager(c *Cloud, mgr *Manager) (http.Handler, error) {
+	return remote.NewHandlerWithManager(c, mgr)
+}
 
 // DefaultConfig mirrors the paper's 16-blade testbed.
 func DefaultConfig() CloudConfig { return core.DefaultConfig() }

@@ -35,15 +35,24 @@
 //	enclave delete <name>
 //	enclave acquire <image> <n>   (-project NAME, -async)
 //	enclave release <node>        (-project NAME, -save IMAGE)
+//	enclave guard <name> [enable|disable]  (-interval, -max-quotes, -tolerance, -heal-image)
+//	enclave events <name>         (-follow)
+//	enclave revocations <name>
 //	op list
 //	op get <id>
 //	op wait <id>
 //	op cancel <id>
 //	op events <id>
+//	incident list [enclave]
+//	incident get <id>
+//	incident wait <id>
+//	incident stream
 //
 // Exit codes are script-friendly: 0 success, 1 transport or API error,
 // 2 usage error, 3 batch finished but some nodes failed (inspect
-// result.failed), 4 operation cancelled.
+// result.failed), 4 operation cancelled, 5 incident open or enclave
+// degraded (enclave get with open incidents; incident get while the
+// response is still running; incident wait ending degraded/unhandled).
 package main
 
 import (
@@ -69,6 +78,7 @@ const (
 	exitUsage     = 2
 	exitPartial   = 3 // operation done, but some nodes were rejected
 	exitCancelled = 4 // operation cancelled before completion
+	exitIncident  = 5 // incident open, or incident ended degraded/unhandled
 )
 
 var jsonOut bool
@@ -97,9 +107,17 @@ commands:
         (start an async batch acquisition Operation against the
          -project enclave; without -async, follow it to completion)
   enclave release <node>   (-project NAME, -save IMAGE)
+  enclave guard <name> [enable|disable]
+        (runtime attestation guard: enable takes -interval,
+         -max-quotes, -tolerance and -heal-image; bare form shows
+         status; re-running enable updates the policy)
+  enclave events <name>      (lifecycle journal; -follow streams live)
+  enclave revocations <name> (verifier revocation feed over the wire)
   op list | get <id> | wait <id> | cancel <id> | events <id>
+  incident list [enclave] | get <id> | wait <id> | stream
 exit codes: 0 ok, 1 transport/API error, 2 usage,
-            3 partial batch failure, 4 operation cancelled`)
+            3 partial batch failure, 4 operation cancelled,
+            5 incident open / degraded`)
 	os.Exit(exitUsage)
 }
 
@@ -123,6 +141,11 @@ func main() {
 	project := flag.String("project", "boltedctl", "enclave name on the /v1 control plane")
 	async := flag.Bool("async", false, "enclave acquire: return the operation immediately instead of waiting")
 	saveAs := flag.String("save", "", "enclave release: preserve the node's volume as this image")
+	interval := flag.Duration("interval", 0, "enclave guard enable: IMA check cadence (0 = server default)")
+	maxQuotes := flag.Int("max-quotes", 0, "enclave guard enable: max concurrent quotes per round (0 = server default)")
+	tolerance := flag.Int("tolerance", 0, "enclave guard enable: consecutive failed rounds before revocation (0 = server default)")
+	healImage := flag.String("heal-image", "", "enclave guard enable: self-heal with replacements booted from this image")
+	follow := flag.Bool("follow", false, "enclave events: keep streaming live events")
 	flag.BoolVar(&jsonOut, "json", false, "emit results as JSON")
 	flag.Parse()
 	args := flag.Args()
@@ -280,7 +303,13 @@ func main() {
 				for n, st := range info.Nodes {
 					fmt.Printf("  %s\t%s\n", n, st)
 				}
+				for _, id := range info.Incidents {
+					fmt.Printf("  open incident %s\n", id)
+				}
 			})
+			if len(info.Incidents) > 0 {
+				os.Exit(exitIncident)
+			}
 		}
 	case "enclave delete":
 		need(3)
@@ -295,6 +324,56 @@ func main() {
 	case "enclave release":
 		need(3)
 		err = v1.ReleaseNode(ctx, *project, args[2], *saveAs)
+	case "enclave guard":
+		if len(args) == 3 {
+			var info *bolted.GuardInfo
+			info, err = v1.GetGuard(ctx, args[2])
+			if err == nil {
+				emit(info, func() { printGuard(info) })
+			}
+			break
+		}
+		need(4)
+		switch args[3] {
+		case "enable":
+			p := bolted.GuardPolicyInfo{
+				Interval:         *interval,
+				MaxConcurrent:    *maxQuotes,
+				FailureTolerance: *tolerance,
+				SelfHeal:         *healImage != "",
+				Image:            *healImage,
+			}
+			var info *bolted.GuardInfo
+			info, err = v1.EnableGuard(ctx, args[2], p)
+			if err == nil {
+				emit(info, func() { printGuard(info) })
+			}
+		case "disable":
+			err = v1.DisableGuard(ctx, args[2])
+		default:
+			usage()
+		}
+	case "enclave events":
+		need(3)
+		enc := json.NewEncoder(os.Stdout)
+		err = v1.EnclaveEvents(ctx, args[2], 0, *follow, func(ev bolted.EventInfo) error {
+			if jsonOut {
+				return enc.Encode(ev)
+			}
+			printEvent(ev)
+			return nil
+		})
+	case "enclave revocations":
+		need(3)
+		var revs []bolted.RevocationInfo
+		revs, err = v1.Revocations(ctx, args[2], 0)
+		if err == nil {
+			emit(revs, func() {
+				for _, rv := range revs {
+					fmt.Printf("%s revoked %s: %s\n", rv.At.Format("15:04:05.000"), rv.Node, rv.Reason)
+				}
+			})
+		}
 	case "op list":
 		need(2)
 		var ops []*bolted.OperationInfo
@@ -336,6 +415,60 @@ func main() {
 				return enc.Encode(ev)
 			}
 			printEvent(ev)
+			return nil
+		})
+	case "incident list":
+		enclaveFilter := ""
+		if len(args) == 3 {
+			enclaveFilter = args[2]
+		} else {
+			need(2)
+		}
+		var incs []*bolted.IncidentInfo
+		incs, err = v1.ListIncidents(ctx, enclaveFilter)
+		if err == nil {
+			emit(incs, func() {
+				for _, inc := range incs {
+					fmt.Printf("%s\t%-10s\t%s\t%s\t%s\n", inc.ID, inc.State, inc.Enclave, inc.Node, inc.Reason)
+				}
+			})
+		}
+	case "incident get":
+		need(3)
+		var inc *bolted.IncidentInfo
+		inc, err = v1.GetIncident(ctx, args[2])
+		if err == nil {
+			emit(inc, func() { printIncident(inc) })
+			if !inc.Terminal() {
+				os.Exit(exitIncident)
+			}
+		}
+	case "incident wait":
+		need(3)
+		var inc *bolted.IncidentInfo
+		inc, err = v1.WaitIncident(ctx, args[2])
+		if err == nil {
+			emit(inc, func() { printIncident(inc) })
+			if inc.State != string(bolted.IncidentResolved) {
+				os.Exit(exitIncident)
+			}
+		}
+	case "incident stream":
+		need(2)
+		enc := json.NewEncoder(os.Stdout)
+		err = v1.StreamIncidents(ctx, 0, func(inc bolted.IncidentInfo) error {
+			if jsonOut {
+				return enc.Encode(inc)
+			}
+			step := ""
+			if n := len(inc.Steps); n > 0 {
+				s := inc.Steps[n-1]
+				step = s.Name
+				if s.Error != "" {
+					step += " (" + s.Error + ")"
+				}
+			}
+			fmt.Printf("%s\t%-10s\t%s\t%s\t%s\n", inc.ID, inc.State, inc.Enclave, inc.Node, step)
 			return nil
 		})
 	default:
@@ -445,6 +578,33 @@ func printOperation(op *bolted.OperationInfo) {
 	}
 	fmt.Printf("batch: %d allocated, %d rejected, %d aborted in %v\n",
 		len(op.Result.Nodes), len(op.Result.Failed), len(op.Result.Aborted), op.Result.Wall)
+}
+
+// printGuard is the human rendering of a guard resource.
+func printGuard(g *bolted.GuardInfo) {
+	heal := "off"
+	if g.Policy.SelfHeal {
+		heal = "on (image " + g.Policy.Image + ")"
+	}
+	fmt.Printf("guard on enclave %s: interval=%v max-quotes=%d tolerance=%d self-heal=%s\n",
+		g.Enclave, g.Policy.Interval, g.Policy.MaxConcurrent, g.Policy.FailureTolerance, heal)
+	fmt.Printf("rounds=%d checks=%d revocations=%d\n", g.Rounds, g.Checks, g.Revocations)
+	for _, id := range g.Incidents {
+		fmt.Printf("  incident %s\n", id)
+	}
+}
+
+// printIncident is the human rendering of an incident resource.
+func printIncident(inc *bolted.IncidentInfo) {
+	fmt.Printf("incident %s: %s (enclave %s, node %s)\nreason: %s\n",
+		inc.ID, inc.State, inc.Enclave, inc.Node, inc.Reason)
+	for _, s := range inc.Steps {
+		if s.Error != "" {
+			fmt.Printf("  %s %-16s FAILED: %s\n", s.At.Format("15:04:05.000"), s.Name, s.Error)
+			continue
+		}
+		fmt.Printf("  %s %-16s %s\n", s.At.Format("15:04:05.000"), s.Name, s.Detail)
+	}
 }
 
 // bmiClient returns a BMI client for the boltedd server's /bmi prefix.

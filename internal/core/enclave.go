@@ -466,6 +466,86 @@ func (e *Enclave) Send(from, to string, payload []byte) ([]byte, error) {
 	return peerEp.Recv(pkt)
 }
 
+// QuarantineNode executes the enclave-side half of the §7.4 incident
+// response for a revoked member: the node is torn out of the enclave —
+// every peer's IPsec SA to it revoked, its agent stopped, its BMI block
+// export and data volume destroyed, its HIL switch port detached — and
+// parked in the provider's rejected project for forensics. It must
+// never transit the free pool, where a concurrent batch could claim the
+// compromised hardware. Only a full member (StateAllocated) can be
+// quarantined: nodes still in flight are handled by the provisioner's
+// own rejection path.
+func (e *Enclave) QuarantineNode(name, reason string) error {
+	if st := e.lc.state(name); st != StateAllocated {
+		return fmt.Errorf("%w: node %q is %s, not %s", ErrConflict, name, st, StateAllocated)
+	}
+	e.mu.Lock()
+	n, ok := e.nodes[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: node %q not in enclave", ErrNotFound, name)
+	}
+	delete(e.nodes, name)
+	// Cryptographic ban first: peers drop their SAs before any slower
+	// teardown happens, so the compromised node loses the data plane
+	// immediately even if provider calls below are slow.
+	for _, pn := range e.nodes {
+		if ep, ok := pn.tunnels[name]; ok {
+			ep.Revoke()
+			delete(pn.tunnels, name)
+		}
+	}
+	for _, ep := range n.tunnels {
+		ep.Revoke()
+	}
+	e.mu.Unlock()
+
+	// Shared teardown (monitoring, verifier, agent, BMI export and
+	// volume): a compromised node's disk state is evidence, not
+	// something to reuse, and the export must not stay reachable from
+	// quarantine.
+	e.releaseNodeResources(name)
+	// MarkRejected transfers the node to the provider's rejected
+	// project, which detaches its switch port from every network and
+	// powers it off — the HIL-level ban.
+	e.cloud.MarkRejected(e.Project, name, reason)
+	return e.lc.to(name, StateQuarantined, reason)
+}
+
+// RotateNetKey replaces the enclave-wide IPsec PSK and rebuilds every
+// surviving pairwise tunnel from the new key, resetting sequence
+// numbers, replay windows and lifetime counters. After a member is
+// quarantined this retires every SA the compromised node ever held key
+// material for; in a real deployment the verifier redistributes the new
+// PSK the same way it delivered the first (§7.4). Nodes admitted after
+// the call pair under the new key automatically.
+func (e *Enclave) RotateNetKey() error {
+	e.mu.Lock()
+	e.netKey = randKey(32)
+	members := len(e.nodes)
+	if e.Profile.EncryptNetwork {
+		names := make([]string, 0, len(e.nodes))
+		for name := range e.nodes {
+			names = append(names, name)
+		}
+		for i, a := range names {
+			for _, b := range names[i+1:] {
+				key := pairKey(e.netKey, a, b)
+				ea, eb, err := ipsec.NewPair(ipsec.SuiteHWAES, key)
+				if err != nil {
+					e.mu.Unlock()
+					return err
+				}
+				e.nodes[a].tunnels[b] = ea
+				e.nodes[b].tunnels[a] = eb
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.journal.record(EvRekeyed, "", fmt.Sprintf("members=%d", members))
+	return nil
+}
+
 // StartContinuousAttestation begins the verifier's IMA monitoring loop
 // for a member node.
 func (e *Enclave) StartContinuousAttestation(node string, interval time.Duration) error {

@@ -21,6 +21,10 @@ const (
 	EvProvisioned EventKind = "provisioned" // remote volume + disk stack ready
 	EvBooted      EventKind = "booted"      // kexec'd into the tenant kernel
 	EvRevoked     EventKind = "revoked"     // runtime violation, keys revoked
+	EvQuarantined EventKind = "quarantined" // revoked member torn out of the enclave
+	EvRekeyed     EventKind = "rekeyed"     // enclave-wide IPsec PSK rotated
+	EvHealed      EventKind = "healed"      // replacement node restored target size
+	EvDegraded    EventKind = "degraded"    // self-healing failed; running below target
 	EvReleased    EventKind = "released"    // returned to the free pool
 	EvStateSaved  EventKind = "state-saved" // volume preserved as an image
 )
@@ -59,6 +63,13 @@ func (j *Journal) record(kind EventKind, node, detail string) {
 	}
 }
 
+// Record appends an event to the journal. Subsystems layered above the
+// enclave core — the runtime attestation guard — use this to weave
+// their own events (healed, degraded) into the enclave's audit trail.
+func (j *Journal) Record(kind EventKind, node, detail string) {
+	j.record(kind, node, detail)
+}
+
 // Watch registers fn to be called, in journal order, with every event
 // recorded after this call. The returned func unsubscribes. Operations
 // use this to fan the lifecycle journal out to pollers and streams;
@@ -85,6 +96,18 @@ func (j *Journal) Events() []Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return append([]Event(nil), j.events...)
+}
+
+// EventsSince returns a copy of the events past cursor — what a
+// long-lived streamer should call per wake-up instead of re-copying
+// the whole journal.
+func (j *Journal) EventsSince(cursor int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor >= len(j.events) {
+		return nil
+	}
+	return append([]Event(nil), j.events[cursor:]...)
 }
 
 // ByNode returns the events for one node, in order.

@@ -37,6 +37,10 @@ const (
 	// StateRejected: failed a phase; parked in the provider's
 	// quarantine project, off every network.
 	StateRejected NodeState = "rejected"
+	// StateQuarantined: was a full member, then failed runtime
+	// attestation; cryptographically banned, torn off every network and
+	// parked in the provider's quarantine project for forensics.
+	StateQuarantined NodeState = "quarantined"
 )
 
 // lifecycleTransitions is the set of legal state changes. Booting may
@@ -49,8 +53,9 @@ var lifecycleTransitions = map[NodeState][]NodeState{
 	StateBooting:     {StateAttesting, StateProvisioned, StateRejected, StateFree},
 	StateAttesting:   {StateProvisioned, StateRejected, StateFree},
 	StateProvisioned: {StateAllocated, StateRejected, StateFree},
-	StateAllocated:   {StateFree},
+	StateAllocated:   {StateFree, StateQuarantined},
 	StateRejected:    {StateFree}, // operator repaired the node
+	StateQuarantined: {StateFree}, // operator scrubbed and repaired the node
 }
 
 // stateEvent maps a state entry to its journal event kind.
@@ -61,6 +66,7 @@ var stateEvent = map[NodeState]EventKind{
 	StateProvisioned: EvProvisioned,
 	StateAllocated:   EvJoined,
 	StateRejected:    EvRejected,
+	StateQuarantined: EvQuarantined,
 	StateFree:        EvReleased,
 }
 

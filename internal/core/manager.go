@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"bolted/internal/keylime"
 )
 
 // This file is the server side of the tenant control plane: where PR 2
@@ -28,6 +30,9 @@ var (
 	// ErrConflict rejects an action the resource's current state
 	// forbids (e.g. deleting an enclave with a running operation).
 	ErrConflict = errors.New("core: conflict")
+	// ErrInvalid rejects a malformed argument (e.g. an inconsistent
+	// guard policy).
+	ErrInvalid = errors.New("core: invalid argument")
 )
 
 // MaxRetainedOps bounds how many operations the manager keeps per
@@ -48,16 +53,34 @@ type Manager struct {
 	ops      map[string]*Operation
 	byencl   map[string][]*Operation // enclave -> its operations
 	opSeq    int
+
+	// Runtime-guard state (incident.go): attached guards, tracked
+	// incidents with their replayable update feed, per-enclave verifier
+	// revocation feeds, and the verifier unsubscribe hooks.
+	guards      map[string]GuardController
+	incidents   map[string]*Incident
+	incOrder    []*Incident // creation order, for retention pruning
+	incSeq      int
+	incFeed     []IncidentStatus
+	incFeedBase int
+	incNotify   chan struct{}
+	revFeeds    map[string]*revFeed
+	revUnsubs   map[string]func()
 }
 
 // NewManager builds an empty control plane over a cloud.
 func NewManager(c *Cloud) *Manager {
 	return &Manager{
-		cloud:    c,
-		enclaves: make(map[string]*Enclave),
-		deleting: make(map[string]bool),
-		ops:      make(map[string]*Operation),
-		byencl:   make(map[string][]*Operation),
+		cloud:     c,
+		enclaves:  make(map[string]*Enclave),
+		deleting:  make(map[string]bool),
+		ops:       make(map[string]*Operation),
+		byencl:    make(map[string][]*Operation),
+		guards:    make(map[string]GuardController),
+		incidents: make(map[string]*Incident),
+		incNotify: make(chan struct{}),
+		revFeeds:  make(map[string]*revFeed),
+		revUnsubs: make(map[string]func()),
 	}
 }
 
@@ -76,6 +99,15 @@ func (m *Manager) CreateEnclave(name string, p Profile) (*Enclave, error) {
 		return nil, err
 	}
 	m.enclaves[name] = e
+	if v := e.Verifier(); v != nil {
+		// Mirror the verifier's in-process revocation fan-out into the
+		// manager so it reaches the wire: the /v1 revocation stream, the
+		// incident registry, and (when enabled) the runtime guard. A
+		// remote tenant would otherwise never learn a node was revoked.
+		m.revUnsubs[name] = v.Subscribe(func(ev keylime.RevocationEvent) {
+			m.noteRevocation(name, ev)
+		})
+	}
 	return e, nil
 }
 
@@ -122,8 +154,15 @@ func (m *Manager) DeleteEnclave(name string) error {
 		}
 	}
 	m.deleting[name] = true
+	guard := m.guards[name]
+	delete(m.guards, name)
 	m.mu.Unlock()
 
+	// The guard goes first: its monitoring rounds and incident
+	// responses must not race the teardown of the enclave they drive.
+	if guard != nil {
+		guard.Stop()
+	}
 	err := e.Destroy()
 	m.mu.Lock()
 	delete(m.deleting, name)
@@ -135,7 +174,14 @@ func (m *Manager) DeleteEnclave(name string) error {
 			delete(m.ops, op.ID)
 		}
 		delete(m.byencl, name)
+		if unsub := m.revUnsubs[name]; unsub != nil {
+			delete(m.revUnsubs, name)
+			defer unsub()
+		}
+		delete(m.revFeeds, name)
 	}
+	// When Destroy fails the enclave lives on, but its guard stays
+	// detached (and stopped): the tenant re-enables explicitly.
 	m.mu.Unlock()
 	return err
 }

@@ -209,13 +209,15 @@ func (e *Enclave) provisionOne(ctx context.Context, name string, boot *bmi.BootI
 	return nil, spans, fail
 }
 
-// releaseNodeResources is the cleanup shared by rejection and abort:
-// forget the node at the verifier (a fresh attempt on a repaired node
-// starts from scratch), stop its agent, and tear down its storage.
-// Errors from resources the node never reached are ignored.
+// releaseNodeResources is the cleanup shared by rejection, abort and
+// quarantine: stop any continuous-attestation loop, forget the node at
+// the verifier (a fresh attempt on a repaired node starts from
+// scratch), stop its agent, and tear down its storage. Errors from
+// resources the node never reached are ignored.
 func (e *Enclave) releaseNodeResources(name string) {
 	ctx := context.Background()
 	if e.verifier != nil {
+		e.verifier.StopMonitoring(name)
 		e.verifier.RemoveNode(name)
 	}
 	_ = e.cloud.Driver.StopAgent(ctx, name)

@@ -438,3 +438,62 @@ func TestVerifierNodeManagement(t *testing.T) {
 		t.Fatal("removed node still tracked")
 	}
 }
+
+// TestStopMonitoringDeterministic: StopMonitoring must not return
+// until the ticker goroutine is gone, so an immediate re-Start never
+// races a stale loop and -race sees no leaked checks.
+func TestStopMonitoringDeterministic(t *testing.T) {
+	r, col, _ := continuousRig(t)
+	col.Measure("/usr/bin/spark", []byte("spark-binary"), ima.HookExec, 0)
+	for i := 0; i < 5; i++ {
+		if err := r.verifier.StartMonitoring("node1", time.Millisecond); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		time.Sleep(3 * time.Millisecond)
+		r.verifier.StopMonitoring("node1")
+		// The loop is deterministically gone: restarting immediately
+		// must always be accepted.
+	}
+	r.verifier.StopMonitoring("node1") // idempotent
+	// RemoveNode after a self-terminating loop (revocation) must not
+	// hang or double-close.
+	if err := r.verifier.StartMonitoring("node1", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	col.Measure("/tmp/evil", []byte("evil"), ima.HookExec, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if status, _ := r.verifier.Status("node1"); status == StatusRevoked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitoring loop never revoked the node")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.verifier.RemoveNode("node1") // waits for the (already exiting) loop
+	if _, err := r.verifier.Status("node1"); err == nil {
+		t.Fatal("removed node still tracked")
+	}
+}
+
+// TestSubscribeCancel: an unsubscribed listener must see no further
+// revocations (the guard detach path relies on this).
+func TestSubscribeCancel(t *testing.T) {
+	r, _, _ := continuousRig(t)
+	var got int
+	cancel := r.verifier.Subscribe(func(RevocationEvent) { got++ })
+	r.verifier.Revoke("node1", "first")
+	if got != 1 {
+		t.Fatalf("subscriber saw %d events, want 1", got)
+	}
+	cancel()
+	// A fresh node so Revoke is not short-circuited by idempotency.
+	if err := r.verifier.AddNode("node2", NodeConfig{Agent: r.agent, PlatformPCRs: r.whitelist()}); err != nil {
+		t.Fatal(err)
+	}
+	r.verifier.Revoke("node2", "second")
+	if got != 1 {
+		t.Fatalf("cancelled subscriber saw %d events, want 1", got)
+	}
+}

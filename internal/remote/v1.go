@@ -20,7 +20,9 @@ import (
 
 	"bolted/internal/bmi"
 	"bolted/internal/core"
+	"bolted/internal/guard"
 	"bolted/internal/hil"
+	"bolted/internal/keylime"
 )
 
 // prefixV1 mounts the tenant control plane beside the raw plane.
@@ -55,6 +57,88 @@ type EnclaveInfo struct {
 	Name    string            `json:"name"`
 	Profile string            `json:"profile"`
 	Nodes   map[string]string `json:"nodes"` // node -> lifecycle state
+	// Incidents lists the enclave's open (non-terminal) incident IDs;
+	// tooling branches on "incident open" without a second round trip.
+	Incidents []string `json:"incidents,omitempty"`
+}
+
+// GuardPolicyInfo is the wire form of a runtime-guard policy. Zero
+// fields take the guard's defaults. guard.Policy already carries its
+// wire tags, so the wire form IS the policy — no converter to forget a
+// field in.
+type GuardPolicyInfo = guard.Policy
+
+// GuardInfo is the wire form of an enclave's runtime attestation guard.
+type GuardInfo struct {
+	Enclave     string          `json:"enclave"`
+	Policy      GuardPolicyInfo `json:"policy"`
+	Rounds      uint64          `json:"rounds"`
+	Checks      uint64          `json:"checks"`
+	Revocations uint64          `json:"revocations"`
+	Incidents   []string        `json:"incidents,omitempty"`
+}
+
+func guardInfo(g *guard.Guard) *GuardInfo {
+	st := g.Status()
+	return &GuardInfo{
+		Enclave:     st.Enclave,
+		Policy:      st.Policy,
+		Rounds:      st.Rounds,
+		Checks:      st.Checks,
+		Revocations: st.Revocations,
+		Incidents:   st.Incidents,
+	}
+}
+
+// IncidentStepInfo is one recorded response action of an incident.
+type IncidentStepInfo struct {
+	At     time.Time `json:"at"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// IncidentInfo is the wire form of an incident resource.
+type IncidentInfo struct {
+	ID      string             `json:"id"`
+	Enclave string             `json:"enclave"`
+	Node    string             `json:"node"`
+	Reason  string             `json:"reason"`
+	State   string             `json:"state"`
+	Opened  time.Time          `json:"opened"`
+	Closed  time.Time          `json:"closed,omitzero"`
+	Steps   []IncidentStepInfo `json:"steps,omitempty"`
+}
+
+// Terminal reports whether the incident has reached a final state.
+func (i *IncidentInfo) Terminal() bool { return core.IncidentState(i.State).Terminal() }
+
+func incidentInfo(st core.IncidentStatus) *IncidentInfo {
+	info := &IncidentInfo{
+		ID:      st.ID,
+		Enclave: st.Enclave,
+		Node:    st.Node,
+		Reason:  st.Reason,
+		State:   string(st.State),
+		Opened:  st.Opened,
+		Closed:  st.Closed,
+	}
+	for _, s := range st.Steps {
+		info.Steps = append(info.Steps, IncidentStepInfo{At: s.At, Name: s.Name, Detail: s.Detail, Error: s.Error})
+	}
+	return info
+}
+
+// RevocationInfo is the wire form of one verifier revocation event —
+// the HTTP equivalent of keylime.Verifier.Subscribe.
+type RevocationInfo struct {
+	Node   string    `json:"node"`
+	Reason string    `json:"reason"`
+	At     time.Time `json:"at"`
+}
+
+func revocationInfo(ev keylime.RevocationEvent) RevocationInfo {
+	return RevocationInfo{Node: ev.UUID, Reason: ev.Reason, At: ev.At}
 }
 
 // NodeFailureInfo is the wire form of a per-node batch failure.
@@ -189,7 +273,7 @@ func writeV1Error(w http.ResponseWriter, err error) {
 		code, status = codeConflict, http.StatusConflict
 	case errors.Is(err, hil.ErrUnauthorized):
 		code, status = codeUnauthorized, http.StatusForbidden
-	case errors.Is(err, errInvalid):
+	case errors.Is(err, errInvalid), errors.Is(err, core.ErrInvalid):
 		code, status = codeInvalid, http.StatusBadRequest
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -215,6 +299,13 @@ func writeV1JSON(w http.ResponseWriter, status int, v interface{}) {
 // it under /v1 (NewHandler does this for a full-surface boltedd).
 func NewV1Handler(mgr *core.Manager) http.Handler {
 	mux := http.NewServeMux()
+
+	// withIncidents decorates an enclave resource with its open
+	// incident IDs, the control plane's "something is wrong here" flag.
+	withIncidents := func(info *EnclaveInfo) *EnclaveInfo {
+		info.Incidents = mgr.OpenIncidentIDs(info.Name)
+		return info
+	}
 
 	mux.HandleFunc("POST /enclaves", func(w http.ResponseWriter, r *http.Request) {
 		var req createEnclaveRequest
@@ -243,7 +334,7 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		out := []*EnclaveInfo{} // empty list is [], never null, on the wire
 		for _, name := range mgr.ListEnclaves() {
 			if e, err := mgr.Enclave(name); err == nil {
-				out = append(out, enclaveInfo(e))
+				out = append(out, withIncidents(enclaveInfo(e)))
 			}
 		}
 		writeV1JSON(w, http.StatusOK, out)
@@ -255,7 +346,7 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			writeV1Error(w, err)
 			return
 		}
-		writeV1JSON(w, http.StatusOK, enclaveInfo(e))
+		writeV1JSON(w, http.StatusOK, withIncidents(enclaveInfo(e)))
 	})
 
 	mux.HandleFunc("DELETE /enclaves/{name}", func(w http.ResponseWriter, r *http.Request) {
@@ -358,12 +449,10 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			writeV1Error(w, err)
 			return
 		}
-		cursor := 0
-		if from := r.URL.Query().Get("from"); from != "" {
-			if cursor, err = strconv.Atoi(from); err != nil || cursor < 0 {
-				writeV1Error(w, fmt.Errorf("%w: bad from cursor %q", errInvalid, from))
-				return
-			}
+		cursor, err := cursorParam(r)
+		if err != nil {
+			writeV1Error(w, err)
+			return
 		}
 		// The stream follows the operation live — possibly for minutes.
 		clearWriteDeadline(w)
@@ -397,5 +486,267 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		}
 	})
 
+	// --- runtime attestation guard + incident response surface ---
+
+	// attachedGuard resolves an enclave's guard to the concrete type
+	// the /v1 surface serves (the manager registry is interface-typed).
+	attachedGuard := func(name string) (*guard.Guard, error) {
+		gc, ok := mgr.Guard(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: enclave %q has no guard enabled", core.ErrNotFound, name)
+		}
+		g, ok := gc.(*guard.Guard)
+		if !ok {
+			return nil, fmt.Errorf("remote: enclave %q has a non-standard guard controller", name)
+		}
+		return g, nil
+	}
+
+	// PUT /enclaves/{name}/guard enables the guard (or updates the
+	// policy of an already-enabled one). Body: GuardPolicyInfo; zero
+	// fields take defaults. Idempotent: a retried or concurrent PUT
+	// that loses the enable race degrades to a policy update.
+	mux.HandleFunc("PUT /enclaves/{name}/guard", func(w http.ResponseWriter, r *http.Request) {
+		var req GuardPolicyInfo
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV1Error(w, fmt.Errorf("%w: %v", errInvalid, err))
+			return
+		}
+		name := r.PathValue("name")
+		if _, ok := mgr.Guard(name); !ok {
+			g, err := guard.Enable(mgr, name, req)
+			if err == nil {
+				writeV1JSON(w, http.StatusCreated, guardInfo(g))
+				return
+			}
+			if !errors.Is(err, core.ErrExists) {
+				writeV1Error(w, err)
+				return
+			}
+			// Lost an enable race; fall through to the update path.
+		}
+		g, err := attachedGuard(name)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		if err := g.SetPolicy(req); err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, guardInfo(g))
+	})
+
+	mux.HandleFunc("GET /enclaves/{name}/guard", func(w http.ResponseWriter, r *http.Request) {
+		g, err := attachedGuard(r.PathValue("name"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, guardInfo(g))
+	})
+
+	mux.HandleFunc("DELETE /enclaves/{name}/guard", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !mgr.DetachGuard(name) {
+			writeV1Error(w, fmt.Errorf("%w: enclave %q has no guard enabled", core.ErrNotFound, name))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	// GET /enclaves/{name}/revocations is the wire form of the
+	// verifier's revocation feed (keylime.Verifier.Subscribe): a JSON
+	// snapshot from ?from=N, or — with ?watch=1 — an NDJSON stream that
+	// replays and then follows live.
+	mux.HandleFunc("GET /enclaves/{name}/revocations", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		cursor, err := cursorParam(r)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		if r.URL.Query().Get("watch") == "" {
+			evs, _, _, err := mgr.RevocationsSince(name, cursor)
+			if err != nil {
+				writeV1Error(w, err)
+				return
+			}
+			out := []RevocationInfo{}
+			for _, ev := range evs {
+				out = append(out, revocationInfo(ev))
+			}
+			writeV1JSON(w, http.StatusOK, out)
+			return
+		}
+		// Validate the enclave before committing to a stream, so a bad
+		// name still gets a typed error envelope.
+		if _, err := mgr.Enclave(name); err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		clearWriteDeadline(w)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for {
+			evs, notify, next, err := mgr.RevocationsSince(name, cursor)
+			if err != nil {
+				return // enclave deleted mid-stream
+			}
+			for _, ev := range evs {
+				if err := enc.Encode(revocationInfo(ev)); err != nil {
+					return
+				}
+			}
+			cursor = next
+			if flusher != nil {
+				flusher.Flush()
+			}
+			select {
+			case <-notify:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	// GET /enclaves/{name}/events exposes the enclave lifecycle
+	// journal itself — unlike /operations/{id}/events it is not scoped
+	// to one acquisition, so runtime events (revoked, quarantined,
+	// rekeyed, healed) recorded long after a batch finished remain
+	// observable. NDJSON; ?from=N replays from a cursor, ?follow=1
+	// keeps following live.
+	mux.HandleFunc("GET /enclaves/{name}/events", func(w http.ResponseWriter, r *http.Request) {
+		e, err := mgr.Enclave(r.PathValue("name"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		cursor, err := cursorParam(r)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		follow := r.URL.Query().Get("follow") != ""
+		j := e.Journal()
+		if follow {
+			clearWriteDeadline(w)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		var notify chan struct{}
+		var unwatch func()
+		if follow {
+			notify = make(chan struct{}, 1)
+			unwatch = j.Watch(func(core.Event) {
+				select {
+				case notify <- struct{}{}:
+				default:
+				}
+			})
+			defer unwatch()
+		}
+		for {
+			evs := j.EventsSince(cursor)
+			for _, ev := range evs {
+				if err := enc.Encode(eventInfo(ev)); err != nil {
+					return
+				}
+			}
+			cursor += len(evs)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if !follow {
+				return
+			}
+			select {
+			case <-notify:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	// GET /incidents lists incident resources (?enclave= filters); with
+	// ?watch=1 it becomes an NDJSON stream of incident-status updates,
+	// replaying from ?from=N and then following live. The cursor counts
+	// feed positions, so it stays meaningful with and without a filter.
+	mux.HandleFunc("GET /incidents", func(w http.ResponseWriter, r *http.Request) {
+		cursor, err := cursorParam(r)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		enclave := r.URL.Query().Get("enclave")
+		if r.URL.Query().Get("watch") == "" {
+			out := []*IncidentInfo{} // empty list is [], never null
+			for _, inc := range mgr.ListIncidents(enclave) {
+				out = append(out, incidentInfo(inc.Status()))
+			}
+			writeV1JSON(w, http.StatusOK, out)
+			return
+		}
+		clearWriteDeadline(w)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for {
+			updates, notify, next := mgr.IncidentUpdatesSince(cursor)
+			for _, st := range updates {
+				if enclave != "" && st.Enclave != enclave {
+					continue // filtered out; cursor still advances
+				}
+				if err := enc.Encode(incidentInfo(st)); err != nil {
+					return
+				}
+			}
+			cursor = next
+			if flusher != nil {
+				flusher.Flush()
+			}
+			select {
+			case <-notify:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	// GET /incidents/{id} polls; ?wait=1 long-polls until the incident
+	// reaches a terminal state.
+	mux.HandleFunc("GET /incidents/{id}", func(w http.ResponseWriter, r *http.Request) {
+		inc, err := mgr.Incident(r.PathValue("id"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			clearWriteDeadline(w)
+			select {
+			case <-inc.Done():
+			case <-r.Context().Done():
+				writeV1Error(w, fmt.Errorf("%w: wait interrupted: %v", errInvalid, r.Context().Err()))
+				return
+			}
+		}
+		writeV1JSON(w, http.StatusOK, incidentInfo(inc.Status()))
+	})
+
 	return mux
+}
+
+// cursorParam parses the ?from=N replay cursor (0 when absent).
+func cursorParam(r *http.Request) (int, error) {
+	from := r.URL.Query().Get("from")
+	if from == "" {
+		return 0, nil
+	}
+	cursor, err := strconv.Atoi(from)
+	if err != nil || cursor < 0 {
+		return 0, fmt.Errorf("%w: bad from cursor %q", errInvalid, from)
+	}
+	return cursor, nil
 }

@@ -66,6 +66,8 @@ func decodeV1Error(resp *http.Response) error {
 		return wrap(core.ErrConflict)
 	case codeUnauthorized:
 		return wrap(hil.ErrUnauthorized)
+	case codeInvalid:
+		return wrap(core.ErrInvalid)
 	default:
 		return fmt.Errorf("remote: %s: %s", env.Error.Code, msg)
 	}
@@ -206,6 +208,13 @@ func (c *V1Client) CancelOperation(ctx context.Context, id string) (*OperationIn
 // or ctx ends.
 func (c *V1Client) StreamEvents(ctx context.Context, id string, from int, fn func(EventInfo) error) error {
 	path := "/operations/" + url.PathEscape(id) + "/events?from=" + strconv.Itoa(from)
+	return streamNDJSON(ctx, c, path, fn)
+}
+
+// streamNDJSON runs one NDJSON GET, decoding each line into T and
+// calling fn until the stream ends (nil), fn errors (returned as-is),
+// or ctx ends.
+func streamNDJSON[T any](ctx context.Context, c *V1Client, path string, fn func(T) error) error {
 	req, err := http.NewRequestWithContext(ctx, "GET", c.base+path, nil)
 	if err != nil {
 		return err
@@ -225,13 +234,110 @@ func (c *V1Client) StreamEvents(ctx context.Context, id string, from int, fn fun
 		if len(line) == 0 {
 			continue
 		}
-		var ev EventInfo
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("remote: bad event line: %w", err)
+		var v T
+		if err := json.Unmarshal(line, &v); err != nil {
+			return fmt.Errorf("remote: bad stream line: %w", err)
 		}
-		if err := fn(ev); err != nil {
+		if err := fn(v); err != nil {
 			return err
 		}
 	}
 	return sc.Err()
+}
+
+// EnableGuard enables the runtime attestation guard on an enclave (or
+// updates the policy of an already-enabled guard). Zero policy fields
+// take server-side defaults.
+func (c *V1Client) EnableGuard(ctx context.Context, enclave string, p GuardPolicyInfo) (*GuardInfo, error) {
+	var info GuardInfo
+	if err := c.do(ctx, "PUT", "/enclaves/"+url.PathEscape(enclave)+"/guard", p, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// GetGuard returns an enclave's guard status (core.ErrNotFound when no
+// guard is enabled).
+func (c *V1Client) GetGuard(ctx context.Context, enclave string) (*GuardInfo, error) {
+	var info GuardInfo
+	if err := c.do(ctx, "GET", "/enclaves/"+url.PathEscape(enclave)+"/guard", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DisableGuard stops and detaches an enclave's guard.
+func (c *V1Client) DisableGuard(ctx context.Context, enclave string) error {
+	return c.do(ctx, "DELETE", "/enclaves/"+url.PathEscape(enclave)+"/guard", nil, nil)
+}
+
+// ListIncidents returns incident resources, oldest first; a non-empty
+// enclave filters to that enclave's incidents.
+func (c *V1Client) ListIncidents(ctx context.Context, enclave string) ([]*IncidentInfo, error) {
+	path := "/incidents"
+	if enclave != "" {
+		path += "?enclave=" + url.QueryEscape(enclave)
+	}
+	var out []*IncidentInfo
+	if err := c.do(ctx, "GET", path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetIncident polls an incident.
+func (c *V1Client) GetIncident(ctx context.Context, id string) (*IncidentInfo, error) {
+	var info IncidentInfo
+	if err := c.do(ctx, "GET", "/incidents/"+url.PathEscape(id), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// WaitIncident blocks (server-side long poll) until the incident is
+// terminal and returns its final state.
+func (c *V1Client) WaitIncident(ctx context.Context, id string) (*IncidentInfo, error) {
+	var info IncidentInfo
+	if err := c.do(ctx, "GET", "/incidents/"+url.PathEscape(id)+"?wait=1", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// StreamIncidents follows the server-wide incident feed from update
+// cursor `from`, calling fn with every incident-status update (an
+// incident appears once per state change) until ctx ends or fn errors.
+func (c *V1Client) StreamIncidents(ctx context.Context, from int, fn func(IncidentInfo) error) error {
+	return streamNDJSON(ctx, c, "/incidents?watch=1&from="+strconv.Itoa(from), fn)
+}
+
+// Revocations returns an enclave's verifier revocation events from
+// index `from` — the wire equivalent of keylime.Verifier.Subscribe for
+// tenants that poll.
+func (c *V1Client) Revocations(ctx context.Context, enclave string, from int) ([]RevocationInfo, error) {
+	var out []RevocationInfo
+	path := "/enclaves/" + url.PathEscape(enclave) + "/revocations?from=" + strconv.Itoa(from)
+	if err := c.do(ctx, "GET", path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StreamRevocations follows an enclave's revocation feed live from
+// index `from` until ctx ends or fn errors.
+func (c *V1Client) StreamRevocations(ctx context.Context, enclave string, from int, fn func(RevocationInfo) error) error {
+	path := "/enclaves/" + url.PathEscape(enclave) + "/revocations?watch=1&from=" + strconv.Itoa(from)
+	return streamNDJSON(ctx, c, path, fn)
+}
+
+// EnclaveEvents reads the enclave's lifecycle journal from event index
+// `from`: with follow false it returns after replaying what exists;
+// with follow true it keeps streaming live events until ctx ends or fn
+// errors.
+func (c *V1Client) EnclaveEvents(ctx context.Context, enclave string, from int, follow bool, fn func(EventInfo) error) error {
+	path := "/enclaves/" + url.PathEscape(enclave) + "/events?from=" + strconv.Itoa(from)
+	if follow {
+		path += "&follow=1"
+	}
+	return streamNDJSON(ctx, c, path, fn)
 }
