@@ -286,15 +286,19 @@ func BenchmarkFig5Concurrency(b *testing.B) {
 }
 
 // BenchmarkAblationAirlocks removes the prototype's single-airlock
-// limitation (§7.3: "we intend to address it").
+// limitation (§7.3: "we intend to address it"). The airlock count
+// flows through core.PoolPolicy via WithPool — the same configuration
+// the real provisioner's attestation semaphore reads — so the model
+// and the functional pipeline agree by construction.
 func BenchmarkAblationAirlocks(b *testing.B) {
 	for _, locks := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("airlocks-%d", locks), func(b *testing.B) {
-			cfg := core.DefaultProvisionConfig()
+			pool := core.DefaultPoolPolicy()
+			pool.Airlocks = locks
+			cfg := core.DefaultProvisionConfig().WithPool(pool)
 			cfg.Firmware = core.FirmwareUEFI
 			cfg.Security = core.SecAttested
 			cfg.Concurrency = 16
-			cfg.Airlocks = locks
 			var last *core.ProvisionResult
 			for i := 0; i < b.N; i++ {
 				last = core.SimulateProvisioning(cfg)
@@ -717,6 +721,109 @@ func BenchmarkAcquireNodesTransport(b *testing.B) {
 		b.ReportMetric(batch, "nodes/batch")
 		b.ReportMetric(float64(submit.Nanoseconds())/float64(b.N), "submit-ns")
 	})
+}
+
+// BenchmarkAcquireNodesWarm is the warm-pool acceptance benchmark,
+// emitted by CI as BENCH_pool.json. The model sub-benchmarks run the
+// calibrated timing model for an 8-node attested batch on stock UEFI
+// firmware — the deployment where every cold acquisition pays the full
+// POST → PXE → iPXE → Heads → attest chain the warm pool amortizes —
+// across airlock counts (airlocks=1 is the §7.3 prototype). The
+// functional sub-benchmarks run the real pipeline (in-process cloud)
+// cold and against a pre-warmed pool. Expectations: warm ≥ 2× faster
+// than cold at every airlock count, and cold/warm makespans both
+// shrink as airlocks grow.
+func BenchmarkAcquireNodesWarm(b *testing.B) {
+	const batch = 8
+	for _, mode := range []string{"cold", "warm"} {
+		for _, locks := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("model/%s/airlocks-%d", mode, locks), func(b *testing.B) {
+				pool := core.DefaultPoolPolicy()
+				pool.Airlocks = locks
+				if mode == "warm" {
+					pool.Target = batch
+				}
+				cfg := core.DefaultProvisionConfig().WithPool(pool)
+				cfg.Firmware = core.FirmwareUEFI
+				cfg.Security = core.SecAttested
+				cfg.Concurrency = batch
+				var last *core.ProvisionResult
+				for i := 0; i < b.N; i++ {
+					last = core.SimulateProvisioning(cfg)
+				}
+				b.ReportMetric(last.Makespan.Seconds(), "makespan-sec")
+				b.ReportMetric(last.PerNode[0].Seconds(), "node0-sec")
+			})
+		}
+	}
+
+	seed := func(b *testing.B, warmTarget int) *core.Enclave {
+		b.Helper()
+		cfg := core.DefaultConfig()
+		cfg.Nodes = batch
+		cloud, err := core.NewCloud(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+			KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		e, err := core.NewEnclave(cloud, "t", core.ProfileBob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warmTarget > 0 {
+			pol := core.DefaultPoolPolicy()
+			pol.Target = warmTarget
+			pol.MaxRefill = warmTarget
+			if err := e.ConfigurePool(pol); err != nil {
+				b.Fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				st, _ := e.PoolStats()
+				if st.Warm >= warmTarget {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("pool never warmed: %+v", st)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return e
+	}
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run("functional/"+mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				target := 0
+				if mode == "warm" {
+					target = batch
+				}
+				e := seed(b, target)
+				b.StartTimer()
+				res, err := e.AcquireNodes(context.Background(), "os", batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Nodes) != batch {
+					b.Fatalf("allocated %d of %d", len(res.Nodes), batch)
+				}
+				b.StopTimer()
+				if mode == "warm" {
+					if p := res.Timings.ByPhase(core.PhaseWarmRequote); p.Nodes != batch {
+						b.Fatalf("warm batch took the cold path: %+v", res.Timings.Phases)
+					}
+				}
+				e.ClosePool()
+				b.StartTimer()
+			}
+			b.ReportMetric(batch, "nodes/batch")
+		})
+	}
 }
 
 // BenchmarkGuardQuarantine measures the runtime attestation guard's

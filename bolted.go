@@ -92,12 +92,14 @@ type PhaseTiming = core.PhaseTiming
 // NodeState is a node's position in the Figure-1 life cycle.
 type NodeState = core.NodeState
 
-// Figure-1 life-cycle states (plus the runtime guard's quarantine).
+// Figure-1 life-cycle states (plus the warm-pool standby state and the
+// runtime guard's quarantine).
 const (
 	StateFree        = core.StateFree
 	StateAirlocked   = core.StateAirlocked
 	StateBooting     = core.StateBooting
 	StateAttesting   = core.StateAttesting
+	StateWarm        = core.StateWarm
 	StateProvisioned = core.StateProvisioned
 	StateAllocated   = core.StateAllocated
 	StateRejected    = core.StateRejected
@@ -105,13 +107,37 @@ const (
 )
 
 // Canonical provisioning phase names, shared by real batch timings and
-// the discrete-event simulation.
+// the discrete-event simulation. The warm phases charge only what a
+// pre-attested standby still owes: re-quote, HIL move, kexec.
 const (
-	PhaseAirlock   = core.PhaseAirlock
-	PhaseBoot      = core.PhaseBoot
-	PhaseAttest    = core.PhaseAttest
-	PhaseProvision = core.PhaseProvision
+	PhaseAirlock       = core.PhaseAirlock
+	PhaseBoot          = core.PhaseBoot
+	PhaseAttest        = core.PhaseAttest
+	PhaseProvision     = core.PhaseProvision
+	PhaseWarmRequote   = core.PhaseWarmRequote
+	PhaseWarmProvision = core.PhaseWarmProvision
 )
+
+// PoolPolicy configures an enclave's warm pool of pre-attested standby
+// nodes: target occupancy, attestation airlock parallelism, and the
+// background refiller's rate limit:
+//
+//	pol := bolted.DefaultPoolPolicy()
+//	pol.Target = 4
+//	enclave.ConfigurePool(pol)
+//	// ... later: AcquireNodes drains standbys via the kexec fast path
+type PoolPolicy = core.PoolPolicy
+
+// PoolStats is a point-in-time view of an enclave's warm pool.
+type PoolStats = core.PoolStats
+
+// DefaultPoolPolicy returns the default warm-pool configuration
+// (multi-airlock pipelining on, no standbys until Target is raised).
+func DefaultPoolPolicy() PoolPolicy { return core.DefaultPoolPolicy() }
+
+// DefaultAirlocks is the default attestation airlock parallelism (the
+// paper's prototype had exactly one, its §7.3 limitation).
+const DefaultAirlocks = core.DefaultAirlocks
 
 // DefaultBatchParallelism bounds how many nodes AcquireNodes keeps in
 // flight at once.
@@ -283,6 +309,13 @@ type GuardPolicyInfo = remote.GuardPolicyInfo
 // IncidentInfo is the control plane's wire form of an incident
 // resource.
 type IncidentInfo = remote.IncidentInfo
+
+// PoolInfo is the control plane's wire form of a warm-pool resource
+// (the /v1/pools surface).
+type PoolInfo = remote.PoolInfo
+
+// PoolPolicyInfo is the wire form of a warm-pool policy.
+type PoolPolicyInfo = remote.PoolPolicyInfo
 
 // RevocationInfo is the wire form of one verifier revocation event
 // (the /v1 equivalent of keylime.Verifier.Subscribe).

@@ -38,6 +38,11 @@
 //	enclave guard <name> [enable|disable]  (-interval, -max-quotes, -tolerance, -heal-image)
 //	enclave events <name>         (-follow)
 //	enclave revocations <name>
+//	pool set <enclave>            (-target, -airlocks, -refill)
+//	pool get <enclave>
+//	pool list
+//	pool drain <enclave>
+//	pool delete <enclave>
 //	op list
 //	op get <id>
 //	op wait <id>
@@ -113,6 +118,10 @@ commands:
          status; re-running enable updates the policy)
   enclave events <name>      (lifecycle journal; -follow streams live)
   enclave revocations <name> (verifier revocation feed over the wire)
+  pool set <enclave>         (warm pool of pre-attested standbys:
+        -target occupancy, -airlocks attestation parallelism,
+        -refill concurrent warm boots; re-run to update the policy)
+  pool get <enclave> | list | drain <enclave> | delete <enclave>
   op list | get <id> | wait <id> | cancel <id> | events <id>
   incident list [enclave] | get <id> | wait <id> | stream
 exit codes: 0 ok, 1 transport/API error, 2 usage,
@@ -146,6 +155,9 @@ func main() {
 	tolerance := flag.Int("tolerance", 0, "enclave guard enable: consecutive failed rounds before revocation (0 = server default)")
 	healImage := flag.String("heal-image", "", "enclave guard enable: self-heal with replacements booted from this image")
 	follow := flag.Bool("follow", false, "enclave events: keep streaming live events")
+	poolTarget := flag.Int("target", 0, "pool set: warm standby occupancy to maintain")
+	poolAirlocks := flag.Int("airlocks", 0, "pool set: parallel attestation airlocks (0 = server default)")
+	poolRefill := flag.Int("refill", 0, "pool set: concurrent warm boots (0 = server default)")
 	flag.BoolVar(&jsonOut, "json", false, "emit results as JSON")
 	flag.Parse()
 	args := flag.Args()
@@ -374,6 +386,60 @@ func main() {
 				}
 			})
 		}
+	case "pool set":
+		need(3)
+		// Merge semantics: PUT replaces the whole policy, and Target 0
+		// is meaningful (drained), so start from the current policy and
+		// overlay only the flags the caller actually passed — re-running
+		// `pool set -airlocks 8` must not silently drain the pool.
+		var p bolted.PoolPolicyInfo
+		if cur, getErr := v1.GetPool(ctx, args[2]); getErr == nil {
+			p = cur.Policy
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "target":
+				p.Target = *poolTarget
+			case "airlocks":
+				p.Airlocks = *poolAirlocks
+			case "refill":
+				p.MaxRefill = *poolRefill
+			}
+		})
+		var info *bolted.PoolInfo
+		info, err = v1.ConfigurePool(ctx, args[2], p)
+		if err == nil {
+			emit(info, func() { printPool(info) })
+		}
+	case "pool get":
+		need(3)
+		var info *bolted.PoolInfo
+		info, err = v1.GetPool(ctx, args[2])
+		if err == nil {
+			emit(info, func() { printPool(info) })
+		}
+	case "pool list":
+		need(2)
+		var pools []*bolted.PoolInfo
+		pools, err = v1.ListPools(ctx)
+		if err == nil {
+			emit(pools, func() {
+				for _, p := range pools {
+					fmt.Printf("%s\ttarget=%d warm=%d hits=%d misses=%d\n",
+						p.Enclave, p.Policy.Target, p.Warm, p.Hits, p.Misses)
+				}
+			})
+		}
+	case "pool drain":
+		need(3)
+		var info *bolted.PoolInfo
+		info, err = v1.DrainPool(ctx, args[2])
+		if err == nil {
+			emit(info, func() { printPool(info) })
+		}
+	case "pool delete":
+		need(3)
+		err = v1.DeletePool(ctx, args[2])
 	case "op list":
 		need(2)
 		var ops []*bolted.OperationInfo
@@ -591,6 +657,17 @@ func printGuard(g *bolted.GuardInfo) {
 	fmt.Printf("rounds=%d checks=%d revocations=%d\n", g.Rounds, g.Checks, g.Revocations)
 	for _, id := range g.Incidents {
 		fmt.Printf("  incident %s\n", id)
+	}
+}
+
+// printPool is the human rendering of a warm-pool resource.
+func printPool(p *bolted.PoolInfo) {
+	fmt.Printf("pool on enclave %s: target=%d airlocks=%d max-refill=%d\n",
+		p.Enclave, p.Policy.Target, p.Policy.Airlocks, p.Policy.MaxRefill)
+	fmt.Printf("warm=%d refilling=%d hits=%d misses=%d drained=%d rejected=%d\n",
+		p.Warm, p.Refilling, p.Hits, p.Misses, p.Drained, p.Rejected)
+	for _, n := range p.WarmNodes {
+		fmt.Printf("  standby %s\n", n)
 	}
 }
 

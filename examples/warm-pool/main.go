@@ -1,0 +1,125 @@
+// Warm pool: keep pre-attested standby nodes parked in the attested
+// runtime so acquisitions take the kexec fast path instead of paying
+// the cold PXE → LinuxBoot → attest chain. This example runs a boltedd
+// in-process, arms a warm pool over /v1, and compares a cold batch
+// against a warm one — then shows the refiller replacing what the
+// batch consumed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"bolted"
+)
+
+func main() {
+	cfg := bolted.DefaultConfig()
+	cfg.Nodes = 8
+	cloud, err := bolted.NewCloud(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("fedora28", bolted.OSImageSpec{
+		KernelID: "fedora28-4.17.9",
+		Kernel:   []byte("vmlinuz-4.17.9-200.fc28"),
+		Initrd:   []byte("initramfs-4.17.9-200.fc28"),
+		Cmdline:  "root=iscsi quiet",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var handler http.Handler
+	if handler, err = bolted.NewServerHandler(cloud); err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	ctx := context.Background()
+	cli := bolted.NewClient(srv.URL)
+	if _, err := cli.CreateEnclave(ctx, "bob-lab", "bob"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cold baseline: every node pays the full airlock/boot/attest chain.
+	cold := acquire(ctx, cli, 2)
+	fmt.Printf("cold batch:  2 nodes in %v (phases: %s)\n", cold.Result.Wall, phaseNames(cold))
+
+	// Arm the warm pool: the background refiller boots standbys into
+	// the attested runtime and pre-attests them against the provider
+	// whitelist.
+	pol := bolted.DefaultPoolPolicy()
+	pol.Target = 4
+	if _, err := cli.ConfigurePool(ctx, "bob-lab", pol); err != nil {
+		log.Fatal(err)
+	}
+	waitWarm(ctx, cli, pol.Target)
+
+	// Warm acquisition: standbys skip straight to re-quote + network
+	// move + kexec.
+	warm := acquire(ctx, cli, 2)
+	fmt.Printf("warm batch:  2 nodes in %v (phases: %s)\n", warm.Result.Wall, phaseNames(warm))
+
+	pool, err := cli.GetPool(ctx, "bob-lab")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pool: warm=%d refilling=%d hits=%d misses=%d\n",
+		pool.Warm, pool.Refilling, pool.Hits, pool.Misses)
+
+	// Drain parks nothing further; standbys return to the free pool.
+	if _, err := cli.DrainPool(ctx, "bob-lab"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pool drained; standbys back in the provider's free pool")
+}
+
+// acquire runs one blocking batch acquisition over /v1.
+func acquire(ctx context.Context, cli *bolted.Client, n int) *bolted.OperationInfo {
+	op, err := cli.Acquire(ctx, "bob-lab", "fedora28", n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final, err := cli.WaitOperation(ctx, op.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.Result == nil || len(final.Result.Nodes) != n {
+		log.Fatalf("operation %s did not allocate %d nodes: %+v", op.ID, n, final)
+	}
+	return final
+}
+
+func phaseNames(op *bolted.OperationInfo) string {
+	out := ""
+	for i, p := range op.Result.Phases {
+		if i > 0 {
+			out += " "
+		}
+		out += p.Phase
+	}
+	return out
+}
+
+// waitWarm polls until the refiller reaches the target occupancy.
+func waitWarm(ctx context.Context, cli *bolted.Client, target int) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		pool, err := cli.GetPool(ctx, "bob-lab")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pool.Warm >= target {
+			fmt.Printf("pool armed: %d standbys pre-attested (%v)\n", pool.Warm, pool.WarmNodes)
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("pool never reached target: %+v", pool)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

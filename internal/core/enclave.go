@@ -64,6 +64,23 @@ type Enclave struct {
 	journal Journal
 	lc      *lifecycle
 
+	// airlockC is the attestation airlock semaphore: one slot per
+	// parallel airlock. The paper's prototype had a single airlock
+	// (§7.3); the slot count is configurable via PoolPolicy.Airlocks.
+	airlockMu sync.Mutex
+	airlockC  chan struct{}
+
+	// pool is the enclave's warm pool of pre-attested standby nodes
+	// (nil until ConfigurePool).
+	poolMu sync.Mutex
+	pool   *WarmPool
+
+	// bannedWarm records standbys revoked in the window between being
+	// taken from the pool and admission; the fast path consults it
+	// before a banned node can become a member (pool.go).
+	banMu      sync.Mutex
+	bannedWarm map[string]string
+
 	mu    sync.Mutex
 	nodes map[string]*Node
 }
@@ -86,11 +103,12 @@ func NewEnclave(c *Cloud, name string, profile Profile) (*Enclave, error) {
 		return nil, err
 	}
 	e := &Enclave{
-		cloud:   c,
-		Project: name,
-		Profile: profile,
-		nodes:   make(map[string]*Node),
-		netKey:  randKey(32),
+		cloud:    c,
+		Project:  name,
+		Profile:  profile,
+		nodes:    make(map[string]*Node),
+		netKey:   randKey(32),
+		airlockC: make(chan struct{}, DefaultAirlocks),
 	}
 	e.lc = newLifecycle(&e.journal)
 	if profile.Attest {
@@ -242,18 +260,77 @@ func (e *Enclave) bootNode(ctx context.Context, w *nodeWork) error {
 	if m, err := c.Machine(w.name); err == nil {
 		w.machine = m // in-process visibility for tests and examples
 	}
-	w.kernel, w.initrd = w.boot.Kernel, w.boot.Initrd
+	if w.boot != nil {
+		// Warm refills boot with no tenant image: the kernel/initrd
+		// arrive at acquisition time with the payload.
+		w.kernel, w.initrd = w.boot.Kernel, w.boot.Initrd
+	}
 	return nil
+}
+
+// setAirlocks resizes the attestation airlock semaphore. In-flight
+// attestations finish against the semaphore they acquired.
+func (e *Enclave) setAirlocks(n int) {
+	if n < 1 {
+		n = DefaultAirlocks
+	}
+	e.airlockMu.Lock()
+	if cap(e.airlockC) != n {
+		e.airlockC = make(chan struct{}, n)
+	}
+	e.airlockMu.Unlock()
+}
+
+// acquireAirlock takes one attestation airlock slot, honouring ctx.
+// The returned func releases the slot.
+func (e *Enclave) acquireAirlock(ctx context.Context) (release func(), err error) {
+	e.airlockMu.Lock()
+	c := e.airlockC
+	e.airlockMu.Unlock()
+	select {
+	case c <- struct{}{}:
+		return func() { <-c }, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("core: %w", ctx.Err())
+	}
 }
 
 // attestNode is phase (3): quote over the boot PCRs against the
 // provider-published whitelist; on success the verifier releases the
-// sealed payload, whose kernel/initrd/keys become authoritative.
+// sealed payload, whose kernel/initrd/keys become authoritative. The
+// quote pipeline is bounded by the enclave's airlock slots (§7.3: the
+// prototype had one; PoolPolicy.Airlocks configures N).
 func (e *Enclave) attestNode(ctx context.Context, w *nodeWork) error {
-	c := e.cloud
 	if err := e.lc.to(w.name, StateAttesting, "verifier="+e.verifierPort); err != nil {
 		return err
 	}
+	release, err := e.acquireAirlock(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return e.deliverPayload(ctx, w, "verifier="+e.verifierPort)
+}
+
+// requoteWarm is the fast-path counterpart of attestNode for a node
+// taken from the warm pool: the runtime is already booted, measured
+// and pre-attested, so only the fresh-nonce quote and the tenant
+// payload delivery remain. The node stays in StateWarm until the
+// provision phase moves it on.
+func (e *Enclave) requoteWarm(ctx context.Context, w *nodeWork) error {
+	release, err := e.acquireAirlock(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return e.deliverPayload(ctx, w, "verifier="+e.verifierPort+" warm-requote")
+}
+
+// deliverPayload runs the tenant side of attestation: build the sealed
+// payload, provision the verifier, and attest the node so the payload
+// is released to its agent. Callers hold an airlock slot.
+func (e *Enclave) deliverPayload(ctx context.Context, w *nodeWork, detail string) error {
+	c := e.cloud
 	if e.Profile.EncryptDisk {
 		w.diskKey = randKey(luks.MasterKeySize)
 	}
@@ -288,7 +365,7 @@ func (e *Enclave) attestNode(ctx context.Context, w *nodeWork) error {
 	// never what came over the unauthenticated image path. The tenant
 	// keeps its own copy of the payload contents it authored — the
 	// disk key in w.diskKey is the one the node just received.
-	e.journal.record(EvAttested, w.name, "verifier="+e.verifierPort)
+	e.journal.record(EvAttested, w.name, detail)
 	return nil
 }
 
@@ -472,12 +549,16 @@ func (e *Enclave) Send(from, to string, payload []byte) ([]byte, error) {
 // export and data volume destroyed, its HIL switch port detached — and
 // parked in the provider's rejected project for forensics. It must
 // never transit the free pool, where a concurrent batch could claim the
-// compromised hardware. Only a full member (StateAllocated) can be
-// quarantined: nodes still in flight are handled by the provisioner's
-// own rejection path.
+// compromised hardware. A full member (StateAllocated) or a parked
+// standby (StateWarm) can be quarantined: nodes still in flight are
+// handled by the provisioner's own rejection path.
 func (e *Enclave) QuarantineNode(name, reason string) error {
-	if st := e.lc.state(name); st != StateAllocated {
-		return fmt.Errorf("%w: node %q is %s, not %s", ErrConflict, name, st, StateAllocated)
+	switch st := e.lc.state(name); st {
+	case StateWarm:
+		return e.quarantineWarm(name, reason)
+	case StateAllocated:
+	default:
+		return fmt.Errorf("%w: node %q is %s, not %s or %s", ErrConflict, name, st, StateAllocated, StateWarm)
 	}
 	e.mu.Lock()
 	n, ok := e.nodes[name]
@@ -605,8 +686,11 @@ func (e *Enclave) ReleaseNode(name, saveAs string) error {
 	return e.lc.to(name, StateFree, "")
 }
 
-// Destroy releases every node and deletes the enclave's project.
+// Destroy releases every node and deletes the enclave's project. The
+// warm pool goes first: its refiller must stop allocating and its
+// standbys must return to the free pool before the project can go.
 func (e *Enclave) Destroy() error {
+	e.ClosePool()
 	for _, n := range e.Nodes() {
 		if err := e.ReleaseNode(n.Name, ""); err != nil {
 			return err

@@ -16,6 +16,7 @@ const (
 	EvBooting     EventKind = "booting"     // powered on, firmware runtime coming up
 	EvAttesting   EventKind = "attesting"   // registered, quote in flight
 	EvAttested    EventKind = "attested"    // passed boot attestation
+	EvWarm        EventKind = "warm"        // parked as a pre-attested standby in the warm pool
 	EvRejected    EventKind = "rejected"    // failed a lifecycle phase -> rejected pool
 	EvJoined      EventKind = "joined"      // member of the tenant enclave
 	EvProvisioned EventKind = "provisioned" // remote volume + disk stack ready

@@ -29,6 +29,11 @@ const (
 	StateBooting NodeState = "booting"
 	// StateAttesting: quote in flight; the verifier decides.
 	StateAttesting NodeState = "attesting"
+	// StateWarm: pre-booted into the attested runtime and parked as a
+	// standby in the enclave's warm pool; an acquisition takes it
+	// through the kexec fast path (re-quote, network move, kexec)
+	// without paying the PXE/boot/attest chain again.
+	StateWarm NodeState = "warm"
 	// StateProvisioned: out of the airlock, remote volume exported and
 	// the disk/network encryption stack assembled.
 	StateProvisioned NodeState = "provisioned"
@@ -50,8 +55,9 @@ const (
 var lifecycleTransitions = map[NodeState][]NodeState{
 	StateFree:        {StateAirlocked},
 	StateAirlocked:   {StateBooting, StateRejected, StateFree},
-	StateBooting:     {StateAttesting, StateProvisioned, StateRejected, StateFree},
-	StateAttesting:   {StateProvisioned, StateRejected, StateFree},
+	StateBooting:     {StateAttesting, StateProvisioned, StateWarm, StateRejected, StateFree},
+	StateAttesting:   {StateProvisioned, StateWarm, StateRejected, StateFree},
+	StateWarm:        {StateProvisioned, StateRejected, StateQuarantined, StateFree},
 	StateProvisioned: {StateAllocated, StateRejected, StateFree},
 	StateAllocated:   {StateFree, StateQuarantined},
 	StateRejected:    {StateFree}, // operator repaired the node
@@ -63,6 +69,7 @@ var stateEvent = map[NodeState]EventKind{
 	StateAirlocked:   EvAirlocked,
 	StateBooting:     EvBooting,
 	StateAttesting:   EvAttesting,
+	StateWarm:        EvWarm,
 	StateProvisioned: EvProvisioned,
 	StateAllocated:   EvJoined,
 	StateRejected:    EvRejected,

@@ -254,6 +254,74 @@ func (m *Manager) StartAcquire(enclave, image string, n int) (*Operation, error)
 	return op, nil
 }
 
+// ConfigurePool creates (or reconfigures) an enclave's warm pool and
+// returns its stats. created reports whether this call attached a new
+// pool rather than updating an existing one's policy.
+func (m *Manager) ConfigurePool(enclave string, p PoolPolicy) (PoolStats, bool, error) {
+	e, err := m.Enclave(enclave)
+	if err != nil {
+		return PoolStats{}, false, err
+	}
+	_, had := e.PoolStats()
+	if err := e.ConfigurePool(p); err != nil {
+		return PoolStats{}, false, err
+	}
+	st, _ := e.PoolStats()
+	return st, !had, nil
+}
+
+// PoolStats returns an enclave's warm-pool stats (ErrNotFound when the
+// enclave is unknown or has no pool).
+func (m *Manager) PoolStats(enclave string) (PoolStats, error) {
+	e, err := m.Enclave(enclave)
+	if err != nil {
+		return PoolStats{}, err
+	}
+	st, ok := e.PoolStats()
+	if !ok {
+		return PoolStats{}, fmt.Errorf("%w: enclave %q has no warm pool", ErrNotFound, enclave)
+	}
+	return st, nil
+}
+
+// ListPools returns the stats of every configured warm pool, sorted by
+// enclave name.
+func (m *Manager) ListPools() []PoolStats {
+	var out []PoolStats
+	for _, name := range m.ListEnclaves() {
+		e, err := m.Enclave(name)
+		if err != nil {
+			continue
+		}
+		if st, ok := e.PoolStats(); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// DrainPool empties an enclave's warm pool back into the provider's
+// free pool and idles the refiller (Target drops to 0).
+func (m *Manager) DrainPool(enclave string) (PoolStats, error) {
+	e, err := m.Enclave(enclave)
+	if err != nil {
+		return PoolStats{}, err
+	}
+	return e.DrainPool()
+}
+
+// DetachPool stops and removes an enclave's warm pool entirely; its
+// standbys return to the free pool. It reports whether a pool existed.
+func (m *Manager) DetachPool(enclave string) (bool, error) {
+	e, err := m.Enclave(enclave)
+	if err != nil {
+		return false, err
+	}
+	_, had := e.PoolStats()
+	e.ClosePool()
+	return had, nil
+}
+
 // Operation returns a tracked operation by ID.
 func (m *Manager) Operation(id string) (*Operation, error) {
 	m.mu.Lock()

@@ -55,13 +55,16 @@ type BatchResult struct {
 }
 
 // AcquireNodes provisions n nodes concurrently through the Figure-1
-// life cycle: airlock, boot, attest (profile permitting), provision.
-// All n nodes are reserved up front — if the free pool cannot supply
-// the batch, nothing is touched and an error is returned. After that,
-// per-node failures do not abort the batch: the failing node moves to
-// the rejected pool and appears in BatchResult.Failed while its
-// siblings continue. Cancelling ctx stops the pipeline at the next
-// phase boundary and returns unfinished nodes to the free pool; nodes
+// life cycle. Warm standbys go first: nodes parked in the enclave's
+// warm pool take the kexec fast path (re-quote, network move, kexec —
+// no PXE/boot/agent chain), and only the remainder is reserved cold
+// from the free pool. All remaining nodes are reserved up front — if
+// the free pool cannot supply them, nothing is touched (warm standbys
+// return to the pool) and an error is returned. After that, per-node
+// failures do not abort the batch: the failing node moves to the
+// rejected pool and appears in BatchResult.Failed while its siblings
+// continue. Cancelling ctx stops the pipeline at the next phase
+// boundary and returns unfinished nodes to the free pool; nodes
 // already allocated stay allocated and are returned alongside ctx's
 // error.
 func (e *Enclave) AcquireNodes(ctx context.Context, image string, n int) (*BatchResult, error) {
@@ -78,37 +81,59 @@ func (e *Enclave) AcquireNodes(ctx context.Context, image string, n int) (*Batch
 		return nil, err
 	}
 
-	// Reserve the whole batch first (cheap serialized HIL map updates;
+	// Drain the warm pool first; cold reservation covers the shortfall.
+	var warm []*warmNode
+	pool := e.warmPool()
+	if pool != nil {
+		warm = pool.take(n)
+	}
+
+	// Reserve the cold remainder (cheap serialized HIL map updates;
 	// concurrent AllocateAnyNode calls would race each other for the
-	// same free node). Failing here leaves no trace.
-	names := make([]string, 0, n)
-	for i := 0; i < n; i++ {
+	// same free node). Failing here leaves no trace: cold reservations
+	// roll back and warm standbys return to the pool.
+	names := make([]string, 0, n-len(warm))
+	for i := 0; i < n-len(warm); i++ {
 		name, err := c.HIL.AllocateAnyNode(ctx, e.Project)
 		if err != nil {
 			for _, got := range names {
 				_ = c.HIL.FreeNode(context.Background(), e.Project, got)
 				e.journal.record(EvReleased, got, "batch reservation rolled back")
 			}
-			return nil, fmt.Errorf("core: reserved %d of %d nodes: %w", len(names), n, err)
+			if pool != nil {
+				pool.putBack(warm, n-len(warm))
+			}
+			return nil, fmt.Errorf("core: reserved %d of %d nodes (%d warm): %w", len(names)+len(warm), n, len(warm), err)
 		}
 		e.journal.record(EvAllocated, name, "image="+image)
 		names = append(names, name)
 	}
 
+	type batchJob struct {
+		name string
+		warm *warmNode // non-nil: kexec fast path
+	}
 	res := &BatchResult{}
 	var mu sync.Mutex // guards res
 	workers := DefaultBatchParallelism
 	if workers > n {
 		workers = n
 	}
-	jobs := make(chan string)
+	jobs := make(chan batchJob)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for name := range jobs {
-				node, spans, fail := e.provisionOne(ctx, name, bootInfo)
+			for job := range jobs {
+				var node *Node
+				var spans []phaseSpan
+				var fail *provisionFailure
+				if job.warm != nil {
+					node, spans, fail = e.provisionWarmOne(ctx, job.warm, bootInfo)
+				} else {
+					node, spans, fail = e.provisionOne(ctx, job.name, bootInfo)
+				}
 				mu.Lock()
 				for _, sp := range spans {
 					res.Timings.observe(sp.phase, sp.d)
@@ -125,8 +150,11 @@ func (e *Enclave) AcquireNodes(ctx context.Context, image string, n int) (*Batch
 			}
 		}()
 	}
+	for _, wn := range warm {
+		jobs <- batchJob{name: wn.name, warm: wn}
+	}
 	for _, name := range names {
-		jobs <- name
+		jobs <- batchJob{name: name}
 	}
 	close(jobs)
 	wg.Wait()
@@ -205,6 +233,105 @@ func (e *Enclave) provisionOne(ctx context.Context, name string, boot *bmi.BootI
 		e.abortNode(name, err)
 	} else {
 		e.rejectNode(name, phase, err)
+	}
+	return nil, spans, fail
+}
+
+// provisionWarmOne is the kexec fast path: the node arrives pre-booted
+// in the attested runtime (airlock, PXE chain, agent registration and
+// the provider-whitelist pre-attest already paid by the refiller), so
+// the acquisition charges only the fresh-nonce re-quote with the
+// tenant's payload, the network move, and the kexec — the warm-path
+// phases of the timing model.
+func (e *Enclave) provisionWarmOne(ctx context.Context, wn *warmNode, boot *bmi.BootInfo) (*Node, []phaseSpan, *provisionFailure) {
+	w := &nodeWork{name: wn.name, boot: boot, agent: wn.agent, machine: wn.machine}
+	w.kernel, w.initrd = boot.Kernel, boot.Initrd
+	var spans []phaseSpan
+	run := func(phase string, fn func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		err := fn()
+		spans = append(spans, phaseSpan{phase, time.Since(t0)})
+		return err
+	}
+
+	var err error
+	banned := false    // revocation raced the fast path (checked at both gates)
+	delivered := false // sealed payload (and any enclave PSK) released to the node
+	checkBan := func() error {
+		if reason, ok := e.bannedReason(wn.name); ok {
+			banned = true
+			return fmt.Errorf("core: standby revoked mid-acquisition: %s", reason)
+		}
+		return nil
+	}
+	phase := PhaseWarmRequote
+	// First gate: a revocation that raced the fast path (the guard
+	// found the standby already taken) banned the node instead of
+	// tearing it down. Honour it before the re-quote would hand the
+	// node the sealed payload.
+	if err = checkBan(); err != nil {
+		// Never admit; routed to the rejected pool below.
+	} else if e.Profile.Attest {
+		err = run(PhaseWarmRequote, func() error { return e.requoteWarm(ctx, w) })
+		delivered = err == nil
+	} else {
+		// No attestation: nothing to re-quote; the fast path is just
+		// the provision phase below.
+		err = ctx.Err()
+	}
+	if err == nil {
+		phase = PhaseWarmProvision
+		err = run(PhaseWarmProvision, func() error {
+			if err := e.provisionNode(ctx, w); err != nil {
+				return err
+			}
+			// Last gate before membership: the ban may have landed
+			// while the payload was in flight.
+			if err := checkBan(); err != nil {
+				return err
+			}
+			return e.admitNode(w)
+		})
+	}
+	if err == nil {
+		// The last gate ran before admitNode; a ban landing during
+		// admission pairs with quarantineWarm's state check: if the
+		// ban was recorded before this read, we see it here and undo
+		// the admission; if after, quarantineWarm sees StateAllocated
+		// and runs the member quarantine itself. Either side wins.
+		if reason, late := e.bannedReason(wn.name); late {
+			err = fmt.Errorf("core: standby revoked mid-acquisition: %s", reason)
+			_ = e.QuarantineNode(wn.name, reason)
+			if e.Profile.EncryptNetwork {
+				_ = e.RotateNetKey()
+			}
+			return nil, spans, &provisionFailure{NodeFailure: NodeFailure{Node: wn.name, Phase: PhaseWarmProvision, Err: err}}
+		}
+		return w.node, spans, nil
+	}
+
+	fail := &provisionFailure{NodeFailure: NodeFailure{Node: wn.name, Phase: phase, Err: err}}
+	// Same routing as the cold path: only the caller's own cancellation
+	// returns the (healthy) node to the free pool — unless the node was
+	// banned mid-flight, in which case it is never healthy and must not
+	// transit the free pool. Any genuine failure quarantines it.
+	if _, lateBan := e.bannedReason(wn.name); lateBan {
+		banned = true // the ban landed after the last gate ran
+	}
+	if ctxErr := ctx.Err(); !banned && ctxErr != nil && errors.Is(err, ctxErr) {
+		fail.aborted = true
+		e.abortNode(wn.name, err)
+	} else {
+		e.rejectNode(wn.name, phase, err)
+	}
+	if banned && delivered && e.Profile.EncryptNetwork {
+		// The sealed payload already carried the enclave PSK to a node
+		// now known to be compromised: retire that key on every
+		// surviving member, exactly like a member quarantine would.
+		_ = e.RotateNetKey()
 	}
 	return nil, spans, fail
 }

@@ -50,9 +50,16 @@ const (
 	// phaseAttest covers agent registration, TPM quote, verifier checks
 	// and the encrypted kernel/initrd delivery.
 	phaseAttest = 45 * time.Second
-	// airlockSerial is the portion of attestation serialized by the
-	// prototype's single airlock (§7.3 concurrency limitation).
+	// airlockSerial is the portion of attestation serialized by an
+	// airlock (§7.3 concurrency limitation: the prototype had exactly
+	// one; ProvisionConfig.Airlocks — fed from PoolPolicy.Airlocks via
+	// WithPool — sets how many run in parallel).
 	airlockSerial = 12 * time.Second
+	// phaseWarmRequote is the warm fast path's attestation cost: the
+	// agent is already registered and the runtime pre-attested, so only
+	// a fresh-nonce quote, its verification and the tenant payload
+	// release remain. Compare phaseAttest (45 s) for the cold chain.
+	phaseWarmRequote = 5 * time.Second
 	// phaseKernelFetch replaces attestation for security-insensitive
 	// tenants: plain download of kernel+initrd.
 	phaseKernelFetch = 15 * time.Second
@@ -87,8 +94,17 @@ type ProvisionConfig struct {
 	Foreman     bool // baseline provisioner (ignores Security)
 	Concurrency int  // nodes provisioned in parallel (Figure 5)
 	// Airlocks is the number of parallel attestation airlocks
-	// (prototype limitation: 1; the ablation bench raises it).
+	// (prototype limitation: 1; the ablation bench raises it). Use
+	// WithPool so the model and the real provisioner share one source
+	// of truth.
 	Airlocks int
+	// WarmPool is how many of the batch's nodes are served from a warm
+	// pool of pre-attested standbys: those nodes charge only the
+	// re-quote, the HIL move and the kexec, while the remainder runs
+	// the full cold chain — mirroring AcquireNodes, which drains the
+	// pool first and falls back cold. (Ignored under Foreman, whose
+	// stateful install cannot park standbys.)
+	WarmPool int
 
 	// Infrastructure sizing (defaults: the paper's pool).
 	OSDs           int
@@ -111,13 +127,30 @@ func DefaultProvisionConfig() ProvisionConfig {
 // Canonical life-cycle phase names, the vocabulary shared by the real
 // provisioner (Enclave.AcquireNodes reports BatchTimings keyed by these)
 // and the discrete-event simulation (every simulated Phase carries one
-// as its Group), so measured and simulated breakdowns line up.
+// as its Group), so measured and simulated breakdowns line up. The
+// warm-path phases charge only what a pre-attested standby still owes:
+// re-quote, HIL move, kexec.
 const (
 	PhaseAirlock   = "airlock"   // HIL reservation + airlock wiring
 	PhaseBoot      = "boot"      // power-on, firmware, agent registration
 	PhaseAttest    = "attest"    // quote, verification, payload release
 	PhaseProvision = "provision" // network move, volume, crypto, kexec
+
+	PhaseWarmRefill    = "warm-refill"    // background standby boot (refiller failures report it)
+	PhaseWarmRequote   = "warm-requote"   // fresh-nonce quote + tenant payload release
+	PhaseWarmProvision = "warm-provision" // HIL move, volume, crypto, kexec off a standby
 )
+
+// WithPool applies the warm-pool configuration to the timing model:
+// the airlock count and warm-path eligibility both come from the same
+// PoolPolicy the real provisioner runs under, so simulated and
+// measured pipelines agree by construction.
+func (cfg ProvisionConfig) WithPool(p PoolPolicy) ProvisionConfig {
+	p = p.withDefaults()
+	cfg.Airlocks = p.Airlocks
+	cfg.WarmPool = p.Target
+	return cfg
+}
 
 // Phase is one step of a provisioning timeline. Group is the canonical
 // phase (PhaseAirlock, PhaseBoot, PhaseAttest, PhaseProvision) the step
@@ -267,6 +300,34 @@ func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
 				phases = append(phases, Phase{"copy image to local disk", PhaseProvision, p.Now() - start})
 				step("POST again (reboot)", PhaseBoot, firmware.UEFIPOSTTime)
 				step("local boot", PhaseProvision, foremanLocalBoot)
+			} else if i < cfg.WarmPool {
+				// Warm fast path — this node is one of the standbys the
+				// pool can supply (nodes beyond WarmPool run the cold
+				// chain below, like AcquireNodes' fallback). It sat
+				// parked in the attested Heads runtime, so the
+				// POST/PXE/iPXE/agent chain was paid by the background
+				// refiller, not this acquisition. Only the re-quote
+				// (serialized through an airlock slot), the HIL move
+				// and the kexec remain.
+				if cfg.Security >= SecAttested {
+					start := p.Now()
+					p.Acquire(airlock)
+					p.Sleep(phaseWarmRequote)
+					airlock.Release()
+					phases = append(phases, Phase{"warm re-quote + payload release", PhaseWarmRequote, p.Now() - start})
+				} else {
+					step("fetch tenant kernel", PhaseWarmProvision, phaseKernelFetch)
+				}
+				step("move to tenant network (HIL)", PhaseWarmProvision, phaseHILMove)
+				if cfg.Security == SecFull {
+					step("LUKS unlock + IPsec tunnel", PhaseWarmProvision, phaseCryptoSetup)
+				}
+				step("kexec + kernel init", PhaseWarmProvision, phaseKexecBoot)
+				slow := 1.0
+				if cfg.Security == SecFull {
+					slow = fullIOSlowdown
+				}
+				stepIO("boot I/O (network storage)", PhaseWarmProvision, bootIOBytes, slow)
 			} else {
 				if cfg.Firmware == FirmwareUEFI {
 					step("POST (UEFI)", PhaseBoot, firmware.UEFIPOSTTime)

@@ -375,15 +375,40 @@ func (g *Guard) respond(batch []keylime.RevocationEvent) {
 		}
 		g.mu.Unlock()
 
-		// Only a full member is quarantined. A node still in the
+		// Only a full member or a parked warm standby is quarantined
+		// (a revoked standby must never be handed to a tenant, and
+		// must not re-enter the pool). A node still in the
 		// provisioning pipeline (Attesting, Provisioned) fails its
 		// phase and is routed to the rejected pool by the provisioner;
 		// the guard stepping in would double-tear-down a node that was
 		// never admitted.
-		if st := g.enclave.NodeState(ev.UUID); st != core.StateAllocated {
+		st := g.enclave.NodeState(ev.UUID)
+		if st != core.StateAllocated && st != core.StateWarm {
 			inc.Step("skip-quarantine",
-				fmt.Sprintf("node is %q, not %q; the provisioning pipeline owns it", st, core.StateAllocated))
+				fmt.Sprintf("node is %q, not %q or %q; the provisioning pipeline owns it", st, core.StateAllocated, core.StateWarm))
 			inc.Close(core.IncidentResolved, "no enclave membership to revoke")
+			continue
+		}
+		if st == core.StateWarm {
+			// A parked standby never held the enclave PSK or any
+			// tenant payload, so there is nothing to rekey and no
+			// member to replace: quarantine out of the pool and
+			// resolve (the pool's own refiller boots a fresh standby).
+			// A standby already taken by a batch is banned instead —
+			// the fast path rejects it, rotating the PSK itself if the
+			// payload got through — and the incident records which of
+			// the two actually happened.
+			if err := g.enclave.QuarantineNode(ev.UUID, ev.Reason); err != nil {
+				inc.Step("skip-quarantine", "standby already left the pool: "+err.Error())
+				inc.Close(core.IncidentResolved, "no warm standby to revoke")
+				continue
+			}
+			if g.enclave.NodeState(ev.UUID) == core.StateQuarantined {
+				inc.Step("quarantine", "warm standby pulled from the pool, parked in rejected pool")
+			} else {
+				inc.Step("quarantine", "standby taken mid-acquisition; banned — the fast path rejects it before it can join")
+			}
+			inc.Close(core.IncidentResolved, "standby quarantined; refiller replaces it")
 			continue
 		}
 		if err := g.enclave.QuarantineNode(ev.UUID, ev.Reason); err != nil {

@@ -456,3 +456,66 @@ func TestGuardUnreachableMemberRevoked(t *testing.T) {
 		t.Fatalf("incident reason %q does not mention %q", st.Reason, want)
 	}
 }
+
+// TestGuardQuarantinesWarmStandby: a revoked node that is parked in
+// the enclave's warm pool is pulled out and quarantined — never handed
+// to a tenant, never back into the pool — without the member-grade
+// response (no rekey, no self-heal; the pool's refiller replaces it).
+func TestGuardQuarantinesWarmStandby(t *testing.T) {
+	_, mgr := newRig(t, 4)
+	e, _ := newCharlie(t, mgr, "c", 1)
+	pol := core.DefaultPoolPolicy()
+	pol.Target = 1
+	pol.RetryBackoff = 5 * time.Millisecond
+	if _, _, err := mgr.ConfigurePool("c", pol); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatal("timed out waiting for " + what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor("warm standby", func() bool {
+		st, ok := e.PoolStats()
+		return ok && st.Warm == 1
+	})
+	if _, err := Enable(mgr, "c", Policy{
+		Interval:       10 * time.Millisecond,
+		CoalesceWindow: 5 * time.Millisecond,
+		SelfHeal:       true,
+		Image:          testImage,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, _ := e.PoolStats()
+	victim := st.WarmNodes[0]
+	e.Verifier().Revoke(victim, "standby firmware implant")
+
+	incs := waitIncidents(t, mgr, "c", 1)
+	inc := incs[len(incs)-1].Status()
+	if inc.Node != victim || inc.State != core.IncidentResolved {
+		t.Fatalf("incident = %+v", inc)
+	}
+	if !hasStep(inc, "quarantine") {
+		t.Fatalf("incident has no quarantine step: %+v", inc.Steps)
+	}
+	if got := e.NodeState(victim); got != core.StateQuarantined {
+		t.Fatalf("standby state = %s, want %s", got, core.StateQuarantined)
+	}
+	j := e.Journal()
+	if n := j.Count(core.EvRekeyed); n != 0 {
+		t.Fatalf("standby quarantine rotated the PSK %d times; standbys hold no key material", n)
+	}
+	// The refiller replaces the standby from the remaining free nodes;
+	// the quarantined node never re-enters.
+	waitFor("replacement standby", func() bool {
+		st, _ := e.PoolStats()
+		return st.Warm == 1 && st.WarmNodes[0] != victim
+	})
+}

@@ -280,6 +280,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
+	// Drain the (ignored, small) body so the keep-alive connection
+	// goes back to the pool instead of being torn down.
+	_, _ = io.Copy(io.Discard, resp.Body)
 	return nil
 }
 

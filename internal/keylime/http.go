@@ -268,6 +268,9 @@ func (ra *RemoteAgent) post(path string, body interface{}) error {
 		msg, _ := io.ReadAll(resp.Body)
 		return fmt.Errorf("keylime: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
 	}
+	// Drain the (ignored, small) body so the keep-alive connection
+	// goes back to the pool instead of being torn down.
+	_, _ = io.Copy(io.Discard, resp.Body)
 	return nil
 }
 
@@ -389,6 +392,7 @@ func (rc *RegistrarClient) post(path string, body interface{}, out interface{}) 
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
+	_, _ = io.Copy(io.Discard, resp.Body) // keep the connection reusable
 	return nil
 }
 

@@ -186,17 +186,27 @@ func (v *Verifier) AttestBoot(ctx context.Context, uuid string) error {
 }
 
 func (v *Verifier) attestBoot(ctx context.Context, uuid string, m *monitored) error {
-	aik, err := v.registrar.AIK(uuid)
+	return QuoteAgainstWhitelist(ctx, v.registrar, m.cfg.Agent, v.port, m.cfg.PlatformPCRs)
+}
+
+// QuoteAgainstWhitelist runs one fresh-nonce quote over the whitelisted
+// PCRs and verifies it end to end: registrar-certified AIK, signature,
+// and every quoted value against its allowed set. It is the attestation
+// primitive shared by the verifier's boot attestation and the warm
+// pool's pre-attest (which checks a standby against the provider
+// whitelist without provisioning any tenant payload).
+func QuoteAgainstWhitelist(ctx context.Context, reg RegistrarConn, agent AgentConn, verifierPort string, whitelist map[int][]tpm.Digest) error {
+	aik, err := reg.AIK(agent.UUID())
 	if err != nil {
 		return fmt.Errorf("keylime: no certified AIK: %w", err)
 	}
 	var sel []int
-	for pcr := range m.cfg.PlatformPCRs {
+	for pcr := range whitelist {
 		sel = append(sel, pcr)
 	}
 	sort.Ints(sel)
 	n := nonce()
-	q, err := m.cfg.Agent.Quote(n, sel, v.port)
+	q, err := agent.Quote(n, sel, verifierPort)
 	if err != nil {
 		return err
 	}
@@ -209,7 +219,7 @@ func (v *Verifier) attestBoot(ctx context.Context, uuid string, m *monitored) er
 		return err
 	}
 	for i, pcr := range q.PCRSel {
-		allowed := m.cfg.PlatformPCRs[pcr]
+		allowed := whitelist[pcr]
 		ok := false
 		for _, d := range allowed {
 			if q.PCRValues[i] == d {

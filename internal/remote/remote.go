@@ -239,6 +239,9 @@ func (d *nodeDriver) do(ctx context.Context, method, path string, body, out inte
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
+	// Drain the (ignored, small) body so the keep-alive connection
+	// goes back to the pool instead of being torn down.
+	_, _ = io.Copy(io.Discard, resp.Body)
 	return nil
 }
 
@@ -248,7 +251,9 @@ func (d *nodeDriver) Boot(ctx context.Context, node string) (keylime.AgentConn, 
 	if err := d.do(ctx, "POST", "/nodes/"+url.PathEscape(node)+"/boot", struct{}{}, nil); err != nil {
 		return nil, err
 	}
-	return keylime.NewRemoteAgent(node, d.base+prefixPlane+"/nodes/"+url.PathEscape(node)+"/agent"), nil
+	agent := keylime.NewRemoteAgent(node, d.base+prefixPlane+"/nodes/"+url.PathEscape(node)+"/agent")
+	agent.HTTP = sharedHTTPClient // keep agent round trips on the pooled transport
+	return agent, nil
 }
 
 // ExpectedBootPCRs implements core.NodeDriver.
@@ -335,10 +340,19 @@ func Dial(serverURL string) (*core.Cloud, error) {
 		Firmware:    core.FirmwareKind(info.Firmware),
 		PlatformGen: info.PlatformGen,
 	}
+	// All four service clients ride the shared pooled transport: a
+	// concurrent batch multiplexes its request storm over a few
+	// kept-alive connections instead of dialing per request.
+	hilCli := hil.NewClient(base)
+	hilCli.HTTP = sharedHTTPClient
+	bmiCli := bmi.NewClient(base + prefixBMI)
+	bmiCli.HTTP = sharedHTTPClient
+	regCli := keylime.NewRegistrarClient(base + prefixRegistrar)
+	regCli.HTTP = sharedHTTPClient
 	return core.NewRemoteCloud(cfg, core.RemoteServices{
-		HIL:       hil.NewClient(base),
-		BMI:       bmi.NewClient(base + prefixBMI),
-		Registrar: keylime.NewRegistrarClient(base + prefixRegistrar),
-		Driver:    &nodeDriver{base: base, http: http.DefaultClient},
+		HIL:       hilCli,
+		BMI:       bmiCli,
+		Registrar: regCli,
+		Driver:    &nodeDriver{base: base, http: sharedHTTPClient},
 	})
 }

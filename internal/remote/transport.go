@@ -1,0 +1,35 @@
+package remote
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Every client in this package — the HIL/BMI/registrar wire clients a
+// Dialed Cloud is built from, the node-plane driver, the per-node
+// remote agents, and the /v1 control-plane client — shares this one
+// pooled transport. The enclave pipeline issues hundreds of small
+// requests per batch (HIL wiring, block I/O frames, agent round
+// trips), all to the same boltedd host; http.DefaultTransport keeps
+// only two idle connections per host, so a concurrent batch would
+// churn through a new TCP connection per request beyond that. One
+// shared pool with generous per-host keep-alives removes that churn —
+// TestTransportConnectionReuse pins the behaviour.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   30 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   64,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: time.Second,
+}
+
+// sharedHTTPClient is the package-wide client over sharedTransport. No
+// global timeout: the surface includes long-lived streams and long
+// polls; bounded calls pass a request context instead.
+var sharedHTTPClient = &http.Client{Transport: sharedTransport}

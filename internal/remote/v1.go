@@ -141,6 +141,16 @@ func revocationInfo(ev keylime.RevocationEvent) RevocationInfo {
 	return RevocationInfo{Node: ev.UUID, Reason: ev.Reason, At: ev.At}
 }
 
+// PoolPolicyInfo is the wire form of a warm-pool policy. Zero fields
+// take server-side defaults. core.PoolPolicy already carries its wire
+// tags, so the wire form IS the policy.
+type PoolPolicyInfo = core.PoolPolicy
+
+// PoolInfo is the wire form of an enclave's warm pool: its policy plus
+// live occupancy and hit/miss counters. Like the policy, core.PoolStats
+// carries its own wire tags, so the wire form IS the stats.
+type PoolInfo = core.PoolStats
+
 // NodeFailureInfo is the wire form of a per-node batch failure.
 type NodeFailureInfo struct {
 	Node  string `json:"node"`
@@ -484,6 +494,74 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 				return
 			}
 		}
+	})
+
+	// --- warm-pool surface ---
+
+	// PUT /pools/{enclave} creates the enclave's warm pool or updates
+	// an existing one's policy. Body: PoolPolicyInfo; zero fields take
+	// defaults. 201 on create, 200 on update.
+	mux.HandleFunc("PUT /pools/{enclave}", func(w http.ResponseWriter, r *http.Request) {
+		var req PoolPolicyInfo
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV1Error(w, fmt.Errorf("%w: %v", errInvalid, err))
+			return
+		}
+		st, created, err := mgr.ConfigurePool(r.PathValue("enclave"), req)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		writeV1JSON(w, status, st)
+	})
+
+	mux.HandleFunc("GET /pools", func(w http.ResponseWriter, r *http.Request) {
+		out := []PoolInfo{} // empty list is [], never null, on the wire
+		out = append(out, mgr.ListPools()...)
+		writeV1JSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /pools/{enclave}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := mgr.PoolStats(r.PathValue("enclave"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, st)
+	})
+
+	// Custom verb: POST /pools/{enclave}:drain releases every parked
+	// standby back to the free pool and idles the refiller.
+	mux.HandleFunc("POST /pools/{enclaveverb}", func(w http.ResponseWriter, r *http.Request) {
+		enclave, verb, ok := strings.Cut(r.PathValue("enclaveverb"), ":")
+		if !ok || verb != "drain" {
+			writeV1Error(w, fmt.Errorf("%w: unknown pool verb %q", errInvalid, verb))
+			return
+		}
+		st, err := mgr.DrainPool(enclave)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /pools/{enclave}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("enclave")
+		had, err := mgr.DetachPool(name)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		if !had {
+			writeV1Error(w, fmt.Errorf("%w: enclave %q has no warm pool", core.ErrNotFound, name))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 
 	// --- runtime attestation guard + incident response surface ---

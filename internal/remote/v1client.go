@@ -27,9 +27,10 @@ type V1Client struct {
 }
 
 // NewV1Client returns a control-plane client for a boltedd base URL
-// (the /v1 prefix is implied).
+// (the /v1 prefix is implied). It shares the package's pooled
+// transport, so polling loops and event streams reuse connections.
 func NewV1Client(serverURL string) *V1Client {
-	return &V1Client{base: trimBase(serverURL) + prefixV1, http: http.DefaultClient}
+	return &V1Client{base: trimBase(serverURL) + prefixV1, http: sharedHTTPClient}
 }
 
 func trimBase(u string) string {
@@ -102,6 +103,7 @@ func (c *V1Client) do(ctx context.Context, method, path string, body, out interf
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
+	_, _ = io.Copy(io.Discard, resp.Body) // keep the connection reusable
 	return nil
 }
 
@@ -243,6 +245,50 @@ func streamNDJSON[T any](ctx context.Context, c *V1Client, path string, fn func(
 		}
 	}
 	return sc.Err()
+}
+
+// ConfigurePool creates an enclave's warm pool or updates an existing
+// one's policy. Zero policy fields take server-side defaults.
+func (c *V1Client) ConfigurePool(ctx context.Context, enclave string, p PoolPolicyInfo) (*PoolInfo, error) {
+	var info PoolInfo
+	if err := c.do(ctx, "PUT", "/pools/"+url.PathEscape(enclave), p, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// ListPools returns every configured warm pool's stats.
+func (c *V1Client) ListPools(ctx context.Context) ([]*PoolInfo, error) {
+	var out []*PoolInfo
+	if err := c.do(ctx, "GET", "/pools", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetPool returns an enclave's warm-pool stats (core.ErrNotFound when
+// no pool is configured).
+func (c *V1Client) GetPool(ctx context.Context, enclave string) (*PoolInfo, error) {
+	var info PoolInfo
+	if err := c.do(ctx, "GET", "/pools/"+url.PathEscape(enclave), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DrainPool releases every parked standby back to the provider's free
+// pool and idles the refiller (the policy's Target drops to 0).
+func (c *V1Client) DrainPool(ctx context.Context, enclave string) (*PoolInfo, error) {
+	var info PoolInfo
+	if err := c.do(ctx, "POST", "/pools/"+url.PathEscape(enclave)+":drain", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DeletePool stops and removes an enclave's warm pool entirely.
+func (c *V1Client) DeletePool(ctx context.Context, enclave string) error {
+	return c.do(ctx, "DELETE", "/pools/"+url.PathEscape(enclave), nil, nil)
 }
 
 // EnableGuard enables the runtime attestation guard on an enclave (or
