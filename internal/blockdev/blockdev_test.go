@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"bolted/internal/ipsec"
 )
@@ -326,5 +327,167 @@ func TestQuickNBDEquivalence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// modelClock pairs a fake clock with a transport whose round trips
+// "take" a fixed latency plus size-proportional transfer time. Adaptive
+// read-ahead decisions become fully deterministic: no sleeps, no timer
+// resolution, no scheduler noise.
+type modelClock struct {
+	inner   Transport
+	t       time.Time
+	latency time.Duration
+	perKiB  time.Duration
+}
+
+func (m *modelClock) now() time.Time { return m.t }
+
+func (m *modelClock) RoundTrip(req []byte) ([]byte, error) {
+	resp, err := m.inner.RoundTrip(req)
+	bytes := len(req) + len(resp)
+	m.t = m.t.Add(m.latency + time.Duration(bytes/1024)*m.perKiB)
+	return resp, err
+}
+
+func newAdaptiveNBD(t *testing.T, size int64, latency, perKiB time.Duration) *Client {
+	t.Helper()
+	disk, err := NewRAMDisk(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := &modelClock{inner: loopback(NewTarget(disk)), latency: latency, perKiB: perKiB}
+	c, err := NewClient(mc, AdaptiveReadAhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.now = mc.now
+	return c
+}
+
+func sequentialRead(t *testing.T, c *Client, totalBytes int64) {
+	t.Helper()
+	const chunk = DefaultReadAhead
+	buf := make([]byte, chunk)
+	for off := int64(0); off+chunk <= totalBytes; off += chunk {
+		if err := c.ReadSectors(buf, off/SectorSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAdaptiveReadAheadConvergesUp models a high-latency storage link
+// (2 ms per round trip, ~1 GiB/s transfer): the fixed cost dominates
+// small windows, so every doubling improves throughput and the client
+// must converge to TunedReadAhead — the §7.2 tuning, discovered
+// automatically.
+func TestAdaptiveReadAheadConvergesUp(t *testing.T) {
+	c := newAdaptiveNBD(t, 64<<20, 2*time.Millisecond, time.Microsecond)
+	if got := c.ReadAheadBytes(); got != DefaultReadAhead {
+		t.Fatalf("initial window %d, want %d", got, DefaultReadAhead)
+	}
+	sequentialRead(t, c, 48<<20)
+	if got := c.ReadAheadBytes(); got != TunedReadAhead {
+		t.Fatalf("window converged to %d, want %d", got, TunedReadAhead)
+	}
+}
+
+// TestAdaptiveReadAheadStaysSmallOnFastLink models a near-zero-latency
+// link (1 µs per round trip): throughput is transfer-bound, doubling
+// buys <10%, so the window must settle back at DefaultReadAhead instead
+// of wasting 8 MiB per fill.
+func TestAdaptiveReadAheadStaysSmallOnFastLink(t *testing.T) {
+	c := newAdaptiveNBD(t, 64<<20, time.Microsecond, time.Microsecond)
+	sequentialRead(t, c, 48<<20)
+	if got := c.ReadAheadBytes(); got != DefaultReadAhead {
+		t.Fatalf("window grew to %d on a fast link, want %d", got, DefaultReadAhead)
+	}
+}
+
+// TestAdaptiveFixedWindowUnaffected pins that non-adaptive clients never
+// retune, whatever the link looks like.
+func TestAdaptiveFixedWindowUnaffected(t *testing.T) {
+	disk, _ := NewRAMDisk(8 << 20)
+	mc := &modelClock{inner: loopback(NewTarget(disk)), latency: 5 * time.Millisecond, perKiB: time.Microsecond}
+	c, err := NewClient(mc, DefaultReadAhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.now = mc.now
+	sequentialRead(t, c, 8<<20)
+	if got := c.ReadAheadBytes(); got != DefaultReadAhead {
+		t.Fatalf("fixed window changed to %d", got)
+	}
+}
+
+// TestVectorEquivalence checks that vectored I/O (native on RAMDisk and
+// Client, fallback elsewhere) moves exactly the same bytes as the
+// contiguous path, across uneven buffer splits.
+func TestVectorEquivalence(t *testing.T) {
+	split := func(b []byte, cuts ...int) [][]byte {
+		var out [][]byte
+		prev := 0
+		for _, c := range cuts {
+			out = append(out, b[prev:c])
+			prev = c
+		}
+		return append(out, b[prev:])
+	}
+	data := fill(8*SectorSize, 3)
+	devices := map[string]Device{}
+	rd, _ := NewRAMDisk(1 << 20)
+	devices["ramdisk"] = rd
+	nbd, _ := newNBD(t, 1<<20, loopback, DefaultReadAhead)
+	devices["nbd-client"] = nbd
+	base, _ := NewRAMDisk(1 << 20)
+	devices["overlay-fallback"] = NewOverlay(base)
+
+	for name, dev := range devices {
+		// Gather-write buffers with non-sector-aligned internal cuts.
+		w := split(data, 100, 1024, 1024+SectorSize)
+		if err := WriteVector(dev, w, 5); err != nil {
+			t.Fatalf("%s: WriteVector: %v", name, err)
+		}
+		flat := make([]byte, len(data))
+		if err := dev.ReadSectors(flat, 5); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(flat, data) {
+			t.Fatalf("%s: gather-write wrote wrong bytes", name)
+		}
+		// Scatter-read into uneven buffers.
+		got := make([]byte, len(data))
+		r := split(got, 7, 2048, 2048+3*SectorSize)
+		if err := ReadVector(dev, r, 5); err != nil {
+			t.Fatalf("%s: ReadVector: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: scatter-read returned wrong bytes", name)
+		}
+		// Misaligned totals are rejected.
+		if err := WriteVector(dev, [][]byte{data[:100]}, 0); err == nil {
+			t.Fatalf("%s: unaligned vector accepted", name)
+		}
+	}
+}
+
+// TestClientGatherWriteSingleRoundTrip pins the wire win: a three-part
+// gather write must cost exactly one round trip, same as a contiguous
+// write of equal size.
+func TestClientGatherWriteSingleRoundTrip(t *testing.T) {
+	c, disk := newNBD(t, 1<<20, loopback, 0)
+	parts := [][]byte{fill(300, 1), fill(3*SectorSize-400, 2), fill(100, 3)}
+	before := c.NetWrites()
+	if err := c.WriteVector(parts, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NetWrites() - before; got != 1 {
+		t.Fatalf("gather write took %d round trips, want 1", got)
+	}
+	want := bytes.Join(parts, nil)
+	got := make([]byte, len(want))
+	disk.ReadSectors(got, 9)
+	if !bytes.Equal(got, want) {
+		t.Fatal("gathered bytes landed wrong")
 	}
 }

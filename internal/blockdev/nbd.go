@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"bolted/internal/ipsec"
 )
@@ -187,6 +188,16 @@ type Client struct {
 	// Stats
 	netReads  int64 // wire read requests issued
 	netWrites int64
+
+	// Adaptive read-ahead state (§7.2 tuning, automated): the window
+	// hill-climbs from DefaultReadAhead toward TunedReadAhead while
+	// each doubling still improves observed fill throughput.
+	adaptive   bool
+	tuned      bool    // converged; window no longer changes
+	curTP      float64 // EWMA throughput at the current window size
+	prevTP     float64 // settled throughput at the previous window size
+	winSamples int     // full-window fills measured at the current size
+	now        func() time.Time
 }
 
 // DefaultReadAhead is the Linux default read-ahead (128 KiB).
@@ -195,6 +206,20 @@ const DefaultReadAhead = 128 << 10
 // TunedReadAhead is the paper's tuned value (8 MiB), chosen because the
 // Ceph backend serves 4 MiB objects.
 const TunedReadAhead = 8 << 20
+
+// AdaptiveReadAhead, passed as NewClient's readAheadBytes, enables
+// self-tuning: the client starts at DefaultReadAhead and doubles the
+// window while throughput keeps improving, converging to TunedReadAhead
+// on high-latency links and staying small when round trips are cheap.
+const AdaptiveReadAhead int64 = -1
+
+// Adaptive tuning parameters: a window size must beat the previous one
+// by adaptGrowFactor over adaptSamples full-window fills to keep
+// growing; otherwise the client steps back down and settles.
+const (
+	adaptSamples    = 2
+	adaptGrowFactor = 1.10
+)
 
 // NewClientContext is NewClient with the size-negotiation round trip
 // (the "dial") bounded by ctx. The context does NOT outlive the call:
@@ -211,8 +236,12 @@ func NewClientContext(ctx context.Context, transport Transport, readAheadBytes i
 
 // NewClient connects to a target through transport and negotiates the
 // device size. readAheadBytes must be a multiple of SectorSize (0
-// disables read-ahead).
+// disables read-ahead) or AdaptiveReadAhead for self-tuning.
 func NewClient(transport Transport, readAheadBytes int64) (*Client, error) {
+	adaptive := readAheadBytes == AdaptiveReadAhead
+	if adaptive {
+		readAheadBytes = DefaultReadAhead
+	}
 	if readAheadBytes < 0 || readAheadBytes%SectorSize != 0 {
 		return nil, fmt.Errorf("blockdev: read-ahead %d not a multiple of %d", readAheadBytes, SectorSize)
 	}
@@ -229,7 +258,17 @@ func NewClient(transport Transport, readAheadBytes int64) (*Client, error) {
 		transport: transport,
 		sectors:   int64(binary.BigEndian.Uint64(resp[1:])),
 		readAhead: readAheadBytes / SectorSize,
+		adaptive:  adaptive,
+		now:       time.Now,
 	}, nil
+}
+
+// ReadAheadBytes reports the current read-ahead window size in bytes
+// (it changes over time in adaptive mode).
+func (c *Client) ReadAheadBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readAhead * SectorSize
 }
 
 // NumSectors implements Device.
@@ -287,7 +326,9 @@ func (c *Client) fillLocked(cur, want int64) error {
 	req[0] = opRead
 	binary.BigEndian.PutUint64(req[1:9], uint64(cur))
 	binary.BigEndian.PutUint32(req[9:13], uint32(n))
+	t0 := c.now()
 	resp, err := c.transport.RoundTrip(req)
+	elapsed := c.now().Sub(t0)
 	c.netReads++
 	if err != nil {
 		return err
@@ -297,16 +338,73 @@ func (c *Client) fillLocked(cur, want int64) error {
 	}
 	c.raStart = cur
 	c.raData = resp[1:]
+	// Only full-window fills are representative samples: partial fills
+	// at the device end or oversized explicit reads would skew the
+	// throughput estimate.
+	if c.adaptive && !c.tuned && n == c.readAhead {
+		c.adaptLocked(n*SectorSize, elapsed)
+	}
 	return nil
+}
+
+// adaptLocked records one observed full-window fill and retunes the
+// window: keep doubling while throughput improves by adaptGrowFactor,
+// otherwise step back down and settle. On a high-latency link the fixed
+// round-trip cost dominates small windows, so doubling keeps winning
+// until TunedReadAhead; on a cheap link throughput is copy-bound and
+// flat, so the window settles immediately.
+func (c *Client) adaptLocked(bytes int64, elapsed time.Duration) {
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	tp := float64(bytes) / elapsed.Seconds()
+	if c.curTP == 0 {
+		c.curTP = tp
+	} else {
+		c.curTP = (c.curTP + tp) / 2
+	}
+	c.winSamples++
+	if c.winSamples < adaptSamples {
+		return
+	}
+	if c.prevTP == 0 || c.curTP > c.prevTP*adaptGrowFactor {
+		if c.readAhead*SectorSize >= TunedReadAhead {
+			c.readAhead = TunedReadAhead / SectorSize
+			c.tuned = true
+			return
+		}
+		c.prevTP = c.curTP
+		c.readAhead *= 2
+		c.curTP, c.winSamples = 0, 0
+		return
+	}
+	// The last doubling bought < 10%: it isn't worth the extra memory
+	// and latency, go back one step and stop tuning.
+	if c.readAhead > DefaultReadAhead/SectorSize {
+		c.readAhead /= 2
+	}
+	c.tuned = true
 }
 
 // WriteSectors implements Device. Writes invalidate any overlapping
 // read-ahead window.
 func (c *Client) WriteSectors(src []byte, start int64) error {
-	sectors, err := checkRange(c, src, start)
+	if len(src) == 0 || len(src)%SectorSize != 0 {
+		return fmt.Errorf("blockdev: buffer length %d not a positive multiple of %d", len(src), SectorSize)
+	}
+	return c.WriteVector([][]byte{src}, start)
+}
+
+// WriteVector implements VectorDevice: the scatter-gather list is
+// gathered directly into a single wire frame, so a multi-part payload
+// (e.g. data plus padding) costs one copy and one round trip instead of
+// a staging buffer plus a round trip per part.
+func (c *Client) WriteVector(bufs [][]byte, start int64) error {
+	total, err := checkVectorRange(c, bufs, start)
 	if err != nil {
 		return err
 	}
+	sectors := total / SectorSize
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.raData != nil {
@@ -315,11 +413,14 @@ func (c *Client) WriteSectors(src []byte, start int64) error {
 			c.raData = nil
 		}
 	}
-	req := make([]byte, 13+len(src))
+	req := make([]byte, 13+total)
 	req[0] = opWrite
 	binary.BigEndian.PutUint64(req[1:9], uint64(start))
 	binary.BigEndian.PutUint32(req[9:13], uint32(sectors))
-	copy(req[13:], src)
+	off := 13
+	for _, b := range bufs {
+		off += copy(req[off:], b)
+	}
 	resp, err := c.transport.RoundTrip(req)
 	c.netWrites++
 	if err != nil {
@@ -327,6 +428,37 @@ func (c *Client) WriteSectors(src []byte, start int64) error {
 	}
 	if len(resp) < 1 || resp[0] != respOK {
 		return fmt.Errorf("blockdev: remote write failed: %s", string(resp[1:]))
+	}
+	return nil
+}
+
+// ReadVector implements VectorDevice: the sector run is served through
+// the read-ahead window and scattered straight into the caller's
+// buffers, with no contiguous staging allocation.
+func (c *Client) ReadVector(bufs [][]byte, start int64) error {
+	if _, err := checkVectorRange(c, bufs, start); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byteOff := start * SectorSize
+	for _, b := range bufs {
+		for len(b) > 0 {
+			if c.raData != nil && byteOff >= c.raStart*SectorSize &&
+				byteOff < c.raStart*SectorSize+int64(len(c.raData)) {
+				n := copy(b, c.raData[byteOff-c.raStart*SectorSize:])
+				b = b[n:]
+				byteOff += int64(n)
+				continue
+			}
+			// Fetch the window containing byteOff, sized to cover the
+			// rest of this buffer.
+			cur := byteOff / SectorSize
+			want := (byteOff%SectorSize + int64(len(b)) + SectorSize - 1) / SectorSize
+			if err := c.fillLocked(cur, want); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -58,14 +58,19 @@ func alignUp(n int64) int64 {
 }
 
 // writePadded writes data at a byte offset (must be sector aligned),
-// padding the tail to a sector boundary.
+// padding the tail to a sector boundary. The payload and its padding go
+// down as a gather vector, so devices with a native scatter-gather path
+// (network clients, Ceph images) never see a full-size staging copy of
+// the kernel or root filesystem.
 func writePadded(dev blockdev.Device, off int64, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
-	padded := make([]byte, alignUp(int64(len(data))))
-	copy(padded, data)
-	return dev.WriteSectors(padded, off/blockdev.SectorSize)
+	bufs := [][]byte{data}
+	if pad := alignUp(int64(len(data))) - int64(len(data)); pad > 0 {
+		bufs = append(bufs, make([]byte, pad))
+	}
+	return blockdev.WriteVector(dev, bufs, off/blockdev.SectorSize)
 }
 
 // CreateOSImage builds a bootable OS image from spec. The image is
@@ -143,16 +148,23 @@ func readManifest(dev blockdev.Device) (*manifest, error) {
 	return &m, nil
 }
 
-// readExtent reads a byte extent from sector-aligned storage.
+// readExtent reads a byte extent from sector-aligned storage. The
+// payload and the tail padding scatter into separate buffers, so the
+// returned slice is exactly length bytes with no over-allocation
+// pinned behind it.
 func readExtent(dev blockdev.Device, off, length int64) ([]byte, error) {
 	if length == 0 {
 		return nil, nil
 	}
-	buf := make([]byte, alignUp(length))
-	if err := dev.ReadSectors(buf, off/blockdev.SectorSize); err != nil {
+	buf := make([]byte, length)
+	bufs := [][]byte{buf}
+	if pad := alignUp(length) - length; pad > 0 {
+		bufs = append(bufs, make([]byte, pad))
+	}
+	if err := blockdev.ReadVector(dev, bufs, off/blockdev.SectorSize); err != nil {
 		return nil, err
 	}
-	return buf[:length], nil
+	return buf, nil
 }
 
 // ExtractBootInfo reads the kernel, initrd and command line out of an

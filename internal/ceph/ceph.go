@@ -111,18 +111,25 @@ func (c *Cluster) SetOSDDown(id int, down bool) error {
 	return nil
 }
 
-// Put stores an object on all its live replicas. It fails only when
-// every replica placement is down.
+// Put stores an object on all its live replicas, defensively copying
+// data so the caller may keep reusing its buffer. Hot paths that build
+// a fresh slice per object should use PutOwned and skip the copy.
 func (c *Cluster) Put(name string, data []byte) error {
+	return c.PutOwned(name, append([]byte(nil), data...))
+}
+
+// PutOwned stores data on all live replicas without copying: ownership
+// of the slice transfers to the cluster and the caller must not modify
+// it afterwards. It fails only when every replica placement is down.
+func (c *Cluster) PutOwned(name string, data []byte) error {
 	if len(data) > ObjectSize {
 		return fmt.Errorf("ceph: object %q size %d exceeds %d", name, len(data), ObjectSize)
 	}
-	cp := append([]byte(nil), data...)
 	stored := 0
 	for _, o := range c.placement(name) {
 		o.mu.Lock()
 		if !o.down {
-			o.objects[name] = cp
+			o.objects[name] = data
 			stored++
 		}
 		o.mu.Unlock()
@@ -151,6 +158,51 @@ func (c *Cluster) Get(name string) ([]byte, bool) {
 		// write (degraded object, pending backfill): keep looking.
 	}
 	return nil, false
+}
+
+// ReadAt copies object bytes [off, off+len(dst)) into dst under the
+// replica's read lock, failing over like Get, and returns how many
+// bytes were copied (short when the object ends early). ok reports
+// whether the object exists on any live replica. Unlike Get it never
+// exposes the cluster's internal slice, so callers need no defensive
+// copy of their own — one copy total instead of two.
+func (c *Cluster) ReadAt(name string, dst []byte, off int64) (int, bool) {
+	for _, o := range c.placement(name) {
+		o.mu.RLock()
+		if o.down {
+			o.mu.RUnlock()
+			continue
+		}
+		d, ok := o.objects[name]
+		if !ok {
+			o.mu.RUnlock()
+			continue // degraded object, keep looking
+		}
+		n := 0
+		if off < int64(len(d)) {
+			n = copy(dst, d[off:])
+		}
+		o.mu.RUnlock()
+		return n, true
+	}
+	return 0, false
+}
+
+// ObjectLen reports the stored length of an object without copying it.
+func (c *Cluster) ObjectLen(name string) (int, bool) {
+	for _, o := range c.placement(name) {
+		o.mu.RLock()
+		if o.down {
+			o.mu.RUnlock()
+			continue
+		}
+		d, ok := o.objects[name]
+		o.mu.RUnlock()
+		if ok {
+			return len(d), true
+		}
+	}
+	return 0, false
 }
 
 // Delete removes an object from all replicas.
@@ -240,7 +292,7 @@ type ImageDevice struct {
 	sectors int64
 }
 
-var _ blockdev.Device = (*ImageDevice)(nil)
+var _ blockdev.VectorDevice = (*ImageDevice)(nil)
 
 // NewImageDevice opens a block view of size bytes over the objects named
 // prefix+".<n>".
@@ -263,30 +315,38 @@ func (d *ImageDevice) ReadSectors(dst []byte, start int64) error {
 	if len(dst) == 0 || len(dst)%blockdev.SectorSize != 0 {
 		return fmt.Errorf("ceph: buffer not sector aligned")
 	}
-	if start < 0 || start+int64(len(dst)/blockdev.SectorSize) > d.sectors {
+	return d.ReadVector([][]byte{dst}, start)
+}
+
+// ReadVector implements blockdev.VectorDevice: one pass over the object
+// stripe copies straight into the caller's buffers via Cluster.ReadAt —
+// no reference to internal object slices, no staging allocation.
+func (d *ImageDevice) ReadVector(bufs [][]byte, start int64) error {
+	total, err := blockdev.VectorLen(bufs)
+	if err != nil {
+		return err
+	}
+	if start < 0 || start+total/blockdev.SectorSize > d.sectors {
 		return blockdev.ErrOutOfRange
 	}
 	byteOff := start * blockdev.SectorSize
-	for filled := 0; filled < len(dst); {
-		objIdx := (byteOff + int64(filled)) / ObjectSize
-		inObj := (byteOff + int64(filled)) % ObjectSize
-		n := int64(len(dst) - filled)
-		if n > ObjectSize-inObj {
-			n = ObjectSize - inObj
-		}
-		obj, ok := d.c.Get(d.objName(objIdx))
-		out := dst[filled : filled+int(n)]
-		if !ok || int64(len(obj)) <= inObj {
-			for i := range out {
-				out[i] = 0
+	for _, b := range bufs {
+		for len(b) > 0 {
+			objIdx := byteOff / ObjectSize
+			inObj := byteOff % ObjectSize
+			n := int64(len(b))
+			if n > ObjectSize-inObj {
+				n = ObjectSize - inObj
 			}
-		} else {
-			copied := copy(out, obj[inObj:])
-			for i := copied; i < len(out); i++ {
-				out[i] = 0
+			seg := b[:n]
+			copied, _ := d.c.ReadAt(d.objName(objIdx), seg, inObj)
+			// Missing objects and short tails read as zeros.
+			for i := copied; i < len(seg); i++ {
+				seg[i] = 0
 			}
+			b = b[n:]
+			byteOff += n
 		}
-		filled += int(n)
 	}
 	return nil
 }
@@ -296,31 +356,54 @@ func (d *ImageDevice) WriteSectors(src []byte, start int64) error {
 	if len(src) == 0 || len(src)%blockdev.SectorSize != 0 {
 		return fmt.Errorf("ceph: buffer not sector aligned")
 	}
-	if start < 0 || start+int64(len(src)/blockdev.SectorSize) > d.sectors {
+	return d.WriteVector([][]byte{src}, start)
+}
+
+// WriteVector implements blockdev.VectorDevice. Each touched object is
+// rebuilt exactly once — preserved prefix/suffix copied in via ReadAt,
+// new bytes gathered from the caller's buffers — and handed to the
+// cluster with PutOwned. The previous path copied every object twice
+// (grow/clone, then Put's defensive copy).
+func (d *ImageDevice) WriteVector(bufs [][]byte, start int64) error {
+	total, err := blockdev.VectorLen(bufs)
+	if err != nil {
+		return err
+	}
+	if start < 0 || start+total/blockdev.SectorSize > d.sectors {
 		return blockdev.ErrOutOfRange
 	}
 	byteOff := start * blockdev.SectorSize
-	for done := 0; done < len(src); {
-		objIdx := (byteOff + int64(done)) / ObjectSize
-		inObj := (byteOff + int64(done)) % ObjectSize
-		n := int64(len(src) - done)
+	bi, bo := 0, 0 // gather cursor into bufs
+	for remaining := total; remaining > 0; {
+		objIdx := byteOff / ObjectSize
+		inObj := byteOff % ObjectSize
+		n := remaining
 		if n > ObjectSize-inObj {
 			n = ObjectSize - inObj
 		}
 		name := d.objName(objIdx)
-		obj, _ := d.c.Get(name)
-		if int64(len(obj)) < inObj+n {
-			grown := make([]byte, inObj+n)
-			copy(grown, obj)
-			obj = grown
-		} else {
-			obj = append([]byte(nil), obj...)
+		oldLen, _ := d.c.ObjectLen(name)
+		newLen := inObj + n
+		if int64(oldLen) > newLen {
+			newLen = int64(oldLen)
 		}
-		copy(obj[inObj:], src[done:done+int(n)])
-		if err := d.c.Put(name, obj); err != nil {
+		obj := make([]byte, newLen)
+		if oldLen > 0 && (inObj > 0 || n < int64(oldLen)) {
+			d.c.ReadAt(name, obj[:oldLen], 0)
+		}
+		for g := obj[inObj : inObj+n]; len(g) > 0; {
+			for bo == len(bufs[bi]) {
+				bi, bo = bi+1, 0
+			}
+			cnt := copy(g, bufs[bi][bo:])
+			g = g[cnt:]
+			bo += cnt
+		}
+		if err := d.c.PutOwned(name, obj); err != nil {
 			return err
 		}
-		done += int(n)
+		byteOff += n
+		remaining -= n
 	}
 	return nil
 }

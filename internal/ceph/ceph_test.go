@@ -288,3 +288,119 @@ func TestSimBackendContention(t *testing.T) {
 		t.Fatalf("16 readers (%v) not slower than 8 (%v): no contention modelled", sixteen, eight)
 	}
 }
+
+// TestPutCopiesButPutOwnedDoesNot pins the buffer-ownership contract:
+// Put must isolate the store from caller mutation, PutOwned must not
+// pay that copy (ownership transfers).
+func TestPutCopiesButPutOwnedDoesNot(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	buf := []byte("mutable caller buffer")
+	if err := c.Put("safe", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	got, _ := c.Get("safe")
+	if got[0] == 'X' {
+		t.Fatal("Put did not defensively copy")
+	}
+
+	owned := []byte("transferred buffer")
+	if err := c.PutOwned("owned", owned); err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := c.Get("owned")
+	if &stored[0] != &owned[0] {
+		t.Fatal("PutOwned copied despite ownership transfer")
+	}
+}
+
+// TestReadAt reads partial extents without exposing internal slices.
+func TestReadAt(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	obj := []byte("0123456789")
+	c.PutOwned("o", obj)
+	dst := make([]byte, 4)
+	if n, ok := c.ReadAt("o", dst, 3); !ok || n != 4 || string(dst) != "3456" {
+		t.Fatalf("ReadAt mid = %q n=%d ok=%v", dst, n, ok)
+	}
+	// Reading past the end is short, past-the-object is zero.
+	if n, ok := c.ReadAt("o", dst, 8); !ok || n != 2 {
+		t.Fatalf("ReadAt tail n=%d ok=%v", n, ok)
+	}
+	if n, ok := c.ReadAt("o", dst, 100); !ok || n != 0 {
+		t.Fatalf("ReadAt beyond n=%d ok=%v", n, ok)
+	}
+	if _, ok := c.ReadAt("missing", dst, 0); ok {
+		t.Fatal("ReadAt found a missing object")
+	}
+	if l, ok := c.ObjectLen("o"); !ok || l != len(obj) {
+		t.Fatalf("ObjectLen = %d ok=%v", l, ok)
+	}
+}
+
+// TestReadAtFailsOver mirrors the Get failover semantics.
+func TestReadAtFailsOver(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	c.PutOwned("o", []byte("replicated"))
+	primary := c.PrimaryOSD("o")
+	if err := c.SetOSDDown(primary, true); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 10)
+	if n, ok := c.ReadAt("o", dst, 0); !ok || string(dst[:n]) != "replicated" {
+		t.Fatalf("ReadAt did not fail over: %q ok=%v", dst[:n], ok)
+	}
+}
+
+// TestImageDeviceVectorEquivalence drives the native scatter-gather
+// paths across object boundaries and checks byte equivalence with the
+// contiguous path.
+func TestImageDeviceVectorEquivalence(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	// Small image spanning two objects.
+	size := int64(ObjectSize + ObjectSize/2)
+	d, err := NewImageDevice(c, "img", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straddle the object boundary with unevenly-split buffers.
+	span := 64 * blockdev.SectorSize
+	data := make([]byte, span)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	start := int64(ObjectSize/blockdev.SectorSize) - 32 // 32 sectors each side
+	parts := [][]byte{data[:1000], data[1000:5000], data[5000:]}
+	if err := d.WriteVector(parts, start); err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]byte, span)
+	if err := d.ReadSectors(flat, start); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flat, data) {
+		t.Fatal("vector write across object boundary lost bytes")
+	}
+	got := make([]byte, span)
+	back := [][]byte{got[:3], got[3:30000], got[30000:]}
+	if err := d.ReadVector(back, start); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("vector read across object boundary lost bytes")
+	}
+	// Partial overwrite in the middle of an existing object must
+	// preserve surrounding bytes (the rebuild-once path).
+	patch := bytes.Repeat([]byte{0xEE}, blockdev.SectorSize)
+	if err := d.WriteSectors(patch, start+5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadSectors(flat, start); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data...)
+	copy(want[5*blockdev.SectorSize:], patch)
+	if !bytes.Equal(flat, want) {
+		t.Fatal("partial overwrite corrupted surrounding bytes")
+	}
+}

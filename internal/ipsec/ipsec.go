@@ -86,6 +86,10 @@ type SA struct {
 	// ciphertext any one key protects (RFC 4301 lifetimes).
 	maxBytes, maxPkts   uint64
 	usedBytes, usedPkts uint64
+
+	// nonceBuf is scratch for the serial Seal/Open path, valid only
+	// while mu is held. Parallel stream workers carry their own.
+	nonceBuf [12]byte
 }
 
 // newSA derives a directional SA from a master key, SPI and direction
@@ -120,12 +124,20 @@ func newSA(suite Suite, masterKey []byte, spi uint32, dir string) (*SA, error) {
 	return sa, nil
 }
 
-// nonce builds the RFC 4106-style nonce: 4-byte salt || 8-byte sequence.
-func (sa *SA) nonce(seq uint64) []byte {
-	n := make([]byte, 12)
-	copy(n, sa.salt[:])
-	binary.BigEndian.PutUint64(n[4:], seq)
-	return n
+// nonceLocked builds the RFC 4106-style nonce (4-byte salt || 8-byte
+// sequence) into the SA's scratch buffer. The returned slice is valid
+// only while sa.mu is held.
+func (sa *SA) nonceLocked(seq uint64) []byte {
+	copy(sa.nonceBuf[:4], sa.salt[:])
+	binary.BigEndian.PutUint64(sa.nonceBuf[4:], seq)
+	return sa.nonceBuf[:]
+}
+
+// fillNonce writes the nonce for seq into caller-owned scratch, for
+// workers that must not share the SA's buffer.
+func (sa *SA) fillNonce(nonce *[12]byte, seq uint64) {
+	copy(nonce[:4], sa.salt[:])
+	binary.BigEndian.PutUint64(nonce[4:], seq)
 }
 
 // SetLifetime bounds the SA to maxBytes of payload and maxPkts packets
@@ -138,30 +150,42 @@ func (sa *SA) SetLifetime(maxBytes, maxPkts uint64) {
 
 // Seal encapsulates a payload: SPI(4) || seq(8) || ciphertext+tag.
 func (sa *SA) Seal(payload []byte) ([]byte, error) {
+	return sa.SealAppend(make([]byte, 0, 12+len(payload)+TagOverhead), payload)
+}
+
+// SealAppend is Seal appending the packet to dst and returning the
+// extended slice, so callers holding a reusable buffer pay no per-packet
+// allocation. The nonce comes from the SA's scratch under the lock.
+func (sa *SA) SealAppend(dst, payload []byte) ([]byte, error) {
 	sa.mu.Lock()
+	defer sa.mu.Unlock()
 	if sa.revoked {
-		sa.mu.Unlock()
 		return nil, ErrRevoked
 	}
 	if (sa.maxBytes > 0 && sa.usedBytes+uint64(len(payload)) > sa.maxBytes) ||
 		(sa.maxPkts > 0 && sa.usedPkts+1 > sa.maxPkts) {
-		sa.mu.Unlock()
 		return nil, ErrExpired
 	}
 	sa.usedBytes += uint64(len(payload))
 	sa.usedPkts++
 	sa.seq++
 	seq := sa.seq
-	sa.mu.Unlock()
 
-	hdr := make([]byte, 12, 12+len(payload)+TagOverhead)
+	base := len(dst)
+	var hdr [12]byte
 	binary.BigEndian.PutUint32(hdr[:4], sa.spi)
 	binary.BigEndian.PutUint64(hdr[4:], seq)
-	return sa.aead.Seal(hdr, sa.nonce(seq), payload, hdr[:12]), nil
+	dst = append(dst, hdr[:]...)
+	return sa.aead.Seal(dst, sa.nonceLocked(seq), payload, dst[base:base+12]), nil
 }
 
 // Open authenticates and decapsulates a packet, enforcing anti-replay.
 func (sa *SA) Open(pkt []byte) ([]byte, error) {
+	return sa.OpenAppend(nil, pkt)
+}
+
+// OpenAppend is Open appending the recovered payload to dst.
+func (sa *SA) OpenAppend(dst, pkt []byte) ([]byte, error) {
 	if len(pkt) < 12+TagOverhead {
 		return nil, errors.New("ipsec: packet too short")
 	}
@@ -172,25 +196,94 @@ func (sa *SA) Open(pkt []byte) ([]byte, error) {
 	seq := binary.BigEndian.Uint64(pkt[4:12])
 
 	sa.mu.Lock()
+	defer sa.mu.Unlock()
 	if sa.revoked {
-		sa.mu.Unlock()
 		return nil, ErrRevoked
 	}
 	if err := sa.checkReplayLocked(seq); err != nil {
-		sa.mu.Unlock()
 		return nil, err
 	}
-	sa.mu.Unlock()
-
-	payload, err := sa.aead.Open(nil, sa.nonce(seq), pkt[12:], pkt[:12])
+	payload, err := sa.aead.Open(dst, sa.nonceLocked(seq), pkt[12:], pkt[:12])
 	if err != nil {
 		return nil, ErrAuth
 	}
-
-	sa.mu.Lock()
 	sa.markSeenLocked(seq)
-	sa.mu.Unlock()
 	return payload, nil
+}
+
+// reserveSeq reserves n consecutive outbound sequence numbers under a
+// single lock acquisition, accounting totalBytes of payload against the
+// SA lifetime, and returns the first reserved number. The parallel
+// stream path uses it so sequence assignment stays strictly in stream
+// order while the AEAD work fans out.
+func (sa *SA) reserveSeq(n int, totalBytes int) (uint64, error) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.revoked {
+		return 0, ErrRevoked
+	}
+	if (sa.maxBytes > 0 && sa.usedBytes+uint64(totalBytes) > sa.maxBytes) ||
+		(sa.maxPkts > 0 && sa.usedPkts+uint64(n) > sa.maxPkts) {
+		return 0, ErrExpired
+	}
+	sa.usedBytes += uint64(totalBytes)
+	sa.usedPkts += uint64(n)
+	first := sa.seq + 1
+	sa.seq += uint64(n)
+	return first, nil
+}
+
+// sealPacketInto seals payload under an already-reserved sequence
+// number, appending to dst (typically a zero-length, exact-capacity
+// arena slot so nothing reallocates). nonce is caller-owned scratch;
+// workers share no mutable SA state, so this needs no lock.
+func (sa *SA) sealPacketInto(dst []byte, seq uint64, payload []byte, nonce *[12]byte) []byte {
+	base := len(dst)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[:4], sa.spi)
+	binary.BigEndian.PutUint64(hdr[4:], seq)
+	dst = append(dst, hdr[:]...)
+	sa.fillNonce(nonce, seq)
+	return sa.aead.Seal(dst, nonce[:], payload, dst[base:base+12])
+}
+
+// openPacketInto authenticates pkt and appends its payload to dst
+// without touching replay state; the caller must commit accepted
+// sequence numbers in packet order afterwards via commitReplay.
+func (sa *SA) openPacketInto(dst, pkt []byte, nonce *[12]byte) ([]byte, uint64, error) {
+	if len(pkt) < 12+TagOverhead {
+		return nil, 0, errors.New("ipsec: packet too short")
+	}
+	spi := binary.BigEndian.Uint32(pkt[:4])
+	if spi != sa.spi {
+		return nil, 0, fmt.Errorf("ipsec: SPI %d does not match SA %d", spi, sa.spi)
+	}
+	seq := binary.BigEndian.Uint64(pkt[4:12])
+	sa.fillNonce(nonce, seq)
+	payload, err := sa.aead.Open(dst, nonce[:], pkt[12:], pkt[:12])
+	if err != nil {
+		return nil, 0, ErrAuth
+	}
+	return payload, seq, nil
+}
+
+// commitReplay runs the anti-replay check-and-mark for a batch of
+// already-authenticated sequence numbers, in packet order, under one
+// lock acquisition. Committing in order keeps the window semantics
+// identical to opening the packets serially.
+func (sa *SA) commitReplay(seqs []uint64) error {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.revoked {
+		return ErrRevoked
+	}
+	for _, seq := range seqs {
+		if err := sa.checkReplayLocked(seq); err != nil {
+			return err
+		}
+		sa.markSeenLocked(seq)
+	}
+	return nil
 }
 
 func (sa *SA) checkReplayLocked(seq uint64) error {
@@ -244,6 +337,18 @@ func (sa *SA) Revoked() bool {
 type Endpoint struct {
 	Out *SA
 	In  *SA
+
+	// streamWorkers bounds SegmentStream/ReassembleStream parallelism
+	// (0 or 1 = serial). Set before streaming; not synchronized with
+	// in-flight calls.
+	streamWorkers int
+}
+
+// SetStreamWorkers sets how many goroutines SegmentStream and
+// ReassembleStream may fan packet sealing out across on this endpoint.
+// Values below 1 mean serial.
+func (e *Endpoint) SetStreamWorkers(n int) {
+	e.streamWorkers = n
 }
 
 // NewPair creates the two endpoints of a tunnel keyed by a pre-shared
@@ -311,38 +416,150 @@ func NewMasterKey() []byte {
 	return k
 }
 
+// streamParallelThreshold is the packet count below which the stream
+// helpers stay serial; on tiny streams the goroutine fan-out costs more
+// than the parallel AEAD work recovers.
+const streamParallelThreshold = 16
+
+// splitRange fans [0, n) across workers as contiguous index ranges and
+// calls fn(w, lo, hi) on one goroutine per worker.
+func splitRange(n, workers int, fn func(w, lo, hi int)) {
+	per, extra := n/workers, n%workers
+	var wg sync.WaitGroup
+	idx := 0
+	for w := 0; w < workers; w++ {
+		cnt := per
+		if w < extra {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		lo, hi := idx, idx+cnt
+		idx = hi
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // SegmentStream seals a byte stream as MTU-sized ESP packets, returning
 // the packets. This is the data path the Figure 3b iperf-style benchmark
 // measures.
+//
+// All sequence numbers are reserved up front in stream order, so even
+// when sealing fans out across the endpoint's stream workers, packet i
+// always carries sequence first+i — the wire ordering is identical to
+// the serial path. Packets are exact-capacity slices of one shared
+// arena: a 1 MiB stream costs one allocation, not one per packet.
 func SegmentStream(e *Endpoint, stream []byte, mtu int) ([][]byte, error) {
 	payloadPer := mtu - HeaderOverhead - TagOverhead - 40
 	if payloadPer < 1 {
 		return nil, fmt.Errorf("ipsec: MTU %d too small", mtu)
 	}
-	var pkts [][]byte
-	for off := 0; off < len(stream); off += payloadPer {
-		end := off + payloadPer
-		if end > len(stream) {
-			end = len(stream)
-		}
-		p, err := e.Send(stream[off:end])
-		if err != nil {
-			return nil, err
-		}
-		pkts = append(pkts, p)
+	if len(stream) == 0 {
+		return nil, nil
 	}
+	n := (len(stream) + payloadPer - 1) / payloadPer
+	first, err := e.Out.reserveSeq(n, len(stream))
+	if err != nil {
+		return nil, err
+	}
+
+	const pktOverhead = 12 + TagOverhead
+	arena := make([]byte, len(stream)+n*pktOverhead)
+	pkts := make([][]byte, n)
+	seal := func(i int, nonce *[12]byte) {
+		po := i * payloadPer
+		pe := po + payloadPer
+		if pe > len(stream) {
+			pe = len(stream)
+		}
+		ao := i * (payloadPer + pktOverhead)
+		size := pe - po + pktOverhead
+		slot := arena[ao : ao : ao+size]
+		pkts[i] = e.Out.sealPacketInto(slot, first+uint64(i), stream[po:pe], nonce)
+	}
+
+	workers := e.streamWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < streamParallelThreshold {
+		var nonce [12]byte
+		for i := 0; i < n; i++ {
+			seal(i, &nonce)
+		}
+		return pkts, nil
+	}
+	splitRange(n, workers, func(_, lo, hi int) {
+		var nonce [12]byte
+		for i := lo; i < hi; i++ {
+			seal(i, &nonce)
+		}
+	})
 	return pkts, nil
 }
 
 // ReassembleStream opens a packet sequence back into the byte stream.
+//
+// With stream workers configured, packets authenticate in parallel and
+// the replay window is committed afterwards in packet order, so the
+// accept/reject outcome matches opening the packets serially (the whole
+// stream is discarded on any error either way). Payloads decrypt
+// directly into slots of the returned buffer — no per-packet copy.
 func ReassembleStream(e *Endpoint, pkts [][]byte) ([]byte, error) {
-	var out []byte
-	for _, p := range pkts {
-		pl, err := e.Recv(p)
+	if len(pkts) == 0 {
+		return nil, nil
+	}
+	offs := make([]int, len(pkts)+1)
+	for i, p := range pkts {
+		if len(p) < 12+TagOverhead {
+			return nil, errors.New("ipsec: packet too short")
+		}
+		offs[i+1] = offs[i] + len(p) - 12 - TagOverhead
+	}
+	arena := make([]byte, offs[len(pkts)])
+
+	workers := e.streamWorkers
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	if workers <= 1 || len(pkts) < streamParallelThreshold {
+		for i, p := range pkts {
+			if _, err := e.In.OpenAppend(arena[offs[i]:offs[i]:offs[i+1]], p); err != nil {
+				return nil, err
+			}
+		}
+		return arena, nil
+	}
+
+	if e.In.Revoked() {
+		return nil, ErrRevoked
+	}
+	seqs := make([]uint64, len(pkts))
+	errs := make([]error, workers)
+	splitRange(len(pkts), workers, func(w, lo, hi int) {
+		var nonce [12]byte
+		for i := lo; i < hi; i++ {
+			_, seq, err := e.In.openPacketInto(arena[offs[i]:offs[i]:offs[i+1]], pkts[i], &nonce)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			seqs[i] = seq
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pl...)
 	}
-	return out, nil
+	if err := e.In.commitReplay(seqs); err != nil {
+		return nil, err
+	}
+	return arena, nil
 }

@@ -41,9 +41,30 @@ var sbox = [256]byte{
 
 var invSbox [256]byte
 
+// Precomputed GF(2^8) multiplication tables. xtimeTab replaces the
+// branchy doubling in MixColumns; the mul* tables turn InvMixColumns
+// from a bit-serial multiply into four lookups per byte. Together they
+// are what lets the multi-block path approach memory speed on hosts
+// without AES-NI.
+var (
+	xtimeTab [256]byte
+	mul9Tab  [256]byte
+	mul11Tab [256]byte
+	mul13Tab [256]byte
+	mul14Tab [256]byte
+)
+
 func init() {
 	for i, v := range sbox {
 		invSbox[v] = byte(i)
+	}
+	for i := 0; i < 256; i++ {
+		b := byte(i)
+		xtimeTab[i] = xtime(b)
+		mul9Tab[i] = gmul(b, 0x09)
+		mul11Tab[i] = gmul(b, 0x0b)
+		mul13Tab[i] = gmul(b, 0x0d)
+		mul14Tab[i] = gmul(b, 0x0e)
 	}
 }
 
@@ -197,20 +218,20 @@ func (st *state) invShiftRows() {
 func (st *state) mixColumns() {
 	for c := 0; c < 4; c++ {
 		a0, a1, a2, a3 := st[0][c], st[1][c], st[2][c], st[3][c]
-		st[0][c] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
-		st[1][c] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
-		st[2][c] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
-		st[3][c] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+		st[0][c] = xtimeTab[a0] ^ (xtimeTab[a1] ^ a1) ^ a2 ^ a3
+		st[1][c] = a0 ^ xtimeTab[a1] ^ (xtimeTab[a2] ^ a2) ^ a3
+		st[2][c] = a0 ^ a1 ^ xtimeTab[a2] ^ (xtimeTab[a3] ^ a3)
+		st[3][c] = (xtimeTab[a0] ^ a0) ^ a1 ^ a2 ^ xtimeTab[a3]
 	}
 }
 
 func (st *state) invMixColumns() {
 	for c := 0; c < 4; c++ {
 		a0, a1, a2, a3 := st[0][c], st[1][c], st[2][c], st[3][c]
-		st[0][c] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
-		st[1][c] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
-		st[2][c] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
-		st[3][c] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+		st[0][c] = mul14Tab[a0] ^ mul11Tab[a1] ^ mul13Tab[a2] ^ mul9Tab[a3]
+		st[1][c] = mul9Tab[a0] ^ mul14Tab[a1] ^ mul11Tab[a2] ^ mul13Tab[a3]
+		st[2][c] = mul13Tab[a0] ^ mul9Tab[a1] ^ mul14Tab[a2] ^ mul11Tab[a3]
+		st[3][c] = mul11Tab[a0] ^ mul13Tab[a1] ^ mul9Tab[a2] ^ mul14Tab[a3]
 	}
 }
 
@@ -231,6 +252,98 @@ func (c *Cipher) Encrypt(dst, src []byte) {
 	st.shiftRows()
 	st.addRoundKey(&c.enc[c.rounds])
 	storeState(&st, dst)
+}
+
+// laneWidth is how many blocks the batched path processes per inner
+// iteration. Interleaving four states through each round amortizes the
+// round-key loads and loop control that dominate the one-block path.
+const laneWidth = 4
+
+// EncryptBlocks encrypts len(src)/16 contiguous blocks from src into
+// dst, four blocks per inner iteration. len(src) must be a positive
+// multiple of BlockSize and dst at least as long; dst may alias src.
+// This is the software-AES analogue of a hardware pipeline processing
+// independent blocks back to back (the XTS and CTR shapes, where no
+// block depends on another's output).
+func (c *Cipher) EncryptBlocks(dst, src []byte) {
+	if len(src) == 0 || len(src)%BlockSize != 0 || len(dst) < len(src) {
+		panic("softaes: EncryptBlocks buffer not a positive block multiple")
+	}
+	n := len(src)
+	off := 0
+	for ; off+laneWidth*BlockSize <= n; off += laneWidth * BlockSize {
+		c.encrypt4(dst[off:], src[off:])
+	}
+	for ; off < n; off += BlockSize {
+		c.Encrypt(dst[off:off+BlockSize], src[off:off+BlockSize])
+	}
+}
+
+// DecryptBlocks is the decrypting counterpart of EncryptBlocks.
+func (c *Cipher) DecryptBlocks(dst, src []byte) {
+	if len(src) == 0 || len(src)%BlockSize != 0 || len(dst) < len(src) {
+		panic("softaes: DecryptBlocks buffer not a positive block multiple")
+	}
+	n := len(src)
+	off := 0
+	for ; off+laneWidth*BlockSize <= n; off += laneWidth * BlockSize {
+		c.decrypt4(dst[off:], src[off:])
+	}
+	for ; off < n; off += BlockSize {
+		c.Decrypt(dst[off:off+BlockSize], src[off:off+BlockSize])
+	}
+}
+
+// encrypt4 encrypts four consecutive blocks, walking the key schedule
+// once for all four lanes.
+func (c *Cipher) encrypt4(dst, src []byte) {
+	var lanes [laneWidth]state
+	for l := 0; l < laneWidth; l++ {
+		lanes[l] = loadState(src[l*BlockSize:])
+		lanes[l].addRoundKey(&c.enc[0])
+	}
+	for r := 1; r < c.rounds; r++ {
+		rk := &c.enc[r]
+		for l := 0; l < laneWidth; l++ {
+			lanes[l].subBytes()
+			lanes[l].shiftRows()
+			lanes[l].mixColumns()
+			lanes[l].addRoundKey(rk)
+		}
+	}
+	last := &c.enc[c.rounds]
+	for l := 0; l < laneWidth; l++ {
+		lanes[l].subBytes()
+		lanes[l].shiftRows()
+		lanes[l].addRoundKey(last)
+		storeState(&lanes[l], dst[l*BlockSize:])
+	}
+}
+
+// decrypt4 decrypts four consecutive blocks, walking the key schedule
+// once for all four lanes.
+func (c *Cipher) decrypt4(dst, src []byte) {
+	var lanes [laneWidth]state
+	for l := 0; l < laneWidth; l++ {
+		lanes[l] = loadState(src[l*BlockSize:])
+		lanes[l].addRoundKey(&c.enc[c.rounds])
+	}
+	for r := c.rounds - 1; r >= 1; r-- {
+		rk := &c.enc[r]
+		for l := 0; l < laneWidth; l++ {
+			lanes[l].invShiftRows()
+			lanes[l].invSubBytes()
+			lanes[l].addRoundKey(rk)
+			lanes[l].invMixColumns()
+		}
+	}
+	first := &c.enc[0]
+	for l := 0; l < laneWidth; l++ {
+		lanes[l].invShiftRows()
+		lanes[l].invSubBytes()
+		lanes[l].addRoundKey(first)
+		storeState(&lanes[l], dst[l*BlockSize:])
+	}
 }
 
 // Decrypt decrypts one 16-byte block from src into dst.

@@ -151,6 +151,99 @@ func TestQuickInjective(t *testing.T) {
 	}
 }
 
+// TestBlocksMatchesStdlib pins the multi-block path against crypto/aes
+// for all three key sizes and block counts straddling the 4-wide lane
+// boundary (remainders exercise the single-block tail).
+func TestBlocksMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, ks := range []int{16, 24, 32} {
+		for _, blocks := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+			key := make([]byte, ks)
+			rng.Read(key)
+			src := make([]byte, blocks*BlockSize)
+			rng.Read(src)
+
+			soft, err := New(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hard, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, len(src))
+			for off := 0; off < len(src); off += BlockSize {
+				hard.Encrypt(want[off:off+BlockSize], src[off:off+BlockSize])
+			}
+			got := make([]byte, len(src))
+			soft.EncryptBlocks(got, src)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("AES-%d EncryptBlocks(%d blocks) diverges from crypto/aes", ks*8, blocks)
+			}
+			// In-place decrypt must restore the plaintext.
+			soft.DecryptBlocks(got, got)
+			if !bytes.Equal(got, src) {
+				t.Fatalf("AES-%d DecryptBlocks(%d blocks) round-trip mismatch", ks*8, blocks)
+			}
+		}
+	}
+}
+
+func TestBlocksValidation(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	for _, fn := range []func(dst, src []byte){c.EncryptBlocks, c.DecryptBlocks} {
+		for _, tc := range []struct{ dst, src int }{{16, 0}, {16, 24}, {16, 32}} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("dst=%d src=%d did not panic", tc.dst, tc.src)
+					}
+				}()
+				fn(make([]byte, tc.dst), make([]byte, tc.src))
+			}()
+		}
+	}
+}
+
+// FuzzBlocksMatchesStdlib is the differential fuzz harness: any
+// key/plaintext pair where the multi-block software path disagrees with
+// crypto/aes (AES-NI where available) is a bug in one of them — and
+// crypto/aes is FIPS-validated.
+func FuzzBlocksMatchesStdlib(f *testing.F) {
+	f.Add([]byte("0123456789abcdef"), []byte("one block of pt!"))
+	f.Add(bytes.Repeat([]byte{7}, 24), bytes.Repeat([]byte{9}, 5*BlockSize))
+	f.Add(bytes.Repeat([]byte{1}, 32), bytes.Repeat([]byte{2}, 8*BlockSize))
+	f.Fuzz(func(t *testing.T, key, data []byte) {
+		if len(key) != 16 && len(key) != 24 && len(key) != 32 {
+			return
+		}
+		if len(data) == 0 || len(data)%BlockSize != 0 || len(data) > 1<<16 {
+			return
+		}
+		soft, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hard, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, len(data))
+		for off := 0; off < len(data); off += BlockSize {
+			hard.Encrypt(want[off:off+BlockSize], data[off:off+BlockSize])
+		}
+		got := make([]byte, len(data))
+		soft.EncryptBlocks(got, data)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("EncryptBlocks diverges from crypto/aes (key %x)", key)
+		}
+		soft.DecryptBlocks(got, got)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("DecryptBlocks failed to invert (key %x)", key)
+		}
+	})
+}
+
 func TestShortBufferPanics(t *testing.T) {
 	c, _ := New(make([]byte, 16))
 	defer func() {
@@ -167,6 +260,15 @@ func BenchmarkSoftEncrypt(b *testing.B) {
 	b.SetBytes(16)
 	for i := 0; i < b.N; i++ {
 		c.Encrypt(buf, buf)
+	}
+}
+
+func BenchmarkSoftEncryptBlocks(b *testing.B) {
+	c, _ := New(make([]byte, 32))
+	buf := make([]byte, 64*BlockSize)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		c.EncryptBlocks(buf, buf)
 	}
 }
 
