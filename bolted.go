@@ -143,6 +143,26 @@ const DefaultAirlocks = core.DefaultAirlocks
 // flight at once.
 const DefaultBatchParallelism = core.DefaultBatchParallelism
 
+// TenantQuota is a tenant's scheduling contract: its weighted-fair
+// share of the attestation airlocks plus optional hard caps on total
+// nodes and in-flight acquires.
+type TenantQuota = core.TenantQuota
+
+// QuotaStatus pairs a tenant's quota with its live usage.
+type QuotaStatus = core.QuotaStatus
+
+// SchedStats is a snapshot of the cloud-wide airlock scheduler.
+type SchedStats = core.SchedStats
+
+// QuotaError is an admission-control rejection carrying a Retry-After
+// hint; errors.Is(err, ErrOverQuota) matches it.
+type QuotaError = core.QuotaError
+
+// ErrOverQuota marks acquisitions rejected by admission control
+// (per-tenant caps or cloud-wide queue backpressure). Over /v1 it maps
+// to HTTP 429 with a Retry-After header.
+var ErrOverQuota = core.ErrOverQuota
+
 // App is a macro-benchmark model (Figure 7).
 type App = workload.App
 
@@ -320,6 +340,24 @@ type PoolPolicyInfo = remote.PoolPolicyInfo
 // RevocationInfo is the wire form of one verifier revocation event
 // (the /v1 equivalent of keylime.Verifier.Subscribe).
 type RevocationInfo = remote.RevocationInfo
+
+// QuotaInfo is the control plane's wire form of a tenant quota with
+// usage (the /v1/quotas surface).
+type QuotaInfo = remote.QuotaInfo
+
+// TenantQuotaInfo is the wire form of a tenant quota.
+type TenantQuotaInfo = remote.TenantQuotaInfo
+
+// SchedInfo is the wire form of the scheduler snapshot (/v1/sched).
+type SchedInfo = remote.SchedInfo
+
+// ErrTransport marks /v1 responses that never came from boltedd's
+// typed error surface (proxy 502s, load-balancer HTML); TransportError
+// carries the raw evidence.
+var ErrTransport = remote.ErrTransport
+
+// TransportError is an ErrTransport with the raw HTTP status and body.
+type TransportError = remote.TransportError
 
 // NewServerHandler exposes an in-process cloud's complete service
 // plane (HIL, BMI, Keylime registrar, node plane) over HTTP — what

@@ -43,6 +43,11 @@
 //	pool list
 //	pool drain <enclave>
 //	pool delete <enclave>
+//	quota set <tenant>            (-weight, -max-nodes, -inflight)
+//	quota get <tenant>
+//	quota list
+//	quota delete <tenant>
+//	sched stats
 //	op list
 //	op get <id>
 //	op wait <id>
@@ -57,7 +62,9 @@
 // 2 usage error, 3 batch finished but some nodes failed (inspect
 // result.failed), 4 operation cancelled, 5 incident open or enclave
 // degraded (enclave get with open incidents; incident get while the
-// response is still running; incident wait ending degraded/unhandled).
+// response is still running; incident wait ending degraded/unhandled),
+// 6 acquire rejected by admission control (HTTP 429) after the
+// client's transparent retries were exhausted.
 package main
 
 import (
@@ -67,6 +74,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 
 	"bolted"
@@ -84,6 +92,7 @@ const (
 	exitPartial   = 3 // operation done, but some nodes were rejected
 	exitCancelled = 4 // operation cancelled before completion
 	exitIncident  = 5 // incident open, or incident ended degraded/unhandled
+	exitQuota     = 6 // acquire rejected by admission control (429), retries exhausted
 )
 
 var jsonOut bool
@@ -122,11 +131,17 @@ commands:
         -target occupancy, -airlocks attestation parallelism,
         -refill concurrent warm boots; re-run to update the policy)
   pool get <enclave> | list | drain <enclave> | delete <enclave>
+  quota set <tenant>         (weighted-fair share and admission caps:
+        -weight fair share, -max-nodes total node cap,
+        -inflight concurrent acquire cap; re-run to update)
+  quota get <tenant> | list | delete <tenant>
+  sched stats                (airlock scheduler snapshot: slots, queue,
+        grants, preemptions, per-tenant shares)
   op list | get <id> | wait <id> | cancel <id> | events <id>
   incident list [enclave] | get <id> | wait <id> | stream
 exit codes: 0 ok, 1 transport/API error, 2 usage,
             3 partial batch failure, 4 operation cancelled,
-            5 incident open / degraded`)
+            5 incident open / degraded, 6 over quota (429)`)
 	os.Exit(exitUsage)
 }
 
@@ -158,6 +173,9 @@ func main() {
 	poolTarget := flag.Int("target", 0, "pool set: warm standby occupancy to maintain")
 	poolAirlocks := flag.Int("airlocks", 0, "pool set: parallel attestation airlocks (0 = server default)")
 	poolRefill := flag.Int("refill", 0, "pool set: concurrent warm boots (0 = server default)")
+	quotaWeight := flag.Int("weight", 0, "quota set: weighted-fair share of the airlocks (0 = default weight 1)")
+	quotaMaxNodes := flag.Int("max-nodes", 0, "quota set: hard cap on the tenant's total nodes (0 = unlimited)")
+	quotaInflight := flag.Int("inflight", 0, "quota set: hard cap on concurrent acquires in flight (0 = unlimited)")
 	flag.BoolVar(&jsonOut, "json", false, "emit results as JSON")
 	flag.Parse()
 	args := flag.Args()
@@ -440,6 +458,73 @@ func main() {
 	case "pool delete":
 		need(3)
 		err = v1.DeletePool(ctx, args[2])
+	case "quota set":
+		need(3)
+		// Same merge semantics as `pool set`: PUT replaces the whole
+		// quota and 0 means "unlimited", so overlay only the flags the
+		// caller passed on top of the current quota.
+		var q bolted.TenantQuotaInfo
+		if cur, getErr := v1.GetQuota(ctx, args[2]); getErr == nil {
+			q = cur.Quota
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "weight":
+				q.Weight = *quotaWeight
+			case "max-nodes":
+				q.MaxNodes = *quotaMaxNodes
+			case "inflight":
+				q.MaxInFlight = *quotaInflight
+			}
+		})
+		var info *bolted.QuotaInfo
+		info, err = v1.SetQuota(ctx, args[2], q)
+		if err == nil {
+			emit(info, func() { printQuota(info) })
+		}
+	case "quota get":
+		need(3)
+		var info *bolted.QuotaInfo
+		info, err = v1.GetQuota(ctx, args[2])
+		if err == nil {
+			emit(info, func() { printQuota(info) })
+		}
+	case "quota list":
+		need(2)
+		var quotas []bolted.QuotaInfo
+		quotas, err = v1.ListQuotas(ctx)
+		if err == nil {
+			emit(quotas, func() {
+				for i := range quotas {
+					q := &quotas[i]
+					fmt.Printf("%s\tweight=%d max-nodes=%d inflight=%d\tnodes=%d in-flight=%d\n",
+						q.Tenant, q.Quota.Weight, q.Quota.MaxNodes, q.Quota.MaxInFlight, q.Nodes, q.InFlight)
+				}
+			})
+		}
+	case "quota delete":
+		need(3)
+		err = v1.DeleteQuota(ctx, args[2])
+	case "sched stats":
+		need(2)
+		var st *bolted.SchedInfo
+		st, err = v1.SchedStats(ctx)
+		if err == nil {
+			emit(st, func() {
+				fmt.Printf("airlock slots %d/%d in use, %d queued, %d grants, %d preemptions\n",
+					st.InUse, st.Slots, st.Queued, st.Grants, st.Preemptions)
+				tenants := make([]string, 0, len(st.Tenants))
+				for tenant := range st.Tenants {
+					tenants = append(tenants, tenant)
+				}
+				sort.Strings(tenants)
+				for _, tenant := range tenants {
+					ts := st.Tenants[tenant]
+					fmt.Printf("  %s\tweight=%g grants=%d queued=%d holding=%d waited=%s\n",
+						tenant, ts.Weight, ts.Grants, ts.Queued, ts.Holding, ts.Waited)
+				}
+			})
+		}
 	case "op list":
 		need(2)
 		var ops []*bolted.OperationInfo
@@ -542,6 +627,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "boltedctl:", err)
+		if errors.Is(err, core.ErrOverQuota) {
+			os.Exit(exitQuota)
+		}
 		os.Exit(exitError)
 	}
 }
@@ -553,6 +641,11 @@ func main() {
 func acquireV1(ctx context.Context, v1 *bolted.Client, enclave, profile, image string, n int, async bool) int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "boltedctl:", err)
+		if errors.Is(err, core.ErrOverQuota) {
+			// V1Client already retried with backoff; the quota is still
+			// exhausted, so give scripts a code they can branch on.
+			return exitQuota
+		}
 		return exitError
 	}
 	if _, err := v1.CreateEnclave(ctx, enclave, profile); err != nil {
@@ -672,6 +765,17 @@ func printPool(p *bolted.PoolInfo) {
 }
 
 // printIncident is the human rendering of an incident resource.
+func printQuota(q *bolted.QuotaInfo) {
+	fmt.Printf("quota %s: weight=%d", q.Tenant, q.Quota.Weight)
+	if q.Quota.MaxNodes > 0 {
+		fmt.Printf(" max-nodes=%d", q.Quota.MaxNodes)
+	}
+	if q.Quota.MaxInFlight > 0 {
+		fmt.Printf(" inflight=%d", q.Quota.MaxInFlight)
+	}
+	fmt.Printf(" (using %d nodes, %d acquires in flight)\n", q.Nodes, q.InFlight)
+}
+
 func printIncident(inc *bolted.IncidentInfo) {
 	fmt.Printf("incident %s: %s (enclave %s, node %s)\nreason: %s\n",
 		inc.ID, inc.State, inc.Enclave, inc.Node, inc.Reason)

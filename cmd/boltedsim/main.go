@@ -1,6 +1,10 @@
 // Command boltedsim regenerates the paper's evaluation (§7) as text
 // tables: one sub-report per figure. Run with -fig all (default) or a
-// specific figure: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch.
+// specific figure: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch, warm, sched.
+//
+// -fig sched also writes a machine-readable BENCH_sched.json (path
+// overridable with -out); with -check it exits non-zero when the
+// fairness or latency gates fail, which is how CI enforces them.
 package main
 
 import (
@@ -22,18 +26,26 @@ import (
 	"bolted/internal/workload"
 )
 
+// Flags consumed by the sched benchmark (see sched.go).
+var (
+	schedCheck    bool
+	schedBenchOut string
+)
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch, warm, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch, warm, sched, all")
 	quick := flag.Bool("quick", false, "smaller measurement volumes (CI mode)")
+	flag.BoolVar(&schedCheck, "check", false, "sched: exit non-zero when the fairness/latency gates fail")
+	flag.StringVar(&schedBenchOut, "out", "BENCH_sched.json", "sched: path for the JSON benchmark report")
 	flag.Parse()
 
 	figures := map[string]func(bool){
 		"3a": fig3a, "3b": fig3b, "3c": fig3c,
 		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "ca": figCA,
-		"npb": figNPB, "batch": figBatch, "warm": figWarm,
+		"npb": figNPB, "batch": figBatch, "warm": figWarm, "sched": figSched,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"3a", "3b", "3c", "4", "5", "6", "7", "ca", "npb", "batch", "warm"} {
+		for _, k := range []string{"3a", "3b", "3c", "4", "5", "6", "7", "ca", "npb", "batch", "warm", "sched"} {
 			figures[k](*quick)
 		}
 		return

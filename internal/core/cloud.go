@@ -139,6 +139,12 @@ type Cloud struct {
 	canonicalFW firmware.Firmware
 	machines    map[string]*firmware.Machine
 
+	// sched arbitrates the cloud's airlock slots across every enclave:
+	// the attestation pipeline is a provider-wide resource, so its
+	// arbitration (weighted-fair, foreground-over-background) is
+	// cloud-scoped, not per-enclave.
+	sched *Scheduler
+
 	rejMu    sync.Mutex
 	rejected map[string]string // node -> rejection reason
 }
@@ -183,6 +189,7 @@ func NewRemoteCloud(cfg CloudConfig, svc RemoteServices) (*Cloud, error) {
 		BMI:       svc.BMI,
 		Registrar: svc.Registrar,
 		Driver:    svc.Driver,
+		sched:     NewScheduler(DefaultAirlocks),
 		rejected:  make(map[string]string),
 	}, nil
 }
@@ -218,6 +225,7 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		bmiLocal:  bmiSvc,
 		regLocal:  regSvc,
 		machines:  make(map[string]*firmware.Machine),
+		sched:     NewScheduler(DefaultAirlocks),
 		rejected:  make(map[string]string),
 	}
 	c.Driver = newLocalDriver(c)
@@ -291,6 +299,9 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 func (c *Cloud) platformWhitelistDigest(fw firmware.Firmware) tpm.Digest {
 	return firmware.ExpectedPCRs(fw, nil)[firmware.PCRPlatform]
 }
+
+// Scheduler returns the cloud-wide airlock scheduler.
+func (c *Cloud) Scheduler() *Scheduler { return c.sched }
 
 // Machine returns a physical machine by name (test and example hook; a
 // real tenant never touches machines directly).

@@ -64,12 +64,6 @@ type Enclave struct {
 	journal Journal
 	lc      *lifecycle
 
-	// airlockC is the attestation airlock semaphore: one slot per
-	// parallel airlock. The paper's prototype had a single airlock
-	// (§7.3); the slot count is configurable via PoolPolicy.Airlocks.
-	airlockMu sync.Mutex
-	airlockC  chan struct{}
-
 	// pool is the enclave's warm pool of pre-attested standby nodes
 	// (nil until ConfigurePool).
 	poolMu sync.Mutex
@@ -103,12 +97,11 @@ func NewEnclave(c *Cloud, name string, profile Profile) (*Enclave, error) {
 		return nil, err
 	}
 	e := &Enclave{
-		cloud:    c,
-		Project:  name,
-		Profile:  profile,
-		nodes:    make(map[string]*Node),
-		netKey:   randKey(32),
-		airlockC: make(chan struct{}, DefaultAirlocks),
+		cloud:   c,
+		Project: name,
+		Profile: profile,
+		nodes:   make(map[string]*Node),
+		netKey:  randKey(32),
 	}
 	e.lc = newLifecycle(&e.journal)
 	if profile.Attest {
@@ -268,31 +261,24 @@ func (e *Enclave) bootNode(ctx context.Context, w *nodeWork) error {
 	return nil
 }
 
-// setAirlocks resizes the attestation airlock semaphore. In-flight
-// attestations finish against the semaphore they acquired.
+// setAirlocks resizes the cloud-wide airlock slot count. The slots are
+// a provider resource shared by every enclave; in-flight attestations
+// finish against the grant they hold.
 func (e *Enclave) setAirlocks(n int) {
 	if n < 1 {
 		n = DefaultAirlocks
 	}
-	e.airlockMu.Lock()
-	if cap(e.airlockC) != n {
-		e.airlockC = make(chan struct{}, n)
-	}
-	e.airlockMu.Unlock()
+	e.cloud.sched.SetSlots(n)
 }
 
-// acquireAirlock takes one attestation airlock slot, honouring ctx.
+// acquireAirlock takes one attestation airlock slot through the
+// cloud's weighted-fair scheduler, honouring ctx. The tenant is the
+// enclave; background work (warm-pool refills) is recognized by its
+// context mark and may be preempted by waiting foreground acquires.
 // The returned func releases the slot.
 func (e *Enclave) acquireAirlock(ctx context.Context) (release func(), err error) {
-	e.airlockMu.Lock()
-	c := e.airlockC
-	e.airlockMu.Unlock()
-	select {
-	case c <- struct{}{}:
-		return func() { <-c }, nil
-	case <-ctx.Done():
-		return nil, fmt.Errorf("core: %w", ctx.Err())
-	}
+	class, preempt := schedRequest(ctx)
+	return e.cloud.sched.Acquire(ctx, e.Project, class, preempt)
 }
 
 // attestNode is phase (3): quote over the boot PCRs against the

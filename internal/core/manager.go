@@ -54,6 +54,12 @@ type Manager struct {
 	byencl   map[string][]*Operation // enclave -> its operations
 	opSeq    int
 
+	// Tenant QoS state (sched.go): per-tenant quotas and the global
+	// queue-depth admission bound. Violations surface as ErrOverQuota,
+	// which /v1 maps to 429 + Retry-After.
+	quotas        map[string]TenantQuota
+	maxSchedQueue int
+
 	// Runtime-guard state (incident.go): attached guards, tracked
 	// incidents with their replayable update feed, per-enclave verifier
 	// revocation feeds, and the verifier unsubscribe hooks.
@@ -71,16 +77,18 @@ type Manager struct {
 // NewManager builds an empty control plane over a cloud.
 func NewManager(c *Cloud) *Manager {
 	return &Manager{
-		cloud:     c,
-		enclaves:  make(map[string]*Enclave),
-		deleting:  make(map[string]bool),
-		ops:       make(map[string]*Operation),
-		byencl:    make(map[string][]*Operation),
-		guards:    make(map[string]GuardController),
-		incidents: make(map[string]*Incident),
-		incNotify: make(chan struct{}),
-		revFeeds:  make(map[string]*revFeed),
-		revUnsubs: make(map[string]func()),
+		cloud:         c,
+		enclaves:      make(map[string]*Enclave),
+		deleting:      make(map[string]bool),
+		ops:           make(map[string]*Operation),
+		byencl:        make(map[string][]*Operation),
+		quotas:        make(map[string]TenantQuota),
+		maxSchedQueue: DefaultMaxSchedQueue,
+		guards:        make(map[string]GuardController),
+		incidents:     make(map[string]*Incident),
+		incNotify:     make(chan struct{}),
+		revFeeds:      make(map[string]*revFeed),
+		revUnsubs:     make(map[string]func()),
 	}
 }
 
@@ -232,6 +240,11 @@ func (m *Manager) StartAcquire(enclave, image string, n int) (*Operation, error)
 			return nil, fmt.Errorf("%w: enclave %q already has operation %s in flight", ErrConflict, enclave, prev.ID)
 		}
 	}
+	if err := m.admitAcquireLocked(enclave, e, n); err != nil {
+		m.mu.Unlock()
+		cancel()
+		return nil, err
+	}
 	m.opSeq++
 	op := newOperation(fmt.Sprintf("op-%04d", m.opSeq), enclave, image, n, cancel)
 	op.seq = m.opSeq
@@ -252,6 +265,141 @@ func (m *Manager) StartAcquire(enclave, image string, n int) (*Operation, error)
 		op.finish(res, err, errors.Is(err, context.Canceled))
 	}()
 	return op, nil
+}
+
+// admitAcquireLocked is the /v1 admission gate: global queue-depth
+// backpressure first, then the tenant's own in-flight and footprint
+// caps. Callers hold m.mu. Rejections are QuotaErrors, so they cross
+// the wire as 429 + Retry-After and match ErrOverQuota.
+func (m *Manager) admitAcquireLocked(tenant string, e *Enclave, n int) error {
+	if lim := m.maxSchedQueue; lim > 0 {
+		if q := m.cloud.Scheduler().Queued(); q >= lim {
+			return &QuotaError{
+				Tenant:     tenant,
+				Detail:     fmt.Sprintf("airlock queue depth %d at admission limit %d", q, lim),
+				RetryAfter: DefaultRetryAfter,
+			}
+		}
+	}
+	q, ok := m.quotas[tenant]
+	if !ok {
+		return nil
+	}
+	inflight := m.inflightLocked(tenant)
+	if q.MaxInFlight > 0 && inflight+n > q.MaxInFlight {
+		return &QuotaError{
+			Tenant:     tenant,
+			Detail:     fmt.Sprintf("tenant %q would have %d nodes in flight, cap is %d", tenant, inflight+n, q.MaxInFlight),
+			RetryAfter: DefaultRetryAfter,
+		}
+	}
+	if q.MaxNodes > 0 {
+		members := len(e.Nodes())
+		if members+inflight+n > q.MaxNodes {
+			return &QuotaError{
+				Tenant:     tenant,
+				Detail:     fmt.Sprintf("tenant %q would hold %d nodes, quota is %d", tenant, members+inflight+n, q.MaxNodes),
+				RetryAfter: DefaultRetryAfter,
+			}
+		}
+	}
+	return nil
+}
+
+// inflightLocked counts the tenant's nodes mid-acquisition (requested
+// by operations that have not reached a terminal phase). Callers hold
+// m.mu.
+func (m *Manager) inflightLocked(tenant string) int {
+	n := 0
+	for _, op := range m.byencl[tenant] {
+		if !op.Phase().Terminal() {
+			n += op.Count
+		}
+	}
+	return n
+}
+
+// SetBackpressureLimit replaces the global admission bound on the
+// airlock queue depth (0 disables backpressure).
+func (m *Manager) SetBackpressureLimit(n int) {
+	m.mu.Lock()
+	m.maxSchedQueue = n
+	m.mu.Unlock()
+}
+
+// SetQuota creates or replaces a tenant's quota and applies its
+// weight to the airlock scheduler. The tenant need not have an
+// enclave yet — quotas commonly precede the first acquire. created
+// reports whether this call added a new quota.
+func (m *Manager) SetQuota(tenant string, q TenantQuota) (QuotaStatus, bool, error) {
+	if tenant == "" {
+		return QuotaStatus{}, false, fmt.Errorf("%w: quota needs a tenant name", ErrInvalid)
+	}
+	if err := q.Validate(); err != nil {
+		return QuotaStatus{}, false, err
+	}
+	m.mu.Lock()
+	_, had := m.quotas[tenant]
+	m.quotas[tenant] = q
+	m.mu.Unlock()
+	m.cloud.Scheduler().SetWeight(tenant, q.weight())
+	st, err := m.Quota(tenant)
+	return st, !had, err
+}
+
+// Quota returns a tenant's quota with live usage (ErrNotFound when no
+// quota is set).
+func (m *Manager) Quota(tenant string) (QuotaStatus, error) {
+	m.mu.Lock()
+	q, ok := m.quotas[tenant]
+	if !ok {
+		m.mu.Unlock()
+		return QuotaStatus{}, fmt.Errorf("%w: tenant %q has no quota", ErrNotFound, tenant)
+	}
+	st := QuotaStatus{Tenant: tenant, Quota: q, InFlight: m.inflightLocked(tenant)}
+	e := m.enclaves[tenant]
+	m.mu.Unlock()
+	if e != nil {
+		st.Nodes = len(e.Nodes())
+	}
+	return st, nil
+}
+
+// ListQuotas returns every tenant quota with usage, sorted by tenant.
+func (m *Manager) ListQuotas() []QuotaStatus {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.quotas))
+	for t := range m.quotas {
+		names = append(names, t)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	out := make([]QuotaStatus, 0, len(names))
+	for _, t := range names {
+		if st, err := m.Quota(t); err == nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// DeleteQuota removes a tenant's quota, resetting its scheduler
+// weight to the default.
+func (m *Manager) DeleteQuota(tenant string) error {
+	m.mu.Lock()
+	_, ok := m.quotas[tenant]
+	delete(m.quotas, tenant)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: tenant %q has no quota", ErrNotFound, tenant)
+	}
+	m.cloud.Scheduler().SetWeight(tenant, 1)
+	return nil
+}
+
+// SchedStats returns the cloud airlock scheduler's live state.
+func (m *Manager) SchedStats() SchedStats {
+	return m.cloud.Scheduler().Stats()
 }
 
 // ConfigurePool creates (or reconfigures) an enclave's warm pool and

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -138,6 +139,10 @@ type WarmPool struct {
 	ready     []*warmNode
 	refilling int
 	closed    bool
+	// failStreak counts consecutive failed refill attempts; the run
+	// loop's retry timer backs off exponentially (with jitter) on it,
+	// so a dead HIL never sees a synchronized fixed-rate retry storm.
+	failStreak int
 
 	hits, misses, drained, rejected uint64
 }
@@ -377,7 +382,8 @@ func (p *WarmPool) run() {
 			n = 0
 		}
 		p.refilling += n
-		backoff := p.policy.RetryBackoff
+		backoff := refillBackoff(p.policy.RetryBackoff, p.failStreak)
+		belowTarget := len(p.ready) < p.policy.Target
 		p.mu.Unlock()
 
 		for _, wn := range surplus {
@@ -396,10 +402,15 @@ func (p *WarmPool) run() {
 		}
 		// Arm the retry timer only while below target: failed refills
 		// do not poke (free pool empty would spin hot), so the timer
-		// is their retry path. At or above target the loop sleeps
-		// until take/setPolicy/park poke it — no idle wake-ups.
+		// is their retry path. Below-target includes in-flight
+		// attempts — an attempt can outlive one backoff period (e.g.
+		// parked behind foreground work in the airlock queue, or
+		// preempted by it) and then fail, and without a re-armed
+		// timer that failure would strand the refiller asleep. At or
+		// above target the loop sleeps until take/setPolicy/park poke
+		// it — no idle wake-ups.
 		var retry <-chan time.Time
-		if deficit > 0 {
+		if belowTarget {
 			timer.Reset(backoff)
 			retry = timer.C
 		}
@@ -426,19 +437,25 @@ func (p *WarmPool) refillOne() {
 		p.mu.Unlock()
 	}()
 	e := p.e
-	ctx := p.ctx
+	// Each attempt runs as background-class work under its own cancel:
+	// the airlock scheduler invokes it to preempt an in-flight refill
+	// quote when foreground acquisitions are waiting for a slot.
+	ctx, cancel := withSchedBackground(p.ctx)
+	defer cancel()
 	name, err := e.cloud.HIL.AllocateAnyNode(ctx, e.Project)
 	if err != nil {
 		// Free pool empty (or pool closing). No poke: an immediate
 		// wake would spin hot against an empty pool, so the retry
 		// waits out the loop's backoff timer instead.
+		p.noteRefill(false)
 		return
 	}
 	e.journal.record(EvAllocated, name, "warm refill")
 	wn, err := e.warmOne(ctx, name)
 	if err != nil {
-		// Mirror provisionOne's routing: a pool shutdown aborts the
-		// healthy node back to the free pool; a genuine phase failure
+		// Mirror provisionOne's routing: a pool shutdown — or a
+		// scheduler preemption of this attempt — aborts the healthy
+		// node back to the free pool; a genuine phase failure
 		// quarantines it in the rejected pool.
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
 			e.abortNode(name, err)
@@ -448,6 +465,9 @@ func (p *WarmPool) refillOne() {
 			p.mu.Unlock()
 			e.rejectNode(name, PhaseWarmRefill, err)
 		}
+		// Both routes back off: a preempted refill means foreground
+		// pressure, a rejection means a sick node or service.
+		p.noteRefill(false)
 		return
 	}
 	p.mu.Lock()
@@ -459,8 +479,46 @@ func (p *WarmPool) refillOne() {
 		return
 	}
 	p.ready = append(p.ready, wn)
+	p.failStreak = 0
 	p.mu.Unlock()
 	p.poke() // a slot freed up and the park succeeded: keep filling
+}
+
+// noteRefill records a refill attempt's outcome for the backoff.
+func (p *WarmPool) noteRefill(ok bool) {
+	p.mu.Lock()
+	if ok {
+		p.failStreak = 0
+	} else {
+		p.failStreak++
+	}
+	p.mu.Unlock()
+}
+
+// maxRefillBackoff caps the exponential refill backoff.
+const maxRefillBackoff = 5 * time.Second
+
+// refillBackoff computes the refiller's retry delay: the configured
+// base doubled per consecutive failure (capped), with full jitter in
+// [d/2, d] so a fleet of pools retrying against a dead HIL never
+// synchronizes into a storm.
+func refillBackoff(base time.Duration, streak int) time.Duration {
+	if base <= 0 {
+		base = DefaultRefillBackoff
+	}
+	if streak <= 0 {
+		return base
+	}
+	shift := streak - 1
+	if shift > 6 {
+		shift = 6
+	}
+	d := base << shift
+	if d > maxRefillBackoff {
+		d = maxRefillBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // warmOne drives one reserved node to the parked warm state.

@@ -1,0 +1,509 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the multi-tenant QoS layer: a weighted-fair scheduler
+// arbitrating the cloud's attestation airlock slots — the shared,
+// contended resource every acquisition (cold quote, warm re-quote,
+// background refill pre-attest) serializes through. PR 5 made the
+// slots plural; this makes them fair: per-tenant virtual-time queueing
+// (so one tenant's 64-node batch cannot starve a neighbour's 2-node
+// acquire), strict priority of foreground acquisitions over background
+// warm-pool refills (with preemption of in-flight refill quotes), and
+// the tenant quota/admission types the /v1 control plane enforces.
+
+// ErrOverQuota rejects work that exceeds a tenant quota or the
+// scheduler's admission bound. The /v1 surface maps it to HTTP 429
+// with a Retry-After hint; V1Client retries it transparently.
+var ErrOverQuota = errors.New("core: over quota")
+
+// DefaultRetryAfter is the Retry-After hint attached to quota
+// rejections when no better estimate exists.
+const DefaultRetryAfter = 1 * time.Second
+
+// DefaultMaxSchedQueue is the admission bound on the scheduler's
+// airlock queue depth: past it, new acquisitions are rejected with
+// ErrOverQuota instead of joining a queue already minutes long.
+const DefaultMaxSchedQueue = 1024
+
+// QuotaError is an ErrOverQuota with context: which tenant, why, and
+// when retrying might succeed. errors.Is(err, ErrOverQuota) matches.
+type QuotaError struct {
+	Tenant     string
+	Detail     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("core: over quota: %s", e.Detail)
+}
+
+// Is makes errors.Is(err, ErrOverQuota) true for every QuotaError.
+func (e *QuotaError) Is(target error) bool { return target == ErrOverQuota }
+
+// TenantQuota is one tenant's scheduling weight and admission caps.
+// Zero fields are unlimited (weight 0 means the default weight 1). The
+// struct carries its wire tags; /v1/quotas serves it as-is.
+type TenantQuota struct {
+	// Weight is the tenant's weighted-fair share of airlock slots
+	// relative to other tenants (default 1).
+	Weight int `json:"weight,omitempty"`
+	// MaxNodes caps the tenant's total footprint: members plus nodes
+	// mid-acquisition. 0 = unlimited.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// MaxInFlight caps how many nodes the tenant may have
+	// mid-acquisition at once. 0 = unlimited.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// Validate reports quota inconsistencies.
+func (q TenantQuota) Validate() error {
+	switch {
+	case q.Weight < 0:
+		return fmt.Errorf("%w: quota weight must be >= 0", ErrInvalid)
+	case q.MaxNodes < 0:
+		return fmt.Errorf("%w: max nodes must be >= 0", ErrInvalid)
+	case q.MaxInFlight < 0:
+		return fmt.Errorf("%w: max in-flight must be >= 0", ErrInvalid)
+	default:
+		return nil
+	}
+}
+
+// weight returns the effective WFQ weight.
+func (q TenantQuota) weight() float64 {
+	if q.Weight < 1 {
+		return 1
+	}
+	return float64(q.Weight)
+}
+
+// QuotaStatus is a tenant quota plus its live usage, the /v1/quotas
+// wire form.
+type QuotaStatus struct {
+	Tenant   string      `json:"tenant"`
+	Quota    TenantQuota `json:"quota"`
+	Nodes    int         `json:"nodes"`     // current enclave members
+	InFlight int         `json:"in_flight"` // nodes mid-acquisition
+}
+
+// SchedClass is a strict priority band: every queued foreground
+// request is served before any background one.
+type SchedClass int
+
+// Scheduling classes.
+const (
+	// ClassBackground is warm-pool refill work: it fills idle slots
+	// and yields (including in-flight preemption) to foreground.
+	ClassBackground SchedClass = iota
+	// ClassForeground is tenant-visible acquisition work.
+	ClassForeground
+)
+
+func (c SchedClass) String() string {
+	if c == ClassBackground {
+		return "background"
+	}
+	return "foreground"
+}
+
+// --- weighted-fair queue ---
+
+// fqItem is one queued request.
+type fqItem struct {
+	id     uint64
+	tenant string
+	class  SchedClass
+	tag    float64 // virtual finish time
+	seq    uint64  // FIFO tie-break at equal tags
+	index  int     // heap index; -1 once popped or removed
+}
+
+type fqHeap []*fqItem
+
+func (h fqHeap) Len() int { return len(h) }
+func (h fqHeap) Less(i, j int) bool {
+	if h[i].tag != h[j].tag {
+		return h[i].tag < h[j].tag
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fqHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *fqHeap) Push(x interface{}) {
+	it := x.(*fqItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *fqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// FairQueue is a virtual-time weighted-fair queue with two strict
+// priority bands. Each Push is a unit of service charged 1/weight of
+// virtual time against its tenant, so a backlogged heavy tenant's
+// requests interleave with light tenants' instead of forming a train.
+// It is a pure data structure — externally synchronized — shared by
+// the runtime Scheduler and the boltedsim churn model, so simulated
+// and real arbitration agree by construction.
+type FairQueue struct {
+	weights map[string]float64
+	finish  map[string]float64 // last assigned finish tag per tenant
+	vtime   float64
+	items   map[uint64]*fqItem
+	bands   [2]fqHeap // indexed by SchedClass
+	nextID  uint64
+	nextSeq uint64
+}
+
+// NewFairQueue returns an empty queue; every tenant starts at weight 1.
+func NewFairQueue() *FairQueue {
+	return &FairQueue{
+		weights: make(map[string]float64),
+		finish:  make(map[string]float64),
+		items:   make(map[uint64]*fqItem),
+	}
+}
+
+// SetWeight sets a tenant's fair-share weight (values < 1 reset to 1).
+func (q *FairQueue) SetWeight(tenant string, w float64) {
+	if w < 1 {
+		w = 1
+	}
+	q.weights[tenant] = w
+}
+
+// Weight returns a tenant's effective weight.
+func (q *FairQueue) Weight(tenant string) float64 {
+	if w, ok := q.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// Push enqueues one unit request for a tenant and returns its id.
+func (q *FairQueue) Push(tenant string, class SchedClass) uint64 {
+	q.nextID++
+	tag := q.vtime
+	if f := q.finish[tenant]; f > tag {
+		tag = f
+	}
+	tag += 1 / q.Weight(tenant)
+	q.finish[tenant] = tag
+	it := &fqItem{id: q.nextID, tenant: tenant, class: class, tag: tag, seq: q.nextSeq}
+	q.nextSeq++
+	q.items[it.id] = it
+	heap.Push(&q.bands[class], it)
+	return it.id
+}
+
+// Pop dequeues the next request: the earliest virtual finish tag in
+// the foreground band, falling back to background only when no
+// foreground request waits.
+func (q *FairQueue) Pop() (id uint64, tenant string, ok bool) {
+	for _, class := range []SchedClass{ClassForeground, ClassBackground} {
+		if len(q.bands[class]) == 0 {
+			continue
+		}
+		it := heap.Pop(&q.bands[class]).(*fqItem)
+		delete(q.items, it.id)
+		if it.tag > q.vtime {
+			q.vtime = it.tag
+		}
+		return it.id, it.tenant, true
+	}
+	return 0, "", false
+}
+
+// Remove deletes a queued request (a cancelled waiter).
+func (q *FairQueue) Remove(id uint64) bool {
+	it, ok := q.items[id]
+	if !ok {
+		return false
+	}
+	delete(q.items, id)
+	heap.Remove(&q.bands[it.class], it.index)
+	return true
+}
+
+// Len reports how many requests are queued across both bands.
+func (q *FairQueue) Len() int { return len(q.items) }
+
+// LenClass reports how many requests of one class are queued.
+func (q *FairQueue) LenClass(class SchedClass) int { return len(q.bands[class]) }
+
+// --- runtime scheduler ---
+
+// TenantSchedStats is one tenant's share of scheduler activity.
+type TenantSchedStats struct {
+	Weight  float64       `json:"weight"`
+	Grants  uint64        `json:"grants"`
+	Waited  time.Duration `json:"waited_ns"` // cumulative queue time
+	Queued  int           `json:"queued"`
+	Holding int           `json:"holding"`
+}
+
+// SchedStats is a point-in-time view of the airlock scheduler, the
+// /v1/sched wire form.
+type SchedStats struct {
+	Slots       int                         `json:"slots"`
+	InUse       int                         `json:"in_use"`
+	Queued      int                         `json:"queued"`
+	Grants      uint64                      `json:"grants"`
+	Preemptions uint64                      `json:"preemptions"`
+	Tenants     map[string]TenantSchedStats `json:"tenants,omitempty"`
+}
+
+// schedWaiter is one goroutine parked in Acquire.
+type schedWaiter struct {
+	tenant  string
+	class   SchedClass
+	preempt context.CancelFunc
+	enq     time.Time
+	granted chan uint64 // buffered: receives the grant id
+}
+
+// schedGrant is one held slot.
+type schedGrant struct {
+	id        uint64
+	tenant    string
+	class     SchedClass
+	preempt   context.CancelFunc
+	preempted bool
+}
+
+// Scheduler arbitrates the cloud's airlock slots across tenants with
+// weighted-fair queueing, strict foreground-over-background priority,
+// and preemption of background holders when foreground work waits. It
+// is safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	slots   int
+	inUse   int
+	fq      *FairQueue
+	waiters map[uint64]*schedWaiter // fq id -> waiter
+	holders map[uint64]*schedGrant  // grant id -> grant
+	nextG   uint64
+
+	grants      uint64
+	preemptions uint64
+	tGrants     map[string]uint64
+	tWaited     map[string]time.Duration
+}
+
+// NewScheduler returns a scheduler with the given slot count.
+func NewScheduler(slots int) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Scheduler{
+		slots:   slots,
+		fq:      NewFairQueue(),
+		waiters: make(map[uint64]*schedWaiter),
+		holders: make(map[uint64]*schedGrant),
+		tGrants: make(map[string]uint64),
+		tWaited: make(map[string]time.Duration),
+	}
+}
+
+// SetSlots resizes the slot count. Shrinking never revokes held
+// slots; the count drains down as holders release.
+func (s *Scheduler) SetSlots(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.slots = n
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// SetWeight sets a tenant's fair-share weight.
+func (s *Scheduler) SetWeight(tenant string, w float64) {
+	s.mu.Lock()
+	s.fq.SetWeight(tenant, w)
+	s.mu.Unlock()
+}
+
+// Queued reports the current queue depth (admission control reads it).
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fq.Len()
+}
+
+// Stats returns a snapshot of scheduler state and counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedStats{
+		Slots:       s.slots,
+		InUse:       s.inUse,
+		Queued:      s.fq.Len(),
+		Grants:      s.grants,
+		Preemptions: s.preemptions,
+		Tenants:     make(map[string]TenantSchedStats),
+	}
+	touch := func(t string) TenantSchedStats {
+		ts := st.Tenants[t]
+		ts.Weight = s.fq.Weight(t)
+		return ts
+	}
+	for t, g := range s.tGrants {
+		ts := touch(t)
+		ts.Grants = g
+		ts.Waited = s.tWaited[t]
+		st.Tenants[t] = ts
+	}
+	for _, w := range s.waiters {
+		ts := touch(w.tenant)
+		ts.Queued++
+		st.Tenants[w.tenant] = ts
+	}
+	for _, g := range s.holders {
+		ts := touch(g.tenant)
+		ts.Holding++
+		st.Tenants[g.tenant] = ts
+	}
+	return st
+}
+
+// Acquire takes one slot for a tenant, blocking under weighted-fair
+// arbitration until granted or ctx ends. Background requests may pass
+// a preempt hook: when foreground work queues behind a full house, the
+// scheduler cancels one background holder's hook so the slot frees at
+// the holder's next context check. The returned func releases the
+// slot (idempotent).
+func (s *Scheduler) Acquire(ctx context.Context, tenant string, class SchedClass, preempt context.CancelFunc) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.mu.Lock()
+	id := s.fq.Push(tenant, class)
+	w := &schedWaiter{
+		tenant:  tenant,
+		class:   class,
+		preempt: preempt,
+		enq:     time.Now(),
+		granted: make(chan uint64, 1),
+	}
+	s.waiters[id] = w
+	s.dispatchLocked()
+	if _, waiting := s.waiters[id]; waiting && class == ClassForeground {
+		// No free slot for foreground work: displace a background
+		// holder (an in-flight warm-refill quote) if one exists.
+		s.preemptOneLocked()
+	}
+	s.mu.Unlock()
+
+	select {
+	case gid := <-w.granted:
+		return func() { s.release(gid) }, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if _, waiting := s.waiters[id]; waiting {
+			delete(s.waiters, id)
+			s.fq.Remove(id)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: %w", ctx.Err())
+		}
+		s.mu.Unlock()
+		// A grant raced the cancellation: take it and hand it back.
+		s.release(<-w.granted)
+		return nil, fmt.Errorf("core: %w", ctx.Err())
+	}
+}
+
+// dispatchLocked grants free slots to queued waiters in fair order.
+func (s *Scheduler) dispatchLocked() {
+	for s.inUse < s.slots {
+		id, _, ok := s.fq.Pop()
+		if !ok {
+			return
+		}
+		w := s.waiters[id]
+		delete(s.waiters, id)
+		s.inUse++
+		s.nextG++
+		g := &schedGrant{id: s.nextG, tenant: w.tenant, class: w.class, preempt: w.preempt}
+		s.holders[g.id] = g
+		s.grants++
+		s.tGrants[w.tenant]++
+		s.tWaited[w.tenant] += time.Since(w.enq)
+		w.granted <- g.id
+	}
+}
+
+// preemptOneLocked cancels the oldest background holder that has not
+// already been preempted. The slot itself frees when the holder's
+// pipeline notices its context and releases.
+func (s *Scheduler) preemptOneLocked() {
+	var victim *schedGrant
+	for _, g := range s.holders {
+		if g.class != ClassBackground || g.preempted || g.preempt == nil {
+			continue
+		}
+		if victim == nil || g.id < victim.id {
+			victim = g
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.preempted = true
+	s.preemptions++
+	victim.preempt()
+}
+
+// release frees one granted slot and dispatches the next waiter.
+func (s *Scheduler) release(gid uint64) {
+	s.mu.Lock()
+	if _, held := s.holders[gid]; held {
+		delete(s.holders, gid)
+		s.inUse--
+		s.dispatchLocked()
+	}
+	s.mu.Unlock()
+}
+
+// --- scheduling class propagation ---
+
+type schedClassKey struct{}
+type schedPreemptKey struct{}
+
+// withSchedBackground marks ctx as background work and returns the
+// cancel the scheduler may invoke to preempt it. The warm-pool
+// refiller wraps each refill attempt in one, so a foreground acquire
+// can displace an in-flight refill without touching the pool itself.
+func withSchedBackground(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
+	ctx = context.WithValue(ctx, schedClassKey{}, ClassBackground)
+	ctx = context.WithValue(ctx, schedPreemptKey{}, cancel)
+	return ctx, cancel
+}
+
+// schedRequest reads the scheduling class (and preemption hook) off a
+// context; unmarked contexts are foreground.
+func schedRequest(ctx context.Context) (SchedClass, context.CancelFunc) {
+	if c, ok := ctx.Value(schedClassKey{}).(SchedClass); ok && c == ClassBackground {
+		cancel, _ := ctx.Value(schedPreemptKey{}).(context.CancelFunc)
+		return ClassBackground, cancel
+	}
+	return ClassForeground, nil
+}

@@ -69,6 +69,13 @@ const (
 	// the volume, establish the IPsec tunnel.
 	phaseCryptoSetup = 10 * time.Second
 
+	// Exported mirrors of the timing model for external simulators
+	// (cmd/boltedsim's scheduler churn model reuses the calibrated
+	// costs instead of inventing its own).
+	AirlockSerialDuration = airlockSerial
+	AttestDuration        = phaseAttest
+	WarmRequoteDuration   = phaseWarmRequote
+
 	// Boot-time storage traffic served by the Ceph pool: first-boot
 	// page-ins of the root filesystem, services and first workload
 	// warm-up.

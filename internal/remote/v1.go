@@ -49,6 +49,7 @@ const (
 	codeConflict     = "conflict"
 	codeUnauthorized = "permission_denied"
 	codeInvalid      = "invalid_argument"
+	codeExhausted    = "resource_exhausted"
 	codeInternal     = "internal"
 )
 
@@ -140,6 +141,18 @@ type RevocationInfo struct {
 func revocationInfo(ev keylime.RevocationEvent) RevocationInfo {
 	return RevocationInfo{Node: ev.UUID, Reason: ev.Reason, At: ev.At}
 }
+
+// TenantQuotaInfo is the wire form of a tenant quota. core.TenantQuota
+// carries its wire tags, so the wire form IS the quota.
+type TenantQuotaInfo = core.TenantQuota
+
+// QuotaInfo is the wire form of a tenant quota plus its live usage.
+type QuotaInfo = core.QuotaStatus
+
+// SchedInfo is the wire form of the airlock scheduler's state: slot
+// occupancy, queue depth, and per-tenant grant/wait/preemption
+// counters.
+type SchedInfo = core.SchedStats
 
 // PoolPolicyInfo is the wire form of a warm-pool policy. Zero fields
 // take server-side defaults. core.PoolPolicy already carries its wire
@@ -285,6 +298,21 @@ func writeV1Error(w http.ResponseWriter, err error) {
 		code, status = codeUnauthorized, http.StatusForbidden
 	case errors.Is(err, errInvalid), errors.Is(err, core.ErrInvalid):
 		code, status = codeInvalid, http.StatusBadRequest
+	case errors.Is(err, core.ErrOverQuota):
+		// Admission-control rejection: 429 with a Retry-After hint so
+		// well-behaved clients (V1Client does this transparently) back
+		// off instead of hammering the control plane.
+		code, status = codeExhausted, http.StatusTooManyRequests
+		retry := core.DefaultRetryAfter
+		var qe *core.QuotaError
+		if errors.As(err, &qe) && qe.RetryAfter > 0 {
+			retry = qe.RetryAfter
+		}
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -562,6 +590,58 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+
+	// --- tenant QoS surface: quotas + scheduler ---
+
+	// PUT /quotas/{tenant} creates or replaces a tenant's quota
+	// (weight, node cap, in-flight cap). 201 on create, 200 on update.
+	mux.HandleFunc("PUT /quotas/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		var req TenantQuotaInfo
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV1Error(w, fmt.Errorf("%w: %v", errInvalid, err))
+			return
+		}
+		st, created, err := mgr.SetQuota(r.PathValue("tenant"), req)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		writeV1JSON(w, status, st)
+	})
+
+	mux.HandleFunc("GET /quotas", func(w http.ResponseWriter, r *http.Request) {
+		out := []QuotaInfo{} // empty list is [], never null, on the wire
+		out = append(out, mgr.ListQuotas()...)
+		writeV1JSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /quotas/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := mgr.Quota(r.PathValue("tenant"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /quotas/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		if err := mgr.DeleteQuota(r.PathValue("tenant")); err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	// GET /sched exposes the airlock scheduler: slot occupancy, queue
+	// depth, per-tenant grants/waits and preemption counters — the
+	// observability half of the fairness story.
+	mux.HandleFunc("GET /sched", func(w http.ResponseWriter, r *http.Request) {
+		writeV1JSON(w, http.StatusOK, mgr.SchedStats())
 	})
 
 	// --- runtime attestation guard + incident response surface ---

@@ -5,16 +5,42 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"bolted/internal/core"
 	"bolted/internal/hil"
 )
+
+// ErrTransport marks a control-plane response that never came from
+// boltedd's typed error surface: a proxy 502, a load balancer's HTML
+// error page, a truncated body. Client code can branch on it with
+// errors.Is instead of string-matching raw statuses.
+var ErrTransport = errors.New("remote: transport error")
+
+// TransportError is an ErrTransport carrying the raw HTTP evidence.
+type TransportError struct {
+	StatusCode int
+	Status     string
+	Body       string // sanitized non-JSON error body (truncated)
+}
+
+func (e *TransportError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("remote: transport error: %s", e.Status)
+	}
+	return fmt.Sprintf("remote: transport error: %s: %s", e.Status, e.Body)
+}
+
+// Is makes errors.Is(err, ErrTransport) true for every TransportError.
+func (e *TransportError) Is(target error) bool { return target == ErrTransport }
 
 // V1Client is the typed binding for the /v1 tenant control plane: the
 // enclave, acquisition and operation resources as Go calls, with wire
@@ -24,6 +50,11 @@ import (
 type V1Client struct {
 	base string
 	http *http.Client
+
+	// MaxQuotaRetries overrides how many times a quota-rejected (429)
+	// request is transparently re-sent before ErrOverQuota surfaces.
+	// nil means the default (3); point at 0 to disable retries.
+	MaxQuotaRetries *int
 }
 
 // NewV1Client returns a control-plane client for a boltedd base URL
@@ -47,7 +78,14 @@ func decodeV1Error(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var env errorEnvelope
 	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
-		return fmt.Errorf("remote: %s: %s", resp.Status, bytes.TrimSpace(body))
+		// Not boltedd's typed envelope: something between the client
+		// and the server answered (proxy 502, LB error page). Surface
+		// it as a typed transport error, not an anonymous string.
+		b := bytes.TrimSpace(body)
+		if len(b) > 256 {
+			b = b[:256]
+		}
+		return &TransportError{StatusCode: resp.StatusCode, Status: resp.Status, Body: string(b)}
 	}
 	msg := env.Error.Message
 	wrap := func(sentinel error) error {
@@ -69,21 +107,77 @@ func decodeV1Error(resp *http.Response) error {
 		return wrap(hil.ErrUnauthorized)
 	case codeInvalid:
 		return wrap(core.ErrInvalid)
+	case codeExhausted:
+		// Rebuild the QuotaError so errors.Is(err, core.ErrOverQuota)
+		// works and the Retry-After hint survives the wire.
+		retry := core.DefaultRetryAfter
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		detail := msg
+		if rest, ok := strings.CutPrefix(msg, core.ErrOverQuota.Error()+": "); ok {
+			detail = rest
+		}
+		return &core.QuotaError{Detail: detail, RetryAfter: retry}
 	default:
 		return fmt.Errorf("remote: %s: %s", env.Error.Code, msg)
 	}
 }
 
+// Quota-retry defaults: how many times do re-sends a 429-rejected
+// request before surfacing ErrOverQuota, and the cap on one backoff.
+const (
+	defaultQuotaRetries  = 3
+	maxQuotaRetryBackoff = 5 * time.Second
+)
+
 // do runs one control-plane request; out (when non-nil) receives the
-// decoded 2xx body.
+// decoded 2xx body. Quota rejections (429 + Retry-After) are retried
+// transparently with capped, jittered backoff — up to
+// MaxQuotaRetries re-sends — before the ErrOverQuota surfaces.
 func (c *V1Client) do(ctx context.Context, method, path string, body, out interface{}) error {
-	var rd io.Reader
+	var b []byte
 	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if b, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+	}
+	retries := defaultQuotaRetries
+	if c.MaxQuotaRetries != nil {
+		retries = *c.MaxQuotaRetries
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, b, out)
+		var qe *core.QuotaError
+		if err == nil || !errors.As(err, &qe) || attempt >= retries {
+			return err
+		}
+		delay := qe.RetryAfter
+		if delay <= 0 {
+			delay = core.DefaultRetryAfter
+		}
+		if delay > maxQuotaRetryBackoff {
+			delay = maxQuotaRetryBackoff
+		}
+		// Full jitter in [delay/2, delay]: a thundering herd of
+		// rejected tenants must not re-synchronize on the hint.
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return fmt.Errorf("remote: %w (while backing off from %v)", ctx.Err(), qe)
+		}
+	}
+}
+
+// doOnce is one HTTP round trip of do.
+func (c *V1Client) doOnce(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -386,4 +480,52 @@ func (c *V1Client) EnclaveEvents(ctx context.Context, enclave string, from int, 
 		path += "&follow=1"
 	}
 	return streamNDJSON(ctx, c, path, fn)
+}
+
+// SetQuota installs (or replaces) a tenant's scheduling quota: its
+// weighted-fair share plus optional hard caps on nodes and in-flight
+// acquires. Returns the resulting status.
+func (c *V1Client) SetQuota(ctx context.Context, tenant string, q TenantQuotaInfo) (*QuotaInfo, error) {
+	var info QuotaInfo
+	if err := c.do(ctx, "PUT", "/quotas/"+url.PathEscape(tenant), q, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// GetQuota returns a tenant's quota and current usage
+// (core.ErrNotFound when no quota is set for the tenant).
+func (c *V1Client) GetQuota(ctx context.Context, tenant string) (*QuotaInfo, error) {
+	var info QuotaInfo
+	if err := c.do(ctx, "GET", "/quotas/"+url.PathEscape(tenant), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// ListQuotas returns every configured tenant quota with usage, sorted
+// by tenant.
+func (c *V1Client) ListQuotas(ctx context.Context) ([]QuotaInfo, error) {
+	var out []QuotaInfo
+	if err := c.do(ctx, "GET", "/quotas", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteQuota removes a tenant's quota; the tenant falls back to the
+// default weight with no caps.
+func (c *V1Client) DeleteQuota(ctx context.Context, tenant string) error {
+	return c.do(ctx, "DELETE", "/quotas/"+url.PathEscape(tenant), nil, nil)
+}
+
+// SchedStats returns a snapshot of the cloud-wide airlock scheduler:
+// slot occupancy, queue depth, grant and preemption counters, and
+// per-tenant shares.
+func (c *V1Client) SchedStats(ctx context.Context) (*SchedInfo, error) {
+	var info SchedInfo
+	if err := c.do(ctx, "GET", "/sched", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
 }
