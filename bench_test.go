@@ -10,6 +10,8 @@ import (
 	"crypto/cipher"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -26,6 +28,7 @@ import (
 	"bolted/internal/npb"
 	"bolted/internal/remote"
 	"bolted/internal/softaes"
+	"bolted/internal/store"
 	"bolted/internal/tpm"
 	"bolted/internal/workload"
 	"bolted/internal/xts"
@@ -1039,5 +1042,206 @@ func BenchmarkFig3bParallel(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- Durable control plane: WAL overhead and recovery time (ISSUE 8) ---
+
+// durableBenchManager builds a manager over a fresh cloud with one
+// seeded image and an enclave ready to acquire: dir=="" runs on the
+// in-memory store, otherwise on the fsync'd WAL at dir.
+func durableBenchManager(b *testing.B, nodes int, dir string) (*core.Manager, *core.Enclave) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cloud, err := core.NewCloud(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+		KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var mgr *core.Manager
+	if dir == "" {
+		mgr = core.NewManager(cloud)
+	} else {
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr = core.NewManagerWithStore(cloud, st)
+	}
+	e, err := mgr.CreateEnclave("bench", core.ProfileBob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mgr, e
+}
+
+// BenchmarkStoreAcquire measures the durable-before-ack tax: the same
+// end-to-end batch acquisition (submit -> attest -> done) against the
+// in-memory store and the fsync'd WAL. Every control-plane mutation in
+// the WAL arm commits to disk before it is acknowledged, so the delta
+// between the arms is the full durability overhead. CI gates the WAL
+// arm at <= 1.5x the memory arm.
+func BenchmarkStoreAcquire(b *testing.B) {
+	const batch = 4
+	for _, arm := range []string{"memory", "wal"} {
+		b.Run(arm, func(b *testing.B) {
+			dir := ""
+			if arm == "wal" {
+				dir = b.TempDir()
+			}
+			mgr, e := durableBenchManager(b, batch, dir)
+			if dir != "" {
+				defer mgr.Close()
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op, err := mgr.StartAcquire("bench", "os", batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := op.Wait(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Nodes) != batch {
+					b.Fatalf("acquired %d nodes, want %d", len(res.Nodes), batch)
+				}
+				b.StopTimer()
+				for _, n := range res.Nodes {
+					if err := e.ReleaseNode(n.Name, ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures restart-to-serving time: store.Open +
+// snapshot/WAL replay + fresh-quote re-adoption of every recorded
+// member and warm standby, as the recorded control plane grows. The
+// seed WAL is written once per scale and never cleanly closed — each
+// iteration recovers from a crash-faithful copy of it.
+func BenchmarkRecovery(b *testing.B) {
+	for _, sc := range []struct{ enclaves, members, warm int }{
+		{1, 2, 2},
+		{2, 2, 2},
+		{4, 4, 0},
+	} {
+		perEnclave := sc.members + sc.warm
+		nodes := sc.enclaves * perEnclave
+		b.Run(fmt.Sprintf("enclaves-%d/nodes-%d", sc.enclaves, nodes), func(b *testing.B) {
+			ctx := context.Background()
+			seedDir := b.TempDir()
+			seedCfg := core.DefaultConfig()
+			seedCfg.Nodes = nodes
+			seedCloud, err := core.NewCloud(seedCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := seedCloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+				KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			seedStore, err := store.Open(seedDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seedMgr := core.NewManagerWithStore(seedCloud, seedStore)
+			for i := 0; i < sc.enclaves; i++ {
+				name := fmt.Sprintf("e%d", i)
+				e, err := seedMgr.CreateEnclave(name, core.ProfileBob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				op, err := seedMgr.StartAcquire(name, "os", sc.members)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := op.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if sc.warm > 0 {
+					pol := core.DefaultPoolPolicy()
+					pol.Target = sc.warm
+					pol.MaxRefill = sc.warm
+					// Through the Manager, not the Enclave: only the
+					// manager-mediated mutation is persisted, and the pool
+					// must survive the restart.
+					if _, _, err := seedMgr.ConfigurePool(name, pol); err != nil {
+						b.Fatal(err)
+					}
+					deadline := time.Now().Add(30 * time.Second)
+					for {
+						st, _ := e.PoolStats()
+						if st.Warm >= sc.warm {
+							break
+						}
+						if time.Now().After(deadline) {
+							b.Fatalf("seed pool never warmed: %+v", st)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}
+			// No Close: recovery replays the raw WAL like a real crash.
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				for _, name := range []string{"wal.log", "snapshot.json"} {
+					bs, err := os.ReadFile(filepath.Join(seedDir, name))
+					if os.IsNotExist(err) {
+						continue
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := os.WriteFile(filepath.Join(dir, name), bs, 0o600); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cfg := core.DefaultConfig()
+				cfg.Nodes = nodes
+				cloud, err := core.NewCloud(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+					KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+				}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				st, err := store.Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr := core.NewManagerWithStore(cloud, st)
+				rep, err := mgr.Recover(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if got := len(rep.Readopted); got != nodes {
+					b.Fatalf("re-adopted %d nodes, want %d (rejected %v, released %v)",
+						got, nodes, rep.Rejected, rep.Released)
+				}
+				if err := mgr.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"bolted/internal/core"
 	"bolted/internal/guard"
 	"bolted/internal/remote"
+	"bolted/internal/store"
 	"bolted/internal/workload"
 )
 
@@ -256,16 +257,62 @@ type Operation = core.Operation
 // OpPhase is an Operation's position in its life cycle.
 type OpPhase = core.OpPhase
 
-// Operation phases (OpDone and OpCancelled are terminal).
+// Operation phases (OpDone, OpCancelled and OpInterrupted are
+// terminal).
 const (
 	OpPending   = core.OpPending
 	OpRunning   = core.OpRunning
 	OpDone      = core.OpDone
 	OpCancelled = core.OpCancelled
+	// OpInterrupted marks an operation that was in flight when the
+	// control plane crashed; recovery released its partially-held
+	// nodes, and the client should re-submit under a fresh
+	// idempotency key.
+	OpInterrupted = core.OpInterrupted
 )
 
 // NewManager builds an empty control plane over a cloud.
 func NewManager(c *Cloud) *Manager { return core.NewManager(c) }
+
+// Store is the durable control-plane log: a write-ahead log of typed
+// records plus periodic compacting snapshots. FileStore persists to a
+// directory; MemoryStore keeps everything in memory (tests, demos).
+type Store = store.Store
+
+// FileStore is the on-disk Store: an append-only, fsync'd, CRC-framed
+// WAL plus an atomically-replaced snapshot file. On open it truncates
+// a torn or corrupted tail back to the last valid frame.
+type FileStore = store.File
+
+// MemoryStore is the in-memory Store.
+type MemoryStore = store.Memory
+
+// OpenStore opens (or creates) the durable control-plane store in a
+// directory.
+func OpenStore(dir string) (*FileStore, error) { return store.Open(dir) }
+
+// NewManagerWithStore builds a control plane whose every mutation
+// commits to st before it is acknowledged. Call Recover before serving
+// to replay what the store recorded:
+//
+//	st, _ := bolted.OpenStore("/var/lib/bolted")
+//	mgr := bolted.NewManagerWithStore(cloud, st)
+//	report, _ := mgr.Recover(ctx)       // re-adopts nodes by fresh quote
+//	bolted.RestoreGuards(mgr)           // restarts persisted guards
+func NewManagerWithStore(c *Cloud, st Store) *Manager { return core.NewManagerWithStore(c, st) }
+
+// RecoverReport summarizes one crash recovery: how many enclaves were
+// restored and, node by node, what happened to each recorded machine —
+// re-adopted by a fresh attestation quote, rejected (the re-quote
+// failed), restored to quarantine, or released because it was caught
+// mid-pipeline.
+type RecoverReport = core.RecoverReport
+
+// RestoreGuards re-enables the runtime attestation guards whose
+// policies the store recorded, after Manager.Recover. It returns the
+// restarted guards and, when some policies failed to restore, a
+// per-enclave error map.
+func RestoreGuards(mgr *Manager) ([]*Guard, map[string]error) { return guard.Restore(mgr) }
 
 // Guard is the runtime attestation guard for one enclave (§7.4 as an
 // automated subsystem): it drives periodic IMA rounds over every

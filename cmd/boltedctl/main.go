@@ -33,7 +33,7 @@
 //	enclave list
 //	enclave get <name>
 //	enclave delete <name>
-//	enclave acquire <image> <n>   (-project NAME, -async)
+//	enclave acquire <image> <n>   (-project NAME, -async, -idem KEY)
 //	enclave release <node>        (-project NAME, -save IMAGE)
 //	enclave guard <name> [enable|disable]  (-interval, -max-quotes, -tolerance, -heal-image)
 //	enclave events <name>         (-follow)
@@ -119,7 +119,9 @@ commands:
         (server-side enclave resources on the /v1 control plane)
   enclave acquire <image> <n>
         (start an async batch acquisition Operation against the
-         -project enclave; without -async, follow it to completion)
+         -project enclave; without -async, follow it to completion;
+         -idem KEY makes a retried submission resume the original
+         operation instead of starting a second batch)
   enclave release <node>   (-project NAME, -save IMAGE)
   enclave guard <name> [enable|disable]
         (runtime attestation guard: enable takes -interval,
@@ -164,6 +166,7 @@ func main() {
 	profileName := flag.String("profile", "bob", "enclave security profile: alice, bob or charlie")
 	project := flag.String("project", "boltedctl", "enclave name on the /v1 control plane")
 	async := flag.Bool("async", false, "enclave acquire: return the operation immediately instead of waiting")
+	idemKey := flag.String("idem", "", "enclave acquire: idempotency key; a retried submission with the same key resumes the original operation instead of starting a second batch")
 	saveAs := flag.String("save", "", "enclave release: preserve the node's volume as this image")
 	interval := flag.Duration("interval", 0, "enclave guard enable: IMA check cadence (0 = server default)")
 	maxQuotes := flag.Int("max-quotes", 0, "enclave guard enable: max concurrent quotes per round (0 = server default)")
@@ -349,7 +352,7 @@ func main() {
 		var n int
 		n, err = strconv.Atoi(args[3])
 		if err == nil {
-			os.Exit(acquireV1(ctx, v1, *project, *profileName, args[2], n, *async))
+			os.Exit(acquireV1(ctx, v1, *project, *profileName, args[2], n, *async, *idemKey))
 		}
 	case "enclave release":
 		need(3)
@@ -638,7 +641,7 @@ func main() {
 // create-or-reuse the enclave, start the Operation, and either return
 // immediately (-async) or follow the event stream to the terminal
 // state. The return value is the process exit code.
-func acquireV1(ctx context.Context, v1 *bolted.Client, enclave, profile, image string, n int, async bool) int {
+func acquireV1(ctx context.Context, v1 *bolted.Client, enclave, profile, image string, n int, async bool, idemKey string) int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "boltedctl:", err)
 		if errors.Is(err, core.ErrOverQuota) {
@@ -664,9 +667,12 @@ func acquireV1(ctx context.Context, v1 *bolted.Client, enclave, profile, image s
 				enclave, info.Profile, profile))
 		}
 	}
-	op, err := v1.Acquire(ctx, enclave, image, n)
+	op, replayed, err := v1.AcquireIdem(ctx, enclave, image, n, idemKey)
 	if err != nil {
 		return fail(err)
+	}
+	if replayed && !jsonOut {
+		fmt.Printf("idempotency key %q already committed; resuming operation %s\n", idemKey, op.ID)
 	}
 	if async {
 		emit(op, func() {

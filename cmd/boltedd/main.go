@@ -7,6 +7,13 @@
 // hosts the orchestrator server-side: enclaves are named resources and
 // batch acquisitions run as asynchronous Operations tenants poll,
 // stream, or cancel.
+//
+// With -data-dir the control plane is durable: every mutation commits
+// to a write-ahead log before it is acknowledged, and a restart
+// recovers the recorded enclaves — re-adopting each recorded node by a
+// fresh attestation quote (never by trusting recorded state) — then
+// resumes journal sequence numbers so tenant ?after= cursors keep
+// working across the restart.
 package main
 
 import (
@@ -16,18 +23,22 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"bolted/internal/bmi"
 	"bolted/internal/core"
+	"bolted/internal/guard"
 	"bolted/internal/remote"
+	"bolted/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address for the service plane")
 	nodes := flag.Int("nodes", 4, "number of bare-metal nodes")
 	fw := flag.String("firmware", "linuxboot", "node flash firmware: linuxboot or uefi")
+	dataDir := flag.String("data-dir", "", "directory for the durable control-plane store (WAL + snapshots); empty runs in-memory")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -46,7 +57,36 @@ func main() {
 		log.Fatalf("boltedd: seed image: %v", err)
 	}
 
-	handler, err := remote.NewHandler(cloud)
+	var mgr *core.Manager
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("boltedd: open store: %v", err)
+		}
+		mgr = core.NewManagerWithStore(cloud, st)
+		// Recovery happens before the listener opens: tenants never see
+		// a half-recovered control plane.
+		report, err := mgr.Recover(context.Background())
+		if err != nil {
+			log.Fatalf("boltedd: recover: %v", err)
+		}
+		if report.Enclaves > 0 {
+			log.Printf("boltedd: recovered %d enclave(s): %d node(s) re-adopted by fresh quote, %d rejected, %d restored quarantined, %d released, %d operation(s) interrupted",
+				report.Enclaves, len(report.Readopted), len(report.Rejected), len(report.Quarantined), len(report.Released), len(report.Interrupted))
+			if len(report.Readopted) > 0 {
+				log.Printf("boltedd: re-adopted: %s", strings.Join(report.Readopted, ", "))
+			}
+		}
+		if _, errs := guard.Restore(mgr); errs != nil {
+			for enclave, err := range errs {
+				log.Printf("boltedd: restore guard for %s: %v", enclave, err)
+			}
+		}
+	} else {
+		mgr = core.NewManager(cloud)
+	}
+
+	handler, err := remote.NewHandlerWithManager(cloud, mgr)
 	if err != nil {
 		log.Fatalf("boltedd: %v", err)
 	}
@@ -83,6 +123,13 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("boltedd: forced shutdown: %v", err)
+		}
+	}
+	if *dataDir != "" {
+		// Clean exit: checkpoint a snapshot (restart replays no WAL) and
+		// flush + close the store.
+		if err := mgr.Close(); err != nil {
+			log.Printf("boltedd: close store: %v", err)
 		}
 	}
 	log.Printf("boltedd: stopped")

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"bolted/internal/keylime"
+	"bolted/internal/store"
 )
 
 // This file is the incident half of the runtime attestation guard
@@ -215,7 +217,9 @@ type revFeed struct {
 
 // AttachGuard registers a guard for an enclave; subsequent revocations
 // on the enclave's verifier are routed to it instead of being recorded
-// as unhandled incidents. One guard per enclave.
+// as unhandled incidents. One guard per enclave. A guard that reports
+// its policy (PolicyReporter) has it committed to the store, so Recover
+// can hand it back for re-enabling after a restart.
 func (m *Manager) AttachGuard(enclave string, g GuardController) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -225,7 +229,38 @@ func (m *Manager) AttachGuard(enclave string, g GuardController) error {
 	if _, ok := m.guards[enclave]; ok {
 		return fmt.Errorf("%w: enclave %q already has a guard", ErrExists, enclave)
 	}
+	var policy json.RawMessage
+	if pr, ok := g.(PolicyReporter); ok {
+		raw, err := pr.PolicyJSON()
+		if err != nil {
+			return fmt.Errorf("%w: guard policy: %v", ErrInvalid, err)
+		}
+		policy = raw
+	}
+	if err := m.appendRecord(store.KindGuardEnabled, guardRecord{Enclave: enclave, Policy: policy}); err != nil {
+		return fmt.Errorf("core: persist guard policy: %w", err)
+	}
 	m.guards[enclave] = g
+	if policy != nil {
+		m.guardPolicies[enclave] = policy
+	}
+	return nil
+}
+
+// NoteGuardPolicy commits an attached guard's updated policy to the
+// durable store (guard.SetPolicy calls it), so a restart re-enables the
+// guard under the policy the tenant last set, not the one it attached
+// with.
+func (m *Manager) NoteGuardPolicy(enclave string, policy json.RawMessage) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.guards[enclave]; !ok {
+		return fmt.Errorf("%w: enclave %q has no guard", ErrNotFound, enclave)
+	}
+	if err := m.appendRecord(store.KindGuardEnabled, guardRecord{Enclave: enclave, Policy: policy}); err != nil {
+		return fmt.Errorf("core: persist guard policy: %w", err)
+	}
+	m.guardPolicies[enclave] = append(json.RawMessage(nil), policy...)
 	return nil
 }
 
@@ -243,9 +278,14 @@ func (m *Manager) DetachGuard(enclave string) bool {
 	m.mu.Lock()
 	g, ok := m.guards[enclave]
 	delete(m.guards, enclave)
+	delete(m.guardPolicies, enclave)
 	m.mu.Unlock()
 	if ok {
 		g.Stop()
+		// Best-effort: a lost detach record means a restart re-enables a
+		// guard the tenant turned off — safe (over-guarding), and the
+		// tenant's detach is replayable.
+		_ = m.appendRecord(store.KindGuardDetached, enclaveNameRecord{Enclave: enclave})
 	}
 	return ok
 }
@@ -334,6 +374,11 @@ func (m *Manager) OpenIncidentIDs(enclave string) []string {
 // feed and wakes streamers. It is the Incident.onUpdate callback.
 func (m *Manager) noteIncidentUpdate(inc *Incident) {
 	st := inc.Status()
+	// Commit the update before serving it on the replayable feed, so a
+	// cursor handed to a streamer always points at surviving history.
+	// Persist failures do not block the feed: an incident update is a
+	// security signal, and availability wins over durability for it.
+	_ = m.appendRecord(store.KindIncidentUpdate, st)
 	m.mu.Lock()
 	m.incFeed = append(m.incFeed, st)
 	if over := len(m.incFeed) - maxIncidentFeed; over > 0 {
@@ -366,6 +411,10 @@ func (m *Manager) IncidentUpdatesSince(cursor int) ([]IncidentStatus, <-chan str
 // route to the enclave's guard — or record an unhandled incident when
 // no guard is enabled, so a remote tenant still finds out.
 func (m *Manager) noteRevocation(enclave string, ev keylime.RevocationEvent) {
+	// Same durability stance as incident updates: commit first so the
+	// replayable feed survives a crash, but never let a full disk stop a
+	// revocation from reaching the guard.
+	_ = m.appendRecord(store.KindRevocation, revocationRecord{Enclave: enclave, UUID: ev.UUID, Reason: ev.Reason, At: ev.At})
 	m.mu.Lock()
 	f := m.revFeeds[enclave]
 	if f == nil {

@@ -28,10 +28,14 @@ const (
 	EvDegraded    EventKind = "degraded"    // self-healing failed; running below target
 	EvReleased    EventKind = "released"    // returned to the free pool
 	EvStateSaved  EventKind = "state-saved" // volume preserved as an image
+	EvRecovered   EventKind = "recovered"   // re-adopted (or restored) by crash recovery
 )
 
-// Event is one journal record.
+// Event is one journal record. Seq is 1-based, strictly increasing, and
+// stable across control-plane restarts (restored from the durable store), so
+// it doubles as the resume cursor for NDJSON event feeds.
 type Event struct {
+	Seq    uint64
 	At     time.Time
 	Kind   EventKind
 	Node   string
@@ -45,23 +49,82 @@ func (e Event) String() string {
 // Journal is an append-only audit log of enclave operations. Security-
 // sensitive tenants want an audit trail of exactly when each machine
 // was trusted, by whom, and why it left.
+//
+// When a persist hook is attached (durable Manager), every event commits to
+// the store before it is assigned a sequence number and fanned out — a
+// client can never hold a cursor for an event that would not survive a
+// crash. A persist failure is sticky: the journal stops accepting events and
+// lifecycle transitions fail closed.
 type Journal struct {
 	mu       sync.Mutex
 	events   []Event
+	seq      uint64 // last assigned sequence number
 	watchers map[int]func(Event)
 	watchSeq int
+	persist  func(Event) error
+	fail     error // sticky persist failure
 }
 
 func (j *Journal) record(kind EventKind, node, detail string) {
-	ev := Event{At: time.Now(), Kind: kind, Node: node, Detail: detail}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.fail != nil {
+		return
+	}
+	ev := Event{Seq: j.seq + 1, At: time.Now(), Kind: kind, Node: node, Detail: detail}
+	if j.persist != nil {
+		if err := j.persist(ev); err != nil {
+			j.fail = fmt.Errorf("core: journal persist: %w", err)
+			return
+		}
+	}
+	j.seq = ev.Seq
 	j.events = append(j.events, ev)
 	// Watchers run under j.mu so every watcher sees events in journal
 	// order. They must be fast and must not record into this journal.
 	for _, fn := range j.watchers {
 		fn(ev)
 	}
+}
+
+// setPersist attaches the durable commit hook. The hook runs under the
+// journal lock, so commits are made in event order.
+func (j *Journal) setPersist(fn func(Event) error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.persist = fn
+}
+
+// Err reports the sticky persist failure, if any. Once set, no further
+// events are recorded: the enclave's audit trail is frozen and lifecycle
+// transitions fail closed rather than running unjournaled.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fail
+}
+
+// restore reloads a recovered journal: the persisted events verbatim, the
+// sequence counters they left off at, and the watcher-id seed (persisted so
+// watcher ids handed out before a restart never collide after recovery).
+func (j *Journal) restore(events []Event, watchSeq int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append([]Event(nil), events...)
+	j.seq = 0
+	if n := len(events); n > 0 {
+		j.seq = events[n-1].Seq
+	}
+	if watchSeq > j.watchSeq {
+		j.watchSeq = watchSeq
+	}
+}
+
+// seqs returns (last event seq, watcher-id seed) for checkpointing.
+func (j *Journal) seqs() (uint64, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq, j.watchSeq
 }
 
 // Record appends an event to the journal. Subsystems layered above the
@@ -109,6 +172,22 @@ func (j *Journal) EventsSince(cursor int) []Event {
 		return nil
 	}
 	return append([]Event(nil), j.events[cursor:]...)
+}
+
+// SinceSeq returns a copy of the events with Seq > after. Because seqs are
+// restored across restarts, a cursor taken before a crash resumes exactly
+// where it left off — no gaps, no duplicates.
+func (j *Journal) SinceSeq(after uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i := len(j.events)
+	for i > 0 && j.events[i-1].Seq > after {
+		i--
+	}
+	if i >= len(j.events) {
+		return nil
+	}
+	return append([]Event(nil), j.events[i:]...)
 }
 
 // ByNode returns the events for one node, in order.

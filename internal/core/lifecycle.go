@@ -128,7 +128,27 @@ func (l *lifecycle) to(node string, next NodeState, detail string) error {
 	}
 	l.mu.Unlock()
 	l.journal.record(stateEvent[next], node, detail)
+	if err := l.journal.Err(); err != nil {
+		// The transition could not be committed to the durable log. Fail
+		// closed: the caller treats the phase as failed, so no node is ever
+		// acknowledged in a state the log does not record.
+		return err
+	}
 	return nil
+}
+
+// restore reinstates a node's recorded state without validation or
+// journalling. Recovery uses it only for states whose trust does not need a
+// fresh quote (Rejected, Quarantined — distrust survives a restart; trust
+// does not).
+func (l *lifecycle) restore(node string, s NodeState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s == StateFree {
+		delete(l.states, node)
+		return
+	}
+	l.states[node] = s
 }
 
 // snapshot returns a copy of every tracked node's state.

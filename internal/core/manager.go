@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"bolted/internal/keylime"
+	"bolted/internal/store"
 )
 
 // This file is the server side of the tenant control plane: where PR 2
@@ -46,6 +48,10 @@ const MaxRetainedOps = 64
 // boltedd; it is safe for concurrent use.
 type Manager struct {
 	cloud *Cloud
+	// store is the durable control-plane log (persist.go): every
+	// mutation commits here before it is acknowledged. Defaults to
+	// store.Discard for managers built without durability.
+	store store.Store
 
 	mu       sync.Mutex
 	enclaves map[string]*Enclave
@@ -53,6 +59,13 @@ type Manager struct {
 	ops      map[string]*Operation
 	byencl   map[string][]*Operation // enclave -> its operations
 	opSeq    int
+	// idem maps a client Idempotency-Key to the operation it started, so
+	// a retried acquire (including across a restart) returns the
+	// existing operation instead of starting a duplicate batch.
+	idem map[string]string
+	// guardPolicies holds the raw policy JSON of attached (or recovered,
+	// not-yet-reattached) guards, keyed by enclave.
+	guardPolicies map[string]json.RawMessage
 
 	// Tenant QoS state (sched.go): per-tenant quotas and the global
 	// queue-depth admission bound. Violations surface as ErrOverQuota,
@@ -78,10 +91,13 @@ type Manager struct {
 func NewManager(c *Cloud) *Manager {
 	return &Manager{
 		cloud:         c,
+		store:         store.Discard{},
 		enclaves:      make(map[string]*Enclave),
 		deleting:      make(map[string]bool),
 		ops:           make(map[string]*Operation),
 		byencl:        make(map[string][]*Operation),
+		idem:          make(map[string]string),
+		guardPolicies: make(map[string]json.RawMessage),
 		quotas:        make(map[string]TenantQuota),
 		maxSchedQueue: DefaultMaxSchedQueue,
 		guards:        make(map[string]GuardController),
@@ -106,6 +122,14 @@ func (m *Manager) CreateEnclave(name string, p Profile) (*Enclave, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Commit before acknowledge: if the record cannot be made durable the
+	// enclave must not exist — tear the just-created project back down
+	// and refuse the mutation.
+	if err := m.appendRecord(store.KindEnclaveCreated, enclaveRecord{Name: name, Profile: p}); err != nil {
+		_ = e.Destroy()
+		return nil, fmt.Errorf("core: persist enclave %q: %w", name, err)
+	}
+	m.attachJournalPersist(name, e)
 	m.enclaves[name] = e
 	if v := e.Verifier(); v != nil {
 		// Mirror the verifier's in-process revocation fan-out into the
@@ -187,10 +211,19 @@ func (m *Manager) DeleteEnclave(name string) error {
 			defer unsub()
 		}
 		delete(m.revFeeds, name)
+		delete(m.guardPolicies, name)
 	}
 	// When Destroy fails the enclave lives on, but its guard stays
 	// detached (and stopped): the tenant re-enables explicitly.
 	m.mu.Unlock()
+	if err == nil {
+		// Destroy first, then commit: a crash in between replays an
+		// enclave whose journal already released every node — it comes
+		// back empty, never as orphaned hardware.
+		if perr := m.appendRecord(store.KindEnclaveDeleted, enclaveNameRecord{Enclave: name}); perr != nil {
+			return fmt.Errorf("core: enclave %q deleted but not committed: %w", name, perr)
+		}
+	}
 	return err
 }
 
@@ -199,12 +232,22 @@ func (m *Manager) DeleteEnclave(name string) error {
 func (m *Manager) pruneOpsLocked(enclave string) {
 	ops := m.byencl[enclave]
 	i := 0
+	dropped := make(map[string]bool)
 	for len(ops)-i > MaxRetainedOps && ops[i].Phase().Terminal() {
 		delete(m.ops, ops[i].ID)
+		dropped[ops[i].ID] = true
 		i++
 	}
 	if i > 0 {
 		m.byencl[enclave] = append([]*Operation(nil), ops[i:]...)
+		// Idempotency keys die with their operations; a retry under a
+		// pruned key reports the operation unretained rather than
+		// silently starting a second batch under a "retried" key.
+		for k, id := range m.idem {
+			if dropped[id] {
+				delete(m.idem, k)
+			}
+		}
 	}
 }
 
@@ -219,8 +262,20 @@ func (m *Manager) pruneOpsLocked(enclave string) {
 // it is refused with ErrConflict (tenants wanting parallel batches use
 // parallel enclaves).
 func (m *Manager) StartAcquire(enclave, image string, n int) (*Operation, error) {
+	op, _, err := m.StartAcquireIdem(enclave, image, n, "")
+	return op, err
+}
+
+// StartAcquireIdem is StartAcquire with an optional client idempotency
+// key. A non-empty key is committed with the operation record; retrying
+// with the same key — before or after a control-plane restart — returns
+// the original operation (replayed=true) instead of starting a duplicate
+// batch. A retried operation that the restart interrupted comes back with
+// phase OpInterrupted, so the client sees the interruption explicitly and
+// re-submits under a fresh key.
+func (m *Manager) StartAcquireIdem(enclave, image string, n int, idemKey string) (op *Operation, replayed bool, err error) {
 	if n < 1 {
-		return nil, fmt.Errorf("core: batch size must be at least 1")
+		return nil, false, fmt.Errorf("core: batch size must be at least 1")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	// Lookup and registration are one critical section: once the
@@ -231,25 +286,49 @@ func (m *Manager) StartAcquire(enclave, image string, n int) (*Operation, error)
 	if !ok || m.deleting[enclave] {
 		m.mu.Unlock()
 		cancel()
-		return nil, fmt.Errorf("%w: enclave %q", ErrNotFound, enclave)
+		return nil, false, fmt.Errorf("%w: enclave %q", ErrNotFound, enclave)
+	}
+	if idemKey != "" {
+		if id, ok := m.idem[idemKey]; ok {
+			prev, tracked := m.ops[id]
+			m.mu.Unlock()
+			cancel()
+			if !tracked {
+				return nil, false, fmt.Errorf("%w: operation %s for idempotency key no longer retained", ErrNotFound, id)
+			}
+			return prev, true, nil
+		}
 	}
 	for _, prev := range m.byencl[enclave] {
 		if !prev.Phase().Terminal() {
 			m.mu.Unlock()
 			cancel()
-			return nil, fmt.Errorf("%w: enclave %q already has operation %s in flight", ErrConflict, enclave, prev.ID)
+			return nil, false, fmt.Errorf("%w: enclave %q already has operation %s in flight", ErrConflict, enclave, prev.ID)
 		}
 	}
 	if err := m.admitAcquireLocked(enclave, e, n); err != nil {
 		m.mu.Unlock()
 		cancel()
-		return nil, err
+		return nil, false, err
 	}
 	m.opSeq++
-	op := newOperation(fmt.Sprintf("op-%04d", m.opSeq), enclave, image, n, cancel)
+	op = newOperation(fmt.Sprintf("op-%04d", m.opSeq), enclave, image, n, cancel)
 	op.seq = m.opSeq
+	// Commit before acknowledge: the operation record (with its
+	// idempotency key) must be durable before the tenant learns the op
+	// ID, or a crash could orphan a batch no retry can find.
+	rec := opStartedRecord{ID: op.ID, Enclave: enclave, Image: image, Count: n, Created: op.Created, IdemKey: idemKey}
+	if err := m.appendRecord(store.KindOpStarted, rec); err != nil {
+		m.opSeq--
+		m.mu.Unlock()
+		cancel()
+		return nil, false, fmt.Errorf("core: persist operation: %w", err)
+	}
 	m.ops[op.ID] = op
 	m.byencl[enclave] = append(m.byencl[enclave], op)
+	if idemKey != "" {
+		m.idem[idemKey] = op.ID
+	}
 	m.pruneOpsLocked(enclave)
 	m.mu.Unlock()
 
@@ -263,8 +342,17 @@ func (m *Manager) StartAcquire(enclave, image string, n int) (*Operation, error)
 		// mean the tenant's cancel — the operation's own terminal state,
 		// not a failure.
 		op.finish(res, err, errors.Is(err, context.Canceled))
+		// Best-effort terminal record: if it cannot commit, the next
+		// recovery replays the op as interrupted — indistinguishable from
+		// crashing here, which is the semantics we want.
+		st := op.Status()
+		fin := opFinishedRecord{ID: op.ID, Phase: st.Phase, Finished: st.Finished}
+		if st.Err != nil {
+			fin.Error = st.Err.Error()
+		}
+		_ = m.appendRecord(store.KindOpFinished, fin)
 	}()
-	return op, nil
+	return op, false, nil
 }
 
 // admitAcquireLocked is the /v1 admission gate: global queue-depth
@@ -339,8 +427,17 @@ func (m *Manager) SetQuota(tenant string, q TenantQuota) (QuotaStatus, bool, err
 		return QuotaStatus{}, false, err
 	}
 	m.mu.Lock()
-	_, had := m.quotas[tenant]
+	prev, had := m.quotas[tenant]
 	m.quotas[tenant] = q
+	if err := m.appendRecord(store.KindQuotaSet, quotaRecord{Tenant: tenant, Quota: q}); err != nil {
+		if had {
+			m.quotas[tenant] = prev
+		} else {
+			delete(m.quotas, tenant)
+		}
+		m.mu.Unlock()
+		return QuotaStatus{}, false, fmt.Errorf("core: persist quota: %w", err)
+	}
 	m.mu.Unlock()
 	m.cloud.Scheduler().SetWeight(tenant, q.weight())
 	st, err := m.Quota(tenant)
@@ -387,12 +484,18 @@ func (m *Manager) ListQuotas() []QuotaStatus {
 // weight to the default.
 func (m *Manager) DeleteQuota(tenant string) error {
 	m.mu.Lock()
-	_, ok := m.quotas[tenant]
-	delete(m.quotas, tenant)
-	m.mu.Unlock()
+	prev, ok := m.quotas[tenant]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: tenant %q has no quota", ErrNotFound, tenant)
 	}
+	delete(m.quotas, tenant)
+	if err := m.appendRecord(store.KindQuotaDeleted, tenantRecord{Tenant: tenant}); err != nil {
+		m.quotas[tenant] = prev
+		m.mu.Unlock()
+		return fmt.Errorf("core: persist quota delete: %w", err)
+	}
+	m.mu.Unlock()
 	m.cloud.Scheduler().SetWeight(tenant, 1)
 	return nil
 }
@@ -410,9 +513,19 @@ func (m *Manager) ConfigurePool(enclave string, p PoolPolicy) (PoolStats, bool, 
 	if err != nil {
 		return PoolStats{}, false, err
 	}
-	_, had := e.PoolStats()
+	prev, had := e.PoolStats()
 	if err := e.ConfigurePool(p); err != nil {
 		return PoolStats{}, false, err
+	}
+	if err := m.appendRecord(store.KindPoolConfigured, poolRecord{Enclave: enclave, Policy: p}); err != nil {
+		// Roll the live pool back to its committed policy (or detach a
+		// pool that never committed) so state and log agree.
+		if had {
+			_ = e.ConfigurePool(prev.Policy)
+		} else {
+			e.ClosePool()
+		}
+		return PoolStats{}, false, fmt.Errorf("core: persist pool policy: %w", err)
 	}
 	st, _ := e.PoolStats()
 	return st, !had, nil
@@ -455,7 +568,16 @@ func (m *Manager) DrainPool(enclave string) (PoolStats, error) {
 	if err != nil {
 		return PoolStats{}, err
 	}
-	return e.DrainPool()
+	st, err := e.DrainPool()
+	if err != nil {
+		return st, err
+	}
+	// A drain is a policy change (Target=0): commit it so a restart does
+	// not refill a pool the tenant emptied.
+	if perr := m.appendRecord(store.KindPoolConfigured, poolRecord{Enclave: enclave, Policy: st.Policy}); perr != nil {
+		return st, fmt.Errorf("core: persist pool drain: %w", perr)
+	}
+	return st, nil
 }
 
 // DetachPool stops and removes an enclave's warm pool entirely; its
@@ -467,6 +589,11 @@ func (m *Manager) DetachPool(enclave string) (bool, error) {
 	}
 	_, had := e.PoolStats()
 	e.ClosePool()
+	if had {
+		if err := m.appendRecord(store.KindPoolDetached, enclaveNameRecord{Enclave: enclave}); err != nil {
+			return had, fmt.Errorf("core: pool detached but not committed: %w", err)
+		}
+	}
 	return had, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 )
@@ -28,10 +29,18 @@ const (
 	// OpCancelled: the tenant cancelled mid-flight; unfinished nodes
 	// were returned to the free pool (Result.Aborted).
 	OpCancelled OpPhase = "cancelled"
+	// OpInterrupted: the control plane restarted while the batch was in
+	// flight. Partially-held nodes were released during recovery; the
+	// tenant retries (an Idempotency-Key retry of an interrupted
+	// operation returns it rather than starting a duplicate, so clients
+	// see the interruption explicitly before re-submitting).
+	OpInterrupted OpPhase = "interrupted"
 )
 
 // Terminal reports whether the phase is final.
-func (p OpPhase) Terminal() bool { return p == OpDone || p == OpCancelled }
+func (p OpPhase) Terminal() bool {
+	return p == OpDone || p == OpCancelled || p == OpInterrupted
+}
 
 // Operation is one long-running acquisition tracked by a Manager. All
 // methods are safe for concurrent use.
@@ -69,6 +78,33 @@ func newOperation(id, enclave, image string, n int, cancel context.CancelFunc) *
 		notify:   make(chan struct{}),
 		progress: make(map[string]EventKind),
 	}
+}
+
+// newRestoredOperation rebuilds an operation from the durable log during
+// recovery. Terminal phases come back with their recorded outcome; an
+// operation that was in flight at the crash comes back OpInterrupted with
+// err explaining why.
+func newRestoredOperation(id, enclave, image string, n int, created time.Time, phase OpPhase, errMsg string, finished time.Time) *Operation {
+	op := &Operation{
+		ID:       id,
+		Enclave:  enclave,
+		Image:    image,
+		Count:    n,
+		Created:  created,
+		cancel:   func() {},
+		done:     make(chan struct{}),
+		phase:    phase,
+		finished: finished,
+		notify:   make(chan struct{}),
+		progress: make(map[string]EventKind),
+	}
+	if errMsg != "" {
+		op.err = errors.New(errMsg)
+	}
+	if phase.Terminal() {
+		close(op.done)
+	}
+	return op
 }
 
 // observe is the journal watcher: record the event, track the node's

@@ -139,6 +139,11 @@ type WarmPool struct {
 	ready     []*warmNode
 	refilling int
 	closed    bool
+	// recovering holds the refiller idle (no refills, no surplus
+	// shedding) while crash recovery re-adopts recorded standbys —
+	// otherwise the refiller would race re-adoption for the very nodes
+	// the WAL says belong in this pool. resumePool releases it.
+	recovering bool
 	// failStreak counts consecutive failed refill attempts; the run
 	// loop's retry timer backs off exponentially (with jitter) on it,
 	// so a dead HIL never sees a synchronized fixed-rate retry storm.
@@ -151,7 +156,12 @@ type WarmPool struct {
 // background refiller) or updates the policy of an existing one.
 // Raising Target refills toward it; lowering it releases surplus warm
 // nodes back to the free pool.
-func (e *Enclave) ConfigurePool(p PoolPolicy) error {
+func (e *Enclave) ConfigurePool(p PoolPolicy) error { return e.configurePool(p, false) }
+
+// configurePool is ConfigurePool with a recovery switch: a recovering
+// pool starts with its refiller held so crash recovery can park the
+// recorded standbys first (resumePool releases it).
+func (e *Enclave) configurePool(p PoolPolicy, recovering bool) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -165,16 +175,30 @@ func (e *Enclave) ConfigurePool(p PoolPolicy) error {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	pool := &WarmPool{
-		e:      e,
-		ctx:    ctx,
-		cancel: cancel,
-		wake:   make(chan struct{}, 1),
-		policy: p,
+		e:          e,
+		ctx:        ctx,
+		cancel:     cancel,
+		wake:       make(chan struct{}, 1),
+		policy:     p,
+		recovering: recovering,
 	}
 	e.pool = pool
 	pool.wg.Add(1)
 	go pool.run()
 	return nil
+}
+
+// resumePool releases a pool configured in recovery mode; the refiller
+// then refills (or sheds) toward the restored target as usual.
+func (e *Enclave) resumePool() {
+	p := e.warmPool()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.recovering = false
+	p.mu.Unlock()
+	p.poke()
 }
 
 // PoolStats returns the warm pool's current state; ok is false when no
@@ -324,6 +348,21 @@ func (p *WarmPool) putBack(nodes []*warmNode, misses int) {
 	p.mu.Unlock()
 }
 
+// park re-inserts a standby the caller booted outside the refiller —
+// crash recovery re-adopting a recorded warm node. It reports false when
+// the pool closed meanwhile (the caller releases the node itself).
+func (p *WarmPool) park(wn *warmNode) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.ready = append(p.ready, wn)
+	p.mu.Unlock()
+	p.poke() // surplus above target is the refiller's to shed
+	return true
+}
+
 // remove pulls one parked node by name (quarantine path). It returns
 // nil when the node is not parked — e.g. already taken by a batch.
 func (p *WarmPool) remove(name string) *warmNode {
@@ -364,6 +403,17 @@ func (p *WarmPool) run() {
 	defer timer.Stop()
 	for {
 		p.mu.Lock()
+		if p.recovering {
+			// Held by crash recovery: neither refill nor shed until the
+			// recorded standbys are parked back.
+			p.mu.Unlock()
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-p.wake:
+			}
+			continue
+		}
 		// Surplus first: a lowered target releases parked nodes.
 		var surplus []*warmNode
 		for len(p.ready) > p.policy.Target {

@@ -17,6 +17,7 @@ package guard
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -128,6 +129,39 @@ type Guard struct {
 	stopped     bool
 }
 
+// PolicyJSON implements core.PolicyReporter: the manager commits the
+// returned policy to its durable store when the guard attaches, so a
+// restarted control plane can re-enable the guard via Restore.
+func (g *Guard) PolicyJSON() (json.RawMessage, error) {
+	return json.Marshal(g.Policy())
+}
+
+// Restore re-enables every guard whose policy the manager recovered from
+// its durable store (Manager.Recover). It returns the guards it started;
+// an enclave whose re-enable fails is skipped with its error recorded in
+// the second return, so one broken policy does not abandon the rest.
+func Restore(mgr *core.Manager) ([]*Guard, map[string]error) {
+	var out []*Guard
+	errs := make(map[string]error)
+	for enclave, raw := range mgr.RecoveredGuardPolicies() {
+		var p Policy
+		if err := json.Unmarshal(raw, &p); err != nil {
+			errs[enclave] = fmt.Errorf("guard: decode recovered policy: %w", err)
+			continue
+		}
+		g, err := Enable(mgr, enclave, p)
+		if err != nil {
+			errs[enclave] = err
+			continue
+		}
+		out = append(out, g)
+	}
+	if len(errs) == 0 {
+		errs = nil
+	}
+	return out, errs
+}
+
 // Enable builds a guard over a managed enclave under the given policy,
 // attaches it to the manager, and starts its monitoring and response
 // loops. The enclave's profile must enable continuous attestation (the
@@ -191,6 +225,12 @@ func (g *Guard) SetPolicy(p Policy) error {
 	g.mu.Lock()
 	g.policy = p
 	g.mu.Unlock()
+	// Commit the new policy so a restarted control plane re-enables the
+	// guard with what the tenant last set. Best-effort: the live guard
+	// already runs the new policy either way.
+	if raw, err := json.Marshal(p); err == nil {
+		_ = g.mgr.NoteGuardPolicy(g.name, raw)
+	}
 	select {
 	case g.wake <- struct{}{}:
 	default: // a wake-up is already pending

@@ -1,0 +1,223 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bolted/internal/core"
+	"bolted/internal/store"
+)
+
+// startDurableV1Server serves the full /v1 plane over a file-backed
+// store rooted at dir — recovering whatever the directory already
+// holds first, exactly the way boltedd -data-dir does.
+func startDurableV1Server(t *testing.T, dir string, nodes int) (*core.Manager, *core.RecoverReport, *V1Client, *httptest.Server) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cloud, err := core.NewCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.BMI.CreateOSImage("fedora28", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewManagerWithStore(cloud, st)
+	report, err := mgr.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := NewHandlerWithManager(cloud, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { mgr.Close() })
+	return mgr, report, NewV1Client(srv.URL), srv
+}
+
+// copyStoreDir snapshots a live store directory the way a crash would:
+// whatever bytes happen to be on disk right now, torn tail and all.
+func copyStoreDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	for _, name := range []string{"wal.log", "snapshot.json"} {
+		b, err := os.ReadFile(filepath.Join(src, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), b, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestV1RecoveryCursorResume is the wire-level acceptance test for the
+// durable control plane: a tenant acquires nodes over /v1 against a
+// file-backed server, notes an event-stream cursor, the server
+// "crashes" (its store directory is copied mid-flight and a second
+// server recovers from the copy), and the tenant resumes the NDJSON
+// feed with ?after=<cursor> — no gaps, no duplicates — while its
+// Idempotency-Key replays to the same operation id.
+func TestV1RecoveryCursorResume(t *testing.T) {
+	const nodes = 6
+	ctx := context.Background()
+
+	dir1 := t.TempDir()
+	_, _, cli1, _ := startDurableV1Server(t, dir1, nodes)
+
+	if _, err := cli1.CreateEnclave(ctx, "dur", core.ProfileBob.Name); err != nil {
+		t.Fatal(err)
+	}
+	op, replayed, err := cli1.AcquireIdem(ctx, "dur", "fedora28", 2, "http-key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed {
+		t.Fatal("a fresh Idempotency-Key answered as a replay")
+	}
+	if _, err := cli1.WaitOperation(ctx, op.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tenant streamed the enclave journal up to a mid-feed cursor
+	// before the crash.
+	var pre []EventInfo
+	if err := cli1.EnclaveEvents(ctx, "dur", 0, false, func(ev EventInfo) error {
+		pre = append(pre, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pre) < 4 {
+		t.Fatalf("expected a rich pre-crash journal, got %d events", len(pre))
+	}
+	for i, ev := range pre {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("pre-crash event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	cursor := pre[len(pre)/2].Seq
+
+	// Crash: copy the store dir out from under the live server and
+	// recover a second control plane from the copy.
+	dir2 := copyStoreDir(t, dir1)
+	_, report, cli2, srv2 := startDurableV1Server(t, dir2, nodes)
+	if len(report.Readopted) != 2 {
+		t.Fatalf("re-adopted %v, want the 2 recorded members (rejected %v, released %v)",
+			report.Readopted, report.Rejected, report.Released)
+	}
+
+	// Resume the feed with the raw ?after= cursor form.
+	resumed := fetchEventsAfter(t, srv2.URL, "dur", cursor)
+	if len(resumed) == 0 {
+		t.Fatal("no events after the resume cursor")
+	}
+	if resumed[0].Seq != cursor+1 {
+		t.Fatalf("resume starts at seq %d, want %d (gap or duplicate)", resumed[0].Seq, cursor+1)
+	}
+	for i, ev := range resumed {
+		if ev.Seq != cursor+uint64(i)+1 {
+			t.Fatalf("resumed feed has a seq gap at %d: got %d want %d", i, ev.Seq, cursor+uint64(i)+1)
+		}
+	}
+	// The resumed prefix replays the pre-crash tail byte-for-byte: same
+	// seq, kind, node.
+	for i := int(cursor); i < len(pre); i++ {
+		got := resumed[i-int(cursor)]
+		want := pre[i]
+		if got.Seq != want.Seq || got.Kind != want.Kind || got.Node != want.Node {
+			t.Fatalf("resumed event %d = %+v, pre-crash %+v", i, got, want)
+		}
+	}
+
+	// ?after=N and ?from=N are the same position, so the client's
+	// from-based reader resumes identically.
+	var viaFrom []EventInfo
+	if err := cli2.EnclaveEvents(ctx, "dur", int(cursor), false, func(ev EventInfo) error {
+		viaFrom = append(viaFrom, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(viaFrom) != len(resumed) || viaFrom[0].Seq != resumed[0].Seq {
+		t.Fatalf("?from=%d read %d events starting %d; ?after=%d read %d starting %d",
+			cursor, len(viaFrom), viaFrom[0].Seq, cursor, len(resumed), resumed[0].Seq)
+	}
+
+	// The pre-crash Idempotency-Key survived the restart: re-sending
+	// the same acquire maps back to the recorded operation.
+	op2, replayed2, err := cli2.AcquireIdem(ctx, "dur", "fedora28", 2, "http-key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed2 {
+		t.Fatal("recovered server treated a recorded Idempotency-Key as new work")
+	}
+	if op2.ID != op.ID {
+		t.Fatalf("replayed key answered operation %s, pre-crash id %s", op2.ID, op.ID)
+	}
+
+	// A fresh key runs fresh work: the recovered plane still acquires.
+	op3, replayed3, err := cli2.AcquireIdem(ctx, "dur", "fedora28", 1, "http-key-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed3 {
+		t.Fatal("a fresh key replayed")
+	}
+	fin, err := cli2.WaitOperation(ctx, op3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Phase != string(core.OpDone) {
+		t.Fatalf("post-recovery acquire ended %s: %s", fin.Phase, fin.Error)
+	}
+}
+
+// fetchEventsAfter reads one non-following NDJSON batch from the
+// enclave feed using the ?after= cursor form.
+func fetchEventsAfter(t *testing.T, base, enclave string, after uint64) []EventInfo {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/enclaves/%s/events?after=%d", base, enclave, after))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events?after=%d answered %d", after, resp.StatusCode)
+	}
+	var out []EventInfo
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev EventInfo
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -99,8 +99,11 @@ type IncidentStepInfo struct {
 	Error  string    `json:"error,omitempty"`
 }
 
-// IncidentInfo is the wire form of an incident resource.
+// IncidentInfo is the wire form of an incident resource. Seq is set
+// only on incident-stream items (GET /incidents?watch=1): the update's
+// 1-based feed position, stable across restarts, usable as ?after=.
 type IncidentInfo struct {
+	Seq     uint64             `json:"seq,omitempty"`
 	ID      string             `json:"id"`
 	Enclave string             `json:"enclave"`
 	Node    string             `json:"node"`
@@ -131,15 +134,18 @@ func incidentInfo(st core.IncidentStatus) *IncidentInfo {
 }
 
 // RevocationInfo is the wire form of one verifier revocation event —
-// the HTTP equivalent of keylime.Verifier.Subscribe.
+// the HTTP equivalent of keylime.Verifier.Subscribe. Seq is the event's
+// 1-based position in the enclave's feed; it is stable across
+// control-plane restarts, so ?after=<seq> resumes exactly past it.
 type RevocationInfo struct {
+	Seq    uint64    `json:"seq"`
 	Node   string    `json:"node"`
 	Reason string    `json:"reason"`
 	At     time.Time `json:"at"`
 }
 
-func revocationInfo(ev keylime.RevocationEvent) RevocationInfo {
-	return RevocationInfo{Node: ev.UUID, Reason: ev.Reason, At: ev.At}
+func revocationInfo(seq uint64, ev keylime.RevocationEvent) RevocationInfo {
+	return RevocationInfo{Seq: seq, Node: ev.UUID, Reason: ev.Reason, At: ev.At}
 }
 
 // TenantQuotaInfo is the wire form of a tenant quota. core.TenantQuota
@@ -205,8 +211,12 @@ type OperationInfo struct {
 // Terminal reports whether the operation has reached a final phase.
 func (o *OperationInfo) Terminal() bool { return core.OpPhase(o.Phase).Terminal() }
 
-// EventInfo is the wire form of one lifecycle journal event.
+// EventInfo is the wire form of one lifecycle journal event. Seq is the
+// event's 1-based journal sequence number — stable across control-plane
+// restarts, so a client that saw seq N before a crash resumes the feed
+// with ?after=N and misses nothing, duplicates nothing.
 type EventInfo struct {
+	Seq    uint64    `json:"seq"`
 	At     time.Time `json:"at"`
 	Kind   string    `json:"kind"`
 	Node   string    `json:"node"`
@@ -279,7 +289,7 @@ func enclaveInfo(e *core.Enclave) *EnclaveInfo {
 }
 
 func eventInfo(ev core.Event) EventInfo {
-	return EventInfo{At: ev.At, Kind: string(ev.Kind), Node: ev.Node, Detail: ev.Detail}
+	return EventInfo{Seq: ev.Seq, At: ev.At, Kind: string(ev.Kind), Node: ev.Node, Detail: ev.Detail}
 }
 
 // writeV1Error maps an error onto the typed envelope: sentinel errors
@@ -397,7 +407,10 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 
 	// Custom verb: POST /enclaves/{name}/nodes:acquire starts a batch
 	// and answers 202 with the Operation — the multi-minute pipeline
-	// never blocks the request.
+	// never blocks the request. An Idempotency-Key header makes the
+	// submission replay-safe: a retry of a key the durable store already
+	// maps to an operation answers 200 with that operation instead of
+	// starting a second batch.
 	mux.HandleFunc("POST /enclaves/{name}/nodes:acquire", func(w http.ResponseWriter, r *http.Request) {
 		var req acquireRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -408,13 +421,17 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			writeV1Error(w, fmt.Errorf("%w: acquisition needs an image and a count >= 1", errInvalid))
 			return
 		}
-		op, err := mgr.StartAcquire(r.PathValue("name"), req.Image, req.Count)
+		op, replayed, err := mgr.StartAcquireIdem(r.PathValue("name"), req.Image, req.Count, r.Header.Get("Idempotency-Key"))
 		if err != nil {
 			writeV1Error(w, err)
 			return
 		}
 		w.Header().Set("Location", prefixV1+"/operations/"+op.ID)
-		writeV1JSON(w, http.StatusAccepted, operationInfo(op))
+		status := http.StatusAccepted
+		if replayed {
+			status = http.StatusOK
+		}
+		writeV1JSON(w, status, operationInfo(op))
 	})
 
 	mux.HandleFunc("DELETE /enclaves/{name}/nodes/{node}", func(w http.ResponseWriter, r *http.Request) {
@@ -497,12 +514,25 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
+		wrote := false
 		for {
 			evs, notify, terminal := op.EventsSince(cursor)
+			// Events are staged to the WAL before they are visible here;
+			// one flush makes the whole batch durable before any of it is
+			// served, so a cursor the client takes away survives a crash.
+			if len(evs) > 0 {
+				if err := mgr.SyncStore(); err != nil {
+					if !wrote {
+						writeV1Error(w, err)
+					}
+					return
+				}
+			}
 			for _, ev := range evs {
 				if err := enc.Encode(eventInfo(ev)); err != nil {
 					return
 				}
+				wrote = true
 			}
 			cursor += len(evs)
 			if flusher != nil {
@@ -725,14 +755,14 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			return
 		}
 		if r.URL.Query().Get("watch") == "" {
-			evs, _, _, err := mgr.RevocationsSince(name, cursor)
+			evs, _, next, err := mgr.RevocationsSince(name, cursor)
 			if err != nil {
 				writeV1Error(w, err)
 				return
 			}
 			out := []RevocationInfo{}
-			for _, ev := range evs {
-				out = append(out, revocationInfo(ev))
+			for i, ev := range evs {
+				out = append(out, revocationInfo(uint64(next-len(evs)+i+1), ev))
 			}
 			writeV1JSON(w, http.StatusOK, out)
 			return
@@ -752,8 +782,8 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			if err != nil {
 				return // enclave deleted mid-stream
 			}
-			for _, ev := range evs {
-				if err := enc.Encode(revocationInfo(ev)); err != nil {
+			for i, ev := range evs {
+				if err := enc.Encode(revocationInfo(uint64(next-len(evs)+i+1), ev)); err != nil {
 					return
 				}
 			}
@@ -806,12 +836,25 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			})
 			defer unwatch()
 		}
+		wrote := false
 		for {
 			evs := j.EventsSince(cursor)
+			// Events are staged to the WAL before they are visible here;
+			// one flush makes the whole batch durable before any of it is
+			// served, so a cursor the client takes away survives a crash.
+			if len(evs) > 0 {
+				if err := mgr.SyncStore(); err != nil {
+					if !wrote {
+						writeV1Error(w, err)
+					}
+					return
+				}
+			}
 			for _, ev := range evs {
 				if err := enc.Encode(eventInfo(ev)); err != nil {
 					return
 				}
+				wrote = true
 			}
 			cursor += len(evs)
 			if flusher != nil {
@@ -853,11 +896,13 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		enc := json.NewEncoder(w)
 		for {
 			updates, notify, next := mgr.IncidentUpdatesSince(cursor)
-			for _, st := range updates {
+			for i, st := range updates {
 				if enclave != "" && st.Enclave != enclave {
 					continue // filtered out; cursor still advances
 				}
-				if err := enc.Encode(incidentInfo(st)); err != nil {
+				info := incidentInfo(st)
+				info.Seq = uint64(next - len(updates) + i + 1)
+				if err := enc.Encode(info); err != nil {
 					return
 				}
 			}
@@ -896,15 +941,27 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 	return mux
 }
 
-// cursorParam parses the ?from=N replay cursor (0 when absent).
+// cursorParam parses the replay cursor: ?from=N (0-based feed
+// position, 0 when absent) or its alias ?after=N ("resume past seq N").
+// Seqs are 1-based and contiguous, so the two coincide numerically —
+// after=7 means "I have seqs 1..7", which is exactly from=7 — and
+// because seqs are restored from the durable store, an after= cursor
+// taken before a crash resumes the same feed after a restart.
 func cursorParam(r *http.Request) (int, error) {
-	from := r.URL.Query().Get("from")
-	if from == "" {
+	q := r.URL.Query()
+	val, name := q.Get("from"), "from"
+	if after := q.Get("after"); after != "" {
+		if val != "" {
+			return 0, fmt.Errorf("%w: give either from= or after=, not both", errInvalid)
+		}
+		val, name = after, "after"
+	}
+	if val == "" {
 		return 0, nil
 	}
-	cursor, err := strconv.Atoi(from)
+	cursor, err := strconv.Atoi(val)
 	if err != nil || cursor < 0 {
-		return 0, fmt.Errorf("%w: bad from cursor %q", errInvalid, from)
+		return 0, fmt.Errorf("%w: bad %s cursor %q", errInvalid, name, val)
 	}
 	return cursor, nil
 }

@@ -138,11 +138,20 @@ const (
 // transparently with capped, jittered backoff — up to
 // MaxQuotaRetries re-sends — before the ErrOverQuota surfaces.
 func (c *V1Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	_, err := c.doHdr(ctx, method, path, nil, body, out)
+	return err
+}
+
+// doHdr is do with extra request headers (e.g. Idempotency-Key) and the
+// 2xx status code reported back — the acquire path branches on 200
+// (idempotent replay) vs 202 (new operation). Quota retries re-send the
+// same headers, so a retried acquisition keeps its key.
+func (c *V1Client) doHdr(ctx context.Context, method, path string, hdr http.Header, body, out interface{}) (int, error) {
 	var b []byte
 	if body != nil {
 		var err error
 		if b, err = json.Marshal(body); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	retries := defaultQuotaRetries
@@ -150,10 +159,10 @@ func (c *V1Client) do(ctx context.Context, method, path string, body, out interf
 		retries = *c.MaxQuotaRetries
 	}
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, method, path, b, out)
+		status, err := c.doOnce(ctx, method, path, hdr, b, out)
 		var qe *core.QuotaError
 		if err == nil || !errors.As(err, &qe) || attempt >= retries {
-			return err
+			return status, err
 		}
 		delay := qe.RetryAfter
 		if delay <= 0 {
@@ -168,37 +177,42 @@ func (c *V1Client) do(ctx context.Context, method, path string, body, out interf
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
-			return fmt.Errorf("remote: %w (while backing off from %v)", ctx.Err(), qe)
+			return 0, fmt.Errorf("remote: %w (while backing off from %v)", ctx.Err(), qe)
 		}
 	}
 }
 
 // doOnce is one HTTP round trip of do.
-func (c *V1Client) doOnce(ctx context.Context, method, path string, body []byte, out interface{}) error {
+func (c *V1Client) doOnce(ctx context.Context, method, path string, hdr http.Header, body []byte, out interface{}) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if rd != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		return decodeV1Error(resp)
+		return resp.StatusCode, decodeV1Error(resp)
 	}
 	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 	}
 	_, _ = io.Copy(io.Discard, resp.Body) // keep the connection reusable
-	return nil
+	return resp.StatusCode, nil
 }
 
 // CreateEnclave creates a named enclave under a profile ("alice",
@@ -240,13 +254,28 @@ func (c *V1Client) DeleteEnclave(ctx context.Context, name string) error {
 // with GetOperation / WaitOperation / StreamEvents, or stop it with
 // CancelOperation.
 func (c *V1Client) Acquire(ctx context.Context, enclave, image string, n int) (*OperationInfo, error) {
+	op, _, err := c.AcquireIdem(ctx, enclave, image, n, "")
+	return op, err
+}
+
+// AcquireIdem is Acquire with an idempotency key: a retry of a key the
+// control plane already committed (even across a server restart —
+// the key→operation mapping is durable) returns the original operation
+// with replayed=true instead of starting a second batch. An empty key
+// degrades to plain Acquire.
+func (c *V1Client) AcquireIdem(ctx context.Context, enclave, image string, n int, key string) (op *OperationInfo, replayed bool, err error) {
+	var hdr http.Header
+	if key != "" {
+		hdr = http.Header{"Idempotency-Key": {key}}
+	}
 	var info OperationInfo
-	err := c.do(ctx, "POST", "/enclaves/"+url.PathEscape(enclave)+"/nodes:acquire",
+	status, err := c.doHdr(ctx, "POST", "/enclaves/"+url.PathEscape(enclave)+"/nodes:acquire", hdr,
 		acquireRequest{Image: image, Count: n}, &info)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return &info, nil
+	// The server answers 200 for a replayed key, 202 for a new batch.
+	return &info, status == http.StatusOK, nil
 }
 
 // ReleaseNode removes a node from an enclave and returns it to the

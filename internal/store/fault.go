@@ -1,0 +1,91 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoSpace is the canned append failure Faulty injects by default,
+// standing in for ENOSPC on the WAL device.
+var ErrNoSpace = errors.New("store: no space left on device")
+
+// Faulty wraps a Store and injects append failures after a configured number
+// of successful commits. Tests use it to prove the Manager fails closed: a
+// mutation whose record cannot be made durable must be rejected, not
+// acknowledged.
+type Faulty struct {
+	inner Store
+
+	mu        sync.Mutex
+	remaining int // successful appends left before failures start; -1 = unlimited
+	err       error
+	appends   int
+}
+
+// NewFaulty wraps inner with no fault armed.
+func NewFaulty(inner Store) *Faulty {
+	return &Faulty{inner: inner, remaining: -1}
+}
+
+// FailAppendsAfter arms the fault: the next n Appends succeed, every one
+// after that returns err (ErrNoSpace if err is nil).
+func (f *Faulty) FailAppendsAfter(n int, err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	f.mu.Lock()
+	f.remaining = n
+	f.err = err
+	f.mu.Unlock()
+}
+
+// Heal disarms the fault; subsequent Appends pass through again.
+func (f *Faulty) Heal() {
+	f.mu.Lock()
+	f.remaining = -1
+	f.err = nil
+	f.mu.Unlock()
+}
+
+// Appends reports how many Appends reached the wrapper (including failed
+// ones), for asserting that a code path attempted a commit.
+func (f *Faulty) Appends() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appends
+}
+
+func (f *Faulty) Append(rec Record) error {
+	if err := f.admit(); err != nil {
+		return err
+	}
+	return f.inner.Append(rec)
+}
+
+// AppendBuffered counts against the same armed fault as Append: a buffered
+// record that cannot be staged fails just as loudly.
+func (f *Faulty) AppendBuffered(rec Record) error {
+	if err := f.admit(); err != nil {
+		return err
+	}
+	return f.inner.AppendBuffered(rec)
+}
+
+// admit charges one append against the armed fault.
+func (f *Faulty) admit() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.appends++
+	if f.remaining == 0 {
+		return f.err
+	}
+	if f.remaining > 0 {
+		f.remaining--
+	}
+	return nil
+}
+
+func (f *Faulty) Load() (*Snapshot, []Record, error) { return f.inner.Load() }
+func (f *Faulty) Sync() error                        { return f.inner.Sync() }
+func (f *Faulty) Compact(snap *Snapshot) error       { return f.inner.Compact(snap) }
+func (f *Faulty) Close() error                       { return f.inner.Close() }

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// ErrRecordTooLarge rejects appends whose encoded payload exceeds maxFrame.
+var ErrRecordTooLarge = errors.New("store: record exceeds frame limit")
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.json"
+
+	// frameHeader is [4-byte little-endian payload length][4-byte CRC32-C of
+	// the payload]. The CRC lets open-time recovery distinguish a torn tail
+	// (truncate and continue) from silent corruption (also truncate — every
+	// byte after the last valid frame is untrusted).
+	frameHeader = 8
+	maxFrame    = 16 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// File is the durable Store: an fsync'd append-only WAL plus an atomically
+// replaced snapshot file, both inside a single directory.
+//
+// Append uses group commit: the frame is written under the write lock, then
+// the caller joins a shared fsync that covers every frame written before it
+// started. Concurrent appenders therefore amortize one fsync instead of
+// paying one each, while each still returns only after its own frame is
+// durable.
+type File struct {
+	dir string
+
+	mu      sync.Mutex // guards f, wrote, closed, and structural ops
+	f       *os.File
+	wrote   uint64 // frames fully written to the OS
+	closed  bool
+	syncMu  sync.Mutex // serializes fsyncs; never held with mu
+	durable uint64     // frames covered by the last completed fsync
+}
+
+// Open creates dir if needed, recovers the WAL tail (truncating after the
+// last valid frame), and returns a store ready for Load and Append.
+func Open(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	st := &File{dir: dir, f: f}
+	n, valid, err := scanWAL(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info, serr := f.Stat(); serr == nil && info.Size() > valid {
+		// Torn or corrupt tail from a crash mid-append: everything after the
+		// last whole frame is garbage. Cut it so new frames start clean.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: sync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek wal end: %w", err)
+	}
+	st.wrote = n
+	st.durable = n
+	return st, nil
+}
+
+// scanWAL walks frames from the start of f, calling fn (if non-nil) for each
+// decoded record. It returns the frame count and the byte offset just past
+// the last valid frame.
+func scanWAL(f *os.File, fn func(Record) error) (frames uint64, validEnd int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("store: seek wal start: %w", err)
+	}
+	var hdr [frameHeader]byte
+	var off int64
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			// EOF (clean end) or a partial header (torn tail): stop here.
+			return frames, off, nil
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size == 0 || size > maxFrame {
+			return frames, off, nil
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return frames, off, nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return frames, off, nil // corrupt frame: distrust it and the rest
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return frames, off, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return frames, off, err
+			}
+		}
+		frames++
+		off += int64(frameHeader) + int64(size)
+	}
+}
+
+func (s *File) Load() (*Snapshot, []Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	var snap *Snapshot
+	raw, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	switch {
+	case err == nil:
+		snap = new(Snapshot)
+		if err := json.Unmarshal(raw, snap); err != nil {
+			// A half-written snapshot can't happen (tmp+rename), so a broken
+			// one means external damage. Fail loudly rather than silently
+			// recovering to an empty control plane over live hardware.
+			return nil, nil, fmt.Errorf("store: corrupt snapshot: %w", err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return nil, nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var recs []Record
+	if _, _, err := scanWAL(s.f, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, nil, fmt.Errorf("store: seek wal end: %w", err)
+	}
+	return snap, recs, nil
+}
+
+func (s *File) Append(rec Record) error {
+	target, err := s.write(rec)
+	if err != nil {
+		return err
+	}
+	return s.syncTo(target)
+}
+
+// AppendBuffered writes the frame into the log (visible to Load and to
+// open-time recovery) but returns before it is fsync'd: the next Append,
+// Sync, or Compact is its commit point.
+func (s *File) AppendBuffered(rec Record) error {
+	_, err := s.write(rec)
+	return err
+}
+
+// Sync blocks until every frame written so far is durable.
+func (s *File) Sync() error {
+	s.mu.Lock()
+	target := s.wrote
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return s.syncTo(target)
+}
+
+// write frames and appends one record under the write lock, returning the
+// frame count the caller must sync to for durability.
+func (s *File) write(rec Record) (uint64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("store: encode record: %w", err)
+	}
+	if len(payload) > maxFrame {
+		return 0, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(payload))
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	start, err := s.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, fmt.Errorf("store: wal offset: %w", err)
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		// Undo a partial write so the in-memory offset and the on-disk tail
+		// stay framed; if the truncate also fails, open-time CRC recovery
+		// still cuts the torn frame.
+		s.f.Truncate(start)
+		s.f.Seek(start, io.SeekStart)
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+	s.wrote++
+	return s.wrote, nil
+}
+
+// syncTo returns once every frame up to target is fsync'd, issuing at most
+// one fsync of its own and otherwise riding a concurrent one.
+func (s *File) syncTo(target uint64) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.durable >= target {
+		return nil
+	}
+	s.mu.Lock()
+	covered := s.wrote
+	f, closed := s.f, s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	if covered > s.durable {
+		s.durable = covered
+	}
+	return nil
+}
+
+func (s *File) Compact(snap *Snapshot) error {
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	// Lock order everywhere is syncMu before mu (syncTo does the same), so
+	// Compact's reset of the durable watermark can't deadlock with an
+	// in-flight group commit.
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot tmp: %w", err)
+	}
+	if _, err := tf.Write(raw); err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	// The snapshot now owns all prior history; drop the log it replaced.
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewind wal: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync wal: %w", err)
+	}
+	s.wrote = 0
+	s.durable = 0
+	return nil
+}
+
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustAppend(t *testing.T, s Store, kind Kind, payload string) {
+	t.Helper()
+	if err := s.Append(Record{Kind: kind, At: time.Now(), Data: json.RawMessage(payload)}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		mustAppend(t, s, KindJournalEvent, fmt.Sprintf(`{"i":%d}`, i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	snap, recs, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if snap != nil {
+		t.Fatalf("unexpected snapshot before any compact")
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Kind != KindJournalEvent || string(r.Data) != fmt.Sprintf(`{"i":%d}`, i) {
+			t.Fatalf("record %d mismatch: %+v", i, r)
+		}
+	}
+
+	// Appends after a reopen extend the same log.
+	mustAppend(t, s2, KindQuotaSet, `{"i":5}`)
+	_, recs, err = s2.Load()
+	if err != nil {
+		t.Fatalf("load after append: %v", err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("got %d records after append, want 6", len(recs))
+	}
+}
+
+func TestFileTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	mustAppend(t, s, KindJournalEvent, `{"i":0}`)
+	mustAppend(t, s, KindJournalEvent, `{"i":1}`)
+	s.Close()
+
+	// Simulate a crash mid-append: chop bytes off the final frame.
+	wal := filepath.Join(dir, "wal.log")
+	info, err := os.Stat(wal)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(wal, info.Size()-3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer s2.Close()
+	_, recs, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != `{"i":0}` {
+		t.Fatalf("want only the first record to survive, got %d: %+v", len(recs), recs)
+	}
+	// The torn bytes must be gone so the next append starts a clean frame.
+	mustAppend(t, s2, KindJournalEvent, `{"i":2}`)
+	_, recs, _ = s2.Load()
+	if len(recs) != 2 || string(recs[1].Data) != `{"i":2}` {
+		t.Fatalf("append after truncation broken: %+v", recs)
+	}
+}
+
+func TestFileBitFlipRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	mustAppend(t, s, KindJournalEvent, `{"i":0}`)
+	mustAppend(t, s, KindJournalEvent, `{"i":1}`)
+	mustAppend(t, s, KindJournalEvent, `{"i":2}`)
+	s.Close()
+
+	// Flip one payload bit inside the second frame. CRC must reject it and
+	// everything after it — bytes past a corrupt frame are untrusted.
+	wal := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	frame0 := 8 + int(uint32(raw[0])|uint32(raw[1])<<8|uint32(raw[2])<<16|uint32(raw[3])<<24)
+	raw[frame0+8+4] ^= 0x40
+	if err := os.WriteFile(wal, raw, 0o644); err != nil {
+		t.Fatalf("write wal: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after bit flip: %v", err)
+	}
+	defer s2.Close()
+	_, recs, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != `{"i":0}` {
+		t.Fatalf("want truncation to last valid frame, got %d records: %+v", len(recs), recs)
+	}
+}
+
+func TestFileCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	mustAppend(t, s, KindJournalEvent, `{"i":0}`)
+	if err := s.Compact(&Snapshot{Taken: time.Now(), State: json.RawMessage(`{"v":1}`)}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	mustAppend(t, s, KindJournalEvent, `{"i":1}`)
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	snap, recs, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if snap == nil || string(snap.State) != `{"v":1}` {
+		t.Fatalf("snapshot not restored: %+v", snap)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != `{"i":1}` {
+		t.Fatalf("want only post-snapshot records, got %+v", recs)
+	}
+}
+
+func TestFileConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mustAppend(t, s, KindJournalEvent, fmt.Sprintf(`{"g":%d}`, i))
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	_, recs, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+}
+
+func TestFaultyFailsAfter(t *testing.T) {
+	f := NewFaulty(NewMemory())
+	f.FailAppendsAfter(2, nil)
+	mustAppend(t, f, KindJournalEvent, `{}`)
+	mustAppend(t, f, KindJournalEvent, `{}`)
+	err := f.Append(Record{Kind: KindJournalEvent, Data: json.RawMessage(`{}`)})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	_, recs, _ := f.Load()
+	if len(recs) != 2 {
+		t.Fatalf("failed append leaked into log: %d records", len(recs))
+	}
+	f.Heal()
+	mustAppend(t, f, KindJournalEvent, `{}`)
+	if got := f.Appends(); got != 4 {
+		t.Fatalf("append count = %d, want 4", got)
+	}
+}
+
+func TestMemoryCompactAndClose(t *testing.T) {
+	m := NewMemory()
+	mustAppend(t, m, KindJournalEvent, `{"i":0}`)
+	if err := m.Compact(&Snapshot{State: json.RawMessage(`{"v":2}`)}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	snap, recs, err := m.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if snap == nil || string(snap.State) != `{"v":2}` || len(recs) != 0 {
+		t.Fatalf("compact semantics broken: snap=%+v recs=%+v", snap, recs)
+	}
+	m.Close()
+	if err := m.Append(Record{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestFileAppendBuffered covers the write/flush split: buffered records
+// keep log order against durable appends, land on disk for recovery, and
+// both a durable Append and an explicit Sync act as their commit point.
+func TestFileAppendBuffered(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := s.AppendBuffered(Record{Kind: KindJournalEvent, At: time.Now(), Data: json.RawMessage(`{"i":0}`)}); err != nil {
+		t.Fatalf("buffered append: %v", err)
+	}
+	// A durable Append after a buffered one commits both (one fsync
+	// covers every frame written before it).
+	mustAppend(t, s, KindOpFinished, `{"i":1}`)
+	if err := s.AppendBuffered(Record{Kind: KindJournalEvent, At: time.Now(), Data: json.RawMessage(`{"i":2}`)}); err != nil {
+		t.Fatalf("buffered append: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// Crash (no Close): reopen must replay all three, in order.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	_, recs, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if string(r.Data) != fmt.Sprintf(`{"i":%d}`, i) {
+			t.Fatalf("record %d out of order: %s", i, r.Data)
+		}
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync on closed store: %v, want ErrClosed", err)
+	}
+}
+
+// TestFaultyBuffered proves the injected fault charges buffered appends
+// exactly like durable ones.
+func TestFaultyBuffered(t *testing.T) {
+	f := NewFaulty(NewMemory())
+	f.FailAppendsAfter(1, nil)
+	if err := f.AppendBuffered(Record{Kind: KindJournalEvent}); err != nil {
+		t.Fatalf("first buffered append: %v", err)
+	}
+	if err := f.AppendBuffered(Record{Kind: KindJournalEvent}); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second buffered append: %v, want ErrNoSpace", err)
+	}
+	if err := f.Append(Record{Kind: KindOpFinished}); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("append after fault: %v, want ErrNoSpace", err)
+	}
+	if got := f.Appends(); got != 3 {
+		t.Fatalf("Appends() = %d, want 3", got)
+	}
+	f.Heal()
+	if err := f.Append(Record{Kind: KindOpFinished}); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+}
