@@ -26,6 +26,7 @@ import (
 	"bolted/internal/keylime"
 	"bolted/internal/luks"
 	"bolted/internal/npb"
+	"bolted/internal/obs"
 	"bolted/internal/remote"
 	"bolted/internal/softaes"
 	"bolted/internal/store"
@@ -1242,6 +1243,80 @@ func BenchmarkRecovery(b *testing.B) {
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+// --- Observability overhead: the instrumented hot path ---
+
+// BenchmarkObsOverhead runs the BenchmarkAcquireNodesWarm functional
+// warm path twice — once on an uninstrumented cloud (nil registry: every
+// instrument no-ops) and once with a live metrics registry attached, the
+// way boltedd -metrics-addr runs — so the cost of the observability
+// plane on the provisioning hot path is a single ratio. CI emits the
+// pair as BENCH_obs.json and gates metrics-on at <= 5% over metrics-off.
+// The luks/ipsec package-global instruments stay detached here: they are
+// process-wide, so attaching them would bleed into the metrics-off runs
+// interleaved in the same process.
+func BenchmarkObsOverhead(b *testing.B) {
+	const batch = 8
+	seed := func(b *testing.B, instrument bool) *core.Enclave {
+		b.Helper()
+		cfg := core.DefaultConfig()
+		cfg.Nodes = batch
+		cloud, err := core.NewCloud(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if instrument {
+			cloud.SetMetrics(obs.NewRegistry())
+		}
+		if _, err := cloud.BMI.CreateOSImage("os", bmi.OSImageSpec{
+			KernelID: "k", Kernel: []byte("kernel"), Initrd: []byte("initrd"),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		e, err := core.NewEnclave(cloud, "t", core.ProfileBob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol := core.DefaultPoolPolicy()
+		pol.Target = batch
+		pol.MaxRefill = batch
+		if err := e.ConfigurePool(pol); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			st, _ := e.PoolStats()
+			if st.Warm >= batch {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("pool never warmed: %+v", st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return e
+	}
+	for _, mode := range []string{"metrics-off", "metrics-on"} {
+		b.Run("warm-acquire/"+mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := seed(b, mode == "metrics-on")
+				b.StartTimer()
+				res, err := e.AcquireNodes(context.Background(), "os", batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Nodes) != batch {
+					b.Fatalf("allocated %d of %d", len(res.Nodes), batch)
+				}
+				b.StopTimer()
+				e.ClosePool()
+				b.StartTimer()
+			}
+			b.ReportMetric(batch, "nodes/batch")
 		})
 	}
 }

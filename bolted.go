@@ -38,6 +38,7 @@ import (
 	"bolted/internal/bmi"
 	"bolted/internal/core"
 	"bolted/internal/guard"
+	"bolted/internal/obs"
 	"bolted/internal/remote"
 	"bolted/internal/store"
 	"bolted/internal/workload"
@@ -244,6 +245,26 @@ type OperationInfo = remote.OperationInfo
 // EventInfo is the control plane's wire form of one lifecycle journal
 // event (the /v1/operations/{id}/events stream).
 type EventInfo = remote.EventInfo
+
+// MetricsRegistry is the dependency-free metrics registry behind the
+// observability plane: atomic counters, gauges and fixed-bucket
+// histograms with Prometheus text exposition. Attach one to a cloud
+// with Cloud.SetMetrics before serving traffic and mount
+// MetricsRegistry.Handler() (boltedd serves it at /metrics via
+// -metrics-addr):
+//
+//	reg := bolted.NewMetricsRegistry()
+//	cloud.SetMetrics(reg)
+//	http.Handle("/metrics", reg.Handler())
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// SpanData is one recorded trace span: the operation root or one
+// node × pipeline-phase interval, as served by
+// /v1/operations/{id}/trace and Client.OperationTrace.
+type SpanData = obs.SpanData
 
 // Manager is the server-side control-plane registry: named enclaves
 // plus the asynchronous Operations running against them. It powers the

@@ -76,6 +76,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"time"
 
 	"bolted"
 	"bolted/internal/bmi"
@@ -140,6 +141,8 @@ commands:
   sched stats                (airlock scheduler snapshot: slots, queue,
         grants, preemptions, per-tenant shares)
   op list | get <id> | wait <id> | cancel <id> | events <id>
+  op trace <id>              (per-node phase timeline from the server's
+        span tracer; recent operations only)
   incident list [enclave] | get <id> | wait <id> | stream
 exit codes: 0 ok, 1 transport/API error, 2 usage,
             3 partial batch failure, 4 operation cancelled,
@@ -561,6 +564,13 @@ func main() {
 		if err == nil {
 			emit(op, func() { printOperation(op) })
 		}
+	case "op trace":
+		need(3)
+		var spans []bolted.SpanData
+		spans, err = v1.OperationTrace(ctx, args[2])
+		if err == nil {
+			emit(spans, func() { printTrace(spans) })
+		}
 	case "op events":
 		need(3)
 		enc := json.NewEncoder(os.Stdout)
@@ -743,6 +753,55 @@ func printOperation(op *bolted.OperationInfo) {
 	}
 	fmt.Printf("batch: %d allocated, %d rejected, %d aborted in %v\n",
 		len(op.Result.Nodes), len(op.Result.Failed), len(op.Result.Aborted), op.Result.Wall)
+}
+
+// printTrace is the human rendering of an operation's span tree: the
+// operation root, then each node's phase timeline with offsets from the
+// operation start — the per-node view of where the pipeline spent its
+// time.
+func printTrace(spans []bolted.SpanData) {
+	if len(spans) == 0 {
+		fmt.Println("no spans recorded")
+		return
+	}
+	root := spans[0]
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			root = sp
+			break
+		}
+	}
+	dur := func(sp bolted.SpanData) string {
+		if sp.End.IsZero() {
+			return "in flight"
+		}
+		return time.Duration(sp.DurationNS).Round(time.Microsecond).String()
+	}
+	fmt.Printf("trace %s: %s (%s)\n", root.Trace, root.Name, dur(root))
+	// Group phase spans under their node, keeping each node's phases in
+	// recorded (start) order and nodes in first-appearance order.
+	byNode := make(map[string][]bolted.SpanData)
+	var nodes []string
+	for _, sp := range spans {
+		if sp.Span == root.Span || sp.Node == "" {
+			continue
+		}
+		if _, ok := byNode[sp.Node]; !ok {
+			nodes = append(nodes, sp.Node)
+		}
+		byNode[sp.Node] = append(byNode[sp.Node], sp)
+	}
+	for _, node := range nodes {
+		fmt.Printf("  %s\n", node)
+		for _, sp := range byNode[node] {
+			line := fmt.Sprintf("    +%-10v %-22s %s",
+				sp.Start.Sub(root.Start).Round(time.Microsecond), sp.Name, dur(sp))
+			if sp.Error != "" {
+				line += "  error: " + sp.Error
+			}
+			fmt.Println(line)
+		}
+	}
 }
 
 // printGuard is the human rendering of a guard resource.

@@ -19,9 +19,11 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -30,15 +32,35 @@ import (
 	"bolted/internal/bmi"
 	"bolted/internal/core"
 	"bolted/internal/guard"
+	"bolted/internal/ipsec"
+	"bolted/internal/luks"
+	"bolted/internal/obs"
 	"bolted/internal/remote"
 	"bolted/internal/store"
 )
+
+// newObsMux serves the operator observability plane on its own
+// listener, off the tenant-facing surface: Prometheus exposition at
+// /metrics, the runtime profiler under /debug/pprof/, and expvar at
+// /debug/vars.
+func newObsMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address for the service plane")
 	nodes := flag.Int("nodes", 4, "number of bare-metal nodes")
 	fw := flag.String("firmware", "linuxboot", "node flash firmware: linuxboot or uefi")
 	dataDir := flag.String("data-dir", "", "directory for the durable control-plane store (WAL + snapshots); empty runs in-memory")
+	metricsAddr := flag.String("metrics-addr", "", "listen address for the observability plane (/metrics, /debug/pprof/, /debug/vars); empty disables it")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -47,6 +69,17 @@ func main() {
 	cloud, err := core.NewCloud(cfg)
 	if err != nil {
 		log.Fatalf("boltedd: %v", err)
+	}
+
+	// The registry attaches before any enclave, pool or store exists, so
+	// every subsystem resolves live instruments. Without -metrics-addr
+	// the cloud stays uninstrumented: nil-registry instruments no-op.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		cloud.SetMetrics(reg)
+		luks.SetMetrics(reg)
+		ipsec.SetMetrics(reg)
 	}
 	if _, err := cloud.BMI.CreateOSImage("fedora28", bmi.OSImageSpec{
 		KernelID: "fedora28-4.17.9",
@@ -107,6 +140,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	var obsSrv *http.Server
+	if reg != nil {
+		obsSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           newObsMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+			// No WriteTimeout: /debug/pprof/profile streams for its whole
+			// sample window (30s default, longer via ?seconds=).
+			IdleTimeout: 2 * time.Minute,
+		}
+		go func() {
+			if err := obsSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("boltedd: observability plane: %v", err)
+			}
+		}()
+		log.Printf("boltedd: metrics at http://%s/metrics, profiler at http://%s/debug/pprof/", *metricsAddr, *metricsAddr)
+	}
+
 	free, _ := cloud.HIL.FreeNodes()
 	log.Printf("boltedd: %d %s nodes; HIL at http://%s/, BMI at http://%s/bmi/, registrar at http://%s/registrar/, node plane at http://%s/plane/, control plane at http://%s/v1/",
 		*nodes, *fw, *addr, *addr, *addr, *addr, *addr)
@@ -123,6 +174,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("boltedd: forced shutdown: %v", err)
+		}
+		if obsSrv != nil {
+			_ = obsSrv.Shutdown(shutCtx)
 		}
 	}
 	if *dataDir != "" {

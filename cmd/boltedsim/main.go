@@ -28,8 +28,9 @@ import (
 
 // Flags consumed by the sched benchmark (see sched.go).
 var (
-	schedCheck    bool
-	schedBenchOut string
+	schedCheck      bool
+	schedBenchOut   string
+	schedMetricsOut string
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller measurement volumes (CI mode)")
 	flag.BoolVar(&schedCheck, "check", false, "sched: exit non-zero when the fairness/latency gates fail")
 	flag.StringVar(&schedBenchOut, "out", "BENCH_sched.json", "sched: path for the JSON benchmark report")
+	flag.StringVar(&schedMetricsOut, "metrics-out", "METRICS_sched.prom", "sched: path for the Prometheus exposition of the churn run (empty disables)")
 	flag.Parse()
 
 	figures := map[string]func(bool){

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -16,8 +17,40 @@ import (
 	"time"
 
 	"bolted/internal/core"
+	"bolted/internal/obs"
 	"bolted/internal/sim"
 )
+
+// simMetrics mirrors boltedd's scheduler instruments over the churn
+// model — same metric names, same labels, sim-time observations — so
+// the 10k-node run is scrapeable with the dashboards built for a live
+// control plane. The zero value (no registry) no-ops.
+type simMetrics struct {
+	wait    map[core.SchedClass]*obs.Histogram
+	grants  *obs.CounterVec
+	attest  *obs.Histogram
+	requote *obs.Histogram
+}
+
+func newSimMetrics(reg *obs.Registry) simMetrics {
+	if reg == nil {
+		return simMetrics{}
+	}
+	waitVec := reg.HistogramVec("bolted_sched_wait_seconds",
+		"Airlock queue wait from enqueue to grant.", nil, "class")
+	phaseVec := reg.HistogramVec("bolted_phase_seconds",
+		"Per-node time in each Figure-1 lifecycle phase.", nil, "phase")
+	return simMetrics{
+		wait: map[core.SchedClass]*obs.Histogram{
+			core.ClassForeground: waitVec.With(core.ClassForeground.String()),
+			core.ClassBackground: waitVec.With(core.ClassBackground.String()),
+		},
+		grants: reg.CounterVec("bolted_sched_grants_total",
+			"Airlock slots granted, by tenant.", "tenant"),
+		attest:  phaseVec.With(core.PhaseAttest),
+		requote: phaseVec.With(core.PhaseWarmRequote),
+	}
+}
 
 // Churn workload shape: one 64-node hog in a closed acquire/hold/
 // release loop against seven 2-node tenants with Poisson arrivals,
@@ -156,6 +189,7 @@ type activeEncl struct {
 type churnRun struct {
 	s   *sim.Sim
 	arb schedArbiter
+	m   simMetrics
 
 	slots   int
 	free    int
@@ -189,10 +223,15 @@ func (r *churnRun) releaseNodes(n int) { r.free += n }
 // the airlock-serialized attestation slice, then the rest of the
 // attest phase off-slot.
 func (r *churnRun) nodeAttest(p *sim.Proc, t *schedTenant) {
+	w0 := p.Now()
 	r.arb.acquire(p, t.name, core.ClassForeground)
+	r.m.wait[core.ClassForeground].Observe((p.Now() - w0).Seconds())
+	r.m.grants.With(t.name).Inc()
+	t0 := p.Now()
 	p.Sleep(core.AirlockSerialDuration)
 	r.arb.release()
 	p.Sleep(core.AttestDuration)
+	r.m.attest.Observe((p.Now() - t0).Seconds())
 }
 
 // enclaveAcquire provisions an n-node enclave: every node contends for
@@ -262,12 +301,14 @@ func (r *churnRun) storm() {
 }
 
 // runChurn drives the full workload through one arbiter and returns
-// the populated run.
-func runChurn(mkArb func(*sim.Sim, int) schedArbiter, slots int) *churnRun {
+// the populated run. A non-nil reg records the run's scheduler metrics
+// under boltedd's metric names (sim-time observations).
+func runChurn(mkArb func(*sim.Sim, int) schedArbiter, slots int, reg *obs.Registry) *churnRun {
 	s := sim.New(7) // fixed seed: identical arrivals across arbiters
 	r := &churnRun{
 		s:      s,
 		arb:    mkArb(s, slots),
+		m:      newSimMetrics(reg),
 		slots:  slots,
 		free:   schedNodes,
 		active: make(map[int]*activeEncl),
@@ -315,9 +356,12 @@ func runChurn(mkArb func(*sim.Sim, int) schedArbiter, slots int) *churnRun {
 			for p.Now() < schedHorizon {
 				w0 := p.Now()
 				r.arb.acquire(p, "pool", core.ClassBackground)
+				r.m.wait[core.ClassBackground].Observe((p.Now() - w0).Seconds())
+				r.m.grants.With("pool").Inc()
 				r.bgWaited += p.Now() - w0
 				p.Sleep(core.WarmRequoteDuration)
 				r.arb.release()
+				r.m.requote.Observe(core.WarmRequoteDuration.Seconds())
 				r.bgGrants++
 				p.Sleep(requoteEvery)
 			}
@@ -440,10 +484,16 @@ func figSched(bool) {
 	fmt.Printf("background: %d warm standbys re-quoting every ~%s; revocation storm every %s\n",
 		bgStandbys, requoteEvery, stormEvery)
 
+	// Only the production-policy run (WFQ, contended) records metrics:
+	// that is the configuration a live boltedd schedules with.
+	var reg *obs.Registry
+	if schedMetricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 	runs := []schedRunReport{
-		runChurn(func(s *sim.Sim, n int) schedArbiter { return newWFQArbiter(s, n) }, schedUncontended).report("uncontended"),
-		runChurn(func(s *sim.Sim, n int) schedArbiter { return &fifoArbiter{s: s, slots: n} }, schedSlots).report("fifo"),
-		runChurn(func(s *sim.Sim, n int) schedArbiter { return newWFQArbiter(s, n) }, schedSlots).report("wfq"),
+		runChurn(func(s *sim.Sim, n int) schedArbiter { return newWFQArbiter(s, n) }, schedUncontended, nil).report("uncontended"),
+		runChurn(func(s *sim.Sim, n int) schedArbiter { return &fifoArbiter{s: s, slots: n} }, schedSlots, nil).report("fifo"),
+		runChurn(func(s *sim.Sim, n int) schedArbiter { return newWFQArbiter(s, n) }, schedSlots, reg).report("wfq"),
 	}
 	unc, fifo, wfq := runs[0], runs[1], runs[2]
 
@@ -488,6 +538,17 @@ func figSched(bool) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", schedBenchOut)
+	if reg != nil {
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(schedMetricsOut, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "boltedsim: write %s: %v\n", schedMetricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (Prometheus exposition of the wfq run)\n", schedMetricsOut)
+	}
 	if schedCheck && !pass {
 		fmt.Fprintln(os.Stderr, "boltedsim: sched gates failed")
 		os.Exit(1)

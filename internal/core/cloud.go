@@ -17,6 +17,7 @@ import (
 	"bolted/internal/hil"
 	"bolted/internal/keylime"
 	"bolted/internal/netsim"
+	"bolted/internal/obs"
 	"bolted/internal/tpm"
 )
 
@@ -145,9 +146,28 @@ type Cloud struct {
 	// cloud-scoped, not per-enclave.
 	sched *Scheduler
 
+	// metrics holds the pre-resolved observability instruments
+	// (metrics.go). Always non-nil; all instruments nil (no-op) until
+	// SetMetrics attaches a registry.
+	metrics *cloudMetrics
+
 	rejMu    sync.Mutex
 	rejected map[string]string // node -> rejection reason
 }
+
+// SetMetrics attaches an observability registry: every subsystem built
+// from this cloud afterwards (scheduler grants immediately; pools,
+// enclaves and managers at their creation) records into it. Call it
+// right after NewCloud/NewRemoteCloud, before serving traffic —
+// instruments are resolved once here, not re-checked per observation.
+// A nil registry returns the cloud to the uninstrumented default.
+func (c *Cloud) SetMetrics(reg *obs.Registry) {
+	c.metrics = newCloudMetrics(reg)
+	c.sched.setMetrics(c.metrics.sched())
+}
+
+// Metrics returns the attached registry (nil when uninstrumented).
+func (c *Cloud) Metrics() *obs.Registry { return c.metrics.registry }
 
 // LocalHIL returns the in-process HIL service (nil for remote clouds).
 // Server wiring only; the orchestrator goes through c.HIL.
@@ -190,6 +210,7 @@ func NewRemoteCloud(cfg CloudConfig, svc RemoteServices) (*Cloud, error) {
 		Registrar: svc.Registrar,
 		Driver:    svc.Driver,
 		sched:     NewScheduler(DefaultAirlocks),
+		metrics:   newCloudMetrics(nil),
 		rejected:  make(map[string]string),
 	}, nil
 }
@@ -226,6 +247,7 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		regLocal:  regSvc,
 		machines:  make(map[string]*firmware.Machine),
 		sched:     NewScheduler(DefaultAirlocks),
+		metrics:   newCloudMetrics(nil),
 		rejected:  make(map[string]string),
 	}
 	c.Driver = newLocalDriver(c)

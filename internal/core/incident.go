@@ -374,6 +374,7 @@ func (m *Manager) OpenIncidentIDs(enclave string) []string {
 // feed and wakes streamers. It is the Incident.onUpdate callback.
 func (m *Manager) noteIncidentUpdate(inc *Incident) {
 	st := inc.Status()
+	m.cloud.metrics.observeIncident(st)
 	// Commit the update before serving it on the replayable feed, so a
 	// cursor handed to a streamer always points at surviving history.
 	// Persist failures do not block the feed: an incident update is a

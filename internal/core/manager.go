@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"bolted/internal/keylime"
+	"bolted/internal/obs"
 	"bolted/internal/store"
 )
 
@@ -53,6 +54,10 @@ type Manager struct {
 	// store.Discard for managers built without durability.
 	store store.Store
 
+	// tracer records one trace per operation (trace ID = operation ID),
+	// retention mirroring MaxRetainedOps. Always non-nil.
+	tracer *obs.Tracer
+
 	mu       sync.Mutex
 	enclaves map[string]*Enclave
 	deleting map[string]bool // enclaves mid-Destroy; refuse new work
@@ -92,6 +97,7 @@ func NewManager(c *Cloud) *Manager {
 	return &Manager{
 		cloud:         c,
 		store:         store.Discard{},
+		tracer:        obs.NewTracer(MaxRetainedOps),
 		enclaves:      make(map[string]*Enclave),
 		deleting:      make(map[string]bool),
 		ops:           make(map[string]*Operation),
@@ -309,6 +315,9 @@ func (m *Manager) StartAcquireIdem(enclave, image string, n int, idemKey string)
 	if err := m.admitAcquireLocked(enclave, e, n); err != nil {
 		m.mu.Unlock()
 		cancel()
+		if errors.Is(err, ErrOverQuota) {
+			m.cloud.metrics.quotaRejections.With(enclave).Inc()
+		}
 		return nil, false, err
 	}
 	m.opSeq++
@@ -332,12 +341,18 @@ func (m *Manager) StartAcquireIdem(enclave, image string, n int, idemKey string)
 	m.pruneOpsLocked(enclave)
 	m.mu.Unlock()
 
+	// The trace shares the operation's ID and lifetime: one root span
+	// for the whole acquisition, node×phase children emitted by the
+	// provisioner through the context.
+	root := m.tracer.StartTrace(op.ID, "acquire "+enclave)
+	runCtx := obs.WithTrace(ctx, obs.TraceContext{Tracer: m.tracer, Trace: op.ID, Parent: root.ID()})
 	unwatch := e.Journal().Watch(op.observe)
 	go func() {
 		defer cancel()
 		defer unwatch()
 		op.setRunning()
-		res, err := e.AcquireNodes(ctx, image, n)
+		res, err := e.AcquireNodes(runCtx, image, n)
+		root.End(err)
 		// The manager owns ctx, so a context.Canceled outcome can only
 		// mean the tenant's cancel — the operation's own terminal state,
 		// not a failure.
@@ -595,6 +610,29 @@ func (m *Manager) DetachPool(enclave string) (bool, error) {
 		}
 	}
 	return had, nil
+}
+
+// Tracer returns the manager's operation tracer (never nil).
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
+
+// Metrics returns the cloud's metrics registry (nil when the cloud is
+// uninstrumented).
+func (m *Manager) Metrics() *obs.Registry { return m.cloud.Metrics() }
+
+// OperationTrace returns the recorded spans of an operation's trace,
+// creation order: the root acquire span first, then one span per
+// node × phase. ErrNotFound covers both an unknown operation and one
+// whose trace has been evicted (restored operations have no trace —
+// spans are runtime observations, not durable state).
+func (m *Manager) OperationTrace(id string) ([]obs.SpanData, error) {
+	if _, err := m.Operation(id); err != nil {
+		return nil, err
+	}
+	spans, ok := m.tracer.Spans(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: operation %q has no recorded trace", ErrNotFound, id)
+	}
+	return spans, nil
 }
 
 // Operation returns a tracked operation by ID.

@@ -150,7 +150,14 @@ type WarmPool struct {
 	failStreak int
 
 	hits, misses, drained, rejected uint64
+
+	// metrics is the pool's pre-resolved instrument set (zero-value
+	// no-ops when the cloud is uninstrumented).
+	metrics poolMetrics
 }
+
+// syncWarmLocked refreshes the warm-occupancy gauge. Callers hold p.mu.
+func (p *WarmPool) syncWarmLocked() { p.metrics.warm.Set(float64(len(p.ready))) }
 
 // ConfigurePool creates the enclave's warm pool (starting its
 // background refiller) or updates the policy of an existing one.
@@ -181,6 +188,7 @@ func (e *Enclave) configurePool(p PoolPolicy, recovering bool) error {
 		wake:       make(chan struct{}, 1),
 		policy:     p,
 		recovering: recovering,
+		metrics:    e.cloud.metrics.pool(e.Project),
 	}
 	e.pool = pool
 	pool.wg.Add(1)
@@ -302,6 +310,9 @@ func (p *WarmPool) take(n int) []*warmNode {
 	p.ready = append([]*warmNode(nil), p.ready[k:]...)
 	p.hits += uint64(k)
 	p.misses += uint64(n - k)
+	p.metrics.hits.Add(float64(k))
+	p.metrics.misses.Add(float64(n - k))
+	p.syncWarmLocked()
 	p.mu.Unlock()
 	p.poke()
 	return out
@@ -327,6 +338,7 @@ func (p *WarmPool) putBack(nodes []*warmNode, misses int) {
 			p.mu.Lock()
 			p.hits--
 			p.rejected++
+			p.metrics.rejected.Inc()
 			p.mu.Unlock()
 			_ = p.e.quarantineTaken(wn.name, reason)
 			continue
@@ -336,6 +348,7 @@ func (p *WarmPool) putBack(nodes []*warmNode, misses int) {
 	p.mu.Lock()
 	if p.closed {
 		p.drained += uint64(len(keep))
+		p.metrics.drained.Add(float64(len(keep)))
 		p.hits -= uint64(len(keep))
 		p.mu.Unlock()
 		for _, wn := range keep {
@@ -345,6 +358,7 @@ func (p *WarmPool) putBack(nodes []*warmNode, misses int) {
 	}
 	p.ready = append(keep, p.ready...)
 	p.hits -= uint64(len(keep))
+	p.syncWarmLocked()
 	p.mu.Unlock()
 }
 
@@ -358,6 +372,7 @@ func (p *WarmPool) park(wn *warmNode) bool {
 		return false
 	}
 	p.ready = append(p.ready, wn)
+	p.syncWarmLocked()
 	p.mu.Unlock()
 	p.poke() // surplus above target is the refiller's to shed
 	return true
@@ -372,10 +387,12 @@ func (p *WarmPool) remove(name string) *warmNode {
 		if wn.name == name {
 			p.ready = append(p.ready[:i:i], p.ready[i+1:]...)
 			p.rejected++
+			p.metrics.rejected.Inc()
 			got = wn
 			break
 		}
 	}
+	p.syncWarmLocked()
 	p.mu.Unlock()
 	if got != nil {
 		p.poke() // occupancy dropped: the refiller replaces the standby
@@ -389,6 +406,8 @@ func (p *WarmPool) drain(detail string) {
 	nodes := p.ready
 	p.ready = nil
 	p.drained += uint64(len(nodes))
+	p.metrics.drained.Add(float64(len(nodes)))
+	p.syncWarmLocked()
 	p.mu.Unlock()
 	for _, wn := range nodes {
 		p.e.releaseWarmNode(wn.name, detail)
@@ -421,7 +440,9 @@ func (p *WarmPool) run() {
 			surplus = append(surplus, p.ready[last])
 			p.ready = p.ready[:last]
 			p.drained++
+			p.metrics.drained.Inc()
 		}
+		p.syncWarmLocked()
 		deficit := p.policy.Target - len(p.ready) - p.refilling
 		slots := p.policy.MaxRefill - p.refilling
 		n := deficit
@@ -492,6 +513,7 @@ func (p *WarmPool) refillOne() {
 	// quote when foreground acquisitions are waiting for a slot.
 	ctx, cancel := withSchedBackground(p.ctx)
 	defer cancel()
+	t0 := time.Now()
 	name, err := e.cloud.HIL.AllocateAnyNode(ctx, e.Project)
 	if err != nil {
 		// Free pool empty (or pool closing). No poke: an immediate
@@ -512,6 +534,7 @@ func (p *WarmPool) refillOne() {
 		} else {
 			p.mu.Lock()
 			p.rejected++
+			p.metrics.rejected.Inc()
 			p.mu.Unlock()
 			e.rejectNode(name, PhaseWarmRefill, err)
 		}
@@ -520,16 +543,20 @@ func (p *WarmPool) refillOne() {
 		p.noteRefill(false)
 		return
 	}
+	p.metrics.refillSeconds.ObserveSince(t0)
+	e.cloud.metrics.observePhase(PhaseWarmRefill, time.Since(t0))
 	p.mu.Lock()
 	if p.closed || len(p.ready) >= p.policy.Target {
 		// The pool closed (or shrank) while this node booted.
 		p.drained++
+		p.metrics.drained.Inc()
 		p.mu.Unlock()
 		e.releaseWarmNode(name, "pool closed during refill")
 		return
 	}
 	p.ready = append(p.ready, wn)
 	p.failStreak = 0
+	p.syncWarmLocked()
 	p.mu.Unlock()
 	p.poke() // a slot freed up and the park succeeded: keep filling
 }
@@ -541,6 +568,7 @@ func (p *WarmPool) noteRefill(ok bool) {
 		p.failStreak = 0
 	} else {
 		p.failStreak++
+		p.metrics.refillFails.Inc()
 	}
 	p.mu.Unlock()
 }

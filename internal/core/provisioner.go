@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bolted/internal/bmi"
+	"bolted/internal/obs"
 )
 
 // This file is the concurrent provisioner: a worker-pool pipeline that
@@ -175,6 +176,29 @@ type phaseSpan struct {
 	d     time.Duration
 }
 
+// phaseRunner builds the per-phase measurement closure both pipeline
+// variants share: skip when the batch is already cancelled, time the
+// phase into *spans (the BatchTimings source) and the phase histogram,
+// and — when the context carries a trace (an operation started via the
+// Manager) — emit a node×phase span parented under the operation's
+// root. Timings, metrics and traces therefore agree by construction.
+func (e *Enclave) phaseRunner(ctx context.Context, node string, spans *[]phaseSpan) func(string, func() error) error {
+	tc := obs.TraceFrom(ctx)
+	return func(phase string, fn func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		sp := tc.Start(phase, node)
+		err := fn()
+		sp.End(err)
+		d := time.Since(t0)
+		*spans = append(*spans, phaseSpan{phase, d})
+		e.cloud.metrics.observePhase(phase, d)
+		return err
+	}
+}
+
 // provisionFailure annotates a NodeFailure with how the node left the
 // pipeline: rejected (quarantined) or aborted (returned to free).
 type provisionFailure struct {
@@ -190,15 +214,7 @@ type provisionFailure struct {
 func (e *Enclave) provisionOne(ctx context.Context, name string, boot *bmi.BootInfo) (*Node, []phaseSpan, *provisionFailure) {
 	w := &nodeWork{name: name, boot: boot}
 	var spans []phaseSpan
-	run := func(phase string, fn func() error) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		t0 := time.Now()
-		err := fn()
-		spans = append(spans, phaseSpan{phase, time.Since(t0)})
-		return err
-	}
+	run := e.phaseRunner(ctx, name, &spans)
 
 	phase := PhaseAirlock
 	err := run(PhaseAirlock, func() error { return e.airlockNode(ctx, name) })
@@ -247,15 +263,7 @@ func (e *Enclave) provisionWarmOne(ctx context.Context, wn *warmNode, boot *bmi.
 	w := &nodeWork{name: wn.name, boot: boot, agent: wn.agent, machine: wn.machine}
 	w.kernel, w.initrd = boot.Kernel, boot.Initrd
 	var spans []phaseSpan
-	run := func(phase string, fn func() error) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		t0 := time.Now()
-		err := fn()
-		spans = append(spans, phaseSpan{phase, time.Since(t0)})
-		return err
-	}
+	run := e.phaseRunner(ctx, wn.name, &spans)
 
 	var err error
 	banned := false    // revocation raced the fast path (checked at both gates)

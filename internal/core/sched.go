@@ -305,6 +305,39 @@ type Scheduler struct {
 	preemptions uint64
 	tGrants     map[string]uint64
 	tWaited     map[string]time.Duration
+
+	// m holds the pre-resolved observability instruments (all nil when
+	// the cloud is uninstrumented); tQueued tracks per-tenant queue
+	// depth for the gauge, maintained only while instrumented.
+	m       schedMetrics
+	tQueued map[string]int
+}
+
+// setMetrics attaches the scheduler's instrument set (Cloud.SetMetrics
+// calls it before the scheduler sees traffic).
+func (s *Scheduler) setMetrics(m schedMetrics) {
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+}
+
+// noteQueuedLocked folds a queue-depth change into the per-tenant
+// gauge. Callers hold s.mu.
+func (s *Scheduler) noteQueuedLocked(tenant string, delta int) {
+	if s.m.queued == nil {
+		return
+	}
+	if s.tQueued == nil {
+		s.tQueued = make(map[string]int)
+	}
+	n := s.tQueued[tenant] + delta
+	if n <= 0 {
+		delete(s.tQueued, tenant)
+		n = 0
+	} else {
+		s.tQueued[tenant] = n
+	}
+	s.m.queued.With(tenant).Set(float64(n))
 }
 
 // NewScheduler returns a scheduler with the given slot count.
@@ -404,6 +437,7 @@ func (s *Scheduler) Acquire(ctx context.Context, tenant string, class SchedClass
 		granted: make(chan uint64, 1),
 	}
 	s.waiters[id] = w
+	s.noteQueuedLocked(tenant, +1)
 	s.dispatchLocked()
 	if _, waiting := s.waiters[id]; waiting && class == ClassForeground {
 		// No free slot for foreground work: displace a background
@@ -420,6 +454,7 @@ func (s *Scheduler) Acquire(ctx context.Context, tenant string, class SchedClass
 		if _, waiting := s.waiters[id]; waiting {
 			delete(s.waiters, id)
 			s.fq.Remove(id)
+			s.noteQueuedLocked(tenant, -1)
 			s.mu.Unlock()
 			return nil, fmt.Errorf("core: %w", ctx.Err())
 		}
@@ -445,7 +480,12 @@ func (s *Scheduler) dispatchLocked() {
 		s.holders[g.id] = g
 		s.grants++
 		s.tGrants[w.tenant]++
-		s.tWaited[w.tenant] += time.Since(w.enq)
+		waited := time.Since(w.enq)
+		s.tWaited[w.tenant] += waited
+		s.noteQueuedLocked(w.tenant, -1)
+		s.m.wait[w.class].Observe(waited.Seconds())
+		s.m.grants.With(w.tenant).Inc()
+		s.m.inUse.Set(float64(s.inUse))
 		w.granted <- g.id
 	}
 }
@@ -468,6 +508,7 @@ func (s *Scheduler) preemptOneLocked() {
 	}
 	victim.preempted = true
 	s.preemptions++
+	s.m.preempt.Inc()
 	victim.preempt()
 }
 
@@ -477,6 +518,7 @@ func (s *Scheduler) release(gid uint64) {
 	if _, held := s.holders[gid]; held {
 		delete(s.holders, gid)
 		s.inUse--
+		s.m.inUse.Set(float64(s.inUse))
 		s.dispatchLocked()
 	}
 	s.mu.Unlock()

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestOperationTraceMixedWarmColdParenting: an 8-node batch that drains
+// a 4-deep warm pool and cold-boots the rest yields one trace — a
+// single root "acquire" span with every node×phase span parented under
+// it, warm-path phases on the pool hits and the full cold chain on the
+// misses.
+func TestOperationTraceMixedWarmColdParenting(t *testing.T) {
+	cloud := testCloud(t, 10, FirmwareLinuxBoot)
+	m := NewManager(cloud)
+	if _, err := m.CreateEnclave("tenant", ProfileBob); err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPoolPolicy()
+	pol.Target = 4
+	pol.RetryBackoff = 5 * time.Millisecond
+	if _, _, err := m.ConfigurePool("tenant", pol); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.Enclave("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitWarm(t, e, 4)
+
+	op, err := m.StartAcquire("tenant", "fedora28", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := op.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 8 {
+		t.Fatalf("allocated %d of 8 (failed: %v)", len(res.Nodes), res.Failed)
+	}
+
+	spans, err := m.OperationTrace(op.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Creation order puts the root first; it is the only orphan and it
+	// closed when the operation did.
+	root := spans[0]
+	if root.Parent != 0 || root.Name != "acquire tenant" || root.Node != "" {
+		t.Fatalf("root span = %+v", root)
+	}
+	if root.End.IsZero() {
+		t.Fatal("root span never ended")
+	}
+	for _, sp := range spans {
+		if sp.Trace != op.ID {
+			t.Fatalf("span %d carries trace %q, want %q", sp.Span, sp.Trace, op.ID)
+		}
+	}
+
+	// Every child is a node×phase measurement hanging directly off the
+	// root: no orphans, no deeper nesting, no open ends.
+	warmRequote := map[string]bool{}
+	coldBoot := map[string]bool{}
+	phaseNodes := map[string]map[string]bool{}
+	for _, sp := range spans[1:] {
+		if sp.Parent != root.Span {
+			t.Fatalf("span %q on %s parented under %d, want root %d", sp.Name, sp.Node, sp.Parent, root.Span)
+		}
+		if sp.Node == "" {
+			t.Fatalf("child span %q has no node", sp.Name)
+		}
+		if sp.End.IsZero() || sp.DurationNS < 0 {
+			t.Fatalf("span %q on %s not closed cleanly: %+v", sp.Name, sp.Node, sp)
+		}
+		if sp.Error != "" {
+			t.Fatalf("span %q on %s recorded error %q in an all-success batch", sp.Name, sp.Node, sp.Error)
+		}
+		if phaseNodes[sp.Name] == nil {
+			phaseNodes[sp.Name] = map[string]bool{}
+		}
+		phaseNodes[sp.Name][sp.Node] = true
+		switch sp.Name {
+		case PhaseWarmRequote:
+			warmRequote[sp.Node] = true
+		case PhaseBoot:
+			coldBoot[sp.Node] = true
+		}
+	}
+
+	// The mixed batch shows both pipelines: 4 pool hits re-quoted warm,
+	// 4 misses paid the full cold chain — and no node did both.
+	if len(warmRequote) != 4 || len(coldBoot) != 4 {
+		t.Fatalf("want 4 warm + 4 cold nodes, got %d warm (%v) and %d cold (%v)",
+			len(warmRequote), warmRequote, len(coldBoot), coldBoot)
+	}
+	for n := range warmRequote {
+		if coldBoot[n] {
+			t.Fatalf("node %s appears on both the warm and cold paths", n)
+		}
+	}
+	for _, phase := range []string{PhaseWarmRequote, PhaseWarmProvision} {
+		if got := len(phaseNodes[phase]); got != 4 {
+			t.Fatalf("phase %s traced on %d nodes, want 4", phase, got)
+		}
+	}
+	for _, phase := range []string{PhaseAirlock, PhaseBoot, PhaseAttest, PhaseProvision} {
+		if got := len(phaseNodes[phase]); got != 4 {
+			t.Fatalf("phase %s traced on %d nodes, want 4", phase, got)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"bolted/internal/core"
 	"bolted/internal/keylime"
+	"bolted/internal/obs"
 )
 
 // Policy defaults; chosen so a default guard detects within a few
@@ -114,6 +115,8 @@ type Guard struct {
 	queue  chan keylime.RevocationEvent
 	wake   chan struct{} // signalled by SetPolicy; re-arms the round timer
 
+	metrics guardMetrics
+
 	loopDone chan struct{}
 	respDone chan struct{}
 	healWG   sync.WaitGroup // in-flight replacement acquisitions
@@ -127,6 +130,29 @@ type Guard struct {
 	revocations uint64
 	incidents   []string
 	stopped     bool
+}
+
+// guardMetrics are the guard's per-enclave instruments. The zero value
+// (uninstrumented manager) is fully usable: every method on a nil
+// instrument is a no-op.
+type guardMetrics struct {
+	roundSeconds *obs.Histogram // duration of one IMA check round
+	checks       *obs.Counter   // CheckIMA calls issued
+	revocations  *obs.Counter   // revocations responded to
+}
+
+func newGuardMetrics(reg *obs.Registry, enclave string) guardMetrics {
+	return guardMetrics{
+		roundSeconds: reg.HistogramVec("bolted_guard_round_seconds",
+			"Duration of one periodic IMA check round over Allocated members.",
+			obs.DefLatencyBuckets, "enclave").With(enclave),
+		checks: reg.CounterVec("bolted_guard_checks_total",
+			"CheckIMA quotes issued by the guard's periodic rounds.",
+			"enclave").With(enclave),
+		revocations: reg.CounterVec("bolted_guard_revocations_total",
+			"Revocation events the guard responded to.",
+			"enclave").With(enclave),
+	}
 }
 
 // PolicyJSON implements core.PolicyReporter: the manager commits the
@@ -194,6 +220,7 @@ func Enable(mgr *core.Manager, enclave string, p Policy) (*Guard, error) {
 		respDone: make(chan struct{}),
 		policy:   p,
 		failures: make(map[string]int),
+		metrics:  newGuardMetrics(mgr.Metrics(), enclave),
 	}
 	if err := mgr.AttachGuard(enclave, g); err != nil {
 		cancel()
@@ -309,6 +336,8 @@ func (g *Guard) monitorLoop() {
 // quarantining a node that was never admitted would be wrong twice
 // over.
 func (g *Guard) runRound() {
+	t0 := time.Now()
+	defer g.metrics.roundSeconds.ObserveSince(t0)
 	p := g.Policy()
 	v := g.enclave.Verifier()
 	var members []string
@@ -345,6 +374,7 @@ func (g *Guard) runRound() {
 // after FailureTolerance rounds is indistinguishable from a compromise
 // that severed the agent.
 func (g *Guard) noteCheck(node string, p Policy, err error) {
+	g.metrics.checks.Inc()
 	g.mu.Lock()
 	g.checks++
 	if err == nil {
@@ -404,6 +434,7 @@ func (g *Guard) respond(batch []keylime.RevocationEvent) {
 	var quarantined []string
 	for _, ev := range batch {
 		inc := g.mgr.OpenIncident(g.name, ev.UUID, ev.Reason)
+		g.metrics.revocations.Inc()
 		g.mu.Lock()
 		g.revocations++
 		g.incidents = append(g.incidents, inc.ID)

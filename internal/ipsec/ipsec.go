@@ -171,6 +171,10 @@ func (sa *SA) SealAppend(dst, payload []byte) ([]byte, error) {
 	sa.seq++
 	seq := sa.seq
 
+	m := espMetricsNow()
+	m.sealedBytes.Add(float64(len(payload)))
+	m.sealedPkts.Inc()
+
 	base := len(dst)
 	var hdr [12]byte
 	binary.BigEndian.PutUint32(hdr[:4], sa.spi)
@@ -208,6 +212,7 @@ func (sa *SA) OpenAppend(dst, pkt []byte) ([]byte, error) {
 		return nil, ErrAuth
 	}
 	sa.markSeenLocked(seq)
+	espMetricsNow().openedBytes.Add(float64(len(payload) - len(dst)))
 	return payload, nil
 }
 
@@ -230,6 +235,9 @@ func (sa *SA) reserveSeq(n int, totalBytes int) (uint64, error) {
 	sa.usedPkts += uint64(n)
 	first := sa.seq + 1
 	sa.seq += uint64(n)
+	m := espMetricsNow()
+	m.sealedBytes.Add(float64(totalBytes))
+	m.sealedPkts.Add(float64(n))
 	return first, nil
 }
 

@@ -1,0 +1,41 @@
+package ipsec
+
+import (
+	"sync/atomic"
+
+	"bolted/internal/obs"
+)
+
+// espMetrics are the package-wide ESP instruments. SAs churn with every
+// rekey, so the instruments live at package level; per-SA labels would
+// explode cardinality on every PSK rotation.
+type espMetrics struct {
+	sealedBytes *obs.Counter // payload bytes sealed into ESP packets
+	sealedPkts  *obs.Counter // ESP packets sealed
+	openedBytes *obs.Counter // payload bytes recovered from ESP packets
+}
+
+var zeroESPMetrics espMetrics
+
+var espM atomic.Pointer[espMetrics]
+
+// SetMetrics attaches the package's ESP instruments to a registry. Safe
+// to call at any time (the swap is atomic), but counters only cover
+// traffic after the call.
+func SetMetrics(reg *obs.Registry) {
+	espM.Store(&espMetrics{
+		sealedBytes: reg.Counter("bolted_esp_sealed_bytes_total",
+			"Payload bytes sealed into outbound ESP packets."),
+		sealedPkts: reg.Counter("bolted_esp_sealed_packets_total",
+			"Outbound ESP packets sealed."),
+		openedBytes: reg.Counter("bolted_esp_opened_bytes_total",
+			"Payload bytes authenticated and recovered from inbound ESP packets."),
+	})
+}
+
+func espMetricsNow() *espMetrics {
+	if p := espM.Load(); p != nil {
+		return p
+	}
+	return &zeroESPMetrics
+}

@@ -353,6 +353,13 @@ func (v *Volume) SetParallelism(n int) error {
 // dst may alias src.
 func (v *Volume) cryptSpan(dst, src []byte, firstSector uint64, encrypt bool) error {
 	sectors := len(src) / blockdev.SectorSize
+	m := sealMetricsNow()
+	m.batchSectors.Observe(float64(sectors))
+	if encrypt {
+		m.sealedBytes.Add(float64(len(src)))
+	} else {
+		m.unsealedBytes.Add(float64(len(src)))
+	}
 	v.mu.Lock()
 	workers, shards := v.workers, v.shards
 	v.mu.Unlock()

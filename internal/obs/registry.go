@@ -1,0 +1,486 @@
+// Package obs is Bolted's observability plane: a dependency-free
+// metrics registry (atomic counters, gauges, fixed-bucket histograms
+// with Prometheus text-format exposition) and a span-based tracer that
+// turns lifecycle phases into per-node, per-operation timelines. The
+// paper's evaluation (Figures 2-5) was built from hand-instrumented
+// phase timings; this package makes the same measurements continuously
+// available from a live boltedd instead of a one-off benchmark run.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram (or their Vec forms, or a nil *Registry) are no-ops, so an
+// uninstrumented deployment pays only a nil check on the hot path and
+// call sites never guard on "is metrics enabled".
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets spans the latencies this control plane produces:
+// sub-millisecond simulated phases through multi-minute cold batch
+// boots (the paper's ~10 min → ~3 min headline range). Seconds.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300, 600,
+}
+
+// DefSizeBuckets covers byte sizes from a WAL frame to a snapshot.
+var DefSizeBuckets = []float64{
+	256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+// DefCountBuckets covers small cardinalities: group-commit batch
+// sizes, sector runs, queue depths.
+var DefCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+// Registry holds named metric families. All methods are safe for
+// concurrent use; a nil *Registry hands out nil instruments, whose
+// methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric with a fixed type, help text and label
+// schema, holding one series per distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // joined label values -> *Counter/*Gauge/*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup finds or creates a family, enforcing that re-registration
+// agrees on type, help and label schema. Metric names are compile-time
+// constants in this codebase, so a mismatch is a programming error and
+// panics rather than silently splitting a family.
+func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v", name, typ, labels, f.typ, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: normBuckets(buckets),
+		series:  make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// normBuckets sorts, dedupes and strips a trailing +Inf (re-added at
+// exposition); nil falls back to DefLatencyBuckets.
+func normBuckets(b []float64) []float64 {
+	if len(b) == 0 {
+		b = DefLatencyBuckets
+	}
+	out := append([]float64(nil), b...)
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, v := range out {
+		if math.IsInf(v, +1) {
+			continue
+		}
+		if i > 0 && v == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, v)
+	}
+	return dedup
+}
+
+// seriesKey joins label values with an unprintable separator so
+// distinct tuples never collide.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (f *family) instrument(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if inst, ok := f.series[key]; ok {
+		return inst
+	}
+	var inst any
+	switch f.typ {
+	case "counter":
+		inst = &Counter{labels: append([]string(nil), values...)}
+	case "gauge":
+		inst = &Gauge{labels: append([]string(nil), values...)}
+	default:
+		inst = newHistogram(f.buckets, values)
+	}
+	f.series[key] = inst
+	return inst
+}
+
+// --- counter ---
+
+// Counter is a monotonically increasing value. A nil Counter is a
+// no-op.
+type Counter struct {
+	bits   atomic.Uint64 // float64 bits
+	labels []string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (negative deltas are dropped; counters only go up).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, "counter", nil, labels)}
+}
+
+// With returns the counter for one label-value tuple.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.instrument(values).(*Counter)
+}
+
+// --- gauge ---
+
+// Gauge is a value that can go up and down. A nil Gauge is a no-op.
+type Gauge struct {
+	bits   atomic.Uint64 // float64 bits
+	labels []string
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.lookup(name, help, "gauge", nil, labels)}
+}
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.instrument(values).(*Gauge)
+}
+
+// --- histogram ---
+
+// Histogram counts observations into fixed upper-bound buckets
+// (cumulated at exposition) plus a running sum. A nil Histogram is a
+// no-op.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	labels  []string
+}
+
+func newHistogram(bounds []float64, labels []string) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		labels: append([]string(nil), labels...),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or fetches) an unlabeled histogram. Nil buckets
+// default to DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.lookup(name, help, "histogram", buckets, labels)}
+}
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.instrument(values).(*Histogram)
+}
+
+// --- exposition ---
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}; extra appends one more pair (le for
+// histogram buckets). Empty input renders nothing.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format: families sorted by name, series sorted by label values,
+// histograms as cumulative _bucket/_sum/_count triples.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		series := make(map[string]any, len(f.series))
+		for k, v := range f.series {
+			series[k] = v
+		}
+		f.mu.Unlock()
+		if len(keys) == 0 {
+			continue
+		}
+		sort.Strings(keys)
+
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, k := range keys {
+			switch inst := series[k].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, inst.labels, "", ""), formatFloat(inst.Value()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, inst.labels, "", ""), formatFloat(inst.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, bound := range inst.bounds {
+					cum += inst.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, inst.labels, "le", formatFloat(bound)), cum)
+				}
+				cum += inst.counts[len(inst.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, inst.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(f.labels, inst.labels, "", ""), formatFloat(inst.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(f.labels, inst.labels, "", ""), cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry at GET /metrics in the text exposition
+// format. A nil registry serves an empty (valid) page.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

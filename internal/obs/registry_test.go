@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func promLines(t *testing.T, r *Registry) []string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(out) == 1 && out[0] == "" {
+		return nil
+	}
+	return out
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bolted_test_total", "a counter").Add(3)
+	r.Counter("bolted_test_total", "a counter").Inc()
+	g := r.Gauge("bolted_gauge", "a gauge")
+	g.Set(7)
+	g.Dec()
+
+	lines := promLines(t, r)
+	want := []string{
+		"# HELP bolted_gauge a gauge",
+		"# TYPE bolted_gauge gauge",
+		"bolted_gauge 6",
+		"# HELP bolted_test_total a counter",
+		"# TYPE bolted_test_total counter",
+		"bolted_test_total 4",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), strings.Join(lines, "\n"))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d: got %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// Families must come out sorted by name and series sorted by label
+// values, so scrapes are diffable and the format tests deterministic.
+func TestSeriesOrdering(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("bolted_ordered_total", "ordering", "tenant", "class")
+	v.With("zeta", "fg").Inc()
+	v.With("alpha", "fg").Add(2)
+	v.With("alpha", "bg").Add(5)
+
+	lines := promLines(t, r)
+	want := []string{
+		"# HELP bolted_ordered_total ordering",
+		"# TYPE bolted_ordered_total counter",
+		`bolted_ordered_total{tenant="alpha",class="bg"} 5`,
+		`bolted_ordered_total{tenant="alpha",class="fg"} 2`,
+		`bolted_ordered_total{tenant="zeta",class="fg"} 1`,
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d: got %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("bolted_escaped_total", "help with \\ and\nnewline", "detail").
+		With("quote \" slash \\ line\nbreak").Inc()
+
+	out := strings.Join(promLines(t, r), "\n")
+	if !strings.Contains(out, `# HELP bolted_escaped_total help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `detail="quote \" slash \\ line\nbreak"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+// Histogram invariants: _bucket counts are cumulative and monotone,
+// the +Inf bucket equals _count, and _sum is the sum of observations.
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bolted_lat_seconds", "latencies", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+
+	lines := promLines(t, r)
+	want := []string{
+		"# HELP bolted_lat_seconds latencies",
+		"# TYPE bolted_lat_seconds histogram",
+		`bolted_lat_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary value 0.1 (le is inclusive)
+		`bolted_lat_seconds_bucket{le="1"} 3`,
+		`bolted_lat_seconds_bucket{le="10"} 4`,
+		`bolted_lat_seconds_bucket{le="+Inf"} 5`,
+		"bolted_lat_seconds_sum 102.65",
+		"bolted_lat_seconds_count 5",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), strings.Join(lines, "\n"))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d: got %q, want %q", i, lines[i], want[i])
+		}
+	}
+	if h.Count() != 5 || math.Abs(h.Sum()-102.65) > 1e-9 {
+		t.Errorf("Count/Sum = %d/%v, want 5/102.65", h.Count(), h.Sum())
+	}
+}
+
+// Unsorted, duplicated, +Inf-bearing bucket bounds normalize to a
+// clean ascending list.
+func TestBucketNormalization(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bolted_norm_seconds", "", []float64{5, 1, 1, math.Inf(1), 3})
+	h.Observe(2)
+	out := strings.Join(promLines(t, r), "\n")
+	for _, frag := range []string{`le="1"} 0`, `le="3"} 1`, `le="5"} 1`, `le="+Inf"} 1`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	if strings.Count(out, `le="1"`) != 1 {
+		t.Errorf("duplicate bound not deduped:\n%s", out)
+	}
+}
+
+// A nil registry (and everything it hands out) must be safe to use:
+// that is the uninstrumented fast path.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.CounterVec("x", "", "a").With("v").Add(2)
+	r.Gauge("y", "").Set(1)
+	r.GaugeVec("y", "", "a").With("v").Dec()
+	r.Histogram("z", "", nil).Observe(1)
+	r.HistogramVec("z", "", nil, "a").With("v").Observe(1)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", b.String(), err)
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bolted_conc_total", "")
+	h := r.Histogram("bolted_conc_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 || h.Sum() != 4000 {
+		t.Errorf("histogram count/sum = %d/%v, want 8000/4000", h.Count(), h.Sum())
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bolted_clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as a gauge did not panic")
+		}
+	}()
+	r.Gauge("bolted_clash", "")
+}

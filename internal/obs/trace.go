@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// The tracer half of the observability plane: a trace is one control-
+// plane operation (its ID doubles as the trace ID), a span is one
+// node × phase of the Figure-1 pipeline under it. The provisioner
+// emits spans from the same run(phase, fn) closures that feed the
+// BatchTimings phase breakdown, so traces and timings agree by
+// construction; the /v1 surface exports a trace as NDJSON and
+// `boltedctl op trace` renders it as a per-node timeline.
+
+// SpanData is one finished (or in-flight: End zero) span, the NDJSON
+// wire form of GET /v1/operations/{id}/trace.
+type SpanData struct {
+	Trace  string    `json:"trace"`
+	Span   uint64    `json:"span"`
+	Parent uint64    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Node   string    `json:"node,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end,omitzero"`
+	// DurationNS is End-Start for finished spans (0 while in flight).
+	DurationNS int64  `json:"duration_ns,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Span is a live handle on one recorded span. A nil *Span is a no-op,
+// so call sites never guard on "is tracing enabled".
+type Span struct {
+	t    *Tracer
+	data SpanData
+}
+
+// ID returns the span's ID within its trace (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.Span
+}
+
+// End marks the span finished, recording err's message if non-nil.
+// Ending twice keeps the first end time.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.data.End.IsZero() {
+		s.data.End = time.Now()
+		s.data.DurationNS = s.data.End.Sub(s.data.Start).Nanoseconds()
+		if err != nil {
+			s.data.Error = err.Error()
+		}
+	}
+	s.t.mu.Unlock()
+}
+
+// trace is one operation's span list.
+type trace struct {
+	spans  []*Span
+	nextID uint64
+}
+
+// Tracer records spans for a bounded number of traces, evicting the
+// oldest whole trace past the retention bound — mirroring the
+// Manager's MaxRetainedOps so a long-running boltedd does not grow
+// memory with every acquisition it ever traced. All methods are safe
+// for concurrent use; a nil *Tracer is a no-op.
+type Tracer struct {
+	mu     sync.Mutex
+	max    int
+	traces map[string]*trace
+	order  []string // creation order, for eviction
+}
+
+// NewTracer returns a tracer retaining up to max traces (min 1).
+func NewTracer(max int) *Tracer {
+	if max < 1 {
+		max = 1
+	}
+	return &Tracer{max: max, traces: make(map[string]*trace)}
+}
+
+// StartTrace opens a trace and its root span. Re-starting an existing
+// trace ID adds another root-level span to it.
+func (t *Tracer) StartTrace(id, name string) *Span {
+	return t.startSpan(id, 0, name, "", true)
+}
+
+// StartSpan opens a child span under parent in an existing trace; it
+// returns nil (a no-op span) when the trace is unknown — e.g. already
+// evicted — so emitters never resurrect a pruned trace.
+func (t *Tracer) StartSpan(traceID string, parent uint64, name, node string) *Span {
+	return t.startSpan(traceID, parent, name, node, false)
+}
+
+func (t *Tracer) startSpan(traceID string, parent uint64, name, node string, create bool) *Span {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[traceID]
+	if !ok {
+		if !create {
+			return nil
+		}
+		tr = &trace{}
+		t.traces[traceID] = tr
+		t.order = append(t.order, traceID)
+		for len(t.order) > t.max {
+			delete(t.traces, t.order[0])
+			t.order = append([]string(nil), t.order[1:]...)
+		}
+	}
+	tr.nextID++
+	s := &Span{t: t, data: SpanData{
+		Trace:  traceID,
+		Span:   tr.nextID,
+		Parent: parent,
+		Name:   name,
+		Node:   node,
+		Start:  time.Now(),
+	}}
+	tr.spans = append(tr.spans, s)
+	return s
+}
+
+// Spans snapshots a trace's spans in creation order; ok is false for
+// an unknown (or evicted) trace.
+func (t *Tracer) Spans(traceID string) ([]SpanData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[traceID]
+	if !ok {
+		return nil, false
+	}
+	out := make([]SpanData, len(tr.spans))
+	for i, s := range tr.spans {
+		out[i] = s.data
+	}
+	return out, true
+}
+
+// WriteNDJSON writes one span per line, creation order.
+func WriteNDJSON(w io.Writer, spans []SpanData) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- context propagation ---
+
+// TraceContext carries the active trace through a context so deep
+// pipeline code (the provisioner's per-phase closures) can emit spans
+// without signature changes. The zero value is a valid no-op.
+type TraceContext struct {
+	Tracer *Tracer
+	Trace  string
+	Parent uint64 // span new children parent under
+}
+
+// Start opens a child span under the context's parent; nil-safe.
+func (tc TraceContext) Start(name, node string) *Span {
+	if tc.Tracer == nil {
+		return nil
+	}
+	return tc.Tracer.StartSpan(tc.Trace, tc.Parent, name, node)
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace context to ctx.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if tc.Tracer == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom reads the active trace context (zero value when absent).
+func TraceFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTraceSpansAndParenting(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartTrace("op-0001", "acquire")
+	child := tr.StartSpan("op-0001", root.ID(), "boot", "node00")
+	child.End(nil)
+	failed := tr.StartSpan("op-0001", root.ID(), "attest", "node01")
+	failed.End(errors.New("quote mismatch"))
+	root.End(nil)
+
+	spans, ok := tr.Spans("op-0001")
+	if !ok || len(spans) != 3 {
+		t.Fatalf("Spans = %v, %v; want 3 spans", spans, ok)
+	}
+	if spans[0].Parent != 0 || spans[1].Parent != root.ID() || spans[2].Parent != root.ID() {
+		t.Errorf("bad parenting: %+v", spans)
+	}
+	if spans[1].End.IsZero() || spans[1].DurationNS < 0 {
+		t.Errorf("child span not finished: %+v", spans[1])
+	}
+	if spans[2].Error != "quote mismatch" {
+		t.Errorf("error not recorded: %+v", spans[2])
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.StartTrace("op-1", "a").End(nil)
+	tr.StartTrace("op-2", "b").End(nil)
+	tr.StartTrace("op-3", "c").End(nil)
+	if _, ok := tr.Spans("op-1"); ok {
+		t.Error("oldest trace not evicted")
+	}
+	for _, id := range []string{"op-2", "op-3"} {
+		if _, ok := tr.Spans(id); !ok {
+			t.Errorf("trace %s evicted too early", id)
+		}
+	}
+	// A child span for an evicted trace must not resurrect it.
+	if s := tr.StartSpan("op-1", 1, "late", "n"); s != nil {
+		t.Error("StartSpan resurrected an evicted trace")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartTrace("op-9", "acquire")
+	ctx := WithTrace(context.Background(), TraceContext{Tracer: tr, Trace: "op-9", Parent: root.ID()})
+
+	tc := TraceFrom(ctx)
+	s := tc.Start("provision", "node03")
+	s.End(nil)
+
+	spans, _ := tr.Spans("op-9")
+	if len(spans) != 2 || spans[1].Parent != root.ID() || spans[1].Node != "node03" {
+		t.Fatalf("bad spans: %+v", spans)
+	}
+
+	// An untraced context yields a zero TraceContext and nil spans.
+	zero := TraceFrom(context.Background())
+	if zero.Tracer != nil {
+		t.Error("zero context carried a tracer")
+	}
+	zero.Start("x", "y").End(nil) // must not panic
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.StartTrace("op-7", "acquire")
+	tr.StartSpan("op-7", root.ID(), "kexec", "node05").End(nil)
+	spans, _ := tr.Spans("op-7")
+
+	var b strings.Builder
+	if err := WriteNDJSON(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var got SpanData
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != "op-7" || got.Name != "kexec" || got.Node != "node05" || got.Parent != root.ID() {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.StartTrace("op", "a").End(nil)
+	tr.StartSpan("op", 1, "b", "n").End(errors.New("x"))
+	if _, ok := tr.Spans("op"); ok {
+		t.Error("nil tracer returned spans")
+	}
+}

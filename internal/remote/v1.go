@@ -23,6 +23,7 @@ import (
 	"bolted/internal/guard"
 	"bolted/internal/hil"
 	"bolted/internal/keylime"
+	"bolted/internal/obs"
 )
 
 // prefixV1 mounts the tenant control plane beside the raw plane.
@@ -348,6 +349,10 @@ func writeV1JSON(w http.ResponseWriter, status int, v interface{}) {
 func NewV1Handler(mgr *core.Manager) http.Handler {
 	mux := http.NewServeMux()
 
+	// Stream instruments (active watchers, flush counts) resolve from
+	// the manager's registry; without one they are no-ops.
+	vm := newV1Metrics(mgr.Metrics())
+
 	// withIncidents decorates an enclave resource with its open
 	// incident IDs, the control plane's "something is wrong here" flag.
 	withIncidents := func(info *EnclaveInfo) *EnclaveInfo {
@@ -512,7 +517,8 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		// The stream follows the operation live — possibly for minutes.
 		clearWriteDeadline(w)
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		flusher, _ := w.(http.Flusher)
+		flush, done := vm.stream("GET /operations/{id}/events", w)
+		defer done()
 		enc := json.NewEncoder(w)
 		wrote := false
 		for {
@@ -535,9 +541,7 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 				wrote = true
 			}
 			cursor += len(evs)
-			if flusher != nil {
-				flusher.Flush()
-			}
+			flush()
 			if terminal {
 				// Drain what the terminal snapshot delivered, then stop:
 				// no further wake is coming.
@@ -552,6 +556,21 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 				return
 			}
 		}
+	})
+
+	// GET /operations/{id}/trace returns the operation's span tree as
+	// NDJSON: one root span for the operation plus one span per
+	// node × pipeline phase, each carrying start/end timestamps and any
+	// error. The tracer retains the most recent MaxRetainedOps traces;
+	// an evicted or restored-from-WAL operation answers 404.
+	mux.HandleFunc("GET /operations/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans, err := mgr.OperationTrace(r.PathValue("id"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = obs.WriteNDJSON(w, spans)
 	})
 
 	// --- warm-pool surface ---
@@ -775,7 +794,8 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		}
 		clearWriteDeadline(w)
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		flusher, _ := w.(http.Flusher)
+		flush, done := vm.stream("GET /enclaves/{name}/revocations", w)
+		defer done()
 		enc := json.NewEncoder(w)
 		for {
 			evs, notify, next, err := mgr.RevocationsSince(name, cursor)
@@ -788,9 +808,7 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 				}
 			}
 			cursor = next
-			if flusher != nil {
-				flusher.Flush()
-			}
+			flush()
 			select {
 			case <-notify:
 			case <-r.Context().Done():
@@ -822,7 +840,8 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 			clearWriteDeadline(w)
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		flusher, _ := w.(http.Flusher)
+		flush, done := vm.stream("GET /enclaves/{name}/events", w)
+		defer done()
 		enc := json.NewEncoder(w)
 		var notify chan struct{}
 		var unwatch func()
@@ -857,9 +876,7 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 				wrote = true
 			}
 			cursor += len(evs)
-			if flusher != nil {
-				flusher.Flush()
-			}
+			flush()
 			if !follow {
 				return
 			}
@@ -892,7 +909,8 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		}
 		clearWriteDeadline(w)
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		flusher, _ := w.(http.Flusher)
+		flush, done := vm.stream("GET /incidents", w)
+		defer done()
 		enc := json.NewEncoder(w)
 		for {
 			updates, notify, next := mgr.IncidentUpdatesSince(cursor)
@@ -907,9 +925,7 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 				}
 			}
 			cursor = next
-			if flusher != nil {
-				flusher.Flush()
-			}
+			flush()
 			select {
 			case <-notify:
 			case <-r.Context().Done():
@@ -938,7 +954,9 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 		writeV1JSON(w, http.StatusOK, incidentInfo(inc.Status()))
 	})
 
-	return mux
+	// Per-route request latency/status wraps the whole surface; with no
+	// registry attached this returns the mux untouched.
+	return instrumentMux(mgr.Metrics(), mux)
 }
 
 // cursorParam parses the replay cursor: ?from=N (0-based feed

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 
 	"bolted/internal/core"
 	"bolted/internal/hil"
+	"bolted/internal/obs"
 )
 
 // ErrTransport marks a control-plane response that never came from
@@ -55,6 +57,36 @@ type V1Client struct {
 	// request is transparently re-sent before ErrOverQuota surfaces.
 	// nil means the default (3); point at 0 to disable retries.
 	MaxQuotaRetries *int
+
+	// Client-side instruments (SetMetrics). Nil without a registry;
+	// every method on a nil instrument is a no-op.
+	quotaRetries *obs.Counter
+	redials      *obs.Counter
+}
+
+// SetMetrics attaches client-side instruments: transparent 429 retries
+// (bolted_client_quota_retries_total) and transport re-dials — TCP
+// connections the pool could not serve from a keep-alive
+// (bolted_client_redials_total). Counting dials needs this client to
+// stop sharing the package-wide transport, so SetMetrics gives it a
+// private clone with its own pool; call it right after NewV1Client,
+// before any requests, or early traffic rides the uncounted shared
+// pool.
+func (c *V1Client) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.quotaRetries = reg.Counter("bolted_client_quota_retries_total",
+		"Quota-rejected (429) control-plane requests transparently re-sent after backoff.")
+	c.redials = reg.Counter("bolted_client_redials_total",
+		"TCP connections the control-plane client's transport had to open (keep-alive misses).")
+	t := sharedTransport.Clone()
+	base := t.DialContext
+	t.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c.redials.Inc()
+		return base(ctx, network, addr)
+	}
+	c.http = &http.Client{Transport: t}
 }
 
 // NewV1Client returns a control-plane client for a boltedd base URL
@@ -174,6 +206,7 @@ func (c *V1Client) doHdr(ctx context.Context, method, path string, hdr http.Head
 		// Full jitter in [delay/2, delay]: a thundering herd of
 		// rejected tenants must not re-synchronize on the hint.
 		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		c.quotaRetries.Inc()
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
@@ -325,6 +358,21 @@ func (c *V1Client) CancelOperation(ctx context.Context, id string) (*OperationIn
 		return nil, err
 	}
 	return &info, nil
+}
+
+// OperationTrace fetches an operation's span tree — the operation root
+// plus one span per node × pipeline phase. core.ErrNotFound when the
+// operation is unknown or its trace has been evicted.
+func (c *V1Client) OperationTrace(ctx context.Context, id string) ([]obs.SpanData, error) {
+	var spans []obs.SpanData
+	err := streamNDJSON(ctx, c, "/operations/"+url.PathEscape(id)+"/trace", func(sp obs.SpanData) error {
+		spans = append(spans, sp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return spans, nil
 }
 
 // StreamEvents follows an operation's lifecycle journal from event

@@ -10,6 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"bolted/internal/obs"
 )
 
 // ErrClosed is returned by operations on a closed store.
@@ -49,6 +52,35 @@ type File struct {
 	closed  bool
 	syncMu  sync.Mutex // serializes fsyncs; never held with mu
 	durable uint64     // frames covered by the last completed fsync
+
+	// Pre-resolved instruments (fileMetrics zero value when no registry
+	// is attached; obs instruments are nil-safe).
+	metrics fileMetrics
+}
+
+// fileMetrics is the WAL's instrument set.
+type fileMetrics struct {
+	appendSeconds *obs.Histogram // frame write, excluding the group fsync
+	fsyncSeconds  *obs.Histogram // the shared fsync itself
+	groupFrames   *obs.Histogram // frames committed per fsync
+	snapSeconds   *obs.Histogram // Compact end to end
+	snapBytes     *obs.Histogram // encoded snapshot size
+}
+
+// SetMetrics attaches an observability registry (nil detaches). Call
+// before the store sees traffic; instruments are resolved once here.
+func (s *File) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics = fileMetrics{}
+		return
+	}
+	s.metrics = fileMetrics{
+		appendSeconds: reg.Histogram("bolted_wal_append_seconds", "WAL frame write latency (buffered; excludes the group fsync).", nil),
+		fsyncSeconds:  reg.Histogram("bolted_wal_fsync_seconds", "WAL group-commit fsync latency.", nil),
+		groupFrames:   reg.Histogram("bolted_wal_group_commit_frames", "Frames made durable per group-commit fsync.", obs.DefCountBuckets),
+		snapSeconds:   reg.Histogram("bolted_snapshot_seconds", "Snapshot compaction latency (write, rename, WAL truncate).", nil),
+		snapBytes:     reg.Histogram("bolted_snapshot_bytes", "Encoded snapshot size.", obs.DefSizeBuckets),
+	}
 }
 
 // Open creates dir if needed, recovers the WAL tail (truncating after the
@@ -193,6 +225,8 @@ func (s *File) Sync() error {
 // write frames and appends one record under the write lock, returning the
 // frame count the caller must sync to for durability.
 func (s *File) write(rec Record) (uint64, error) {
+	t0 := time.Now()
+	defer s.metrics.appendSeconds.ObserveSince(t0)
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return 0, fmt.Errorf("store: encode record: %w", err)
@@ -241,20 +275,28 @@ func (s *File) syncTo(target uint64) error {
 	if closed {
 		return ErrClosed
 	}
+	t0 := time.Now()
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("store: fsync: %w", err)
 	}
+	s.metrics.fsyncSeconds.ObserveSince(t0)
 	if covered > s.durable {
+		// The batch size of this group commit: every frame written since
+		// the last completed fsync rode this one.
+		s.metrics.groupFrames.Observe(float64(covered - s.durable))
 		s.durable = covered
 	}
 	return nil
 }
 
 func (s *File) Compact(snap *Snapshot) error {
+	t0 := time.Now()
+	defer s.metrics.snapSeconds.ObserveSince(t0)
 	raw, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: encode snapshot: %w", err)
 	}
+	s.metrics.snapBytes.Observe(float64(len(raw)))
 	// Lock order everywhere is syncMu before mu (syncTo does the same), so
 	// Compact's reset of the durable watermark can't deadlock with an
 	// in-flight group commit.
