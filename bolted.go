@@ -419,6 +419,25 @@ type TenantQuotaInfo = remote.TenantQuotaInfo
 // SchedInfo is the wire form of the scheduler snapshot (/v1/sched).
 type SchedInfo = remote.SchedInfo
 
+// HealthInfo is the wire form of the cloud's degraded-mode snapshot
+// (/v1/health): per-backend circuit-breaker states, degraded while any
+// breaker is open.
+type HealthInfo = remote.HealthInfo
+
+// ResiliencePolicyInfo is the wire form of a resilience policy
+// (/v1/resilience): retry budget, backoff, per-phase deadline and
+// breaker parameters.
+type ResiliencePolicyInfo = remote.ResiliencePolicyInfo
+
+// ErrDegraded marks acquisitions failed fast because a backend circuit
+// breaker is open; DegradedError names the backend and carries a
+// retry-after hint.
+var ErrDegraded = core.ErrDegraded
+
+// DegradedError is an ErrDegraded carrying the open backend's name and
+// the breaker's cooldown as a retry hint.
+type DegradedError = core.DegradedError
+
 // ErrTransport marks /v1 responses that never came from boltedd's
 // typed error surface (proxy 502s, load-balancer HTML); TransportError
 // carries the raw evidence.

@@ -35,6 +35,7 @@
 //	enclave delete <name>
 //	enclave acquire <image> <n>   (-project NAME, -async, -idem KEY)
 //	enclave release <node>        (-project NAME, -save IMAGE)
+//	enclave reclaim <node>        (-project NAME)
 //	enclave guard <name> [enable|disable]  (-interval, -max-quotes, -tolerance, -heal-image)
 //	enclave events <name>         (-follow)
 //	enclave revocations <name>
@@ -48,6 +49,11 @@
 //	quota list
 //	quota delete <tenant>
 //	sched stats
+//	health
+//	resilience get [enclave]
+//	resilience set [enclave]      (-max-attempts, -retry-backoff,
+//	                               -backoff-cap, -phase-deadline,
+//	                               -breaker-threshold, -breaker-cooldown)
 //	op list
 //	op get <id>
 //	op wait <id>
@@ -64,7 +70,9 @@
 // degraded (enclave get with open incidents; incident get while the
 // response is still running; incident wait ending degraded/unhandled),
 // 6 acquire rejected by admission control (HTTP 429) after the
-// client's transparent retries were exhausted.
+// client's transparent retries were exhausted, 7 cloud degraded (a
+// backend circuit breaker is open: acquires fail fast, `health`
+// reports which breaker).
 package main
 
 import (
@@ -94,6 +102,7 @@ const (
 	exitCancelled = 4 // operation cancelled before completion
 	exitIncident  = 5 // incident open, or incident ended degraded/unhandled
 	exitQuota     = 6 // acquire rejected by admission control (429), retries exhausted
+	exitDegraded  = 7 // cloud degraded: a backend circuit breaker is open
 )
 
 var jsonOut bool
@@ -124,6 +133,8 @@ commands:
          -idem KEY makes a retried submission resume the original
          operation instead of starting a second batch)
   enclave release <node>   (-project NAME, -save IMAGE)
+  enclave reclaim <node>   (scrub a rejected-pool node and return it to
+        the provider's free pool after repair; -project NAME)
   enclave guard <name> [enable|disable]
         (runtime attestation guard: enable takes -interval,
          -max-quotes, -tolerance and -heal-image; bare form shows
@@ -140,13 +151,21 @@ commands:
   quota get <tenant> | list | delete <tenant>
   sched stats                (airlock scheduler snapshot: slots, queue,
         grants, preemptions, per-tenant shares)
+  health                     (degraded-mode snapshot: per-backend circuit
+        breaker states; exit 7 while degraded)
+  resilience get [enclave]   (effective retry/breaker/deadline policy;
+        cloud-wide without an enclave)
+  resilience set [enclave]   (-max-attempts, -retry-backoff, -backoff-cap,
+        -phase-deadline, -breaker-threshold, -breaker-cooldown;
+        re-run to update — only the flags passed change)
   op list | get <id> | wait <id> | cancel <id> | events <id>
   op trace <id>              (per-node phase timeline from the server's
         span tracer; recent operations only)
   incident list [enclave] | get <id> | wait <id> | stream
 exit codes: 0 ok, 1 transport/API error, 2 usage,
             3 partial batch failure, 4 operation cancelled,
-            5 incident open / degraded, 6 over quota (429)`)
+            5 incident open / degraded, 6 over quota (429),
+            7 cloud degraded (breaker open)`)
 	os.Exit(exitUsage)
 }
 
@@ -182,9 +201,20 @@ func main() {
 	quotaWeight := flag.Int("weight", 0, "quota set: weighted-fair share of the airlocks (0 = default weight 1)")
 	quotaMaxNodes := flag.Int("max-nodes", 0, "quota set: hard cap on the tenant's total nodes (0 = unlimited)")
 	quotaInflight := flag.Int("inflight", 0, "quota set: hard cap on concurrent acquires in flight (0 = unlimited)")
+	resMaxAttempts := flag.Int("max-attempts", 0, "resilience set: per-backend-call attempt budget, 1 disables retries (0 = server default)")
+	resRetryBackoff := flag.Duration("retry-backoff", 0, "resilience set: base of the capped full-jitter retry backoff (0 = server default)")
+	resBackoffCap := flag.Duration("backoff-cap", 0, "resilience set: cap on exponential backoff growth (0 = server default)")
+	resPhaseDeadline := flag.Duration("phase-deadline", 0, "resilience set: per-lifecycle-phase deadline (0 = unbounded)")
+	resBreakerThreshold := flag.Int("breaker-threshold", 0, "resilience set: consecutive transient failures that trip a backend breaker (0 = server default)")
+	resBreakerCooldown := flag.Duration("breaker-cooldown", 0, "resilience set: how long a tripped breaker stays open before a half-open probe (0 = server default)")
 	flag.BoolVar(&jsonOut, "json", false, "emit results as JSON")
 	flag.Parse()
 	args := flag.Args()
+	if len(args) == 1 && args[0] == "health" {
+		// `health` is the one bare command; pad it into the two-token
+		// dispatch below.
+		args = append(args, "show")
+	}
 	if len(args) < 2 {
 		usage()
 	}
@@ -360,6 +390,12 @@ func main() {
 	case "enclave release":
 		need(3)
 		err = v1.ReleaseNode(ctx, *project, args[2], *saveAs)
+	case "enclave reclaim":
+		need(3)
+		err = v1.ReclaimNode(ctx, *project, args[2])
+		if err == nil {
+			fmt.Printf("node %s reclaimed: scrubbed and returned to the free pool\n", args[2])
+		}
 	case "enclave guard":
 		if len(args) == 3 {
 			var info *bolted.GuardInfo
@@ -531,6 +567,65 @@ func main() {
 				}
 			})
 		}
+	case "health show":
+		need(2)
+		var h *bolted.HealthInfo
+		h, err = v1.Health(ctx)
+		if err == nil {
+			emit(h, func() { printHealth(h) })
+			if h.Degraded {
+				os.Exit(exitDegraded)
+			}
+		}
+	case "resilience get":
+		enclave := ""
+		if len(args) == 3 {
+			enclave = args[2]
+		} else {
+			need(2)
+		}
+		var pol *bolted.ResiliencePolicyInfo
+		pol, err = v1.GetResilience(ctx, enclave)
+		if err == nil {
+			emit(pol, func() { printResilience(enclave, pol) })
+		}
+	case "resilience set":
+		enclave := ""
+		if len(args) == 3 {
+			enclave = args[2]
+		} else {
+			need(2)
+		}
+		// Merge semantics as for `pool set`: PUT replaces the whole
+		// policy and zero fields take server defaults, so start from the
+		// effective policy and overlay only the flags the caller passed —
+		// re-running `resilience set -max-attempts 6` must not silently
+		// drop a configured phase deadline back to unbounded.
+		var p bolted.ResiliencePolicyInfo
+		if cur, getErr := v1.GetResilience(ctx, enclave); getErr == nil {
+			p = *cur
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "max-attempts":
+				p.MaxAttempts = *resMaxAttempts
+			case "retry-backoff":
+				p.RetryBackoff = *resRetryBackoff
+			case "backoff-cap":
+				p.BackoffCap = *resBackoffCap
+			case "phase-deadline":
+				p.PhaseDeadline = *resPhaseDeadline
+			case "breaker-threshold":
+				p.BreakerThreshold = *resBreakerThreshold
+			case "breaker-cooldown":
+				p.BreakerCooldown = *resBreakerCooldown
+			}
+		})
+		var pol *bolted.ResiliencePolicyInfo
+		pol, err = v1.SetResilience(ctx, enclave, p)
+		if err == nil {
+			emit(pol, func() { printResilience(enclave, pol) })
+		}
 	case "op list":
 		need(2)
 		var ops []*bolted.OperationInfo
@@ -643,6 +738,9 @@ func main() {
 		if errors.Is(err, core.ErrOverQuota) {
 			os.Exit(exitQuota)
 		}
+		if errors.Is(err, core.ErrDegraded) {
+			os.Exit(exitDegraded)
+		}
 		os.Exit(exitError)
 	}
 }
@@ -658,6 +756,11 @@ func acquireV1(ctx context.Context, v1 *bolted.Client, enclave, profile, image s
 			// V1Client already retried with backoff; the quota is still
 			// exhausted, so give scripts a code they can branch on.
 			return exitQuota
+		}
+		if errors.Is(err, core.ErrDegraded) {
+			// A backend breaker is open and the server failed the acquire
+			// fast; `boltedctl health` shows which backend.
+			return exitDegraded
 		}
 		return exitError
 	}
@@ -827,6 +930,46 @@ func printPool(p *bolted.PoolInfo) {
 	for _, n := range p.WarmNodes {
 		fmt.Printf("  standby %s\n", n)
 	}
+}
+
+// printHealth is the human rendering of the degraded-mode snapshot.
+func printHealth(h *bolted.HealthInfo) {
+	if h.Degraded {
+		fmt.Println("cloud DEGRADED: acquires fail fast, warm refill held, guard rounds paused")
+	} else {
+		fmt.Println("cloud healthy")
+	}
+	backends := make([]string, 0, len(h.Backends))
+	for b := range h.Backends {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	for _, b := range backends {
+		bh := h.Backends[b]
+		line := fmt.Sprintf("  %-10s %s", b, bh.State)
+		if bh.Failures > 0 {
+			line += fmt.Sprintf("  consecutive-failures=%d", bh.Failures)
+		}
+		if bh.Trips > 0 {
+			line += fmt.Sprintf("  trips=%d", bh.Trips)
+		}
+		fmt.Println(line)
+	}
+}
+
+// printResilience is the human rendering of a resilience policy.
+func printResilience(enclave string, p *bolted.ResiliencePolicyInfo) {
+	scope := "cloud-wide"
+	if enclave != "" {
+		scope = "enclave " + enclave
+	}
+	deadline := "unbounded"
+	if p.PhaseDeadline > 0 {
+		deadline = p.PhaseDeadline.String()
+	}
+	fmt.Printf("resilience (%s): max-attempts=%d retry-backoff=%v backoff-cap=%v phase-deadline=%s\n",
+		scope, p.MaxAttempts, p.RetryBackoff, p.BackoffCap, deadline)
+	fmt.Printf("breaker: threshold=%d cooldown=%v\n", p.BreakerThreshold, p.BreakerCooldown)
 }
 
 // printIncident is the human rendering of an incident resource.

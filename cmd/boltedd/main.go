@@ -81,6 +81,12 @@ func main() {
 		luks.SetMetrics(reg)
 		ipsec.SetMetrics(reg)
 	}
+	// Resilience wraps the backends after metrics attach so breaker and
+	// retry instruments resolve live. Defaults apply; operators tune the
+	// policy at runtime over PUT /v1/resilience or boltedctl.
+	if err := cloud.EnableResilience(core.ResiliencePolicy{}); err != nil {
+		log.Fatalf("boltedd: enable resilience: %v", err)
+	}
 	if _, err := cloud.BMI.CreateOSImage("fedora28", bmi.OSImageSpec{
 		KernelID: "fedora28-4.17.9",
 		Kernel:   []byte("vmlinuz-4.17.9-200.fc28"),
@@ -163,8 +169,21 @@ func main() {
 		*nodes, *fw, *addr, *addr, *addr, *addr, *addr)
 	log.Printf("boltedd: free nodes: %v", free)
 
+	// drainObs gives the operator listener its own bounded drain: an
+	// in-flight /metrics scrape or pprof profile finishes (or the
+	// deadline cuts it) no matter which path brought the daemon down.
+	drainObs := func() {
+		if obsSrv == nil {
+			return
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = obsSrv.Shutdown(shutCtx)
+	}
+
 	select {
 	case err := <-errc:
+		drainObs()
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("boltedd: %v", err)
 		}
@@ -175,9 +194,7 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("boltedd: forced shutdown: %v", err)
 		}
-		if obsSrv != nil {
-			_ = obsSrv.Shutdown(shutCtx)
-		}
+		drainObs()
 	}
 	if *dataDir != "" {
 		// Clean exit: checkpoint a snapshot (restart replays no WAL) and

@@ -1,10 +1,12 @@
 // Command boltedsim regenerates the paper's evaluation (§7) as text
 // tables: one sub-report per figure. Run with -fig all (default) or a
-// specific figure: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch, warm, sched.
+// specific figure: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch, warm,
+// sched, fault.
 //
-// -fig sched also writes a machine-readable BENCH_sched.json (path
-// overridable with -out); with -check it exits non-zero when the
-// fairness or latency gates fail, which is how CI enforces them.
+// -fig sched and -fig fault also write machine-readable benchmark
+// reports (BENCH_sched.json / BENCH_fault.json; path overridable with
+// -out); with -check they exit non-zero when their gates fail, which
+// is how CI enforces them.
 package main
 
 import (
@@ -26,18 +28,18 @@ import (
 	"bolted/internal/workload"
 )
 
-// Flags consumed by the sched benchmark (see sched.go).
+// Flags consumed by the gated benchmarks (sched.go, fault.go).
 var (
-	schedCheck      bool
-	schedBenchOut   string
+	benchCheck      bool
+	benchOut        string
 	schedMetricsOut string
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch, warm, sched, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 4, 5, 6, 7, ca, npb, batch, warm, sched, fault, all")
 	quick := flag.Bool("quick", false, "smaller measurement volumes (CI mode)")
-	flag.BoolVar(&schedCheck, "check", false, "sched: exit non-zero when the fairness/latency gates fail")
-	flag.StringVar(&schedBenchOut, "out", "BENCH_sched.json", "sched: path for the JSON benchmark report")
+	flag.BoolVar(&benchCheck, "check", false, "sched/fault: exit non-zero when the benchmark gates fail")
+	flag.StringVar(&benchOut, "out", "", "sched/fault: path for the JSON benchmark report (default BENCH_sched.json / BENCH_fault.json)")
 	flag.StringVar(&schedMetricsOut, "metrics-out", "METRICS_sched.prom", "sched: path for the Prometheus exposition of the churn run (empty disables)")
 	flag.Parse()
 
@@ -45,9 +47,10 @@ func main() {
 		"3a": fig3a, "3b": fig3b, "3c": fig3c,
 		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "ca": figCA,
 		"npb": figNPB, "batch": figBatch, "warm": figWarm, "sched": figSched,
+		"fault": figFault,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"3a", "3b", "3c", "4", "5", "6", "7", "ca", "npb", "batch", "warm", "sched"} {
+		for _, k := range []string{"3a", "3b", "3c", "4", "5", "6", "7", "ca", "npb", "batch", "warm", "sched", "fault"} {
 			figures[k](*quick)
 		}
 		return

@@ -533,11 +533,15 @@ func figSched(bool) {
 		panic(err)
 	}
 	b = append(b, '\n')
-	if err := os.WriteFile(schedBenchOut, b, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "boltedsim: write %s: %v\n", schedBenchOut, err)
+	out := benchOut
+	if out == "" {
+		out = "BENCH_sched.json"
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "boltedsim: write %s: %v\n", out, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", schedBenchOut)
+	fmt.Printf("wrote %s\n", out)
 	if reg != nil {
 		var buf bytes.Buffer
 		if err := reg.WriteProm(&buf); err != nil {
@@ -549,7 +553,7 @@ func figSched(bool) {
 		}
 		fmt.Printf("wrote %s (Prometheus exposition of the wfq run)\n", schedMetricsOut)
 	}
-	if schedCheck && !pass {
+	if benchCheck && !pass {
 		fmt.Fprintln(os.Stderr, "boltedsim: sched gates failed")
 		os.Exit(1)
 	}

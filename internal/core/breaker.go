@@ -1,0 +1,506 @@
+package core
+
+import (
+	"context"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bolted/internal/bmi"
+	"bolted/internal/ima"
+	"bolted/internal/keylime"
+	"bolted/internal/tpm"
+)
+
+// This file is the degraded-mode machinery: a per-backend circuit
+// breaker over each of the four services, tripped by sustained
+// transient failures and healed by a successful half-open probe. While
+// any breaker is open the cloud is explicitly degraded: new
+// acquisitions fail fast with ErrDegraded instead of queueing into a
+// dead backend, warm refill suspends, and the guard pauses its rounds
+// rather than revoking a healthy enclave it merely cannot reach.
+
+// ErrDegraded rejects work while a backend circuit breaker is open.
+// The /v1 surface maps it to HTTP 503 with a Retry-After hint.
+var ErrDegraded = errors.New("core: service degraded")
+
+// DegradedError is an ErrDegraded with context: which backend, and
+// when the breaker will admit a probe. errors.Is(err, ErrDegraded)
+// matches.
+type DegradedError struct {
+	Backend    string
+	RetryAfter time.Duration
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("core: service degraded: %s circuit breaker open", e.Backend)
+}
+
+// Is makes errors.Is(err, ErrDegraded) true for every DegradedError.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// Backend names used by breakers, health reporting and metrics.
+const (
+	BackendHIL       = "hil"
+	BackendBMI       = "bmi"
+	BackendDriver    = "driver"
+	BackendRegistrar = "registrar"
+)
+
+// ResilientBackends lists the wrapped backends in display order.
+var ResilientBackends = []string{BackendHIL, BackendBMI, BackendDriver, BackendRegistrar}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState string
+
+// Breaker states.
+const (
+	// BreakerClosed: healthy; calls flow.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: tripped; calls fail fast with ErrDegraded until the
+	// cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: cooldown elapsed; one probe call is admitted.
+	// Success closes the breaker, failure reopens it.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BackendHealth is one backend's breaker snapshot, the /v1/health wire
+// form.
+type BackendHealth struct {
+	State    BreakerState `json:"state"`
+	Failures int          `json:"consecutive_failures,omitempty"`
+	Trips    uint64       `json:"trips,omitempty"`
+}
+
+// HealthStatus is the cloud's degraded-mode view: degraded while any
+// backend breaker is open.
+type HealthStatus struct {
+	Degraded bool                     `json:"degraded"`
+	Backends map[string]BackendHealth `json:"backends,omitempty"`
+}
+
+// BackendOpen reports whether one backend's breaker is open (the guard
+// gates its rounds on the registrar's).
+func (h HealthStatus) BackendOpen(backend string) bool {
+	return h.Backends[backend].State == BreakerOpen
+}
+
+// breaker is one backend's circuit breaker: closed until threshold
+// consecutive transient failures, then open for cooldown, then
+// half-open admitting a single probe whose outcome closes or reopens
+// it. Metrics are read through the cloud so a later SetMetrics is
+// picked up live.
+type breaker struct {
+	cloud     *Cloud
+	backend   string
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time // zero = closed
+	probing   bool      // half-open probe in flight
+	trips     uint64
+}
+
+// allow reports whether a call may proceed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if time.Now().Before(b.openUntil) {
+		return false
+	}
+	// Cooldown elapsed: half-open. Admit exactly one probe at a time.
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	wasOpen := !b.openUntil.IsZero()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+	if wasOpen {
+		b.cloud.metrics.setBreakerState(b.backend, BreakerClosed)
+	}
+}
+
+// failure records one transient failure; threshold consecutive ones
+// (or a failed half-open probe) trip the breaker open.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openUntil.IsZero() {
+		// Open or half-open. A failed probe — or a straggler call that
+		// was admitted before the trip — re-arms the cooldown.
+		if b.probing || !time.Now().Before(b.openUntil) {
+			b.tripLocked()
+		}
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.tripLocked()
+	}
+}
+
+// tripLocked opens the breaker. Callers hold b.mu.
+func (b *breaker) tripLocked() {
+	b.openUntil = time.Now().Add(b.cooldown)
+	b.probing = false
+	b.fails = 0
+	b.trips++
+	b.cloud.metrics.incBreakerTrip(b.backend)
+	b.cloud.metrics.setBreakerState(b.backend, BreakerOpen)
+}
+
+// status snapshots the breaker for health reporting.
+func (b *breaker) status() BackendHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BackendHealth{State: BreakerClosed, Failures: b.fails, Trips: b.trips}
+	if !b.openUntil.IsZero() {
+		if time.Now().Before(b.openUntil) {
+			st.State = BreakerOpen
+		} else {
+			st.State = BreakerHalfOpen
+		}
+	}
+	return st
+}
+
+// open reports whether the breaker is currently open (not half-open).
+func (b *breaker) open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && time.Now().Before(b.openUntil)
+}
+
+// cloudResilience is the cloud's installed resilience layer.
+type cloudResilience struct {
+	policy   ResiliencePolicy
+	breakers map[string]*breaker
+}
+
+// EnableResilience installs the resilience layer: the four backends
+// are wrapped with retrying, breaker-guarded decorators under the
+// given policy (zero fields take DefaultResiliencePolicy values).
+// Install it AFTER any fault-injection wrapper — breakers and retries
+// must observe the faults — and after SetMetrics if instruments should
+// be live from the first call (a later SetMetrics is still picked up).
+// Calling it again only updates the policy; the backends are not
+// re-wrapped.
+func (c *Cloud) EnableResilience(pol ResiliencePolicy) error {
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	pol = pol.withDefaults()
+	if c.resilience != nil {
+		c.resilience.policy = pol
+		for _, b := range c.resilience.breakers {
+			b.threshold = pol.BreakerThreshold
+			b.cooldown = pol.BreakerCooldown
+		}
+		return nil
+	}
+	r := &cloudResilience{policy: pol, breakers: make(map[string]*breaker, len(ResilientBackends))}
+	for _, backend := range ResilientBackends {
+		r.breakers[backend] = &breaker{
+			cloud:     c,
+			backend:   backend,
+			threshold: pol.BreakerThreshold,
+			cooldown:  pol.BreakerCooldown,
+		}
+	}
+	c.resilience = r
+	c.HIL = &resilientHIL{c: c, inner: c.HIL}
+	c.BMI = &resilientBMI{c: c, inner: c.BMI}
+	c.Driver = &resilientDriver{c: c, inner: c.Driver}
+	c.Registrar = &resilientRegistrar{c: c, inner: c.Registrar}
+	return nil
+}
+
+// Resilience returns the installed policy (the defaults-normalized
+// zero value when EnableResilience was never called).
+func (c *Cloud) Resilience() ResiliencePolicy {
+	if c.resilience == nil {
+		return ResiliencePolicy{}.withDefaults()
+	}
+	return c.resilience.policy
+}
+
+// Health snapshots the cloud's degraded-mode state. Without
+// EnableResilience the cloud has no breakers and is never degraded.
+func (c *Cloud) Health() HealthStatus {
+	h := HealthStatus{Backends: make(map[string]BackendHealth, len(ResilientBackends))}
+	if c.resilience == nil {
+		for _, backend := range ResilientBackends {
+			h.Backends[backend] = BackendHealth{State: BreakerClosed}
+		}
+		return h
+	}
+	for backend, b := range c.resilience.breakers {
+		st := b.status()
+		h.Backends[backend] = st
+		if st.State == BreakerOpen {
+			h.Degraded = true
+		}
+	}
+	return h
+}
+
+// CheckDegraded returns a typed *DegradedError naming an open backend
+// while the cloud is degraded, nil otherwise. Admission gates call it
+// to fail new work fast instead of queueing it into a dead backend;
+// once the breaker's cooldown elapses (half-open) it returns nil again,
+// so the first post-cooldown acquire doubles as the probe traffic.
+func (c *Cloud) CheckDegraded() error {
+	if c.resilience == nil {
+		return nil
+	}
+	for _, backend := range ResilientBackends {
+		if c.resilience.breakers[backend].open() {
+			return &DegradedError{Backend: backend, RetryAfter: c.resilience.policy.BreakerCooldown}
+		}
+	}
+	return nil
+}
+
+// Degraded reports whether any backend breaker is currently open.
+func (c *Cloud) Degraded() bool {
+	if c.resilience == nil {
+		return false
+	}
+	for _, b := range c.resilience.breakers {
+		if b.open() {
+			return true
+		}
+	}
+	return false
+}
+
+// --- resilient decorators -----------------------------------------
+//
+// One thin decorator per backend interface: every call runs through
+// Cloud.resilientCall (breaker admission, bounded transient retries).
+// Methods without a context use Background — their retries are bounded
+// by the attempt budget alone.
+
+type resilientHIL struct {
+	c     *Cloud
+	inner HILService
+}
+
+func (r *resilientHIL) CreateProject(name string) error {
+	return r.c.resilientCall(context.Background(), BackendHIL, func() error { return r.inner.CreateProject(name) })
+}
+
+func (r *resilientHIL) DeleteProject(name string) error {
+	return r.c.resilientCall(context.Background(), BackendHIL, func() error { return r.inner.DeleteProject(name) })
+}
+
+func (r *resilientHIL) FreeNodes() (out []string, err error) {
+	err = r.c.resilientCall(context.Background(), BackendHIL, func() error { out, err = r.inner.FreeNodes(); return err })
+	return out, err
+}
+
+func (r *resilientHIL) AllocateNode(ctx context.Context, project, node string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.AllocateNode(ctx, project, node) })
+}
+
+func (r *resilientHIL) AllocateAnyNode(ctx context.Context, project string) (out string, err error) {
+	err = r.c.resilientCall(ctx, BackendHIL, func() error { out, err = r.inner.AllocateAnyNode(ctx, project); return err })
+	return out, err
+}
+
+func (r *resilientHIL) TransferNode(ctx context.Context, from, node, to string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.TransferNode(ctx, from, node, to) })
+}
+
+func (r *resilientHIL) FreeNode(ctx context.Context, project, node string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.FreeNode(ctx, project, node) })
+}
+
+func (r *resilientHIL) CreateNetwork(ctx context.Context, project, name string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.CreateNetwork(ctx, project, name) })
+}
+
+func (r *resilientHIL) DeleteNetwork(ctx context.Context, project, name string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.DeleteNetwork(ctx, project, name) })
+}
+
+func (r *resilientHIL) ConnectNode(ctx context.Context, project, node, network string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.ConnectNode(ctx, project, node, network) })
+}
+
+func (r *resilientHIL) DetachNode(ctx context.Context, project, node, network string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.DetachNode(ctx, project, node, network) })
+}
+
+func (r *resilientHIL) ConnectServicePort(port, publicNet string) error {
+	return r.c.resilientCall(context.Background(), BackendHIL, func() error { return r.inner.ConnectServicePort(port, publicNet) })
+}
+
+func (r *resilientHIL) PowerOn(ctx context.Context, project, node string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.PowerOn(ctx, project, node) })
+}
+
+func (r *resilientHIL) PowerOff(ctx context.Context, project, node string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.PowerOff(ctx, project, node) })
+}
+
+func (r *resilientHIL) PowerCycle(ctx context.Context, project, node string) error {
+	return r.c.resilientCall(ctx, BackendHIL, func() error { return r.inner.PowerCycle(ctx, project, node) })
+}
+
+func (r *resilientHIL) NodeMetadata(node string) (out map[string]string, err error) {
+	err = r.c.resilientCall(context.Background(), BackendHIL, func() error { out, err = r.inner.NodeMetadata(node); return err })
+	return out, err
+}
+
+func (r *resilientHIL) NodeOwner(node string) (out string, err error) {
+	err = r.c.resilientCall(context.Background(), BackendHIL, func() error { out, err = r.inner.NodeOwner(node); return err })
+	return out, err
+}
+
+func (r *resilientHIL) NodePort(node string) (out string, err error) {
+	err = r.c.resilientCall(context.Background(), BackendHIL, func() error { out, err = r.inner.NodePort(node); return err })
+	return out, err
+}
+
+type resilientBMI struct {
+	c     *Cloud
+	inner BMIService
+}
+
+func (r *resilientBMI) CreateImage(ctx context.Context, name string, size int64) (out *bmi.Image, err error) {
+	err = r.c.resilientCall(ctx, BackendBMI, func() error { out, err = r.inner.CreateImage(ctx, name, size); return err })
+	return out, err
+}
+
+func (r *resilientBMI) CreateOSImage(name string, spec bmi.OSImageSpec) (out *bmi.Image, err error) {
+	err = r.c.resilientCall(context.Background(), BackendBMI, func() error { out, err = r.inner.CreateOSImage(name, spec); return err })
+	return out, err
+}
+
+func (r *resilientBMI) CloneImage(ctx context.Context, src, dst string) (out *bmi.Image, err error) {
+	err = r.c.resilientCall(ctx, BackendBMI, func() error { out, err = r.inner.CloneImage(ctx, src, dst); return err })
+	return out, err
+}
+
+func (r *resilientBMI) SnapshotImage(ctx context.Context, src, snap string) (out *bmi.Image, err error) {
+	err = r.c.resilientCall(ctx, BackendBMI, func() error { out, err = r.inner.SnapshotImage(ctx, src, snap); return err })
+	return out, err
+}
+
+func (r *resilientBMI) DeleteImage(ctx context.Context, name string) error {
+	return r.c.resilientCall(ctx, BackendBMI, func() error { return r.inner.DeleteImage(ctx, name) })
+}
+
+func (r *resilientBMI) GetImage(name string) (out *bmi.Image, err error) {
+	err = r.c.resilientCall(context.Background(), BackendBMI, func() error { out, err = r.inner.GetImage(name); return err })
+	return out, err
+}
+
+func (r *resilientBMI) ListImages() (out []string, err error) {
+	err = r.c.resilientCall(context.Background(), BackendBMI, func() error { out, err = r.inner.ListImages(); return err })
+	return out, err
+}
+
+func (r *resilientBMI) ExtractBootInfo(ctx context.Context, image string) (out *bmi.BootInfo, err error) {
+	err = r.c.resilientCall(ctx, BackendBMI, func() error { out, err = r.inner.ExtractBootInfo(ctx, image); return err })
+	return out, err
+}
+
+func (r *resilientBMI) ExportForBoot(ctx context.Context, node, image string, cow bool) (out *bmi.Export, err error) {
+	err = r.c.resilientCall(ctx, BackendBMI, func() error { out, err = r.inner.ExportForBoot(ctx, node, image, cow); return err })
+	return out, err
+}
+
+func (r *resilientBMI) Unexport(ctx context.Context, node, saveAs string) error {
+	return r.c.resilientCall(ctx, BackendBMI, func() error { return r.inner.Unexport(ctx, node, saveAs) })
+}
+
+type resilientDriver struct {
+	c     *Cloud
+	inner NodeDriver
+}
+
+func (r *resilientDriver) Boot(ctx context.Context, node string) (out keylime.AgentConn, err error) {
+	err = r.c.resilientCall(ctx, BackendDriver, func() error { out, err = r.inner.Boot(ctx, node); return err })
+	return out, err
+}
+
+func (r *resilientDriver) ExpectedBootPCRs(ctx context.Context, node string) (out map[int][]tpm.Digest, err error) {
+	err = r.c.resilientCall(ctx, BackendDriver, func() error { out, err = r.inner.ExpectedBootPCRs(ctx, node); return err })
+	return out, err
+}
+
+func (r *resilientDriver) KexecAttested(ctx context.Context, node, kernelID string) error {
+	return r.c.resilientCall(ctx, BackendDriver, func() error { return r.inner.KexecAttested(ctx, node, kernelID) })
+}
+
+func (r *resilientDriver) Kexec(ctx context.Context, node, kernelID string, kernel, initrd []byte) error {
+	return r.c.resilientCall(ctx, BackendDriver, func() error { return r.inner.Kexec(ctx, node, kernelID, kernel, initrd) })
+}
+
+func (r *resilientDriver) StartIMA(ctx context.Context, node string) (out *ima.Collector, err error) {
+	err = r.c.resilientCall(ctx, BackendDriver, func() error { out, err = r.inner.StartIMA(ctx, node); return err })
+	return out, err
+}
+
+func (r *resilientDriver) StopAgent(ctx context.Context, node string) error {
+	return r.c.resilientCall(ctx, BackendDriver, func() error { return r.inner.StopAgent(ctx, node) })
+}
+
+func (r *resilientDriver) AddServicePort(ctx context.Context, name string) error {
+	return r.c.resilientCall(ctx, BackendDriver, func() error { return r.inner.AddServicePort(ctx, name) })
+}
+
+func (r *resilientDriver) Reachable(ctx context.Context, portA, portB string) error {
+	return r.c.resilientCall(ctx, BackendDriver, func() error { return r.inner.Reachable(ctx, portA, portB) })
+}
+
+type resilientRegistrar struct {
+	c     *Cloud
+	inner keylime.RegistrarConn
+}
+
+func (r *resilientRegistrar) Register(uuid string, ekPub *ecdh.PublicKey, aikPub *ecdsa.PublicKey) (out *tpm.CredentialBlob, err error) {
+	err = r.c.resilientCall(context.Background(), BackendRegistrar, func() error { out, err = r.inner.Register(uuid, ekPub, aikPub); return err })
+	return out, err
+}
+
+func (r *resilientRegistrar) Activate(uuid string, proof []byte) error {
+	return r.c.resilientCall(context.Background(), BackendRegistrar, func() error { return r.inner.Activate(uuid, proof) })
+}
+
+func (r *resilientRegistrar) AIK(uuid string) (out *ecdsa.PublicKey, err error) {
+	err = r.c.resilientCall(context.Background(), BackendRegistrar, func() error { out, err = r.inner.AIK(uuid); return err })
+	return out, err
+}
+
+func (r *resilientRegistrar) EK(uuid string) (out *ecdh.PublicKey, err error) {
+	err = r.c.resilientCall(context.Background(), BackendRegistrar, func() error { out, err = r.inner.EK(uuid); return err })
+	return out, err
+}
+
+var (
+	_ HILService            = (*resilientHIL)(nil)
+	_ BMIService            = (*resilientBMI)(nil)
+	_ NodeDriver            = (*resilientDriver)(nil)
+	_ keylime.RegistrarConn = (*resilientRegistrar)(nil)
+)

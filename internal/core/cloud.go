@@ -151,6 +151,10 @@ type Cloud struct {
 	// SetMetrics attaches a registry.
 	metrics *cloudMetrics
 
+	// resilience is the installed retry/breaker layer (breaker.go);
+	// nil until EnableResilience wraps the backends.
+	resilience *cloudResilience
+
 	rejMu    sync.Mutex
 	rejected map[string]string // node -> rejection reason
 }
@@ -379,6 +383,31 @@ func (c *Cloud) MarkRejected(project, node, reason string) {
 			}
 		}
 	}
+}
+
+// ReclaimRejected is the provider half of the operator's
+// scrub-and-return path: a repaired rejected-pool node is powered off
+// (nothing from the tainted tenancy survives into the next allocation)
+// and freed from the rejected project back into the free pool. Returns
+// the recorded rejection reason for the journal.
+func (c *Cloud) ReclaimRejected(ctx context.Context, node string) (string, error) {
+	c.rejMu.Lock()
+	reason, ok := c.rejected[node]
+	c.rejMu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: node %q is not in the rejected pool", ErrNotFound, node)
+	}
+	// Best-effort: rejected nodes are usually already off (MarkRejected
+	// detached and powered them down), and a power fault must not strand
+	// an otherwise repaired node.
+	_ = c.HIL.PowerOff(ctx, RejectedProject, node)
+	if err := c.HIL.FreeNode(ctx, RejectedProject, node); err != nil {
+		return "", err
+	}
+	c.rejMu.Lock()
+	delete(c.rejected, node)
+	c.rejMu.Unlock()
+	return reason, nil
 }
 
 // Rejected returns the rejected pool: node -> reason.

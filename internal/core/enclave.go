@@ -75,6 +75,11 @@ type Enclave struct {
 	banMu      sync.Mutex
 	bannedWarm map[string]string
 
+	// resilience optionally overrides the cloud's ResiliencePolicy for
+	// this enclave's pipeline (nil = inherit the cloud's).
+	resMu      sync.Mutex
+	resilience *ResiliencePolicy
+
 	mu    sync.Mutex
 	nodes map[string]*Node
 }
@@ -144,6 +149,52 @@ func NewEnclave(c *Cloud, name string, profile Profile) (*Enclave, error) {
 // Verifier returns the enclave's verifier (nil for no-attestation
 // profiles).
 func (e *Enclave) Verifier() *keylime.Verifier { return e.verifier }
+
+// Resilience returns the policy governing this enclave's pipeline: its
+// own override when one was set, the cloud's otherwise.
+func (e *Enclave) Resilience() ResiliencePolicy {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	if e.resilience != nil {
+		return *e.resilience
+	}
+	return e.cloud.Resilience()
+}
+
+// SetResilience overrides the cloud's resilience policy for this
+// enclave (surfaced over /v1 and boltedctl). Retry and breaker
+// parameters act where the shared backends are wrapped — cloud-wide —
+// but the per-phase deadline is honored per enclave, so one tenant can
+// bound its own provisioning phases without touching its neighbours.
+func (e *Enclave) SetResilience(pol ResiliencePolicy) error {
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	pol = pol.withDefaults()
+	e.resMu.Lock()
+	e.resilience = &pol
+	e.resMu.Unlock()
+	return nil
+}
+
+// ReclaimRejected is the operator's scrub-and-return path for a node
+// this enclave's pipeline sent to the rejected pool: once repaired
+// (reflashed, inspected), the node is powered off, freed from the
+// provider's rejected project back into the free pool, and the
+// recovery journaled. Quarantined members are deliberately excluded —
+// a runtime revocation opens an incident (incident.go) and its disk
+// state is evidence, not something to recycle from here.
+func (e *Enclave) ReclaimRejected(ctx context.Context, name string) error {
+	if st := e.lc.state(name); st != StateRejected {
+		return fmt.Errorf("%w: node %q is %s, not %s", ErrConflict, name, st, StateRejected)
+	}
+	reason, err := e.cloud.ReclaimRejected(ctx, name)
+	if err != nil {
+		return err
+	}
+	e.journal.record(EvReclaimed, name, "was: "+reason)
+	return e.lc.to(name, StateFree, "reclaimed")
+}
 
 // IMAWhitelist returns the tenant runtime whitelist (nil unless the
 // profile enables continuous attestation). The tenant populates it with

@@ -11,24 +11,26 @@ type EventKind string
 
 // Journal event kinds, one per Figure-1 transition plus runtime events.
 const (
-	EvAllocated   EventKind = "allocated"   // node reserved from the free pool
-	EvAirlocked   EventKind = "airlocked"   // moved into the airlock
-	EvBooting     EventKind = "booting"     // powered on, firmware runtime coming up
-	EvAttesting   EventKind = "attesting"   // registered, quote in flight
-	EvAttested    EventKind = "attested"    // passed boot attestation
-	EvWarm        EventKind = "warm"        // parked as a pre-attested standby in the warm pool
-	EvRejected    EventKind = "rejected"    // failed a lifecycle phase -> rejected pool
-	EvJoined      EventKind = "joined"      // member of the tenant enclave
-	EvProvisioned EventKind = "provisioned" // remote volume + disk stack ready
-	EvBooted      EventKind = "booted"      // kexec'd into the tenant kernel
-	EvRevoked     EventKind = "revoked"     // runtime violation, keys revoked
-	EvQuarantined EventKind = "quarantined" // revoked member torn out of the enclave
-	EvRekeyed     EventKind = "rekeyed"     // enclave-wide IPsec PSK rotated
-	EvHealed      EventKind = "healed"      // replacement node restored target size
-	EvDegraded    EventKind = "degraded"    // self-healing failed; running below target
-	EvReleased    EventKind = "released"    // returned to the free pool
-	EvStateSaved  EventKind = "state-saved" // volume preserved as an image
-	EvRecovered   EventKind = "recovered"   // re-adopted (or restored) by crash recovery
+	EvAllocated   EventKind = "allocated"    // node reserved from the free pool
+	EvAirlocked   EventKind = "airlocked"    // moved into the airlock
+	EvBooting     EventKind = "booting"      // powered on, firmware runtime coming up
+	EvAttesting   EventKind = "attesting"    // registered, quote in flight
+	EvAttested    EventKind = "attested"     // passed boot attestation
+	EvWarm        EventKind = "warm"         // parked as a pre-attested standby in the warm pool
+	EvRejected    EventKind = "rejected"     // failed a lifecycle phase -> rejected pool
+	EvJoined      EventKind = "joined"       // member of the tenant enclave
+	EvProvisioned EventKind = "provisioned"  // remote volume + disk stack ready
+	EvBooted      EventKind = "booted"       // kexec'd into the tenant kernel
+	EvRevoked     EventKind = "revoked"      // runtime violation, keys revoked
+	EvQuarantined EventKind = "quarantined"  // revoked member torn out of the enclave
+	EvRekeyed     EventKind = "rekeyed"      // enclave-wide IPsec PSK rotated
+	EvHealed      EventKind = "healed"       // replacement node restored target size
+	EvDegraded    EventKind = "degraded"     // self-healing failed; running below target
+	EvGuardPaused EventKind = "guard-paused" // guard checks suspended: registrar breaker open
+	EvReclaimed   EventKind = "reclaimed"    // rejected node scrubbed and returned to the free pool
+	EvReleased    EventKind = "released"     // returned to the free pool
+	EvStateSaved  EventKind = "state-saved"  // volume preserved as an image
+	EvRecovered   EventKind = "recovered"    // re-adopted (or restored) by crash recovery
 )
 
 // Event is one journal record. Seq is 1-based, strictly increasing, and

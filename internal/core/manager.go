@@ -312,6 +312,15 @@ func (m *Manager) StartAcquireIdem(enclave, image string, n int, idemKey string)
 			return nil, false, fmt.Errorf("%w: enclave %q already has operation %s in flight", ErrConflict, enclave, prev.ID)
 		}
 	}
+	// Degraded fail-fast: with a backend breaker open the batch would
+	// only burn its retry budget into a dead service and strand nodes in
+	// the rejected pool. The typed error carries a Retry-After hint; the
+	// /v1 surface maps it to 503.
+	if err := m.cloud.CheckDegraded(); err != nil {
+		m.mu.Unlock()
+		cancel()
+		return nil, false, err
+	}
 	if err := m.admitAcquireLocked(enclave, e, n); err != nil {
 		m.mu.Unlock()
 		cancel()
@@ -610,6 +619,60 @@ func (m *Manager) DetachPool(enclave string) (bool, error) {
 		}
 	}
 	return had, nil
+}
+
+// Health returns the cloud's degraded-mode snapshot: per-backend
+// circuit-breaker states, degraded while any is open. This is the
+// /v1/health body.
+func (m *Manager) Health() HealthStatus { return m.cloud.Health() }
+
+// ConfigureResilience sets a resilience policy. An empty enclave name
+// configures the cloud-wide layer (installing it when absent);
+// otherwise the named enclave gets a per-enclave override. Phase
+// deadlines act per enclave; retry and breaker parameters apply where
+// the shared backends are wrapped, cloud-wide. The policy is
+// operational tuning, deliberately outside the durable log: a restart
+// returns to the boltedd defaults.
+func (m *Manager) ConfigureResilience(enclave string, pol ResiliencePolicy) (ResiliencePolicy, error) {
+	if enclave == "" {
+		if err := m.cloud.EnableResilience(pol); err != nil {
+			return ResiliencePolicy{}, err
+		}
+		return m.cloud.Resilience(), nil
+	}
+	e, err := m.Enclave(enclave)
+	if err != nil {
+		return ResiliencePolicy{}, err
+	}
+	if err := e.SetResilience(pol); err != nil {
+		return ResiliencePolicy{}, err
+	}
+	return e.Resilience(), nil
+}
+
+// ResiliencePolicyFor returns the effective policy: the enclave's
+// override when set, the cloud's otherwise ("" asks for the cloud's).
+func (m *Manager) ResiliencePolicyFor(enclave string) (ResiliencePolicy, error) {
+	if enclave == "" {
+		return m.cloud.Resilience(), nil
+	}
+	e, err := m.Enclave(enclave)
+	if err != nil {
+		return ResiliencePolicy{}, err
+	}
+	return e.Resilience(), nil
+}
+
+// ReclaimNode is the operator's scrub-and-return path for one of an
+// enclave's rejected-pool nodes: the repaired node is powered off,
+// freed back into the provider's free pool, and the recovery
+// journaled.
+func (m *Manager) ReclaimNode(ctx context.Context, enclave, node string) error {
+	e, err := m.Enclave(enclave)
+	if err != nil {
+		return err
+	}
+	return e.ReclaimRejected(ctx, node)
 }
 
 // Tracer returns the manager's operation tracer (never nil).

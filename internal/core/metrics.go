@@ -39,6 +39,14 @@ type cloudMetrics struct {
 	incidentSeconds  *obs.Histogram
 	recoverySeconds  *obs.Gauge
 	recoveredEnclave *obs.Gauge
+
+	// Resilience (resilience.go, breaker.go).
+	retries        *obs.CounterVec // backend: transient failures retried
+	retryExhausted *obs.CounterVec // backend: attempt budgets exhausted
+	breakerTrips   *obs.CounterVec // backend
+	breakerState   *obs.GaugeVec   // backend: 0 closed, 1 half-open, 2 open
+	degradedFails  *obs.Counter    // calls failed fast with ErrDegraded
+	phaseDeadline  *obs.Counter    // phases that hit their deadline
 }
 
 // newCloudMetrics resolves the cloud-scoped instruments (all nil when
@@ -69,7 +77,32 @@ func newCloudMetrics(reg *obs.Registry) *cloudMetrics {
 	cm.incidentSeconds = reg.Histogram("bolted_incident_seconds", "Incident open-to-close duration.", nil)
 	cm.recoverySeconds = reg.Gauge("bolted_recovery_seconds", "Duration of the last crash recovery (re-quote included).")
 	cm.recoveredEnclave = reg.Gauge("bolted_recovery_enclaves", "Enclaves rebuilt by the last crash recovery.")
+	cm.retries = reg.CounterVec("bolted_retries_total", "Transient backend failures absorbed by the resilience retry loop.", "backend")
+	cm.retryExhausted = reg.CounterVec("bolted_retry_exhausted_total", "Backend calls that failed every attempt in the retry budget.", "backend")
+	cm.breakerTrips = reg.CounterVec("bolted_breaker_trips_total", "Circuit-breaker trips into the open state.", "backend")
+	cm.breakerState = reg.GaugeVec("bolted_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.", "backend")
+	cm.degradedFails = reg.Counter("bolted_degraded_failfast_total", "Calls rejected fast with ErrDegraded while a breaker was open.")
+	cm.phaseDeadline = reg.Counter("bolted_phase_deadline_total", "Lifecycle phases aborted by their ResiliencePolicy deadline.")
 	return cm
+}
+
+// incRetry, incRetryExhausted, incBreakerTrip, setBreakerState and
+// incDegradedFail fold resilience events into the instruments; all are
+// nil-safe no-ops on an uninstrumented cloud.
+func (cm *cloudMetrics) incRetry(backend string)          { cm.retries.With(backend).Inc() }
+func (cm *cloudMetrics) incRetryExhausted(backend string) { cm.retryExhausted.With(backend).Inc() }
+func (cm *cloudMetrics) incBreakerTrip(backend string)    { cm.breakerTrips.With(backend).Inc() }
+func (cm *cloudMetrics) incDegradedFail()                 { cm.degradedFails.Inc() }
+
+func (cm *cloudMetrics) setBreakerState(backend string, st BreakerState) {
+	var v float64
+	switch st {
+	case BreakerHalfOpen:
+		v = 1
+	case BreakerOpen:
+		v = 2
+	}
+	cm.breakerState.With(backend).Set(v)
 }
 
 // schedMetrics is the Scheduler's slice of the cloud instruments.

@@ -433,6 +433,30 @@ func (p *WarmPool) run() {
 			}
 			continue
 		}
+		if p.e.cloud.Degraded() {
+			// Degraded hold: with a backend breaker open, warm boots
+			// would be fed straight into a dead service and healthy
+			// standbys stranded in the rejected pool — and shedding
+			// surplus would fail its teardown calls the same way. Hold
+			// everything and re-check once the breaker cooldown can
+			// admit probes again.
+			backoff := refillBackoff(p.policy.RetryBackoff, p.failStreak)
+			p.mu.Unlock()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(backoff)
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-p.wake:
+			case <-timer.C:
+			}
+			continue
+		}
 		// Surplus first: a lowered target releases parked nodes.
 		var surplus []*warmNode
 		for len(p.ready) > p.policy.Target {

@@ -182,19 +182,34 @@ type phaseSpan struct {
 // and — when the context carries a trace (an operation started via the
 // Manager) — emit a node×phase span parented under the operation's
 // root. Timings, metrics and traces therefore agree by construction.
-func (e *Enclave) phaseRunner(ctx context.Context, node string, spans *[]phaseSpan) func(string, func() error) error {
+//
+// When the enclave's ResiliencePolicy sets a PhaseDeadline, each phase
+// runs under its own deadline-bounded child context: a phase wedged on
+// an indefinitely hung backend fails with context.DeadlineExceeded and
+// the node is rejected instead of the worker blocking forever.
+func (e *Enclave) phaseRunner(ctx context.Context, node string, spans *[]phaseSpan) func(string, func(context.Context) error) error {
 	tc := obs.TraceFrom(ctx)
-	return func(phase string, fn func() error) error {
+	deadline := e.Resilience().PhaseDeadline
+	return func(phase string, fn func(context.Context) error) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		pctx := ctx
+		cancel := context.CancelFunc(func() {})
+		if deadline > 0 {
+			pctx, cancel = context.WithTimeout(ctx, deadline)
+		}
 		t0 := time.Now()
 		sp := tc.Start(phase, node)
-		err := fn()
+		err := fn(pctx)
+		cancel()
 		sp.End(err)
 		d := time.Since(t0)
 		*spans = append(*spans, phaseSpan{phase, d})
 		e.cloud.metrics.observePhase(phase, d)
+		if deadline > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			e.cloud.metrics.phaseDeadline.Inc()
+		}
 		return err
 	}
 }
@@ -217,18 +232,18 @@ func (e *Enclave) provisionOne(ctx context.Context, name string, boot *bmi.BootI
 	run := e.phaseRunner(ctx, name, &spans)
 
 	phase := PhaseAirlock
-	err := run(PhaseAirlock, func() error { return e.airlockNode(ctx, name) })
+	err := run(PhaseAirlock, func(ctx context.Context) error { return e.airlockNode(ctx, name) })
 	if err == nil {
 		phase = PhaseBoot
-		err = run(PhaseBoot, func() error { return e.bootNode(ctx, w) })
+		err = run(PhaseBoot, func(ctx context.Context) error { return e.bootNode(ctx, w) })
 	}
 	if err == nil && e.Profile.Attest {
 		phase = PhaseAttest
-		err = run(PhaseAttest, func() error { return e.attestNode(ctx, w) })
+		err = run(PhaseAttest, func(ctx context.Context) error { return e.attestNode(ctx, w) })
 	}
 	if err == nil {
 		phase = PhaseProvision
-		err = run(PhaseProvision, func() error {
+		err = run(PhaseProvision, func(ctx context.Context) error {
 			if err := e.provisionNode(ctx, w); err != nil {
 				return err
 			}
@@ -283,7 +298,7 @@ func (e *Enclave) provisionWarmOne(ctx context.Context, wn *warmNode, boot *bmi.
 	if err = checkBan(); err != nil {
 		// Never admit; routed to the rejected pool below.
 	} else if e.Profile.Attest {
-		err = run(PhaseWarmRequote, func() error { return e.requoteWarm(ctx, w) })
+		err = run(PhaseWarmRequote, func(ctx context.Context) error { return e.requoteWarm(ctx, w) })
 		delivered = err == nil
 	} else {
 		// No attestation: nothing to re-quote; the fast path is just
@@ -292,7 +307,7 @@ func (e *Enclave) provisionWarmOne(ctx context.Context, wn *warmNode, boot *bmi.
 	}
 	if err == nil {
 		phase = PhaseWarmProvision
-		err = run(PhaseWarmProvision, func() error {
+		err = run(PhaseWarmProvision, func(ctx context.Context) error {
 			if err := e.provisionNode(ctx, w); err != nil {
 				return err
 			}

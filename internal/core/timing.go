@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"bolted/internal/ceph"
@@ -116,6 +117,20 @@ type ProvisionConfig struct {
 	// Infrastructure sizing (defaults: the paper's pool).
 	OSDs           int
 	SpindlesPerOSD int
+
+	// Resilience is the retry policy the fault model charges when
+	// FaultRate > 0 (zero fields take DefaultResiliencePolicy values) —
+	// the same policy shape the real provisioner runs under.
+	Resilience ResiliencePolicy
+	// FaultRate is the per-attempt transient-fault probability the
+	// timing model injects into service-facing phases (0 disables).
+	// Faulted attempts charge the failed call plus the retry backoff,
+	// which is how injected faults surface as p99 latency rather than
+	// failures while the retry budget holds.
+	FaultRate float64
+	// Seed keys the model's deterministic fault draws: same seed, same
+	// config, same timeline.
+	Seed int64
 }
 
 // DefaultProvisionConfig returns a single-node LinuxBoot attested boot
@@ -147,6 +162,43 @@ const (
 	PhaseWarmRequote   = "warm-requote"   // fresh-nonce quote + tenant payload release
 	PhaseWarmProvision = "warm-provision" // HIL move, volume, crypto, kexec off a standby
 )
+
+// faultRetryCost is the modeled cost of one failed service call inside
+// a phase: the time a connect or request burns before its transient
+// error surfaces to the retry loop.
+const faultRetryCost = 2 * time.Second
+
+// faultPenalty is the deterministic extra latency the fault model adds
+// to one node's phase. A keyed hash of (seed, node, phase, attempt)
+// decides how many consecutive attempts fault — mirroring
+// internal/fault's per-attempt counter walk — and each faulted attempt
+// charges the failed call plus the expectation of the capped
+// full-jitter backoff (3/4 of the exponential delay), keeping the model
+// deterministic while matching the real retry loop's shape.
+func (cfg ProvisionConfig) faultPenalty(node int, phase string) time.Duration {
+	if cfg.FaultRate <= 0 {
+		return 0
+	}
+	pol := cfg.Resilience.withDefaults()
+	var d time.Duration
+	for attempt := 1; attempt < pol.MaxAttempts; attempt++ {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d\x00%d\x00%s\x00%d", cfg.Seed, node, phase, attempt)
+		if float64(h.Sum64()>>11)/float64(1<<53) >= cfg.FaultRate {
+			break
+		}
+		shift := attempt - 1
+		if shift > 6 {
+			shift = 6
+		}
+		b := pol.RetryBackoff << shift
+		if b > pol.BackoffCap {
+			b = pol.BackoffCap
+		}
+		d += faultRetryCost + b*3/4
+	}
+	return d
+}
 
 // WithPool applies the warm-pool configuration to the timing model:
 // the airlock count and warm-path eligibility both come from the same
@@ -279,6 +331,7 @@ func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
 		s.Go(fmt.Sprintf("node%02d", i), func(p *sim.Proc) {
 			var phases []Phase
 			step := func(name, group string, d time.Duration) {
+				d += cfg.faultPenalty(i, group+"/"+name)
 				p.Sleep(d)
 				phases = append(phases, Phase{name, group, d})
 			}
@@ -319,7 +372,7 @@ func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
 				if cfg.Security >= SecAttested {
 					start := p.Now()
 					p.Acquire(airlock)
-					p.Sleep(phaseWarmRequote)
+					p.Sleep(phaseWarmRequote + cfg.faultPenalty(i, PhaseWarmRequote))
 					airlock.Release()
 					phases = append(phases, Phase{"warm re-quote + payload release", PhaseWarmRequote, p.Now() - start})
 				} else {
@@ -349,7 +402,7 @@ func SimulateProvisioning(cfg ProvisionConfig) *ProvisionResult {
 					// Registration, quote and verification; a slice of
 					// it is serialized by the single airlock.
 					start := p.Now()
-					p.Sleep(phaseAttest - airlockSerial - tpm.QuoteLatency)
+					p.Sleep(phaseAttest - airlockSerial - tpm.QuoteLatency + cfg.faultPenalty(i, PhaseAttest))
 					p.Sleep(tpm.QuoteLatency)
 					p.Acquire(airlock)
 					p.Sleep(airlockSerial)

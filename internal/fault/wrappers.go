@@ -1,0 +1,237 @@
+package fault
+
+import (
+	"context"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+
+	"bolted/internal/bmi"
+	"bolted/internal/core"
+	"bolted/internal/ima"
+	"bolted/internal/keylime"
+	"bolted/internal/tpm"
+)
+
+// Backend names the injector keys profiles and stats by. The store is
+// faulted separately via store.Faulty, which already existed.
+const (
+	BackendHIL       = "hil"
+	BackendBMI       = "bmi"
+	BackendDriver    = "driver"
+	BackendRegistrar = "registrar"
+)
+
+// Backends lists every backend the injector can wrap, in sweep order.
+var Backends = []string{BackendHIL, BackendBMI, BackendDriver, BackendRegistrar}
+
+// WrapHIL returns a faulting decorator around a HIL service. Install it
+// by reassigning Cloud.HIL before enabling resilience, so breakers and
+// retries observe the injected faults.
+func WrapHIL(inner core.HILService, inj *Injector) core.HILService {
+	return &faultHIL{inner: inner, inj: inj}
+}
+
+// WrapBMI returns a faulting decorator around a BMI service.
+func WrapBMI(inner core.BMIService, inj *Injector) core.BMIService {
+	return &faultBMI{inner: inner, inj: inj}
+}
+
+// WrapDriver returns a faulting decorator around a node driver.
+func WrapDriver(inner core.NodeDriver, inj *Injector) core.NodeDriver {
+	return &faultDriver{inner: inner, inj: inj}
+}
+
+// WrapRegistrar returns a faulting decorator around a registrar
+// connection. Registrar calls carry no context; injected hangs on it
+// release only when the injector closes.
+func WrapRegistrar(inner keylime.RegistrarConn, inj *Injector) keylime.RegistrarConn {
+	return &faultRegistrar{inner: inner, inj: inj}
+}
+
+type faultHIL struct {
+	inner core.HILService
+	inj   *Injector
+}
+
+func (f *faultHIL) CreateProject(name string) error {
+	return f.inj.do(context.Background(), BackendHIL, "CreateProject", name, func() error { return f.inner.CreateProject(name) })
+}
+
+func (f *faultHIL) DeleteProject(name string) error {
+	return f.inj.do(context.Background(), BackendHIL, "DeleteProject", name, func() error { return f.inner.DeleteProject(name) })
+}
+
+func (f *faultHIL) FreeNodes() ([]string, error) {
+	return do1(f.inj, context.Background(), BackendHIL, "FreeNodes", "", f.inner.FreeNodes)
+}
+
+func (f *faultHIL) AllocateNode(ctx context.Context, project, node string) error {
+	return f.inj.do(ctx, BackendHIL, "AllocateNode", node, func() error { return f.inner.AllocateNode(ctx, project, node) })
+}
+
+func (f *faultHIL) AllocateAnyNode(ctx context.Context, project string) (string, error) {
+	return do1(f.inj, ctx, BackendHIL, "AllocateAnyNode", project, func() (string, error) { return f.inner.AllocateAnyNode(ctx, project) })
+}
+
+func (f *faultHIL) TransferNode(ctx context.Context, from, node, to string) error {
+	return f.inj.do(ctx, BackendHIL, "TransferNode", node, func() error { return f.inner.TransferNode(ctx, from, node, to) })
+}
+
+func (f *faultHIL) FreeNode(ctx context.Context, project, node string) error {
+	return f.inj.do(ctx, BackendHIL, "FreeNode", node, func() error { return f.inner.FreeNode(ctx, project, node) })
+}
+
+func (f *faultHIL) CreateNetwork(ctx context.Context, project, name string) error {
+	return f.inj.do(ctx, BackendHIL, "CreateNetwork", name, func() error { return f.inner.CreateNetwork(ctx, project, name) })
+}
+
+func (f *faultHIL) DeleteNetwork(ctx context.Context, project, name string) error {
+	return f.inj.do(ctx, BackendHIL, "DeleteNetwork", name, func() error { return f.inner.DeleteNetwork(ctx, project, name) })
+}
+
+func (f *faultHIL) ConnectNode(ctx context.Context, project, node, network string) error {
+	return f.inj.do(ctx, BackendHIL, "ConnectNode", node+"/"+network, func() error { return f.inner.ConnectNode(ctx, project, node, network) })
+}
+
+func (f *faultHIL) DetachNode(ctx context.Context, project, node, network string) error {
+	return f.inj.do(ctx, BackendHIL, "DetachNode", node+"/"+network, func() error { return f.inner.DetachNode(ctx, project, node, network) })
+}
+
+func (f *faultHIL) ConnectServicePort(port, publicNet string) error {
+	return f.inj.do(context.Background(), BackendHIL, "ConnectServicePort", port, func() error { return f.inner.ConnectServicePort(port, publicNet) })
+}
+
+func (f *faultHIL) PowerOn(ctx context.Context, project, node string) error {
+	return f.inj.do(ctx, BackendHIL, "PowerOn", node, func() error { return f.inner.PowerOn(ctx, project, node) })
+}
+
+func (f *faultHIL) PowerOff(ctx context.Context, project, node string) error {
+	return f.inj.do(ctx, BackendHIL, "PowerOff", node, func() error { return f.inner.PowerOff(ctx, project, node) })
+}
+
+func (f *faultHIL) PowerCycle(ctx context.Context, project, node string) error {
+	return f.inj.do(ctx, BackendHIL, "PowerCycle", node, func() error { return f.inner.PowerCycle(ctx, project, node) })
+}
+
+func (f *faultHIL) NodeMetadata(node string) (map[string]string, error) {
+	return do1(f.inj, context.Background(), BackendHIL, "NodeMetadata", node, func() (map[string]string, error) { return f.inner.NodeMetadata(node) })
+}
+
+func (f *faultHIL) NodeOwner(node string) (string, error) {
+	return do1(f.inj, context.Background(), BackendHIL, "NodeOwner", node, func() (string, error) { return f.inner.NodeOwner(node) })
+}
+
+func (f *faultHIL) NodePort(node string) (string, error) {
+	return do1(f.inj, context.Background(), BackendHIL, "NodePort", node, func() (string, error) { return f.inner.NodePort(node) })
+}
+
+type faultBMI struct {
+	inner core.BMIService
+	inj   *Injector
+}
+
+func (f *faultBMI) CreateImage(ctx context.Context, name string, size int64) (*bmi.Image, error) {
+	return do1(f.inj, ctx, BackendBMI, "CreateImage", name, func() (*bmi.Image, error) { return f.inner.CreateImage(ctx, name, size) })
+}
+
+func (f *faultBMI) CreateOSImage(name string, spec bmi.OSImageSpec) (*bmi.Image, error) {
+	return do1(f.inj, context.Background(), BackendBMI, "CreateOSImage", name, func() (*bmi.Image, error) { return f.inner.CreateOSImage(name, spec) })
+}
+
+func (f *faultBMI) CloneImage(ctx context.Context, src, dst string) (*bmi.Image, error) {
+	return do1(f.inj, ctx, BackendBMI, "CloneImage", dst, func() (*bmi.Image, error) { return f.inner.CloneImage(ctx, src, dst) })
+}
+
+func (f *faultBMI) SnapshotImage(ctx context.Context, src, snap string) (*bmi.Image, error) {
+	return do1(f.inj, ctx, BackendBMI, "SnapshotImage", snap, func() (*bmi.Image, error) { return f.inner.SnapshotImage(ctx, src, snap) })
+}
+
+func (f *faultBMI) DeleteImage(ctx context.Context, name string) error {
+	return f.inj.do(ctx, BackendBMI, "DeleteImage", name, func() error { return f.inner.DeleteImage(ctx, name) })
+}
+
+func (f *faultBMI) GetImage(name string) (*bmi.Image, error) {
+	return do1(f.inj, context.Background(), BackendBMI, "GetImage", name, func() (*bmi.Image, error) { return f.inner.GetImage(name) })
+}
+
+func (f *faultBMI) ListImages() ([]string, error) {
+	return do1(f.inj, context.Background(), BackendBMI, "ListImages", "", f.inner.ListImages)
+}
+
+func (f *faultBMI) ExtractBootInfo(ctx context.Context, image string) (*bmi.BootInfo, error) {
+	return do1(f.inj, ctx, BackendBMI, "ExtractBootInfo", image, func() (*bmi.BootInfo, error) { return f.inner.ExtractBootInfo(ctx, image) })
+}
+
+func (f *faultBMI) ExportForBoot(ctx context.Context, node, image string, cow bool) (*bmi.Export, error) {
+	return do1(f.inj, ctx, BackendBMI, "ExportForBoot", node, func() (*bmi.Export, error) { return f.inner.ExportForBoot(ctx, node, image, cow) })
+}
+
+func (f *faultBMI) Unexport(ctx context.Context, node, saveAs string) error {
+	return f.inj.do(ctx, BackendBMI, "Unexport", node, func() error { return f.inner.Unexport(ctx, node, saveAs) })
+}
+
+type faultDriver struct {
+	inner core.NodeDriver
+	inj   *Injector
+}
+
+func (f *faultDriver) Boot(ctx context.Context, node string) (keylime.AgentConn, error) {
+	return do1(f.inj, ctx, BackendDriver, "Boot", node, func() (keylime.AgentConn, error) { return f.inner.Boot(ctx, node) })
+}
+
+func (f *faultDriver) ExpectedBootPCRs(ctx context.Context, node string) (map[int][]tpm.Digest, error) {
+	return do1(f.inj, ctx, BackendDriver, "ExpectedBootPCRs", node, func() (map[int][]tpm.Digest, error) { return f.inner.ExpectedBootPCRs(ctx, node) })
+}
+
+func (f *faultDriver) KexecAttested(ctx context.Context, node, kernelID string) error {
+	return f.inj.do(ctx, BackendDriver, "KexecAttested", node, func() error { return f.inner.KexecAttested(ctx, node, kernelID) })
+}
+
+func (f *faultDriver) Kexec(ctx context.Context, node, kernelID string, kernel, initrd []byte) error {
+	return f.inj.do(ctx, BackendDriver, "Kexec", node, func() error { return f.inner.Kexec(ctx, node, kernelID, kernel, initrd) })
+}
+
+func (f *faultDriver) StartIMA(ctx context.Context, node string) (*ima.Collector, error) {
+	return do1(f.inj, ctx, BackendDriver, "StartIMA", node, func() (*ima.Collector, error) { return f.inner.StartIMA(ctx, node) })
+}
+
+func (f *faultDriver) StopAgent(ctx context.Context, node string) error {
+	return f.inj.do(ctx, BackendDriver, "StopAgent", node, func() error { return f.inner.StopAgent(ctx, node) })
+}
+
+func (f *faultDriver) AddServicePort(ctx context.Context, name string) error {
+	return f.inj.do(ctx, BackendDriver, "AddServicePort", name, func() error { return f.inner.AddServicePort(ctx, name) })
+}
+
+func (f *faultDriver) Reachable(ctx context.Context, portA, portB string) error {
+	return f.inj.do(ctx, BackendDriver, "Reachable", portA+"/"+portB, func() error { return f.inner.Reachable(ctx, portA, portB) })
+}
+
+type faultRegistrar struct {
+	inner keylime.RegistrarConn
+	inj   *Injector
+}
+
+func (f *faultRegistrar) Register(uuid string, ekPub *ecdh.PublicKey, aikPub *ecdsa.PublicKey) (*tpm.CredentialBlob, error) {
+	return do1(f.inj, context.Background(), BackendRegistrar, "Register", uuid, func() (*tpm.CredentialBlob, error) { return f.inner.Register(uuid, ekPub, aikPub) })
+}
+
+func (f *faultRegistrar) Activate(uuid string, proof []byte) error {
+	return f.inj.do(context.Background(), BackendRegistrar, "Activate", uuid, func() error { return f.inner.Activate(uuid, proof) })
+}
+
+func (f *faultRegistrar) AIK(uuid string) (*ecdsa.PublicKey, error) {
+	return do1(f.inj, context.Background(), BackendRegistrar, "AIK", uuid, func() (*ecdsa.PublicKey, error) { return f.inner.AIK(uuid) })
+}
+
+func (f *faultRegistrar) EK(uuid string) (*ecdh.PublicKey, error) {
+	return do1(f.inj, context.Background(), BackendRegistrar, "EK", uuid, func() (*ecdh.PublicKey, error) { return f.inner.EK(uuid) })
+}
+
+// The decorators must satisfy the same narrow contracts they wrap.
+var (
+	_ core.HILService       = (*faultHIL)(nil)
+	_ core.BMIService       = (*faultBMI)(nil)
+	_ core.NodeDriver       = (*faultDriver)(nil)
+	_ keylime.RegistrarConn = (*faultRegistrar)(nil)
+)

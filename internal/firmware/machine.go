@@ -209,6 +209,14 @@ func (m *Machine) PowerCycle() error {
 // NOT reset (kexec preserves PCRs).
 func (m *Machine) Kexec(kernelID string, kernel, initrd []byte) error {
 	m.mu.Lock()
+	if m.powered && m.layer == LayerTenantKernel && m.kernelID == kernelID {
+		// Idempotent replay: the node already runs exactly this kernel.
+		// A retry after a torn response (the kexec landed, its
+		// acknowledgement was lost) must converge without re-extending
+		// the PCRs — the TPM already records exactly one kexec.
+		m.mu.Unlock()
+		return nil
+	}
 	if !m.powered || m.layer != LayerFirmware {
 		m.mu.Unlock()
 		return fmt.Errorf("firmware: kexec requires running firmware runtime (layer=%s)", m.layer)

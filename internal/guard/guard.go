@@ -98,6 +98,7 @@ type Status struct {
 	Rounds      uint64   `json:"rounds"`      // completed IMA check rounds
 	Checks      uint64   `json:"checks"`      // CheckIMA calls issued
 	Revocations uint64   `json:"revocations"` // revocations responded to
+	Paused      bool     `json:"paused,omitempty"`
 	Incidents   []string `json:"incidents,omitempty"`
 }
 
@@ -128,6 +129,7 @@ type Guard struct {
 	rounds      uint64
 	checks      uint64
 	revocations uint64
+	paused      bool // rounds held while the registrar breaker is open
 	incidents   []string
 	stopped     bool
 }
@@ -275,6 +277,7 @@ func (g *Guard) Status() Status {
 		Rounds:      g.rounds,
 		Checks:      g.checks,
 		Revocations: g.revocations,
+		Paused:      g.paused,
 		Incidents:   append([]string(nil), g.incidents...),
 	}
 }
@@ -336,6 +339,17 @@ func (g *Guard) monitorLoop() {
 // quarantining a node that was never admitted would be wrong twice
 // over.
 func (g *Guard) runRound() {
+	// Degraded-mode gate: while the registrar's circuit breaker is open,
+	// every quote would fail for reasons that say nothing about the
+	// members' integrity — revoking on those failures would tear a
+	// healthy enclave apart because a provider service is down. Rounds
+	// pause (failure counters freeze, nothing is revoked) until the
+	// breaker admits probes again.
+	if g.mgr.Health().BackendOpen(core.BackendRegistrar) {
+		g.setPaused(true)
+		return
+	}
+	g.setPaused(false)
 	t0 := time.Now()
 	defer g.metrics.roundSeconds.ObserveSince(t0)
 	p := g.Policy()
@@ -366,6 +380,26 @@ func (g *Guard) runRound() {
 	g.mu.Lock()
 	g.rounds++
 	g.mu.Unlock()
+}
+
+// setPaused flips the degraded-mode hold, journaling each transition
+// exactly once so the audit log shows when (and why) rounds stopped
+// and resumed.
+func (g *Guard) setPaused(paused bool) {
+	g.mu.Lock()
+	changed := g.paused != paused
+	g.paused = paused
+	g.mu.Unlock()
+	if !changed {
+		return
+	}
+	if paused {
+		g.enclave.Journal().Record(core.EvGuardPaused, "",
+			"registrar circuit breaker open: IMA rounds paused, no revocations issued")
+	} else {
+		g.enclave.Journal().Record(core.EvGuardPaused, "",
+			"resumed: registrar circuit breaker no longer open")
+	}
 }
 
 // noteCheck tracks per-node consecutive check failures. A violation

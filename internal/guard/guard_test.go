@@ -10,6 +10,7 @@ import (
 
 	"bolted/internal/bmi"
 	"bolted/internal/core"
+	"bolted/internal/fault"
 	"bolted/internal/ima"
 	"bolted/internal/tpm"
 )
@@ -518,4 +519,96 @@ func TestGuardQuarantinesWarmStandby(t *testing.T) {
 		st, _ := e.PoolStats()
 		return st.Warm == 1 && st.WarmNodes[0] != victim
 	})
+}
+
+// TestRegistrarOutagePausesGuard is the degraded-mode arc from the
+// guard's side: a registrar outage trips its circuit breaker, and the
+// guard must pause its IMA rounds — zero revocations, a healthy enclave
+// must never be torn apart because a provider service is down — then
+// resume once the breaker lets probes through again.
+func TestRegistrarOutagePausesGuard(t *testing.T) {
+	cloud, mgr := newRig(t, 3)
+	inj := fault.New(11)
+	defer inj.Close()
+	cloud.Registrar = fault.WrapRegistrar(cloud.Registrar, inj)
+	if err := cloud.EnableResilience(core.ResiliencePolicy{
+		MaxAttempts:      1, // one breaker count per call
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := newCharlie(t, mgr, "c", 2)
+	g, err := Enable(mgr, "c", Policy{
+		Interval:         5 * time.Millisecond,
+		FailureTolerance: 1, // any counted quote failure would revoke at once
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor("a healthy round", func() bool { return g.Status().Rounds >= 1 })
+
+	// Registrar outage: every call fails at the transport. Two direct
+	// calls through the resilient stack trip the breaker.
+	inj.Set("registrar", fault.Profile{ErrorRate: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := cloud.Registrar.AIK("probe-uuid"); err == nil {
+			t.Fatalf("outage call %d succeeded", i)
+		}
+	}
+	if !mgr.Health().BackendOpen(core.BackendRegistrar) {
+		t.Fatal("registrar breaker not open after outage")
+	}
+	waitFor("the guard to pause", func() bool { return g.Status().Paused })
+	if !mgr.Health().Degraded {
+		t.Fatal("cloud not degraded during registrar outage")
+	}
+
+	// Heal and hold the outage window open past the cooldown: the guard
+	// must resume (half-open admits probes) and the next registrar call
+	// closes the breaker. "Unknown uuid" from the real registrar is an
+	// application-level response — proof of liveness — so the probe
+	// still closes the breaker.
+	inj.Set("registrar", fault.Profile{})
+	waitFor("the guard to resume", func() bool { return !g.Status().Paused && !mgr.Health().BackendOpen(core.BackendRegistrar) })
+	_, _ = cloud.Registrar.AIK("probe-uuid")
+	if mgr.Health().Degraded {
+		t.Fatal("cloud still degraded after registrar recovered")
+	}
+
+	// The outage caused no revocations and both members stay allocated.
+	if got := g.Status().Revocations; got != 0 {
+		t.Fatalf("guard issued %d revocations during a provider outage", got)
+	}
+	for node, st := range e.NodeStates() {
+		if st != core.StateAllocated && st != core.StateFree {
+			t.Fatalf("node %s state = %s after outage", node, st)
+		}
+	}
+	var paused, resumed int
+	for _, ev := range e.Journal().Events() {
+		if ev.Kind == core.EvGuardPaused {
+			if strings.Contains(ev.Detail, "resumed") {
+				resumed++
+			} else {
+				paused++
+			}
+		}
+	}
+	if paused != 1 || resumed != 1 {
+		t.Fatalf("journal pause/resume transitions = %d/%d, want exactly one each", paused, resumed)
+	}
 }

@@ -348,7 +348,11 @@ func (s *Service) CreateNetwork(ctx context.Context, project, name string) error
 		return fmt.Errorf("%w: project %q", ErrNotFound, project)
 	}
 	if _, ok := p.networks[name]; ok {
-		return fmt.Errorf("hil: network %q exists in %q", name, project)
+		// Idempotent: a duplicate create keeps the existing network (and
+		// its VLAN). Callers retrying after a torn response — the create
+		// landed but its acknowledgement was lost — must converge, not
+		// fail.
+		return nil
 	}
 	v, err := s.fabric.AllocateVLAN(project + ":" + name)
 	if err != nil {

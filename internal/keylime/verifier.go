@@ -15,6 +15,13 @@ import (
 	"bolted/internal/tpm"
 )
 
+// ErrQuoteMismatch marks an attestation verdict failure: the node's
+// quote verified cryptographically but a PCR value is outside the
+// whitelist. It is a trust decision, not a service hiccup — resilience
+// layers must treat it as fatal (reject immediately, never retry) and
+// must not count it against service-health circuit breakers.
+var ErrQuoteMismatch = errors.New("keylime: quote does not match whitelist")
+
 // NodeStatus is the verifier's view of a monitored node.
 type NodeStatus string
 
@@ -228,7 +235,7 @@ func QuoteAgainstWhitelist(ctx context.Context, reg RegistrarConn, agent AgentCo
 			}
 		}
 		if !ok {
-			return fmt.Errorf("keylime: PCR %d value %x not in whitelist (firmware compromised or unknown)", pcr, q.PCRValues[i][:8])
+			return fmt.Errorf("%w: PCR %d value %x not in whitelist (firmware compromised or unknown)", ErrQuoteMismatch, pcr, q.PCRValues[i][:8])
 		}
 	}
 	return nil

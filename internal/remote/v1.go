@@ -51,6 +51,7 @@ const (
 	codeUnauthorized = "permission_denied"
 	codeInvalid      = "invalid_argument"
 	codeExhausted    = "resource_exhausted"
+	codeUnavailable  = "unavailable"
 	codeInternal     = "internal"
 )
 
@@ -77,6 +78,7 @@ type GuardInfo struct {
 	Rounds      uint64          `json:"rounds"`
 	Checks      uint64          `json:"checks"`
 	Revocations uint64          `json:"revocations"`
+	Paused      bool            `json:"paused,omitempty"`
 	Incidents   []string        `json:"incidents,omitempty"`
 }
 
@@ -88,6 +90,7 @@ func guardInfo(g *guard.Guard) *GuardInfo {
 		Rounds:      st.Rounds,
 		Checks:      st.Checks,
 		Revocations: st.Revocations,
+		Paused:      st.Paused,
 		Incidents:   st.Incidents,
 	}
 }
@@ -170,6 +173,17 @@ type PoolPolicyInfo = core.PoolPolicy
 // live occupancy and hit/miss counters. Like the policy, core.PoolStats
 // carries its own wire tags, so the wire form IS the stats.
 type PoolInfo = core.PoolStats
+
+// HealthInfo is the wire form of the cloud's degraded-mode snapshot:
+// per-backend circuit-breaker states, degraded while any is open.
+// core.HealthStatus carries its wire tags, so the wire form IS the
+// status.
+type HealthInfo = core.HealthStatus
+
+// ResiliencePolicyInfo is the wire form of a resilience policy. Zero
+// fields take server-side defaults; core.ResiliencePolicy carries its
+// wire tags, so the wire form IS the policy.
+type ResiliencePolicyInfo = core.ResiliencePolicy
 
 // NodeFailureInfo is the wire form of a per-node batch failure.
 type NodeFailureInfo struct {
@@ -318,6 +332,22 @@ func writeV1Error(w http.ResponseWriter, err error) {
 		var qe *core.QuotaError
 		if errors.As(err, &qe) && qe.RetryAfter > 0 {
 			retry = qe.RetryAfter
+		}
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.Is(err, core.ErrDegraded):
+		// Degraded-mode fail-fast: a backend circuit breaker is open and
+		// the control plane refuses new work rather than feeding it into
+		// a dead service. 503 + Retry-After (the breaker's cooldown) so
+		// clients back off until a probe can close it.
+		code, status = codeUnavailable, http.StatusServiceUnavailable
+		retry := time.Second
+		var de *core.DegradedError
+		if errors.As(err, &de) && de.RetryAfter > 0 {
+			retry = de.RetryAfter
 		}
 		secs := int(retry / time.Second)
 		if secs < 1 {
@@ -691,6 +721,86 @@ func NewV1Handler(mgr *core.Manager) http.Handler {
 	// observability half of the fairness story.
 	mux.HandleFunc("GET /sched", func(w http.ResponseWriter, r *http.Request) {
 		writeV1JSON(w, http.StatusOK, mgr.SchedStats())
+	})
+
+	// --- resilience + degraded-mode surface ---
+
+	// GET /health is the degraded-mode snapshot: per-backend breaker
+	// states, degraded while any is open. Always 200 — the body says
+	// whether the cloud is degraded; the endpoint answering at all says
+	// the control plane is up.
+	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+		writeV1JSON(w, http.StatusOK, mgr.Health())
+	})
+
+	// GET/PUT /resilience read and replace the cloud-wide resilience
+	// policy (retry budget, backoff, breaker thresholds, phase
+	// deadline). Zero fields in a PUT take server defaults.
+	mux.HandleFunc("GET /resilience", func(w http.ResponseWriter, r *http.Request) {
+		pol, err := mgr.ResiliencePolicyFor("")
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, pol)
+	})
+
+	mux.HandleFunc("PUT /resilience", func(w http.ResponseWriter, r *http.Request) {
+		var req ResiliencePolicyInfo
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV1Error(w, fmt.Errorf("%w: %v", errInvalid, err))
+			return
+		}
+		pol, err := mgr.ConfigureResilience("", req)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, pol)
+	})
+
+	// GET/PUT /enclaves/{name}/resilience read and set one enclave's
+	// policy override (phase deadlines act per enclave; retry and
+	// breaker parameters stay cloud-wide where the backends are
+	// wrapped).
+	mux.HandleFunc("GET /enclaves/{name}/resilience", func(w http.ResponseWriter, r *http.Request) {
+		pol, err := mgr.ResiliencePolicyFor(r.PathValue("name"))
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, pol)
+	})
+
+	mux.HandleFunc("PUT /enclaves/{name}/resilience", func(w http.ResponseWriter, r *http.Request) {
+		var req ResiliencePolicyInfo
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV1Error(w, fmt.Errorf("%w: %v", errInvalid, err))
+			return
+		}
+		pol, err := mgr.ConfigureResilience(r.PathValue("name"), req)
+		if err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		writeV1JSON(w, http.StatusOK, pol)
+	})
+
+	// Custom verb: POST /enclaves/{name}/nodes/{node}:reclaim is the
+	// operator's scrub-and-return path for a rejected-pool node — after
+	// repair, the node is powered off, freed back to the provider's free
+	// pool, and the recovery journaled.
+	mux.HandleFunc("POST /enclaves/{name}/nodes/{nodeverb}", func(w http.ResponseWriter, r *http.Request) {
+		node, verb, ok := strings.Cut(r.PathValue("nodeverb"), ":")
+		if !ok || verb != "reclaim" {
+			writeV1Error(w, fmt.Errorf("%w: unknown node verb %q", errInvalid, verb))
+			return
+		}
+		if err := mgr.ReclaimNode(r.Context(), r.PathValue("name"), node); err != nil {
+			writeV1Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 
 	// --- runtime attestation guard + incident response surface ---

@@ -44,6 +44,11 @@ func (e *TransportError) Error() string {
 // Is makes errors.Is(err, ErrTransport) true for every TransportError.
 func (e *TransportError) Is(target error) bool { return target == ErrTransport }
 
+// Transient marks transport errors retryable for the resilience layer:
+// a proxy 502 or a truncated body says nothing about whether the
+// operation can succeed on a re-send, so callers may try again.
+func (e *TransportError) Transient() bool { return true }
+
 // V1Client is the typed binding for the /v1 tenant control plane: the
 // enclave, acquisition and operation resources as Go calls, with wire
 // error envelopes decoded back into the same sentinel errors the
@@ -153,6 +158,21 @@ func decodeV1Error(resp *http.Response) error {
 			detail = rest
 		}
 		return &core.QuotaError{Detail: detail, RetryAfter: retry}
+	case codeUnavailable:
+		// Rebuild the DegradedError so errors.Is(err, core.ErrDegraded)
+		// works and the Retry-After hint survives the wire.
+		de := &core.DegradedError{RetryAfter: time.Second}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				de.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if rest, ok := strings.CutPrefix(msg, core.ErrDegraded.Error()+": "); ok {
+			if b, _, found := strings.Cut(rest, " "); found || b != "" {
+				de.Backend = b
+			}
+		}
+		return de
 	default:
 		return fmt.Errorf("remote: %s: %s", env.Error.Code, msg)
 	}
@@ -207,10 +227,16 @@ func (c *V1Client) doHdr(ctx context.Context, method, path string, hdr http.Head
 		// rejected tenants must not re-synchronize on the hint.
 		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
 		c.quotaRetries.Inc()
+		// time.After would leak its timer for the full delay after a
+		// cancellation; a stopped timer frees it as soon as ctx ends,
+		// and the caller gets ctx.Err() promptly instead of sleeping
+		// out the rest of the hint.
+		t := time.NewTimer(delay)
 		select {
-		case <-time.After(delay):
+		case <-t.C:
 		case <-ctx.Done():
-			return 0, fmt.Errorf("remote: %w (while backing off from %v)", ctx.Err(), qe)
+			t.Stop()
+			return 0, fmt.Errorf("remote: %w (while backing off from %w)", ctx.Err(), qe)
 		}
 	}
 }
@@ -605,4 +631,55 @@ func (c *V1Client) SchedStats(ctx context.Context) (*SchedInfo, error) {
 		return nil, err
 	}
 	return &info, nil
+}
+
+// Health returns the cloud's degraded-mode snapshot: per-backend
+// circuit-breaker states, degraded while any breaker is open. The call
+// itself succeeding says the control plane is reachable; the body says
+// whether its backends are.
+func (c *V1Client) Health(ctx context.Context) (*HealthInfo, error) {
+	var info HealthInfo
+	if err := c.do(ctx, "GET", "/health", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// GetResilience returns the effective resilience policy: the cloud-wide
+// one for an empty enclave name, an enclave's override (falling back to
+// cloud-wide) otherwise.
+func (c *V1Client) GetResilience(ctx context.Context, enclave string) (*ResiliencePolicyInfo, error) {
+	path := "/resilience"
+	if enclave != "" {
+		path = "/enclaves/" + url.PathEscape(enclave) + "/resilience"
+	}
+	var pol ResiliencePolicyInfo
+	if err := c.do(ctx, "GET", path, nil, &pol); err != nil {
+		return nil, err
+	}
+	return &pol, nil
+}
+
+// SetResilience replaces the cloud-wide resilience policy (empty
+// enclave name) or installs a per-enclave override. Zero fields take
+// server-side defaults; the applied, defaults-filled policy comes back.
+func (c *V1Client) SetResilience(ctx context.Context, enclave string, pol ResiliencePolicyInfo) (*ResiliencePolicyInfo, error) {
+	path := "/resilience"
+	if enclave != "" {
+		path = "/enclaves/" + url.PathEscape(enclave) + "/resilience"
+	}
+	var out ResiliencePolicyInfo
+	if err := c.do(ctx, "PUT", path, pol, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ReclaimNode scrubs a rejected-pool node and returns it to the
+// provider's free pool — the operator's recovery path after repairing
+// hardware that failed attestation. core.ErrConflict when the node is
+// not in the rejected pool.
+func (c *V1Client) ReclaimNode(ctx context.Context, enclave, node string) error {
+	path := "/enclaves/" + url.PathEscape(enclave) + "/nodes/" + url.PathEscape(node) + ":reclaim"
+	return c.do(ctx, "POST", path, nil, nil)
 }

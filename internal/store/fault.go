@@ -9,10 +9,11 @@ import (
 // standing in for ENOSPC on the WAL device.
 var ErrNoSpace = errors.New("store: no space left on device")
 
-// Faulty wraps a Store and injects append failures after a configured number
-// of successful commits. Tests use it to prove the Manager fails closed: a
-// mutation whose record cannot be made durable must be rejected, not
-// acknowledged.
+// Faulty wraps a Store and injects append and sync failures after a
+// configured number of successful calls. Tests use it to prove the Manager
+// fails closed: a mutation whose record cannot be made durable must be
+// rejected, not acknowledged — including the group-commit path, where the
+// record stages cleanly (AppendBuffered) and only the Sync fails.
 type Faulty struct {
 	inner Store
 
@@ -20,11 +21,15 @@ type Faulty struct {
 	remaining int // successful appends left before failures start; -1 = unlimited
 	err       error
 	appends   int
+
+	syncRemaining int // successful syncs left before failures start; -1 = unlimited
+	syncErr       error
+	syncs         int
 }
 
 // NewFaulty wraps inner with no fault armed.
 func NewFaulty(inner Store) *Faulty {
-	return &Faulty{inner: inner, remaining: -1}
+	return &Faulty{inner: inner, remaining: -1, syncRemaining: -1}
 }
 
 // FailAppendsAfter arms the fault: the next n Appends succeed, every one
@@ -39,11 +44,29 @@ func (f *Faulty) FailAppendsAfter(n int, err error) {
 	f.mu.Unlock()
 }
 
-// Heal disarms the fault; subsequent Appends pass through again.
+// FailSyncsAfter arms the group-commit fault: the next n Syncs succeed,
+// every one after that returns err (ErrNoSpace if err is nil). Appends —
+// including AppendBuffered staging — keep passing, which is exactly the
+// torn group-commit shape: records accepted into the buffer, durability
+// refused at the barrier.
+func (f *Faulty) FailSyncsAfter(n int, err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	f.mu.Lock()
+	f.syncRemaining = n
+	f.syncErr = err
+	f.mu.Unlock()
+}
+
+// Heal disarms every armed fault; subsequent Appends and Syncs pass
+// through again.
 func (f *Faulty) Heal() {
 	f.mu.Lock()
 	f.remaining = -1
 	f.err = nil
+	f.syncRemaining = -1
+	f.syncErr = nil
 	f.mu.Unlock()
 }
 
@@ -53,6 +76,14 @@ func (f *Faulty) Appends() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.appends
+}
+
+// Syncs reports how many Syncs reached the wrapper (including failed
+// ones), for asserting that a code path attempted a group commit.
+func (f *Faulty) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
 }
 
 func (f *Faulty) Append(rec Record) error {
@@ -85,7 +116,21 @@ func (f *Faulty) admit() error {
 	return nil
 }
 
+func (f *Faulty) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	if f.syncRemaining == 0 {
+		err := f.syncErr
+		f.mu.Unlock()
+		return err
+	}
+	if f.syncRemaining > 0 {
+		f.syncRemaining--
+	}
+	f.mu.Unlock()
+	return f.inner.Sync()
+}
+
 func (f *Faulty) Load() (*Snapshot, []Record, error) { return f.inner.Load() }
-func (f *Faulty) Sync() error                        { return f.inner.Sync() }
 func (f *Faulty) Compact(snap *Snapshot) error       { return f.inner.Compact(snap) }
 func (f *Faulty) Close() error                       { return f.inner.Close() }

@@ -311,3 +311,48 @@ func TestFaultyBuffered(t *testing.T) {
 		t.Fatalf("append after heal: %v", err)
 	}
 }
+
+// TestFaultySyncGroupCommit composes the fault wrapper with the real
+// file store's group-commit path: records stage cleanly through
+// AppendBuffered, the armed fault refuses durability at the Sync
+// barrier, and after Heal a clean Sync commits the whole batch — the
+// staged records survive a crash-reopen.
+func TestFaultySyncGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f := NewFaulty(inner)
+	f.FailSyncsAfter(0, nil)
+	for i := 0; i < 3; i++ {
+		if err := f.AppendBuffered(Record{Kind: KindJournalEvent, At: time.Now(),
+			Data: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))}); err != nil {
+			t.Fatalf("buffered append %d: %v", i, err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("sync under fault: %v, want ErrNoSpace", err)
+	}
+	f.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after heal: %v", err)
+	}
+	if got := f.Syncs(); got != 2 {
+		t.Fatalf("Syncs() = %d, want 2", got)
+	}
+	// Crash (no Close): the healed group commit must have made every
+	// staged record durable.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	_, recs, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records after reopen, want 3", len(recs))
+	}
+}
